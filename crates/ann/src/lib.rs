@@ -1,0 +1,16 @@
+//! Approximate nearest-neighbour machinery for tag-path clustering.
+//!
+//! Implements the vectorisation pipeline of Sec 3.2 (Figure 3): dynamic
+//! token [`ngram`] vocabularies → sparse BoW vectors → the fixed-dimension
+//! hash [`project`]ion with collision-mean semantics → cosine [`vector`]
+//! geometry → the [`hnsw`] index that Algorithm 1 keeps action centroids in.
+
+pub mod hnsw;
+pub mod ngram;
+pub mod project;
+pub mod vector;
+
+pub use hnsw::{brute_force_nearest, Hnsw, HnswParams};
+pub use ngram::{NgramVocab, SparseBow, BOS, EOS};
+pub use project::{Projector, DEFAULT_PRIME};
+pub use vector::{cosine, cosine_distance, Centroid};

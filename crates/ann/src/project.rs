@@ -1,0 +1,174 @@
+//! Fixed-dimension hash projection of growing BoW vectors (Sec 3.2, Fig 3).
+//!
+//! BoW vectors over a dynamic vocabulary have different lengths at different
+//! crawl times, so they are projected into a fixed `D = 2^m` dimension with
+//! the hash `h(x) = ⌊(Π·x mod 2^w) / 2^(w−m)⌋` (Π a large prime, `w > m`).
+//! Collisions are resolved by storing the **mean** of all input positions
+//! that map to the same output position — including zero-valued ones — and
+//! output positions hit by no input stay 0. The unit tests reproduce the
+//! paper's worked example (`D = 4`, `w = 11`, `Π = 766 245 317`) digit for
+//! digit.
+
+use crate::ngram::SparseBow;
+
+/// The paper's default Π.
+pub const DEFAULT_PRIME: u64 = 766_245_317;
+
+/// Hash projector with parameters `m` (output dim `D = 2^m`), `w`, `Π`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projector {
+    m: u32,
+    w: u32,
+    prime: u64,
+}
+
+impl Projector {
+    /// Panics unless `0 < m < w ≤ 63`.
+    pub fn new(m: u32, w: u32, prime: u64) -> Self {
+        assert!(m > 0 && w > m && w <= 63, "need 0 < m < w ≤ 63");
+        Projector { m, w, prime }
+    }
+
+    /// The paper's defaults: `m = 12` (D = 4096), `w = 15`, Π = 766 245 317.
+    pub fn paper_default() -> Self {
+        Projector::new(12, 15, DEFAULT_PRIME)
+    }
+
+    /// Output dimension `D = 2^m`.
+    pub fn dim(&self) -> usize {
+        1usize << self.m
+    }
+
+    /// `h(x) = ⌊(Π·x mod 2^w) / 2^(w−m)⌋`.
+    pub fn hash(&self, x: u64) -> usize {
+        let modulus = 1u64 << self.w;
+        let shift = self.w - self.m;
+        ((self.prime.wrapping_mul(x) % modulus) >> shift) as usize
+    }
+
+    /// Projects a sparse BoW of dimension `bow.dim` into `D` dimensions.
+    ///
+    /// Every input position `0 ≤ i < d` participates: positions absent from
+    /// the sparse items contribute 0 to their bucket's mean (this matches the
+    /// worked example, where bucket 3 averages `p[4] = 0`, `p[8] = 1`,
+    /// `p[9] = 1` into ≈ 0.67).
+    pub fn project(&self, bow: &SparseBow) -> Vec<f32> {
+        let d = self.dim();
+        let mut sums = vec![0.0f32; d];
+        let mut hits = vec![0u32; d];
+        let mut iter = bow.items.iter().peekable();
+        for i in 0..bow.dim {
+            let j = self.hash(i as u64);
+            hits[j] += 1;
+            if let Some(&&(idx, val)) = iter.peek() {
+                if idx == i {
+                    sums[j] += val;
+                    iter.next();
+                }
+            }
+        }
+        for j in 0..d {
+            if hits[j] > 0 {
+                sums[j] /= hits[j] as f32;
+            }
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ngram::NgramVocab;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    /// Figure 3, step by step: h(2) = ⌊(766245317·2 mod 2048)/512⌋ = 1.
+    #[test]
+    fn paper_hash_values() {
+        let p = Projector::new(2, 11, DEFAULT_PRIME);
+        assert_eq!(p.dim(), 4);
+        assert_eq!(p.hash(2), 1);
+        // The collision of the example: h(4) = h(8) = h(9) = 3.
+        assert_eq!(p.hash(4), 3);
+        assert_eq!(p.hash(8), 3);
+        assert_eq!(p.hash(9), 3);
+    }
+
+    /// Full Figure 3 reproduction: the k+1 tag path projects to
+    /// `[1, 1.5, 0.5, 0.67]`.
+    #[test]
+    fn projection_paper_example() {
+        let mut vocab = NgramVocab::new(2);
+        // Iteration k: vocabulary of 5 bigrams.
+        vocab.vectorize_mut(&toks("html body div#container a.info"));
+        assert_eq!(vocab.len(), 5);
+        // Iteration k+1: the new tag path grows the vocabulary to 11.
+        let p = vocab.vectorize_mut(&toks(
+            "html body div#container div div div ul li.datasets a.dataset",
+        ));
+        assert_eq!(p.dim, 11);
+        let proj = Projector::new(2, 11, DEFAULT_PRIME);
+        let out = proj.project(&p);
+        assert!((out[0] - 1.0).abs() < 1e-6, "{out:?}");
+        assert!((out[1] - 1.5).abs() < 1e-6, "{out:?}");
+        assert!((out[2] - 0.5).abs() < 1e-6, "{out:?}");
+        assert!((out[3] - 2.0 / 3.0).abs() < 1e-6, "{out:?}");
+    }
+
+    #[test]
+    fn unhit_positions_are_zero() {
+        // Tiny vocab: with d = 1 only bucket h(0) is hit.
+        let p = Projector::new(2, 11, DEFAULT_PRIME);
+        let bow = SparseBow { dim: 1, items: vec![(0, 3.0)] };
+        let out = p.project(&bow);
+        let nonzero = out.iter().filter(|&&x| x != 0.0).count();
+        assert_eq!(nonzero, 1);
+        assert_eq!(out[p.hash(0)], 3.0);
+    }
+
+    #[test]
+    fn projection_is_deterministic() {
+        let p = Projector::paper_default();
+        let bow = SparseBow { dim: 100, items: (0..100).step_by(3).map(|i| (i, 1.0)).collect() };
+        assert_eq!(p.project(&bow), p.project(&bow));
+    }
+
+    #[test]
+    fn paper_default_dimension() {
+        assert_eq!(Projector::paper_default().dim(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < m < w")]
+    fn rejects_w_not_greater_than_m() {
+        Projector::new(12, 12, DEFAULT_PRIME);
+    }
+
+    #[test]
+    fn hash_stays_in_range() {
+        let p = Projector::paper_default();
+        for x in [0u64, 1, 17, 4095, 1 << 20, u64::MAX / 3] {
+            assert!(p.hash(x) < p.dim());
+        }
+    }
+
+    /// Similar tag paths must project to similar vectors (the clustering
+    /// hypothesis would die here otherwise).
+    #[test]
+    fn similar_paths_project_close() {
+        use crate::vector::cosine;
+        let mut vocab = NgramVocab::new(2);
+        vocab.vectorize_mut(&toks("html body div#main ul.datasets li a.download"));
+        vocab.vectorize_mut(&toks("html body div#main ul.datasets li a.dataset"));
+        let c = vocab.vectorize_mut(&toks("html body header nav ul.menu li a"));
+        let proj = Projector::paper_default();
+        // Re-vectorise a and b under the final vocabulary for a fair compare.
+        let a = vocab.vectorize(&toks("html body div#main ul.datasets li a.download"));
+        let b = vocab.vectorize(&toks("html body div#main ul.datasets li a.dataset"));
+        let (pa, pb, pc) = (proj.project(&a), proj.project(&b), proj.project(&c));
+        assert!(cosine(&pa, &pb) > cosine(&pa, &pc));
+    }
+}

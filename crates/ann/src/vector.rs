@@ -1,0 +1,91 @@
+//! Dense vector primitives: cosine similarity and running centroids.
+
+/// Cosine similarity between two equal-length vectors; 0 if either is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na.sqrt() * nb.sqrt())) as f32
+}
+
+/// Cosine *distance* (`1 − similarity`), the metric HNSW orders by.
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine(a, b)
+}
+
+/// A running mean of vectors — an action's centroid (Algorithm 1 keeps only
+/// the centroid of the tag paths assigned to each action).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Centroid {
+    mean: Vec<f32>,
+    n: u64,
+}
+
+impl Centroid {
+    /// Starts a centroid at its first member.
+    pub fn of(first: &[f32]) -> Self {
+        Centroid { mean: first.to_vec(), n: 1 }
+    }
+
+    /// Incorporates one more member: `mean += (x − mean) / n`.
+    pub fn add(&mut self, x: &[f32]) {
+        debug_assert_eq!(x.len(), self.mean.len());
+        self.n += 1;
+        let inv = 1.0 / self.n as f32;
+        for (m, &v) in self.mean.iter_mut().zip(x) {
+            *m += (v - *m) * inv;
+        }
+    }
+
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_identity_and_orthogonal() {
+        let a = [1.0, 0.0, 2.0];
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_zero() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, 0.7, 0.1];
+        let b: Vec<f32> = a.iter().map(|x| x * 42.0).collect();
+        assert!((cosine(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn centroid_is_arithmetic_mean() {
+        let mut c = Centroid::of(&[0.0, 0.0]);
+        c.add(&[2.0, 4.0]);
+        c.add(&[4.0, 8.0]);
+        assert_eq!(c.count(), 3);
+        assert!((c.mean()[0] - 2.0).abs() < 1e-6);
+        assert!((c.mean()[1] - 4.0).abs() < 1e-6);
+    }
+}

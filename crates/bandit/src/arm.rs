@@ -1,0 +1,86 @@
+//! Per-arm statistics with incremental mean updates.
+
+/// Running statistics of one bandit arm.
+///
+/// The mean update is exactly Algorithm 4's
+/// `R_mean(a) ← R_mean(a) + (reward − R_mean(a)) / N_t(a)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ArmStats {
+    /// `N_t(a)`: how many times the arm was selected.
+    pub pulls: u64,
+    /// `R̄_t(a)`: mean reward over those pulls.
+    pub mean: f64,
+    /// Sum of squared deviations (Welford) — for the Table 6 STD column and
+    /// Thompson sampling.
+    m2: f64,
+}
+
+impl ArmStats {
+    pub fn new() -> Self {
+        ArmStats::default()
+    }
+
+    /// Registers a selection of this arm (increments `N_t(a)`).
+    pub fn select(&mut self) {
+        self.pulls += 1;
+    }
+
+    /// Applies a reward observation using the incremental-mean rule. Must be
+    /// called after [`ArmStats::select`] for the same pull.
+    pub fn reward(&mut self, r: f64) {
+        debug_assert!(self.pulls > 0, "reward before any selection");
+        let n = self.pulls as f64;
+        let delta = r - self.mean;
+        self.mean += delta / n;
+        self.m2 += delta * (r - self.mean);
+    }
+
+    /// Sample standard deviation of observed rewards.
+    pub fn std(&self) -> f64 {
+        if self.pulls < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.pulls - 1) as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incremental_mean_matches_batch_mean() {
+        let rewards = [3.0, 0.0, 5.0, 1.0, 1.0, 12.0];
+        let mut a = ArmStats::new();
+        for &r in &rewards {
+            a.select();
+            a.reward(r);
+        }
+        let batch = rewards.iter().sum::<f64>() / rewards.len() as f64;
+        assert!((a.mean - batch).abs() < 1e-12);
+        assert_eq!(a.pulls, 6);
+    }
+
+    #[test]
+    fn std_matches_formula() {
+        let rewards = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut a = ArmStats::new();
+        for &r in &rewards {
+            a.select();
+            a.reward(r);
+        }
+        // Sample std of this classic dataset is ~2.138.
+        assert!((a.std() - 2.138).abs() < 0.01, "{}", a.std());
+    }
+
+    #[test]
+    fn selection_without_reward_counts_pull() {
+        // Algorithm 3 increments N_t(a) at selection; the reward may be 0
+        // or arrive later.
+        let mut a = ArmStats::new();
+        a.select();
+        assert_eq!(a.pulls, 1);
+        assert_eq!(a.mean, 0.0);
+    }
+}

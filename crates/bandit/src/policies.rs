@@ -1,0 +1,328 @@
+//! Arm-selection policies.
+//!
+//! All policies see the same interface: a slice of [`ArmView`]s (statistics
+//! plus the availability bit `1_a(t)` of the sleeping-bandit model) and the
+//! global step count `t`. They return the index of the arm to play, or
+//! `None` when every arm sleeps.
+
+use crate::arm::ArmStats;
+use rand::Rng;
+
+/// The paper's exploration coefficient `α = 2√2`.
+pub const ALPHA_DEFAULT: f64 = 2.0 * std::f64::consts::SQRT_2;
+
+/// The ε of the AUER score denominator `N_t(a) + ε` (prevents division by
+/// zero for never-pulled arms).
+pub const EPS: f64 = 1e-6;
+
+/// What a policy sees of one arm at selection time.
+#[derive(Debug, Clone, Copy)]
+pub struct ArmView {
+    pub stats: ArmStats,
+    /// `1_a(t)`: does the arm still have unvisited links?
+    pub available: bool,
+}
+
+/// An arm-selection policy.
+pub trait Policy {
+    /// Picks an arm index among `arms`, or `None` if none is available.
+    /// `t` is the crawl step (the paper's `t`), `rng` serves stochastic
+    /// policies — deterministic ones ignore it (the paper chose AUER partly
+    /// for run-to-run *stability*).
+    fn select<R: Rng + ?Sized>(&mut self, arms: &[ArmView], t: u64, rng: &mut R) -> Option<usize>;
+
+    fn name(&self) -> &'static str;
+}
+
+fn argmax_available(arms: &[ArmView], score: impl Fn(&ArmView) -> f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, a) in arms.iter().enumerate() {
+        if !a.available {
+            continue;
+        }
+        let s = score(a);
+        match best {
+            Some((_, bs)) if s <= bs => {}
+            _ => best = Some((i, s)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+// ----------------------------------------------------------------------
+// AUER sleeping bandit — the production policy
+// ----------------------------------------------------------------------
+
+/// Awake Upper-Estimated Reward \[34\]:
+/// `s(a) = 1_a(t) · (R̄_t(a) + α·√(log t / (N_t(a) + ε)))`.
+#[derive(Debug, Clone, Copy)]
+pub struct Auer {
+    pub alpha: f64,
+}
+
+impl Default for Auer {
+    fn default() -> Self {
+        Auer { alpha: ALPHA_DEFAULT }
+    }
+}
+
+impl Auer {
+    pub fn new(alpha: f64) -> Self {
+        Auer { alpha }
+    }
+
+    /// The raw AUER score of one arm (exposed for tests and tracing).
+    pub fn score(&self, arm: &ArmView, t: u64) -> f64 {
+        if !arm.available {
+            return 0.0;
+        }
+        let log_t = (t.max(1) as f64).ln();
+        arm.stats.mean + self.alpha * (log_t / (arm.stats.pulls as f64 + EPS)).sqrt()
+    }
+}
+
+impl Policy for Auer {
+    fn select<R: Rng + ?Sized>(&mut self, arms: &[ArmView], t: u64, _rng: &mut R) -> Option<usize> {
+        argmax_available(arms, |a| self.score(a, t))
+    }
+
+    fn name(&self) -> &'static str {
+        "AUER"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Plain UCB1 (no sleeping adaptation) — ablation baseline
+// ----------------------------------------------------------------------
+
+/// UCB1 \[3\] restricted to available arms but with the classic
+/// play-each-arm-once initialisation rather than the ε-smoothed score.
+#[derive(Debug, Clone, Copy)]
+pub struct Ucb1 {
+    pub alpha: f64,
+}
+
+impl Default for Ucb1 {
+    fn default() -> Self {
+        Ucb1 { alpha: ALPHA_DEFAULT }
+    }
+}
+
+impl Policy for Ucb1 {
+    fn select<R: Rng + ?Sized>(&mut self, arms: &[ArmView], t: u64, _rng: &mut R) -> Option<usize> {
+        // Untried arms first, in index order.
+        if let Some(i) = arms.iter().position(|a| a.available && a.stats.pulls == 0) {
+            return Some(i);
+        }
+        let log_t = (t.max(1) as f64).ln();
+        argmax_available(arms, |a| {
+            a.stats.mean + self.alpha * (log_t / a.stats.pulls as f64).sqrt()
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "UCB1"
+    }
+}
+
+// ----------------------------------------------------------------------
+// ε-greedy — the simple alternative of the appendix
+// ----------------------------------------------------------------------
+
+/// With probability ε explore uniformly, otherwise exploit the best mean.
+#[derive(Debug, Clone, Copy)]
+pub struct EpsilonGreedy {
+    pub epsilon: f64,
+}
+
+impl Default for EpsilonGreedy {
+    fn default() -> Self {
+        EpsilonGreedy { epsilon: 0.1 }
+    }
+}
+
+impl Policy for EpsilonGreedy {
+    fn select<R: Rng + ?Sized>(&mut self, arms: &[ArmView], _t: u64, rng: &mut R) -> Option<usize> {
+        let avail: Vec<usize> =
+            arms.iter().enumerate().filter(|(_, a)| a.available).map(|(i, _)| i).collect();
+        if avail.is_empty() {
+            return None;
+        }
+        if rng.gen_bool(self.epsilon) {
+            return Some(avail[rng.gen_range(0..avail.len())]);
+        }
+        argmax_available(arms, |a| a.stats.mean)
+    }
+
+    fn name(&self) -> &'static str {
+        "eps-greedy"
+    }
+}
+
+// ----------------------------------------------------------------------
+// Thompson sampling (Gaussian) — the Bayesian alternative of the appendix
+// ----------------------------------------------------------------------
+
+/// Gaussian Thompson sampling: sample a mean estimate from
+/// `N(R̄, σ² / (N+1))` per arm, play the argmax. The paper excluded TS for
+/// stability and missing priors; it lives here for the ablation bench.
+#[derive(Debug, Clone, Copy)]
+pub struct ThompsonSampling {
+    /// Prior observation-noise scale.
+    pub sigma: f64,
+}
+
+impl Default for ThompsonSampling {
+    fn default() -> Self {
+        ThompsonSampling { sigma: 1.0 }
+    }
+}
+
+impl Policy for ThompsonSampling {
+    fn select<R: Rng + ?Sized>(&mut self, arms: &[ArmView], _t: u64, rng: &mut R) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, a) in arms.iter().enumerate() {
+            if !a.available {
+                continue;
+            }
+            let sd = (self.sigma * self.sigma / (a.stats.pulls as f64 + 1.0)).sqrt();
+            // Box–Muller.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            let sample = a.stats.mean + sd * z;
+            match best {
+                Some((_, bs)) if sample <= bs => {}
+                _ => best = Some((i, sample)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn name(&self) -> &'static str {
+        "Thompson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arm(pulls: u64, mean: f64, available: bool) -> ArmView {
+        let mut stats = ArmStats::new();
+        for _ in 0..pulls {
+            stats.select();
+            stats.reward(mean); // constant rewards ⇒ mean exact
+        }
+        ArmView { stats, available }
+    }
+
+    #[test]
+    fn auer_ignores_sleeping_arms() {
+        let mut p = Auer::default();
+        let arms = vec![arm(5, 100.0, false), arm(5, 1.0, true)];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.select(&arms, 10, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn auer_all_sleeping_is_none() {
+        let mut p = Auer::default();
+        let arms = vec![arm(5, 10.0, false), arm(1, 3.0, false)];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.select(&arms, 10, &mut rng), None);
+    }
+
+    #[test]
+    fn auer_fresh_arm_gets_huge_exploration_bonus() {
+        // N = 0 ⇒ bonus α√(log t / ε) dwarfs any realistic mean.
+        let p = Auer::default();
+        let fresh = arm(0, 0.0, true);
+        let seasoned = arm(1000, 50.0, true);
+        assert!(p.score(&fresh, 100) > p.score(&seasoned, 100));
+    }
+
+    #[test]
+    fn auer_exploits_after_enough_pulls() {
+        let mut p = Auer::default();
+        // Both arms well-pulled; higher mean must win.
+        let arms = vec![arm(500, 2.0, true), arm(500, 10.0, true)];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.select(&arms, 1000, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn auer_alpha_controls_exploration() {
+        // With huge α, the less-pulled arm wins even with a worse mean.
+        let arms = vec![arm(1000, 5.0, true), arm(10, 1.0, true)];
+        let mut explore = Auer::new(50.0);
+        let mut exploit = Auer::new(0.01);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(explore.select(&arms, 2000, &mut rng), Some(1));
+        assert_eq!(exploit.select(&arms, 2000, &mut rng), Some(0));
+    }
+
+    #[test]
+    fn auer_is_deterministic() {
+        let arms = vec![arm(5, 1.0, true), arm(7, 2.0, true), arm(2, 0.5, true)];
+        let mut p = Auer::default();
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(999);
+        assert_eq!(p.select(&arms, 50, &mut rng1), p.select(&arms, 50, &mut rng2));
+    }
+
+    #[test]
+    fn ucb1_plays_untried_first() {
+        let mut p = Ucb1::default();
+        let arms = vec![arm(5, 10.0, true), arm(0, 0.0, true)];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.select(&arms, 10, &mut rng), Some(1));
+    }
+
+    #[test]
+    fn egreedy_mostly_exploits() {
+        let mut p = EpsilonGreedy { epsilon: 0.1 };
+        let arms = vec![arm(50, 1.0, true), arm(50, 9.0, true)];
+        let mut rng = StdRng::seed_from_u64(42);
+        let picks: Vec<usize> = (0..200).filter_map(|t| p.select(&arms, t, &mut rng)).collect();
+        let best = picks.iter().filter(|&&i| i == 1).count();
+        assert!(best > 160, "exploited {best}/200");
+    }
+
+    #[test]
+    fn thompson_prefers_better_arm_asymptotically() {
+        let mut p = ThompsonSampling::default();
+        let arms = vec![arm(200, 1.0, true), arm(200, 8.0, true)];
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks: Vec<usize> = (0..200).filter_map(|t| p.select(&arms, t, &mut rng)).collect();
+        let best = picks.iter().filter(|&&i| i == 1).count();
+        assert!(best > 190, "best arm picked {best}/200");
+    }
+
+    /// Regret smoke test: on a stationary 3-arm problem AUER's cumulative
+    /// reward approaches the best arm's rate.
+    #[test]
+    fn auer_regret_sublinear() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let means = [1.0, 3.0, 5.0];
+        let mut stats = [ArmStats::new(); 3];
+        let mut policy = Auer::default();
+        let mut total = 0.0;
+        let horizon = 3000u64;
+        for t in 1..=horizon {
+            let arms: Vec<ArmView> =
+                stats.iter().map(|&s| ArmView { stats: s, available: true }).collect();
+            let i = policy.select(&arms, t, &mut rng).unwrap();
+            // Noisy reward around the true mean.
+            let noise: f64 = rng.gen_range(-0.5..0.5);
+            let r = means[i] + noise;
+            stats[i].select();
+            stats[i].reward(r);
+            total += r;
+        }
+        let best_possible = 5.0 * horizon as f64;
+        assert!(total > 0.80 * best_possible, "total {total} vs best {best_possible}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests for the bandit policies.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sb_bandit::policies::ArmView;
+use sb_bandit::{ArmStats, Auer, EpsilonGreedy, Policy, ThompsonSampling, Ucb1};
+
+fn arb_arms() -> impl Strategy<Value = Vec<(u64, f64, bool)>> {
+    proptest::collection::vec((0u64..50, 0.0f64..20.0, proptest::bool::ANY), 1..30)
+}
+
+fn views(arms: &[(u64, f64, bool)]) -> Vec<ArmView> {
+    arms.iter()
+        .map(|&(pulls, mean, available)| {
+            let mut stats = ArmStats::new();
+            for _ in 0..pulls {
+                stats.select();
+                stats.reward(mean);
+            }
+            ArmView { stats, available }
+        })
+        .collect()
+}
+
+proptest! {
+    /// No policy ever selects a sleeping arm; all return None iff every arm
+    /// sleeps. The sleeping-bandit contract, for all four policies.
+    #[test]
+    fn policies_respect_sleeping(arms in arb_arms(), t in 1u64..10_000, seed in 0u64..100) {
+        let vs = views(&arms);
+        let any_available = vs.iter().any(|a| a.available);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut auer = Auer::default();
+        let mut ucb = Ucb1::default();
+        let mut eps = EpsilonGreedy::default();
+        let mut ts = ThompsonSampling::default();
+        for sel in [
+            auer.select(&vs, t, &mut rng),
+            ucb.select(&vs, t, &mut rng),
+            eps.select(&vs, t, &mut rng),
+            ts.select(&vs, t, &mut rng),
+        ] {
+            match sel {
+                Some(i) => prop_assert!(vs[i].available, "selected sleeping arm {i}"),
+                None => prop_assert!(!any_available, "None despite available arms"),
+            }
+        }
+    }
+
+    /// AUER is deterministic: the same views and t always give the same arm.
+    #[test]
+    fn auer_deterministic(arms in arb_arms(), t in 1u64..10_000) {
+        let vs = views(&arms);
+        let mut p = Auer::default();
+        let mut rng1 = StdRng::seed_from_u64(1);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        prop_assert_eq!(p.select(&vs, t, &mut rng1), p.select(&vs, t, &mut rng2));
+    }
+
+    /// The AUER score is monotone in the mean: raising an arm's mean (same
+    /// pulls) never lowers its score.
+    #[test]
+    fn auer_score_monotone_in_mean(pulls in 1u64..100, m1 in 0.0f64..10.0, bump in 0.0f64..10.0, t in 2u64..10_000) {
+        let p = Auer::default();
+        let mk = |mean: f64| {
+            let mut stats = ArmStats::new();
+            for _ in 0..pulls {
+                stats.select();
+                stats.reward(mean);
+            }
+            ArmView { stats, available: true }
+        };
+        prop_assert!(p.score(&mk(m1 + bump), t) >= p.score(&mk(m1), t) - 1e-9);
+    }
+
+    /// Incremental arm statistics match the batch formulas for any reward
+    /// sequence.
+    #[test]
+    fn arm_stats_match_batch(rewards in proptest::collection::vec(-5.0f64..50.0, 1..60)) {
+        let mut a = ArmStats::new();
+        for &r in &rewards {
+            a.select();
+            a.reward(r);
+        }
+        let n = rewards.len() as f64;
+        let mean = rewards.iter().sum::<f64>() / n;
+        prop_assert!((a.mean - mean).abs() < 1e-9);
+        if rewards.len() >= 2 {
+            let var = rewards.iter().map(|r| (r - mean).powi(2)).sum::<f64>() / (n - 1.0);
+            prop_assert!((a.std() - var.sqrt()).abs() < 1e-7);
+        }
+    }
+}

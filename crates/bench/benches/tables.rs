@@ -1,0 +1,93 @@
+//! One bench per paper table/figure, at miniature scale: each bench runs
+//! the same code path as the corresponding `xp` experiment and asserts the
+//! qualitative *shape* the paper reports, so a regression in crawl quality
+//! fails the bench suite, not just the numbers' absolute values.
+//!
+//! For publication-grade outputs run the `xp` binary instead:
+//! `cargo run --release -p sb-eval --bin xp -- all --scale 0.02 --seeds 15`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use sb_eval::experiments as xp;
+use sb_eval::EvalConfig;
+use std::path::PathBuf;
+
+fn tiny_cfg(tag: &str) -> EvalConfig {
+    EvalConfig {
+        scale: 0.003,
+        seeds: 1,
+        out_dir: PathBuf::from(format!("target/bench-results/{tag}")),
+        // Small, structurally diverse subset: one shallow data portal, one
+        // dense small site, one deep ministry.
+        sites: Some(vec!["cl".into(), "nc".into(), "in".into()]),
+        jobs: 4,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = tiny_cfg("t1");
+    c.bench_function("xp/table1_census", |b| b.iter(|| black_box(xp::table1::run(&cfg))));
+}
+
+fn bench_table2_and_3(c: &mut Criterion) {
+    // The campaign is the shared cost; table2/table3 formatting reuses it.
+    let cfg = tiny_cfg("t23");
+    c.bench_function("xp/table2_campaign", |b| {
+        b.iter(|| {
+            let md = xp::table23::run_table2(&cfg);
+            let md3 = xp::table23::run_table3(&cfg);
+            black_box((md, md3))
+        })
+    });
+}
+
+fn bench_table6_fig5(c: &mut Criterion) {
+    let cfg = tiny_cfg("t6");
+    c.bench_function("xp/table6_fig5", |b| b.iter(|| black_box(xp::table6::run(&cfg))));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = tiny_cfg("f4");
+    c.bench_function("xp/fig4_curves", |b| b.iter(|| black_box(xp::fig4::run(&cfg))));
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let cfg = tiny_cfg("f15");
+    c.bench_function("xp/fig15_early_stop", |b| b.iter(|| black_box(xp::fig15::run(&cfg))));
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let mut cfg = tiny_cfg("t4");
+    cfg.sites = Some(vec!["cl".into(), "nc".into()]);
+    c.bench_function("xp/table4_hyper", |b| b.iter(|| black_box(xp::table4::run(&cfg))));
+}
+
+fn bench_table5(c: &mut Criterion) {
+    let mut cfg = tiny_cfg("t5");
+    cfg.sites = Some(vec!["cl".into()]);
+    c.bench_function("xp/table5_classifiers", |b| b.iter(|| black_box(xp::table5::run(&cfg))));
+}
+
+fn bench_table7(c: &mut Criterion) {
+    let mut cfg = tiny_cfg("t7");
+    cfg.sites = Some(vec!["nc".into(), "in".into()]);
+    c.bench_function("xp/table7_sd_yield", |b| b.iter(|| black_box(xp::table7::run(&cfg))));
+}
+
+fn bench_se(c: &mut Criterion) {
+    let cfg = tiny_cfg("se");
+    c.bench_function("xp/se_coverage", |b| b.iter(|| black_box(xp::se::run(&cfg))));
+}
+
+fn bench_hardness(c: &mut Criterion) {
+    let cfg = tiny_cfg("hard");
+    c.bench_function("xp/hardness_prop4", |b| b.iter(|| black_box(xp::hardness::run(&cfg))));
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(2));
+    targets = bench_table1, bench_table2_and_3, bench_table6_fig5, bench_fig4, bench_fig15,
+        bench_table4, bench_table5, bench_table7, bench_se, bench_hardness
+);
+criterion_main!(tables);

@@ -1,0 +1,294 @@
+//! The action space of the sleeping bandit (Algorithm 1).
+//!
+//! An *action* is an evolving cluster of similar tag paths, represented only
+//! by its centroid (stored in an HNSW index for fast nearest-centroid
+//! queries and cheap centroid updates). For each new hyperlink, its tag path
+//! is vectorised (token n-grams over a dynamic vocabulary), projected to a
+//! fixed dimension, and matched against the nearest centroid: cosine
+//! similarity ≥ θ joins the action and moves its centroid; anything less
+//! founds a new action.
+//!
+//! The θ = 1 extreme creates one action per distinct path (pure exploration,
+//! and the `ed` OOM pathology of Table 4 — reproduced here by the optional
+//! `max_actions` guard); θ = 0 collapses everything into one action (pure
+//! random selection).
+
+use sb_ann::{Hnsw, HnswParams, NgramVocab, Projector};
+use sb_html::TagPath;
+
+/// Identifier of an action (dense, in creation order).
+pub type ActionId = usize;
+
+/// Configuration of the tag-path clustering.
+#[derive(Debug, Clone)]
+pub struct ActionSpaceConfig {
+    /// n-gram order for tag-path tokens (paper default: 2).
+    pub ngram: usize,
+    /// Cosine-similarity threshold θ (paper default: 0.75).
+    pub theta: f32,
+    /// Projection dimension exponent `m` (D = 2^m; paper default: 12).
+    pub m: u32,
+    /// Hash modulus exponent `w` (paper default: 15).
+    pub w: u32,
+    /// Hash prime Π.
+    pub prime: u64,
+    /// Abort when the action count exceeds this bound (the paper's θ = 0.95
+    /// run on `ed` died of OOM; we fail gracefully instead).
+    pub max_actions: Option<usize>,
+}
+
+impl Default for ActionSpaceConfig {
+    fn default() -> Self {
+        ActionSpaceConfig {
+            ngram: 2,
+            theta: 0.75,
+            m: 12,
+            w: 15,
+            prime: sb_ann::DEFAULT_PRIME,
+            max_actions: None,
+        }
+    }
+}
+
+/// Raised when `max_actions` is exceeded — the graceful version of the
+/// paper's OOM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionSpaceFull {
+    pub actions: usize,
+}
+
+impl std::fmt::Display for ActionSpaceFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "action space exploded to {} clusters (θ too high for this site)", self.actions)
+    }
+}
+
+impl std::error::Error for ActionSpaceFull {}
+
+/// One action's clustering bookkeeping (bandit statistics live with the
+/// strategy, not here).
+#[derive(Debug, Clone)]
+struct ActionMeta {
+    /// Members absorbed so far (drives the centroid update weight).
+    members: u64,
+    /// A representative tag path, for the Sec 4.7 interpretability study.
+    exemplar: String,
+}
+
+/// The online tag-path clustering of Algorithm 1.
+pub struct ActionSpace {
+    cfg: ActionSpaceConfig,
+    vocab: NgramVocab,
+    projector: Projector,
+    index: Hnsw,
+    metas: Vec<ActionMeta>,
+}
+
+impl ActionSpace {
+    pub fn new(cfg: ActionSpaceConfig) -> Self {
+        let projector = Projector::new(cfg.m, cfg.w, cfg.prime);
+        ActionSpace {
+            vocab: NgramVocab::new(cfg.ngram),
+            index: Hnsw::new(projector.dim(), HnswParams::default()),
+            projector,
+            cfg,
+            metas: Vec::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ActionSpaceConfig {
+        &self.cfg
+    }
+
+    /// Number of actions created so far.
+    pub fn len(&self) -> usize {
+        self.metas.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metas.is_empty()
+    }
+
+    /// Vocabulary size `d` (grows during the crawl).
+    pub fn vocab_len(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// A representative tag path of an action.
+    pub fn exemplar(&self, a: ActionId) -> &str {
+        &self.metas[a].exemplar
+    }
+
+    /// Number of tag paths absorbed by an action.
+    pub fn members(&self, a: ActionId) -> u64 {
+        self.metas[a].members
+    }
+
+    /// Read-only lookup: the action a tag path *would* join, without
+    /// creating one or updating anything. Unseen n-grams are dropped (the
+    /// vocabulary is frozen) — this is TP-OFF's phase-2 behaviour, where all
+    /// learning stopped with phase 1.
+    pub fn match_only(&self, path: &TagPath) -> Option<ActionId> {
+        let tokens: Vec<String> = path.tokens().collect();
+        let bow = self.vocab.vectorize(&tokens);
+        let projected = self.projector.project(&bow);
+        match self.index.nearest(&projected) {
+            Some((id, sim)) if sim >= self.cfg.theta => Some(id as usize),
+            _ => None,
+        }
+    }
+
+    /// Algorithm 1: finds (or creates) the action for a hyperlink's tag
+    /// path. Returns the action id, or [`ActionSpaceFull`] when the guard
+    /// trips.
+    pub fn assign(&mut self, path: &TagPath) -> Result<ActionId, ActionSpaceFull> {
+        let tokens: Vec<String> = path.tokens().collect();
+        let bow = self.vocab.vectorize_mut(&tokens);
+        let projected = self.projector.project(&bow);
+
+        if let Some((nearest, sim)) = self.index.nearest(&projected) {
+            if sim >= self.cfg.theta {
+                // Join: move the centroid toward the newcomer.
+                let a = nearest as usize;
+                let m = self.metas[a].members as f32;
+                let old = self.index.vector(nearest).to_vec();
+                let updated: Vec<f32> = old
+                    .iter()
+                    .zip(&projected)
+                    .map(|(&c, &x)| c + (x - c) / (m + 1.0))
+                    .collect();
+                self.index.update(nearest, &updated);
+                self.metas[a].members += 1;
+                return Ok(a);
+            }
+        }
+        // Found nothing similar enough: a new action is born.
+        if let Some(cap) = self.cfg.max_actions {
+            if self.metas.len() >= cap {
+                return Err(ActionSpaceFull { actions: self.metas.len() });
+            }
+        }
+        let id = self.index.insert(&projected) as usize;
+        debug_assert_eq!(id, self.metas.len());
+        self.metas.push(ActionMeta { members: 1, exemplar: path.to_string() });
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tp(s: &str) -> TagPath {
+        TagPath::parse(s)
+    }
+
+    fn space(theta: f32) -> ActionSpace {
+        ActionSpace::new(ActionSpaceConfig { theta, ..Default::default() })
+    }
+
+    #[test]
+    fn identical_paths_share_an_action() {
+        let mut s = space(0.75);
+        let a = s.assign(&tp("html body div#main ul.datasets li a")).unwrap();
+        let b = s.assign(&tp("html body div#main ul.datasets li a")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.members(a), 2);
+    }
+
+    #[test]
+    fn similar_paths_cluster_dissimilar_split() {
+        // Realistic depth matters: at θ = 0.75 two 10-segment paths
+        // differing only in the link class share 9/11 bigrams (cos ≈ 0.82).
+        let mut s = space(0.75);
+        let a = s
+            .assign(&tp("html body div#layout div.wrap main div.content ul.datasets li a.download"))
+            .unwrap();
+        let b = s
+            .assign(&tp("html body div#layout div.wrap main div.content ul.datasets li a.dataset"))
+            .unwrap();
+        let c = s.assign(&tp("html body header nav ul.menu li a")).unwrap();
+        assert_eq!(a, b, "near-identical dataset paths must merge");
+        assert_ne!(a, c, "nav path must found its own action");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn theta_one_separates_every_distinct_path() {
+        let mut s = space(1.0);
+        let paths = [
+            "html body div ul li a",
+            "html body div ul li a.x",
+            "html body div ol li a",
+            "html body nav a",
+        ];
+        let ids: Vec<_> = paths.iter().map(|p| s.assign(&tp(p)).unwrap()).collect();
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(distinct.len(), paths.len());
+    }
+
+    #[test]
+    fn theta_zero_collapses_everything() {
+        let mut s = space(0.0);
+        let a = s.assign(&tp("html body div ul li a")).unwrap();
+        let b = s.assign(&tp("html body footer div.links a")).unwrap();
+        let c = s.assign(&tp("html nav a")).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn max_actions_guard_fires() {
+        let mut s = ActionSpace::new(ActionSpaceConfig {
+            theta: 1.0,
+            max_actions: Some(3),
+            ..Default::default()
+        });
+        // Use structurally different paths so θ=1.0 can't merge them.
+        let paths =
+            ["html body a", "html body div a", "html body div div a", "html body div div div a"];
+        let mut err = None;
+        for p in paths {
+            if let Err(e) = s.assign(&tp(p)) {
+                err = Some(e);
+            }
+        }
+        let e = err.expect("guard must fire on the 4th distinct path");
+        assert_eq!(e.actions, 3);
+    }
+
+    #[test]
+    fn centroid_update_keeps_cluster_attractive() {
+        let mut s = space(0.75);
+        // A drifting family of similar (deep) paths must stay one action:
+        // only the link class varies, the ≥ 80 % shared bigrams keep every
+        // variant above θ even as the centroid moves.
+        let variants = [
+            "html body div#layout div.wrap main div.content ul.datasets li a.download",
+            "html body div#layout div.wrap main div.content ul.datasets li a.file",
+            "html body div#layout div.wrap main div.content ul.datasets li a.dataset",
+            "html body div#layout div.wrap main div.content ul.datasets li a.doc-link",
+        ];
+        let ids: Vec<_> = variants.iter().map(|p| s.assign(&tp(p)).unwrap()).collect();
+        assert!(ids.iter().all(|&i| i == ids[0]), "{ids:?} should all merge");
+        assert_eq!(s.members(ids[0]), variants.len() as u64);
+    }
+
+    #[test]
+    fn exemplar_is_first_member() {
+        let mut s = space(0.75);
+        let a = s.assign(&tp("html body ul.datasets li a")).unwrap();
+        assert_eq!(s.exemplar(a), "html body ul.datasets li a");
+    }
+
+    #[test]
+    fn vocab_grows_with_new_paths() {
+        let mut s = space(0.75);
+        s.assign(&tp("html body a")).unwrap();
+        let d1 = s.vocab_len();
+        s.assign(&tp("html body nav ul li a")).unwrap();
+        assert!(s.vocab_len() > d1);
+    }
+}

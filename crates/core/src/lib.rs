@@ -1,0 +1,40 @@
+//! `sb-crawler` — the paper's contribution: the SB-CLASSIFIER focused
+//! crawler (sleeping-bandit RL over tag-path actions with an online URL
+//! classifier) plus every baseline, over one shared crawl engine.
+//!
+//! * [`action`] — tag-path clustering into actions (Algorithm 1),
+//! * [`strategy`] — the crawler interface (frontier policy + link routing),
+//! * [`strategies`] — SB-CLASSIFIER, SB-ORACLE, BFS, DFS, RANDOM,
+//!   OMNISCIENT, FOCUSED, TP-OFF, TRES-lite,
+//! * [`engine`] — Algorithms 3 & 4 (fetch, redirects, rewards, budget),
+//! * [`early_stop`] — the Sec 4.8 stopping rule,
+//! * [`trace`] — per-request series and the Table 2/3 metrics.
+//!
+//! ```no_run
+//! use sb_crawler::engine::{crawl, CrawlConfig};
+//! use sb_crawler::strategies::SbStrategy;
+//! use sb_httpsim::SiteServer;
+//! use sb_webgraph::{build_site, SiteSpec};
+//!
+//! let site = build_site(&SiteSpec::demo(500), 42);
+//! let root = site.page(site.root()).url.clone();
+//! let server = SiteServer::new(site);
+//! let mut strategy = SbStrategy::classifier_default();
+//! let outcome = crawl(&server, None, &root, &mut strategy, &CrawlConfig::default());
+//! println!("retrieved {} targets", outcome.targets_found());
+//! ```
+
+pub mod action;
+pub mod early_stop;
+pub mod engine;
+pub mod strategies;
+pub mod strategy;
+pub mod trace;
+
+pub use action::{ActionId, ActionSpace, ActionSpaceConfig, ActionSpaceFull};
+pub use early_stop::{EarlyStop, EarlyStopConfig};
+pub use engine::{
+    crawl, robots_filter, Budget, CrawlConfig, CrawlOutcome, Oracle, RetrievedTarget, UrlFilter,
+};
+pub use strategy::{ArmReport, LinkDecision, NewLink, Selection, Services, Strategy, StrategyReport};
+pub use trace::{CrawlTrace, TracePoint};

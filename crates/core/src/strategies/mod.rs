@@ -1,0 +1,16 @@
+//! All crawler strategies of Sec 4.3, over the shared engine:
+//! the paper's `SB-CLASSIFIER`/`SB-ORACLE` and the six baselines.
+
+pub mod focused;
+pub mod omniscient;
+pub mod queue;
+pub mod sb;
+pub mod tpoff;
+pub mod tres;
+
+pub use focused::FocusedStrategy;
+pub use omniscient::OmniscientStrategy;
+pub use queue::{Discipline, QueueStrategy};
+pub use sb::{BanditChoice, SbConfig, SbMode, SbStrategy};
+pub use tpoff::TpOffStrategy;
+pub use tres::{TresStrategy, TRES_KEYWORDS};

@@ -1,0 +1,56 @@
+//! The OMNISCIENT upper bound of Sec 4.3: it knows every target URL (`V*`)
+//! from the start and crawls them one after the other. Since the optimal
+//! crawler is intractable (Prop 4), this unreachable bound is what the
+//! Figure 4 curves are normalised against visually.
+
+use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+/// Crawls a pre-supplied list of target URLs directly.
+pub struct OmniscientStrategy {
+    remaining: VecDeque<String>,
+}
+
+impl OmniscientStrategy {
+    /// `targets` is `V*` — in practice the generated site's target URL list.
+    pub fn new(targets: impl IntoIterator<Item = String>) -> Self {
+        OmniscientStrategy { remaining: targets.into_iter().collect() }
+    }
+}
+
+impl Strategy for OmniscientStrategy {
+    fn name(&self) -> String {
+        "OMNISCIENT".to_owned()
+    }
+
+    fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
+        self.remaining.pop_front().map(|url| Selection { url, token: 0 })
+    }
+
+    fn decide(&mut self, _link: &NewLink<'_>, _services: &mut Services<'_, '_>) -> LinkDecision {
+        // Discovered links are irrelevant: the answer key is in hand.
+        LinkDecision::Skip
+    }
+
+    fn frontier_len(&self) -> usize {
+        self.remaining.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn yields_targets_in_order_then_stops() {
+        let mut s =
+            OmniscientStrategy::new(vec!["https://a.com/1.csv".to_owned(), "https://a.com/2.csv".to_owned()]);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.next(&mut rng).unwrap().url, "https://a.com/1.csv");
+        assert_eq!(s.frontier_len(), 1);
+        assert_eq!(s.next(&mut rng).unwrap().url, "https://a.com/2.csv");
+        assert_eq!(s.next(&mut rng), None);
+    }
+}

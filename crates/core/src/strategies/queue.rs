@@ -1,0 +1,116 @@
+//! The three simple baselines of Sec 4.3: BFS (FIFO frontier), DFS (LIFO)
+//! and RANDOM (uniform pick). They classify nothing and fetch everything in
+//! frontier order; targets are counted when they happen to be fetched.
+
+use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Frontier discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// First-in-first-out: breadth-first crawl.
+    Fifo,
+    /// Last-in-first-out: depth-first crawl.
+    Lifo,
+    /// Uniformly random pick.
+    Random,
+}
+
+/// BFS / DFS / RANDOM, depending on [`Discipline`].
+pub struct QueueStrategy {
+    discipline: Discipline,
+    frontier: VecDeque<String>,
+}
+
+impl QueueStrategy {
+    pub fn bfs() -> Self {
+        QueueStrategy { discipline: Discipline::Fifo, frontier: VecDeque::new() }
+    }
+
+    pub fn dfs() -> Self {
+        QueueStrategy { discipline: Discipline::Lifo, frontier: VecDeque::new() }
+    }
+
+    pub fn random() -> Self {
+        QueueStrategy { discipline: Discipline::Random, frontier: VecDeque::new() }
+    }
+}
+
+impl Strategy for QueueStrategy {
+    fn name(&self) -> String {
+        match self.discipline {
+            Discipline::Fifo => "BFS".to_owned(),
+            Discipline::Lifo => "DFS".to_owned(),
+            Discipline::Random => "RANDOM".to_owned(),
+        }
+    }
+
+    fn next(&mut self, rng: &mut StdRng) -> Option<Selection> {
+        let url = match self.discipline {
+            Discipline::Fifo => self.frontier.pop_front()?,
+            Discipline::Lifo => self.frontier.pop_back()?,
+            Discipline::Random => {
+                if self.frontier.is_empty() {
+                    return None;
+                }
+                let i = rng.gen_range(0..self.frontier.len());
+                self.frontier.swap_remove_back(i)?
+            }
+        };
+        Some(Selection { url, token: 0 })
+    }
+
+    fn decide(&mut self, link: &NewLink<'_>, _services: &mut Services<'_, '_>) -> LinkDecision {
+        self.frontier.push_back(link.url_str.to_owned());
+        LinkDecision::Enqueue
+    }
+
+    fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sel_order(mut s: QueueStrategy, urls: &[&str]) -> Vec<String> {
+        // Feed URLs directly into the frontier (decide() requires engine
+        // plumbing; the ordering logic is what's under test).
+        for u in urls {
+            s.frontier.push_back((*u).to_owned());
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        std::iter::from_fn(|| s.next(&mut rng)).map(|sel| sel.url).collect()
+    }
+
+    #[test]
+    fn bfs_is_fifo() {
+        let order = sel_order(QueueStrategy::bfs(), &["a", "b", "c"]);
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn dfs_is_lifo() {
+        let order = sel_order(QueueStrategy::dfs(), &["a", "b", "c"]);
+        assert_eq!(order, vec!["c", "b", "a"]);
+    }
+
+    #[test]
+    fn random_is_permutation() {
+        let order = sel_order(QueueStrategy::random(), &["a", "b", "c", "d", "e"]);
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec!["a", "b", "c", "d", "e"]);
+    }
+
+    #[test]
+    fn empty_frontier_is_none() {
+        let mut s = QueueStrategy::bfs();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.next(&mut rng), None);
+    }
+}

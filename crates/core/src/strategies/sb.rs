@@ -1,0 +1,420 @@
+//! SB-CLASSIFIER and SB-ORACLE — the paper's contribution (Sec 3).
+//!
+//! The sleeping-bandit crawler keeps one frontier *pool* of links per action
+//! (tag-path cluster). At each step the AUER policy scores every action
+//! whose pool is non-empty and a link is drawn **uniformly at random** from
+//! the chosen pool (Algorithm 3). Newly discovered links are classified
+//! (Algorithm 2's online URL classifier, or the ground-truth oracle for
+//! `SB-ORACLE`): predicted targets are retrieved immediately, predicted HTML
+//! links are mapped to an action (Algorithm 1) and pooled, dead URLs are
+//! dropped. Rewards — the number of new predicted-target links found on a
+//! fetched page — update the selected action's mean exactly as in
+//! Algorithm 4.
+
+use crate::action::{ActionId, ActionSpace, ActionSpaceConfig};
+use crate::strategy::{
+    ArmReport, LinkDecision, NewLink, Selection, Services, Strategy, StrategyReport,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use sb_bandit::{ArmStats, Auer, Policy, ALPHA_DEFAULT};
+use sb_ml::{Class2, FeatureInput, FeatureSet, ModelKind, UrlClassifier};
+use sb_webgraph::UrlClass;
+use std::collections::HashMap;
+
+/// How the strategy estimates a link's class.
+pub enum SbMode {
+    /// Algorithm 2: HEAD-labelled bootstrap, then free online inference.
+    Classifier(UrlClassifier),
+    /// Ground truth at zero cost (Sec 4.3's unrealistic upper variant).
+    Oracle,
+}
+
+/// Which bandit policy drives action selection.
+///
+/// The paper's production policy is AUER; the appendix discusses (and
+/// rejects, for stability or missing priors) the alternatives — all four are
+/// available here for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BanditChoice {
+    /// The paper's sleeping bandit (deterministic, the default).
+    Auer { alpha: f64 },
+    /// Plain UCB1 restricted to awake arms.
+    Ucb1 { alpha: f64 },
+    /// ε-greedy.
+    EpsilonGreedy { epsilon: f64 },
+    /// Gaussian Thompson sampling.
+    Thompson { sigma: f64 },
+}
+
+impl Default for BanditChoice {
+    fn default() -> Self {
+        BanditChoice::Auer { alpha: ALPHA_DEFAULT }
+    }
+}
+
+enum AnyPolicy {
+    Auer(Auer),
+    Ucb1(sb_bandit::Ucb1),
+    Eps(sb_bandit::EpsilonGreedy),
+    Thompson(sb_bandit::ThompsonSampling),
+}
+
+impl AnyPolicy {
+    fn new(choice: BanditChoice) -> Self {
+        match choice {
+            BanditChoice::Auer { alpha } => AnyPolicy::Auer(Auer::new(alpha)),
+            BanditChoice::Ucb1 { alpha } => AnyPolicy::Ucb1(sb_bandit::Ucb1 { alpha }),
+            BanditChoice::EpsilonGreedy { epsilon } => {
+                AnyPolicy::Eps(sb_bandit::EpsilonGreedy { epsilon })
+            }
+            BanditChoice::Thompson { sigma } => {
+                AnyPolicy::Thompson(sb_bandit::ThompsonSampling { sigma })
+            }
+        }
+    }
+
+    fn select(
+        &mut self,
+        arms: &[sb_bandit::policies::ArmView],
+        t: u64,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        match self {
+            AnyPolicy::Auer(p) => p.select(arms, t, rng),
+            AnyPolicy::Ucb1(p) => p.select(arms, t, rng),
+            AnyPolicy::Eps(p) => p.select(arms, t, rng),
+            AnyPolicy::Thompson(p) => p.select(arms, t, rng),
+        }
+    }
+}
+
+/// Configuration of the SB crawlers.
+pub struct SbConfig {
+    /// Exploration coefficient α (default 2√2) — used by the default AUER
+    /// policy; ignored when `bandit` overrides the policy family.
+    pub alpha: f64,
+    /// Tag-path clustering parameters (n, θ, m, w, Π).
+    pub actions: ActionSpaceConfig,
+    /// Bandit policy family; `None` = AUER with `alpha` (the paper).
+    pub bandit: Option<BanditChoice>,
+}
+
+impl SbConfig {
+    fn policy(&self) -> AnyPolicy {
+        AnyPolicy::new(self.bandit.unwrap_or(BanditChoice::Auer { alpha: self.alpha }))
+    }
+}
+
+impl Default for SbConfig {
+    fn default() -> Self {
+        SbConfig { alpha: ALPHA_DEFAULT, actions: ActionSpaceConfig::default(), bandit: None }
+    }
+}
+
+/// The sleeping-bandit strategy.
+pub struct SbStrategy {
+    mode: SbMode,
+    actions: ActionSpace,
+    arms: Vec<ArmStats>,
+    /// Frontier pool per action.
+    pools: Vec<Vec<String>>,
+    frontier_total: usize,
+    policy: AnyPolicy,
+    /// Selection counter `t` of the AUER score.
+    t: u64,
+    /// Link context for URL_CONT online training (anchor, DOM path,
+    /// surrounding text of the link that discovered each URL).
+    link_ctx: Option<HashMap<String, (String, String, String)>>,
+    /// When enabled, every post-bootstrap prediction is recorded for the
+    /// confusion-matrix studies (Tables 5, 8–16).
+    recorded: Option<Vec<(String, Class2)>>,
+}
+
+impl SbStrategy {
+    /// SB-CLASSIFIER with the paper's defaults (LR, URL_ONLY, b = 10).
+    pub fn classifier_default() -> Self {
+        Self::with_classifier(SbConfig::default(), UrlClassifier::paper_default())
+    }
+
+    /// SB-CLASSIFIER with an explicit classifier variant (Table 5 study).
+    pub fn with_classifier(cfg: SbConfig, classifier: UrlClassifier) -> Self {
+        let track_ctx = classifier.feature_set() == FeatureSet::UrlContent;
+        SbStrategy {
+            mode: SbMode::Classifier(classifier),
+            actions: ActionSpace::new(cfg.actions.clone()),
+            arms: Vec::new(),
+            pools: Vec::new(),
+            frontier_total: 0,
+            policy: cfg.policy(),
+            t: 0,
+            link_ctx: track_ctx.then(HashMap::new),
+            recorded: None,
+        }
+    }
+
+    /// Convenience constructor for a classifier variant.
+    pub fn with_variant(cfg: SbConfig, model: ModelKind, features: FeatureSet, batch: usize) -> Self {
+        Self::with_classifier(cfg, UrlClassifier::new(model, features, batch))
+    }
+
+    /// SB-ORACLE.
+    pub fn oracle(cfg: SbConfig) -> Self {
+        SbStrategy {
+            mode: SbMode::Oracle,
+            actions: ActionSpace::new(cfg.actions.clone()),
+            arms: Vec::new(),
+            pools: Vec::new(),
+            frontier_total: 0,
+            policy: cfg.policy(),
+            t: 0,
+            link_ctx: None,
+            recorded: None,
+        }
+    }
+
+    /// Enables prediction recording (for the classifier-quality studies).
+    pub fn record_predictions(mut self) -> Self {
+        self.recorded = Some(Vec::new());
+        self
+    }
+
+    /// Post-bootstrap predictions recorded so far, as `(url, predicted)`.
+    pub fn predictions(&self) -> &[(String, Class2)] {
+        self.recorded.as_deref().unwrap_or(&[])
+    }
+
+    pub fn n_actions(&self) -> usize {
+        self.actions.len()
+    }
+
+    fn classify(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> UrlClass {
+        match &mut self.mode {
+            SbMode::Oracle => services.oracle_class(link.url_str),
+            SbMode::Classifier(clf) => {
+                let input = FeatureInput {
+                    url: link.url_str,
+                    anchor: &link.html.anchor_text,
+                    dom_path: &link.html.tag_path.to_string(),
+                    surrounding: &link.html.surrounding_text,
+                };
+                if clf.in_initial_phase() {
+                    // Bootstrap: pay for a HEAD, learn from its answer.
+                    let truth = services.head_class(link.url_str);
+                    match truth {
+                        UrlClass::Html => clf.observe(&input, Class2::Html),
+                        UrlClass::Target => clf.observe(&input, Class2::Target),
+                        UrlClass::Neither => {}
+                    }
+                    truth
+                } else {
+                    let predicted = clf.predict(&input);
+                    if let Some(rec) = &mut self.recorded {
+                        rec.push((link.url_str.to_owned(), predicted));
+                    }
+                    match predicted {
+                        Class2::Html => UrlClass::Html,
+                        Class2::Target => UrlClass::Target,
+                    }
+                }
+            }
+        }
+    }
+
+    fn pool_push(&mut self, action: ActionId, url: String) {
+        while self.pools.len() <= action {
+            self.pools.push(Vec::new());
+            self.arms.push(ArmStats::new());
+        }
+        self.pools[action].push(url);
+        self.frontier_total += 1;
+    }
+}
+
+impl Strategy for SbStrategy {
+    fn name(&self) -> String {
+        match &self.mode {
+            SbMode::Classifier(c) => {
+                if c.feature_set() == FeatureSet::UrlOnly {
+                    "SB-CLASSIFIER".to_owned()
+                } else {
+                    "SB-CLASSIFIER (URL_CONT)".to_owned()
+                }
+            }
+            SbMode::Oracle => "SB-ORACLE".to_owned(),
+        }
+    }
+
+    fn next(&mut self, rng: &mut StdRng) -> Option<Selection> {
+        if self.frontier_total == 0 {
+            return None;
+        }
+        let views: Vec<sb_bandit::policies::ArmView> = self
+            .arms
+            .iter()
+            .zip(&self.pools)
+            .map(|(stats, pool)| sb_bandit::policies::ArmView {
+                stats: *stats,
+                available: !pool.is_empty(),
+            })
+            .collect();
+        self.t += 1;
+        let a = self.policy.select(&views, self.t, rng)?;
+        self.arms[a].select();
+        // Uniform link choice within the chosen action (Sec 3.2).
+        let pool = &mut self.pools[a];
+        let i = rng.gen_range(0..pool.len());
+        let url = pool.swap_remove(i);
+        self.frontier_total -= 1;
+        Some(Selection { url, token: a as u64 })
+    }
+
+    fn decide(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> LinkDecision {
+        match self.classify(link, services) {
+            UrlClass::Neither => LinkDecision::Skip,
+            UrlClass::Target => LinkDecision::FetchNow,
+            UrlClass::Html => {
+                match self.actions.assign(&link.html.tag_path) {
+                    Ok(a) => {
+                        if let Some(ctx) = &mut self.link_ctx {
+                            ctx.insert(
+                                link.url_str.to_owned(),
+                                (
+                                    link.html.anchor_text.clone(),
+                                    link.html.tag_path.to_string(),
+                                    link.html.surrounding_text.clone(),
+                                ),
+                            );
+                        }
+                        self.pool_push(a, link.url_str.to_owned());
+                        LinkDecision::Enqueue
+                    }
+                    Err(_) => LinkDecision::ActionSpaceFull,
+                }
+            }
+        }
+    }
+
+    fn feedback(&mut self, token: u64, reward: f64) {
+        let a = token as usize;
+        if a < self.arms.len() {
+            self.arms[a].reward(reward);
+        }
+    }
+
+    // feedback_target / feedback_error: Algorithm 4 returns before the
+    // R_mean update for non-HTML fetches — a pull without an observation —
+    // so the default no-ops are exactly right.
+
+    fn on_fetched(&mut self, url: &str, class: UrlClass) {
+        // Free online training from GET outcomes (Algorithm 2, phase 2).
+        if let SbMode::Classifier(clf) = &mut self.mode {
+            let class2 = match class {
+                UrlClass::Html => Class2::Html,
+                UrlClass::Target => Class2::Target,
+                UrlClass::Neither => return,
+            };
+            let ctx = self.link_ctx.as_mut().and_then(|m| m.remove(url));
+            let (anchor, dom, surr) = ctx.unwrap_or_default();
+            let input = FeatureInput { url, anchor: &anchor, dom_path: &dom, surrounding: &surr };
+            clf.observe(&input, class2);
+        }
+    }
+
+    fn frontier_len(&self) -> usize {
+        self.frontier_total
+    }
+
+    fn report(&self) -> StrategyReport {
+        let arms = self
+            .arms
+            .iter()
+            .enumerate()
+            .take(self.actions.len())
+            .map(|(i, s)| ArmReport {
+                exemplar: self.actions.exemplar(i).to_owned(),
+                pulls: s.pulls,
+                mean_reward: s.mean,
+                std_reward: s.std(),
+                members: self.actions.members(i),
+            })
+            .collect();
+        StrategyReport { n_actions: self.actions.len(), arms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Pool bookkeeping and AUER selection, without engine plumbing.
+    #[test]
+    fn selects_from_nonempty_pools_only() {
+        let mut s = SbStrategy::oracle(SbConfig::default());
+        s.pool_push(0, "https://a.com/x".to_owned());
+        s.pool_push(2, "https://a.com/y".to_owned());
+        // Pool 1 exists but is empty.
+        s.pools[1].clear();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut picked = Vec::new();
+        while let Some(sel) = s.next(&mut rng) {
+            picked.push(sel);
+        }
+        assert_eq!(picked.len(), 2);
+        assert!(picked.iter().all(|p| p.token == 0 || p.token == 2));
+        assert_eq!(s.frontier_len(), 0);
+    }
+
+    #[test]
+    fn feedback_updates_selected_arm() {
+        let mut s = SbStrategy::oracle(SbConfig::default());
+        s.pool_push(0, "https://a.com/x".to_owned());
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = s.next(&mut rng).unwrap();
+        s.feedback(sel.token, 7.0);
+        assert_eq!(s.arms[0].pulls, 1);
+        assert_eq!(s.arms[0].mean, 7.0);
+    }
+
+    #[test]
+    fn bandit_prefers_rewarding_action() {
+        let mut s = SbStrategy::oracle(SbConfig::default());
+        // Two actions with plenty of links.
+        for i in 0..50 {
+            s.pool_push(0, format!("https://a.com/good/{i}"));
+            s.pool_push(1, format!("https://a.com/bad/{i}"));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut picks = [0u32; 2];
+        for _ in 0..60 {
+            let sel = s.next(&mut rng).unwrap();
+            let a = sel.token as usize;
+            picks[a] += 1;
+            // Action 0 pays 10, action 1 pays 0.
+            s.feedback(sel.token, if a == 0 { 10.0 } else { 0.0 });
+        }
+        assert!(picks[0] > picks[1] * 2, "picks: {picks:?}");
+    }
+
+    #[test]
+    fn empty_strategy_yields_none() {
+        let mut s = SbStrategy::classifier_default();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.next(&mut rng).is_none());
+    }
+
+    #[test]
+    fn report_carries_action_stats() {
+        let mut s = SbStrategy::oracle(SbConfig::default());
+        s.pool_push(0, "https://a.com/x".to_owned());
+        let mut rng = StdRng::seed_from_u64(1);
+        let sel = s.next(&mut rng).unwrap();
+        s.feedback(sel.token, 3.0);
+        // No real action space entries were created (pool_push bypasses
+        // assign), so the report is sized by arms present in the space.
+        let r = s.report();
+        assert_eq!(r.n_actions, 0);
+        let _ = r;
+    }
+}

@@ -1,0 +1,150 @@
+//! The strategy interface: what distinguishes one crawler from another.
+//!
+//! The engine (Algorithms 3–4) is shared; a [`Strategy`] supplies the three
+//! crawler-specific behaviours: *frontier ordering* ([`Strategy::next`]),
+//! *per-link routing* ([`Strategy::decide`] — enqueue, fetch immediately as
+//! a predicted target, or drop), and *learning* (the feedback hooks).
+
+use crate::engine::Oracle;
+use rand::rngs::StdRng;
+use sb_httpsim::{Client, HttpServer};
+use sb_webgraph::mime::MimePolicy;
+use sb_webgraph::url::Url;
+use sb_webgraph::UrlClass;
+
+/// A frontier pick: the URL to crawl and an opaque token the engine hands
+/// back through the feedback hooks (the SB crawlers store the action id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    pub url: String,
+    pub token: u64,
+}
+
+/// What to do with a newly discovered link (Algorithm 4's inner loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDecision {
+    /// Into the frontier (predicted HTML).
+    Enqueue,
+    /// Retrieve immediately (predicted target); counts toward the page's
+    /// reward.
+    FetchNow,
+    /// Drop permanently (predicted dead, or out of the strategy's scope).
+    Skip,
+    /// The action space exploded (Table 4's θ = 0.95 OOM); abort the crawl.
+    ActionSpaceFull,
+}
+
+/// A newly discovered, already-filtered link (on-site, unseen, not
+/// extension-blocked).
+#[derive(Debug)]
+pub struct NewLink<'a> {
+    pub url: &'a Url,
+    pub url_str: &'a str,
+    /// The parsed hyperlink: tag path, anchor text, surrounding text.
+    pub html: &'a sb_html::Link,
+    /// Depth of the page the link was found on.
+    pub source_depth: u32,
+}
+
+/// Engine services available during [`Strategy::decide`]: HEAD probes
+/// (costed!) and the ground-truth oracle for the unrealistic variants.
+pub struct Services<'c, 'a> {
+    pub client: &'c mut Client<'a, dyn HttpServer + 'a>,
+    pub oracle: Option<&'a dyn Oracle>,
+    pub policy: &'c MimePolicy,
+}
+
+impl Services<'_, '_> {
+    /// Determines a URL's class with an HTTP HEAD request (charged to the
+    /// budget), following up to 3 redirects.
+    pub fn head_class(&mut self, url: &str) -> UrlClass {
+        let mut current = url.to_owned();
+        for _ in 0..3 {
+            let h = self.client.head(&current);
+            if (300..400).contains(&h.status) {
+                match (Url::parse(&current), h.headers.location) {
+                    (Ok(base), Some(loc)) => match base.join(&loc) {
+                        Ok(next) => {
+                            current = next.as_string();
+                            continue;
+                        }
+                        Err(_) => return UrlClass::Neither,
+                    },
+                    _ => return UrlClass::Neither,
+                }
+            }
+            if h.status >= 400 {
+                return UrlClass::Neither;
+            }
+            return self.policy.classify_mime(h.headers.content_type.as_deref());
+        }
+        UrlClass::Neither
+    }
+
+    /// Ground truth from the oracle. Panics if the strategy was run without
+    /// one — oracle strategies must be wired with `Some(oracle)`.
+    pub fn oracle_class(&self, url: &str) -> UrlClass {
+        self.oracle.expect("this strategy requires a ground-truth oracle").class_of(url)
+    }
+}
+
+/// Per-action statistics exposed for Table 6 / Figure 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmReport {
+    /// Representative tag path of the action.
+    pub exemplar: String,
+    pub pulls: u64,
+    pub mean_reward: f64,
+    pub std_reward: f64,
+    /// Tag paths absorbed by the action.
+    pub members: u64,
+}
+
+/// Strategy-specific summary returned with the crawl outcome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StrategyReport {
+    pub n_actions: usize,
+    pub arms: Vec<ArmReport>,
+}
+
+/// A crawler's brain. See the module docs; implementations live in
+/// [`crate::strategies`].
+pub trait Strategy {
+    fn name(&self) -> String;
+
+    /// Picks the next frontier link, or `None` when the frontier is empty.
+    fn next(&mut self, rng: &mut StdRng) -> Option<Selection>;
+
+    /// Routes a newly discovered link.
+    fn decide(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> LinkDecision;
+
+    /// The page selected as `token` was HTML and produced `reward` new
+    /// predicted-target links (Algorithm 4's R_mean update site).
+    fn feedback(&mut self, token: u64, reward: f64) {
+        let _ = (token, reward);
+    }
+
+    /// The selected link turned out to be a target itself (Algorithm 4
+    /// returns before the reward update: a pull without an observation).
+    fn feedback_target(&mut self, token: u64) {
+        let _ = token;
+    }
+
+    /// The selected link answered 4xx/5xx.
+    fn feedback_error(&mut self, token: u64) {
+        let _ = token;
+    }
+
+    /// A page was successfully fetched and its true class is now known —
+    /// the free online-training signal of Algorithm 2.
+    fn on_fetched(&mut self, url: &str, class: UrlClass) {
+        let _ = (url, class);
+    }
+
+    /// Links currently in the frontier.
+    fn frontier_len(&self) -> usize;
+
+    fn report(&self) -> StrategyReport {
+        StrategyReport::default()
+    }
+}

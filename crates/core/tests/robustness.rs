@@ -1,0 +1,270 @@
+//! Failure injection and compliance: the engine against hostile transport.
+//!
+//! A production crawler must terminate on infinite URL spaces (robot
+//! traps), degrade gracefully under transient 5xx bursts, and honour
+//! robots.txt without spending a single request on an excluded URL. These
+//! tests drive the shared engine (Algorithms 3–4) through the
+//! `sb-httpsim` failure-injection servers.
+
+use sb_crawler::engine::{crawl, robots_filter, Budget, CrawlConfig};
+use sb_crawler::strategies::{QueueStrategy, SbStrategy};
+use sb_httpsim::{EnforcedRobots, FlakyServer, RobotsTxt, SiteServer, TrapServer, WithRobots};
+use sb_webgraph::url::Url;
+use sb_webgraph::{build_site, SiteSpec};
+
+// ---------------------------------------------------------------------
+// Robot trap: infinite URL space
+// ---------------------------------------------------------------------
+
+#[test]
+fn dfs_in_a_trap_burns_its_whole_budget() {
+    let trap = TrapServer::new("https://trap.example.org");
+    let root = trap.root_url();
+    let mut dfs = QueueStrategy::dfs();
+    let cfg = CrawlConfig { budget: Budget::Requests(300), ..Default::default() };
+    let outcome = crawl(&trap, None, &root, &mut dfs, &cfg);
+    // The crawl must stop at the budget — not hang, not overflow.
+    assert!(outcome.pages_crawled <= 301);
+    assert!(outcome.traffic.requests() >= 300, "DFS keeps descending forever");
+}
+
+#[test]
+fn bfs_in_a_trap_still_finds_the_shallow_target() {
+    let trap = TrapServer::new("https://trap.example.org");
+    let root = trap.root_url();
+    let mut bfs = QueueStrategy::bfs();
+    let cfg = CrawlConfig { budget: Budget::Requests(100), ..Default::default() };
+    let outcome = crawl(&trap, None, &root, &mut bfs, &cfg);
+    assert_eq!(outcome.targets_found(), 1, "the entry-page CSV is at depth 1");
+}
+
+#[test]
+fn early_stopping_escapes_the_trap() {
+    let trap = TrapServer::new("https://trap.example.org");
+    let root = trap.root_url();
+    let mut bfs = QueueStrategy::bfs();
+    let cfg = CrawlConfig {
+        budget: Budget::Requests(100_000),
+        early_stop: Some(sb_crawler::EarlyStopConfig {
+            nu: 50,
+            epsilon: 0.2,
+            gamma: 0.05,
+            kappa: 4,
+        }),
+        ..Default::default()
+    };
+    let outcome = crawl(&trap, None, &root, &mut bfs, &cfg);
+    assert!(outcome.stopped_early, "target discovery flatlines ⇒ the slope rule must fire");
+    assert!(
+        outcome.traffic.requests() < 10_000,
+        "stopped after {} requests",
+        outcome.traffic.requests()
+    );
+}
+
+#[test]
+fn engine_never_fetches_a_trap_url_twice() {
+    // The seen-set is what makes traps merely wasteful instead of loops.
+    let trap = TrapServer::new("https://trap.example.org");
+    let root = trap.root_url();
+    let mut dfs = QueueStrategy::dfs();
+    let cfg = CrawlConfig { budget: Budget::Requests(400), ..Default::default() };
+    let outcome = crawl(&trap, None, &root, &mut dfs, &cfg);
+    // /trap/n links to n+1 and 2n+3; revisits would show as pages_crawled
+    // exceeding distinct URLs. Requests == pages crawled on an all-200 site.
+    assert_eq!(outcome.pages_crawled, outcome.traffic.get_requests);
+}
+
+// ---------------------------------------------------------------------
+// Flaky origin: transient and hard 5xx
+// ---------------------------------------------------------------------
+
+#[test]
+fn crawl_survives_a_hard_5xx_outage_on_a_third_of_urls() {
+    let site = build_site(&SiteSpec::demo(400), 11);
+    let root = site.page(site.root()).url.clone();
+    let total_targets = site.census().targets as u64;
+    let flaky = FlakyServer::new(SiteServer::new(site), 0.33, 5).protecting(&root);
+    let mut bfs = QueueStrategy::bfs();
+    let outcome = crawl(&flaky, None, &root, &mut bfs, &CrawlConfig::default());
+    assert!(flaky.injected() > 0, "failures were actually injected");
+    assert!(outcome.targets_found() > 0, "the crawl still makes progress");
+    assert!(
+        outcome.targets_found() < total_targets,
+        "a hard outage on a third of URLs must cost some targets"
+    );
+}
+
+#[test]
+fn sb_classifier_survives_failure_injection() {
+    let site = build_site(&SiteSpec::demo(400), 11);
+    let root = site.page(site.root()).url.clone();
+    let flaky = FlakyServer::new(SiteServer::new(site), 0.2, 9).recoverable();
+    let mut sb = SbStrategy::classifier_default();
+    let cfg = CrawlConfig { budget: Budget::Requests(500), ..Default::default() };
+    let outcome = crawl(&flaky, None, &root, &mut sb, &cfg);
+    assert!(outcome.targets_found() > 0);
+    assert!(!outcome.aborted_oom);
+}
+
+#[test]
+fn deterministic_under_identical_failure_seeds() {
+    let run = || {
+        let site = build_site(&SiteSpec::demo(300), 11);
+        let root = site.page(site.root()).url.clone();
+        let flaky = FlakyServer::new(SiteServer::new(site), 0.25, 5);
+        let mut bfs = QueueStrategy::bfs();
+        let outcome = crawl(&flaky, None, &root, &mut bfs, &CrawlConfig::default());
+        (outcome.pages_crawled, outcome.targets_found(), outcome.traffic.requests())
+    };
+    assert_eq!(run(), run());
+}
+
+// ---------------------------------------------------------------------
+// robots.txt compliance
+// ---------------------------------------------------------------------
+
+/// Disallow a real section of a generated site, then check (a) the
+/// compliant crawl never requests an excluded URL — proven by running
+/// against an *enforcing* server and seeing zero 403s — and (b) coverage
+/// shrinks accordingly.
+#[test]
+fn robots_filter_prevents_excluded_requests_entirely() {
+    let site = build_site(&SiteSpec::demo(400), 17);
+    let root_url = site.page(site.root()).url.clone();
+    // Find a path prefix that actually exists: the first section hub's
+    // first path segment.
+    let prefix = site
+        .pages()
+        .iter()
+        .filter_map(|p| {
+            let u = Url::parse(&p.url).ok()?;
+            let seg = u.path.split('/').nth(1)?.to_owned();
+            (!seg.is_empty()).then_some(format!("/{seg}/"))
+        })
+        .find(|pre| !root_url.ends_with(pre.as_str()))
+        .expect("site has sectioned paths");
+    let robots_body = format!("User-agent: *\nDisallow: {prefix}");
+
+    // Uncompliant crawl on the plain site: spends requests under `prefix`.
+    let plain = SiteServer::new(site.clone());
+    let mut bfs = QueueStrategy::bfs();
+    let unfiltered = crawl(&plain, None, &root_url, &mut bfs, &CrawlConfig::default());
+
+    // Compliant crawl against the *enforcing* server: if the filter ever
+    // leaked a request to an excluded URL it would cost a 403 and show up
+    // as a request count difference vs. the non-enforcing server.
+    let enforcing = EnforcedRobots::new(SiteServer::new(site.clone()), &root_url, robots_body.clone(), "sbcrawl");
+    let robots = RobotsTxt::parse(&robots_body);
+    let mut bfs2 = QueueStrategy::bfs();
+    let cfg = CrawlConfig {
+        url_filter: Some(robots_filter(robots.clone(), "sbcrawl")),
+        ..Default::default()
+    };
+    let filtered_enforced = crawl(&enforcing, None, &root_url, &mut bfs2, &cfg);
+
+    let soft = WithRobots::new(SiteServer::new(site), &root_url, robots_body);
+    let mut bfs3 = QueueStrategy::bfs();
+    let cfg2 = CrawlConfig { url_filter: Some(robots_filter(robots, "sbcrawl")), ..Default::default() };
+    let filtered_soft = crawl(&soft, None, &root_url, &mut bfs3, &cfg2);
+
+    assert_eq!(
+        filtered_enforced.traffic.requests(),
+        filtered_soft.traffic.requests(),
+        "enforcement changes nothing for a compliant crawler ⇒ no excluded URL was requested"
+    );
+    assert_eq!(filtered_enforced.targets_found(), filtered_soft.targets_found());
+    assert!(
+        filtered_enforced.pages_crawled < unfiltered.pages_crawled,
+        "excluding a section must shrink coverage ({} vs {})",
+        filtered_enforced.pages_crawled,
+        unfiltered.pages_crawled
+    );
+}
+
+#[test]
+fn crawl_delay_raises_estimated_wall_clock() {
+    let site = build_site(&SiteSpec::demo(200), 3);
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+
+    let run_with_delay = |delay: f64| {
+        let mut bfs = QueueStrategy::bfs();
+        let cfg = CrawlConfig {
+            budget: Budget::Requests(150),
+            politeness: sb_httpsim::Politeness { delay_secs: delay, ..Default::default() },
+            ..Default::default()
+        };
+        crawl(&server, None, &root, &mut bfs, &cfg).traffic.elapsed_secs
+    };
+
+    let t1 = run_with_delay(1.0);
+    // A robots Crawl-delay of 5 feeds straight into the politeness model.
+    let robots = RobotsTxt::parse("User-agent: *\nCrawl-delay: 5");
+    let t5 = run_with_delay(robots.crawl_delay("sbcrawl").unwrap());
+    assert!(t5 > t1 * 3.0, "5 s delay must dominate: {t1:.0}s vs {t5:.0}s");
+}
+
+// ---------------------------------------------------------------------
+// Sitemap seeding
+// ---------------------------------------------------------------------
+
+#[test]
+fn sitemap_seeding_front_loads_targets() {
+    use sb_httpsim::{fetch_sitemap_urls, WithSitemap};
+
+    let site = build_site(&SiteSpec::demo(500), 23);
+    let root = site.page(site.root()).url.clone();
+    let target_urls: Vec<String> =
+        site.target_ids().iter().map(|&id| site.page(id).url.clone()).collect();
+    let n_listed = 40.min(target_urls.len());
+    let listed: Vec<String> = target_urls[..n_listed].to_vec();
+    let server = WithSitemap::new(SiteServer::new(site), &root, &listed, 25);
+
+    // Cooperative crawl: read the sitemap, seed the engine with it.
+    let seeds = fetch_sitemap_urls(&server, &root);
+    assert_eq!(seeds.len(), n_listed);
+    let mut bfs = QueueStrategy::bfs();
+    let cfg = CrawlConfig {
+        budget: Budget::Requests(n_listed as u64 + 5),
+        seed_urls: seeds,
+        ..Default::default()
+    };
+    let outcome = crawl(&server, None, &root, &mut bfs, &cfg);
+    // Root + seeds fit in the budget: nearly every request lands a target.
+    assert!(
+        outcome.targets_found() >= n_listed as u64 - 2,
+        "sitemap seeding should land ~{n_listed} targets, got {}",
+        outcome.targets_found()
+    );
+
+    // The uncooperative baseline finds far fewer in the same budget.
+    let mut bfs2 = QueueStrategy::bfs();
+    let cfg2 = CrawlConfig { budget: Budget::Requests(n_listed as u64 + 5), ..Default::default() };
+    let blind = crawl(&server, None, &root, &mut bfs2, &cfg2);
+    assert!(blind.targets_found() < outcome.targets_found());
+}
+
+#[test]
+fn seed_urls_respect_site_boundary_filter_and_dedup() {
+    let site = build_site(&SiteSpec::demo(200), 23);
+    let root = site.page(site.root()).url.clone();
+    let a_target = site.target_ids().first().map(|&id| site.page(id).url.clone()).unwrap();
+    let server = SiteServer::new(site);
+    let robots = RobotsTxt::parse("User-agent: *\nDisallow: /");
+    let mut bfs = QueueStrategy::bfs();
+    let cfg = CrawlConfig {
+        budget: Budget::Requests(50),
+        // Off-site, duplicate-of-root, robots-blocked: all skipped for free.
+        seed_urls: vec![
+            "https://elsewhere.example/x.csv".to_owned(),
+            root.clone(),
+            a_target,
+        ],
+        url_filter: Some(robots_filter(robots, "sbcrawl")),
+        ..Default::default()
+    };
+    let outcome = crawl(&server, None, &root, &mut bfs, &cfg);
+    // Only the root fetch happened: every seed was rejected unrequested.
+    assert_eq!(outcome.pages_crawled, 1);
+}

@@ -1,0 +1,65 @@
+//! Figures 4 and 7 — the crawler-comparison curves: targets vs requests and
+//! target volume vs non-target volume, per site and crawler. Emitted as one
+//! CSV per site; TRES and OMNISCIENT join the Table 2 crawlers here,
+//! with TRES restricted to small fully-crawled sites exactly as in Sec 4.5.
+
+use super::campaign;
+use crate::runner::RunOpts;
+use crate::setup::{build_site_for, reference, run_crawler, CrawlerKind, EvalConfig};
+use crate::tables::{write_csv, write_text};
+use sb_crawler::TracePoint;
+
+/// TRES runs only where its quadratic frontier re-scoring stays feasible
+/// (the paper stops it beyond small sites).
+pub const TRES_MAX_PAGES: usize = 1200;
+
+fn trace_rows(crawler: &str, pts: &[TracePoint]) -> Vec<Vec<String>> {
+    pts.iter()
+        .map(|p| {
+            vec![
+                crawler.to_owned(),
+                p.requests.to_string(),
+                p.head_requests.to_string(),
+                p.targets.to_string(),
+                format!("{:.6}", p.target_bytes as f64 / 1e9),
+                format!("{:.6}", p.non_target_bytes as f64 / 1e9),
+                format!("{:.1}", p.elapsed_secs),
+            ]
+        })
+        .collect()
+}
+
+pub fn run(cfg: &EvalConfig) -> String {
+    let c = campaign(cfg);
+    let profiles = cfg.selected_profiles();
+    let headers =
+        ["crawler", "requests", "head_requests", "targets", "target_gb", "non_target_gb", "elapsed_secs"]
+            .map(String::from)
+            .to_vec();
+    let mut md = String::from("## Figures 4 & 7 — crawler-comparison curves\n\n");
+    for p in &profiles {
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        for crawler in CrawlerKind::TABLE_ROWS {
+            if let Some(run) = c.of(p.code, crawler).first() {
+                rows.extend(trace_rows(crawler.name(), &run.trace));
+            }
+        }
+        // OMNISCIENT: cheap, run here.
+        let site = build_site_for(cfg, p.code);
+        let opts = RunOpts { scale: cfg.scale, ..Default::default() };
+        let omni = run_crawler(&site, CrawlerKind::Omniscient, 0, &opts);
+        rows.extend(trace_rows("OMNISCIENT", &omni.trace.resampled(300)));
+        // TRES where feasible.
+        let site_ref = reference(cfg, p.code);
+        if p.fully_crawled && site_ref.available <= TRES_MAX_PAGES {
+            let tres = run_crawler(&site, CrawlerKind::Tres, 0, &opts);
+            rows.extend(trace_rows("TRES", &tres.trace.resampled(300)));
+        }
+        let path = cfg.out_dir.join(format!("fig4/{}.csv", p.code));
+        write_csv(&path, &headers, &rows).expect("write fig4 csv");
+        md.push_str(&format!("* `{}` → {}\n", p.code, path.display()));
+    }
+    md.push_str("\nPlot targets-vs-requests (left panels) and target_gb-vs-non_target_gb (right panels); higher curves are better.\n");
+    write_text(&cfg.out_dir.join("fig4.md"), &md).expect("write fig4.md");
+    md
+}

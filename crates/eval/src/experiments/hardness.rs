@@ -1,0 +1,73 @@
+//! Proposition 4 made tangible: the set-cover reduction, the exact solver's
+//! exponential wall, and how the heuristics compare on instances the exact
+//! solver can still chew.
+
+use crate::setup::EvalConfig;
+use crate::tables::{markdown, write_text};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_webgraph::complexity::{
+    crawl_budget_for_cover_budget, greedy_set_cover, min_crawl_cost, min_set_cover,
+    reduce_set_cover, SetCoverInstance,
+};
+use std::time::Instant;
+
+fn random_instance(rng: &mut StdRng, universe: usize, sets: usize) -> SetCoverInstance {
+    let mut s: Vec<Vec<usize>> = (0..sets)
+        .map(|_| {
+            let mut v: Vec<usize> = (0..universe).filter(|_| rng.gen_bool(0.3)).collect();
+            if v.is_empty() {
+                v.push(rng.gen_range(0..universe));
+            }
+            v
+        })
+        .collect();
+    // Guarantee coverage without a universal set (which would trivialise
+    // the instance to B* = 1): every uncovered element joins a random set.
+    for e in 0..universe {
+        if !s.iter().any(|set| set.contains(&e)) {
+            let k = rng.gen_range(0..s.len());
+            s[k].push(e);
+        }
+    }
+    SetCoverInstance::new(universe, s)
+}
+
+pub fn run(cfg: &EvalConfig) -> String {
+    let mut rng = StdRng::seed_from_u64(4);
+    let headers = ["universe |U|", "sets |S|", "B* (exact cover)", "crawl* (exact)", "|U|+B*+1", "greedy cover", "exact solver time"]
+        .map(String::from)
+        .to_vec();
+    let mut rows = Vec::new();
+    // Sizes stay small: the exact solver is exponential (that is the point),
+    // and these instances must stay feasible even in debug builds.
+    for (u, s) in [(4, 4), (6, 6), (8, 8), (10, 10), (14, 14), (18, 18)] {
+        let inst = random_instance(&mut rng, u, s);
+        let b_star = min_set_cover(&inst);
+        let red = reduce_set_cover(&inst);
+        let t0 = Instant::now();
+        let crawl_star = min_crawl_cost(&red.graph, &red.targets).expect("covered ⇒ reachable");
+        let dt = t0.elapsed();
+        let predicted = crawl_budget_for_cover_budget(&inst, b_star);
+        assert_eq!(crawl_star, predicted, "Prop 4 equivalence violated");
+        let greedy = greedy_set_cover(&inst).len();
+        rows.push(vec![
+            u.to_string(),
+            s.to_string(),
+            b_star.to_string(),
+            format!("{crawl_star}"),
+            format!("{predicted}"),
+            greedy.to_string(),
+            format!("{:.2?}", dt),
+        ]);
+    }
+    let md = format!(
+        "## Proposition 4 — set-cover ⇔ graph-crawling equivalence (exact solvers)\n\n\
+        Every row checks `min-crawl = |U| + B* + 1` on a random instance; the\n\
+        solver time column is the exponential wall that motivates the paper's\n\
+        heuristic approach.\n\n{}",
+        markdown(&headers, &rows)
+    );
+    write_text(&cfg.out_dir.join("hardness.md"), &md).expect("write hardness.md");
+    md
+}

@@ -1,0 +1,77 @@
+//! Table 6 and Figure 5 — effectiveness of the SB learning (Sec 4.7):
+//! per-site mean/STD of the non-zero action rewards, the top-10 group
+//! rewards, and example tag paths of the best groups.
+
+use super::campaign;
+use crate::setup::{CrawlerKind, EvalConfig};
+use crate::tables::{markdown, write_csv, write_text};
+
+pub fn run(cfg: &EvalConfig) -> String {
+    let c = campaign(cfg);
+    let profiles = cfg.selected_profiles();
+
+    // Table 6: mean/STD over actions with non-zero mean reward.
+    let mut headers = vec!["".to_owned()];
+    let mut means = vec!["Mean".to_owned()];
+    let mut stds = vec!["Std".to_owned()];
+    let mut fig5_rows: Vec<Vec<String>> = Vec::new();
+    let mut exemplar_md = String::from("\n### Example top tag paths (Sec 4.7 interpretability)\n\n");
+    for p in &profiles {
+        headers.push(p.code.to_owned());
+        let runs = c.of(p.code, CrawlerKind::SbClassifier);
+        let Some(run) = runs.first() else {
+            means.push("-".into());
+            stds.push("-".into());
+            continue;
+        };
+        let rewards: Vec<f64> = run
+            .arms
+            .iter()
+            .filter(|a| a.mean_reward > 0.0)
+            .map(|a| a.mean_reward)
+            .collect();
+        let (m, s) = mean_std(&rewards);
+        means.push(format!("{m:.1}"));
+        stds.push(format!("{s:.1}"));
+
+        // Figure 5: top-10 groups by mean reward.
+        let mut sorted = run.arms.clone();
+        sorted.sort_by(|a, b| b.mean_reward.total_cmp(&a.mean_reward));
+        for (k, arm) in sorted.iter().take(10).enumerate() {
+            fig5_rows.push(vec![
+                p.code.to_owned(),
+                (k + 1).to_string(),
+                format!("{:.3}", arm.mean_reward),
+                arm.pulls.to_string(),
+                arm.members.to_string(),
+            ]);
+        }
+        if let Some(best) = sorted.first() {
+            exemplar_md.push_str(&format!("* **{}**: `{}` (mean reward {:.1})\n", p.code, best.exemplar, best.mean_reward));
+        }
+    }
+    write_csv(
+        &cfg.out_dir.join("fig5.csv"),
+        &["site", "rank", "mean_reward", "pulls", "members"].map(String::from),
+        &fig5_rows,
+    )
+    .expect("write fig5 csv");
+    let mut md = format!(
+        "## Table 6 — mean and STD of non-zero action rewards per site\n\n{}",
+        markdown(&headers, &[means, stds])
+    );
+    md.push_str(&exemplar_md);
+    md.push_str("\nFigure 5 series written to fig5.csv (top-10 group rewards per site; plot with log y).\n");
+    write_text(&cfg.out_dir.join("table6.md"), &md).expect("write table6.md");
+    md
+}
+
+fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let m = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n;
+    (m, var.sqrt())
+}

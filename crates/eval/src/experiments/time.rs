@@ -1,0 +1,102 @@
+//! Sec 4.4's retrieval-time illustration: on the medium-sized `ed`,
+//! SB-CLASSIFIER needs 3 h 16 min to collect 5 k targets and 10 h 52 min
+//! for 10 k, where BFS needs 5 h 13 min and 48 h 45 min (1.6× and 4.5×
+//! more). Requests and volume are converted to wall-clock with the
+//! politeness model (1 s inter-request wait + transfer time), exactly as
+//! the paper suggests ("crawl time can be estimated from these, knowing
+//! the bandwidth and the ethics waiting time").
+//!
+//! The paper's milestones (5 k and 10 k of `ed`'s 10.47 k targets) are
+//! carried over as *fractions* of the scaled site's target count, so the
+//! shape — the BFS/SB ratio growing sharply between the two milestones —
+//! is scale-invariant.
+
+use super::{campaign, RunSummary};
+use crate::runner::mean_or_inf;
+use crate::setup::{reference, CrawlerKind, EvalConfig};
+use crate::tables::{markdown, write_csv, write_text};
+
+/// The paper's milestones as fractions of `ed`'s 10.47 k targets.
+pub const MILESTONES: [(f64, &str, f64); 2] =
+    [(5.0 / 10.47, "5k-equivalent", 1.6), (10.0 / 10.47, "10k-equivalent", 4.5)];
+
+/// The site of the paper's illustration.
+pub const TIME_SITE: &str = "ed";
+
+/// Simulated hours at which `run` first holds `k` targets.
+fn hours_to(run: &RunSummary, k: u64) -> Option<f64> {
+    run.trace.iter().find(|p| p.targets >= k).map(|p| p.elapsed_secs / 3600.0)
+}
+
+fn fmt_hours(h: Option<f64>) -> String {
+    match h {
+        Some(h) => {
+            let whole = h.floor() as u64;
+            let mins = ((h - h.floor()) * 60.0).round() as u64;
+            format!("{whole}h{mins:02}")
+        }
+        None => "+∞".to_owned(),
+    }
+}
+
+pub fn run(cfg: &EvalConfig) -> String {
+    let mut md = String::from("## Sec 4.4 — estimated retrieval times on `ed`\n\n");
+    if cfg.sites.as_ref().is_some_and(|s| !s.iter().any(|x| x == TIME_SITE)) {
+        md.push_str("(skipped: `ed` not in --sites)\n");
+        return md;
+    }
+    let c = campaign(cfg);
+    let site_ref = reference(cfg, TIME_SITE);
+    md.push_str(&format!(
+        "Politeness: 1 s between requests; scaled `ed` has {} targets. \
+         Paper: SB 3h16/10h52 vs BFS 5h13/48h45 (ratios 1.6× / 4.5×).\n\n",
+        site_ref.targets
+    ));
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (frac, label, paper_ratio) in MILESTONES {
+        let k = ((site_ref.targets as f64) * frac).round().max(1.0) as u64;
+        let mean_hours = |kind: CrawlerKind| -> Option<f64> {
+            let per_seed: Vec<Option<f64>> =
+                c.of(TIME_SITE, kind).iter().map(|r| hours_to(r, k)).collect();
+            if per_seed.is_empty() {
+                return None;
+            }
+            mean_or_inf(&per_seed)
+        };
+        let sb = mean_hours(CrawlerKind::SbClassifier);
+        let bfs = mean_hours(CrawlerKind::Bfs);
+        let ratio = match (sb, bfs) {
+            (Some(s), Some(b)) if s > 0.0 => Some(b / s),
+            _ => None,
+        };
+        rows.push(vec![
+            label.to_owned(),
+            k.to_string(),
+            fmt_hours(sb),
+            fmt_hours(bfs),
+            ratio.map_or("+∞".to_owned(), |r| format!("{r:.1}×")),
+            format!("{paper_ratio:.1}×"),
+        ]);
+        csv_rows.push(vec![
+            label.to_owned(),
+            k.to_string(),
+            sb.map_or(String::new(), |h| format!("{h:.3}")),
+            bfs.map_or(String::new(), |h| format!("{h:.3}")),
+            ratio.map_or(String::new(), |r| format!("{r:.3}")),
+        ]);
+    }
+    let headers: Vec<String> = ["milestone", "targets", "SB-CLASS.", "BFS", "ratio", "paper ratio"]
+        .map(String::from)
+        .to_vec();
+    md.push_str(&markdown(&headers, &rows));
+    write_csv(
+        &cfg.out_dir.join("time_ed.csv"),
+        &["milestone", "targets", "sb_hours", "bfs_hours", "ratio"].map(String::from),
+        &csv_rows,
+    )
+    .expect("write time csv");
+    write_text(&cfg.out_dir.join("time.md"), &md).expect("write time.md");
+    md
+}

@@ -1,0 +1,302 @@
+//! Experiment setup: site construction (cached), crawler factory and
+//! reference statistics.
+
+use parking_lot::Mutex;
+use sb_crawler::engine::{crawl, Budget, CrawlConfig, CrawlOutcome};
+use sb_crawler::strategies::{
+    FocusedStrategy, OmniscientStrategy, QueueStrategy, SbConfig, SbStrategy, TpOffStrategy,
+    TresStrategy,
+};
+use sb_crawler::strategy::Strategy;
+use sb_crawler::ActionSpaceConfig;
+use sb_httpsim::SiteServer;
+use sb_ml::{FeatureSet, ModelKind, UrlClassifier};
+use sb_webgraph::gen::profiles;
+use sb_webgraph::{SiteSpec, Website};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Harness-wide configuration (CLI flags of `xp`).
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Site size scale versus Table 1 (1.0 = the paper's 22.2 M pages).
+    pub scale: f64,
+    /// Seeds per stochastic crawler (the paper uses 15).
+    pub seeds: u64,
+    /// Output directory for CSV/markdown artifacts.
+    pub out_dir: PathBuf,
+    /// Optional site-code filter.
+    pub sites: Option<Vec<String>>,
+    /// Worker threads.
+    pub jobs: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            scale: 0.01,
+            seeds: 3,
+            out_dir: PathBuf::from("results"),
+            sites: None,
+            jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Profiles selected by the `--sites` filter, in Table 1 order.
+    pub fn selected_profiles(&self) -> Vec<SiteSpec> {
+        profiles::paper_profiles()
+            .into_iter()
+            .filter(|p| match &self.sites {
+                Some(codes) => codes.iter().any(|c| c == p.code),
+                None => true,
+            })
+            .collect()
+    }
+
+    /// The generation seed for a site (fixed: all crawlers see the same
+    /// site, as in the paper's replay methodology).
+    pub fn site_seed(&self, code: &str) -> u64 {
+        let mut h = 0x811c_9dc5u64;
+        for b in code.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The crawlers of Sec 4.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrawlerKind {
+    SbOracle,
+    SbClassifier,
+    Focused,
+    TpOff,
+    Bfs,
+    Dfs,
+    Random,
+    Tres,
+    Omniscient,
+}
+
+impl CrawlerKind {
+    /// Table 2/3 row order.
+    pub const TABLE_ROWS: [CrawlerKind; 7] = [
+        CrawlerKind::SbOracle,
+        CrawlerKind::SbClassifier,
+        CrawlerKind::Focused,
+        CrawlerKind::TpOff,
+        CrawlerKind::Bfs,
+        CrawlerKind::Dfs,
+        CrawlerKind::Random,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CrawlerKind::SbOracle => "SB-ORACLE",
+            CrawlerKind::SbClassifier => "SB-CLASSIFIER",
+            CrawlerKind::Focused => "FOCUSED",
+            CrawlerKind::TpOff => "TP-OFF",
+            CrawlerKind::Bfs => "BFS",
+            CrawlerKind::Dfs => "DFS",
+            CrawlerKind::Random => "RANDOM",
+            CrawlerKind::Tres => "TRES",
+            CrawlerKind::Omniscient => "OMNISCIENT",
+        }
+    }
+
+    /// Stochastic crawlers are averaged over seeds; deterministic ones run
+    /// once (Sec 4.5).
+    pub fn stochastic(self) -> bool {
+        matches!(self, CrawlerKind::SbOracle | CrawlerKind::SbClassifier | CrawlerKind::Random)
+    }
+
+    /// Does this crawler need the ground-truth oracle?
+    pub fn needs_oracle(self) -> bool {
+        matches!(
+            self,
+            CrawlerKind::SbOracle | CrawlerKind::TpOff | CrawlerKind::Tres | CrawlerKind::Omniscient
+        )
+    }
+}
+
+/// SB tuning knobs for the hyper-parameter studies.
+#[derive(Debug, Clone)]
+pub struct SbTuning {
+    pub alpha: f64,
+    pub theta: f32,
+    pub ngram: usize,
+    pub model: ModelKind,
+    pub features: FeatureSet,
+    pub batch: usize,
+    pub max_actions: Option<usize>,
+    /// Bandit policy family override (`None` = the paper's AUER).
+    pub bandit: Option<sb_crawler::strategies::BanditChoice>,
+}
+
+impl Default for SbTuning {
+    fn default() -> Self {
+        SbTuning {
+            alpha: sb_bandit::ALPHA_DEFAULT,
+            theta: 0.75,
+            ngram: 2,
+            model: ModelKind::LogisticRegression,
+            features: FeatureSet::UrlOnly,
+            batch: 10,
+            max_actions: None,
+            bandit: None,
+        }
+    }
+}
+
+impl SbTuning {
+    pub fn sb_config(&self) -> SbConfig {
+        SbConfig {
+            alpha: self.alpha,
+            actions: ActionSpaceConfig {
+                ngram: self.ngram,
+                theta: self.theta,
+                max_actions: self.max_actions,
+                ..Default::default()
+            },
+            bandit: self.bandit,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Site cache
+// ----------------------------------------------------------------------
+
+type SiteKey = (String, u64 /* scale in ppm */);
+
+static SITE_CACHE: Mutex<Option<HashMap<SiteKey, Arc<Website>>>> = Mutex::new(None);
+
+/// Builds (or fetches from cache) the scaled site for a profile code.
+pub fn build_site_for(cfg: &EvalConfig, code: &str) -> Arc<Website> {
+    let key = (code.to_owned(), (cfg.scale * 1e6) as u64);
+    {
+        let cache = SITE_CACHE.lock();
+        if let Some(map) = cache.as_ref() {
+            if let Some(site) = map.get(&key) {
+                return site.clone();
+            }
+        }
+    }
+    let spec = profiles::profile(code)
+        .unwrap_or_else(|| panic!("unknown site code {code}"))
+        .scaled(cfg.scale);
+    let site = Arc::new(sb_webgraph::build_site(&spec, cfg.site_seed(code)));
+    let mut cache = SITE_CACHE.lock();
+    cache.get_or_insert_with(HashMap::new).insert(key, site.clone());
+    site
+}
+
+/// Reference statistics a site's metrics are normalised by (Sec 4.5):
+/// census counts plus the cost of one exhaustive BFS crawl.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteRef {
+    pub available: usize,
+    pub targets: u64,
+    pub target_volume: u64,
+    /// Requests of an exhaustive BFS crawl (the "crawl everything" cost).
+    pub full_requests: u64,
+    /// Non-target volume of that exhaustive crawl.
+    pub full_non_target_bytes: u64,
+}
+
+static REF_CACHE: Mutex<Option<HashMap<SiteKey, SiteRef>>> = Mutex::new(None);
+
+/// Computes (cached) the reference stats for a site.
+pub fn reference(cfg: &EvalConfig, code: &str) -> SiteRef {
+    let key = (code.to_owned(), (cfg.scale * 1e6) as u64);
+    {
+        let cache = REF_CACHE.lock();
+        if let Some(map) = cache.as_ref() {
+            if let Some(r) = map.get(&key) {
+                return *r;
+            }
+        }
+    }
+    let site = build_site_for(cfg, code);
+    let census = site.census();
+    let out = run_crawler(&site, CrawlerKind::Bfs, 0, &RunOpts::default());
+    let r = SiteRef {
+        available: census.available,
+        targets: out.targets_found(),
+        target_volume: out.traffic.target_bytes,
+        full_requests: out.traffic.requests(),
+        full_non_target_bytes: out.traffic.non_target_bytes,
+    };
+    let mut cache = REF_CACHE.lock();
+    cache.get_or_insert_with(HashMap::new).insert(key, r);
+    r
+}
+
+// ----------------------------------------------------------------------
+// Crawler factory and single-run executor
+// ----------------------------------------------------------------------
+
+pub use crate::runner::RunOpts;
+
+/// Builds a strategy. `scale` sizes TP-OFF's offline phase (3 000 pages at
+/// paper scale).
+pub fn build_strategy(kind: CrawlerKind, site: &Website, scale: f64, sb: &SbTuning) -> Box<dyn Strategy> {
+    match kind {
+        CrawlerKind::Bfs => Box::new(QueueStrategy::bfs()),
+        CrawlerKind::Dfs => Box::new(QueueStrategy::dfs()),
+        CrawlerKind::Random => Box::new(QueueStrategy::random()),
+        CrawlerKind::Focused => Box::new(FocusedStrategy::new()),
+        CrawlerKind::Tres => Box::new(TresStrategy::new()),
+        CrawlerKind::TpOff => {
+            let phase1 = ((3000.0 * scale).round() as usize).max(30);
+            Box::new(TpOffStrategy::new(phase1))
+        }
+        CrawlerKind::Omniscient => {
+            let targets: Vec<String> =
+                site.target_ids().iter().map(|&id| site.page(id).url.clone()).collect();
+            Box::new(OmniscientStrategy::new(targets))
+        }
+        CrawlerKind::SbOracle => Box::new(SbStrategy::oracle(sb.sb_config())),
+        CrawlerKind::SbClassifier => Box::new(SbStrategy::with_classifier(
+            sb.sb_config(),
+            UrlClassifier::new(sb.model, sb.features, sb.batch),
+        )),
+    }
+}
+
+/// Runs one crawler once on a site.
+pub fn run_crawler(site: &Arc<Website>, kind: CrawlerKind, seed: u64, opts: &RunOpts) -> CrawlOutcome {
+    let mut strategy = build_strategy(kind, site, opts.scale, &opts.sb);
+    run_with_strategy(site, strategy.as_mut(), kind.needs_oracle(), seed, opts)
+}
+
+/// Runs an explicitly constructed strategy (hyper-parameter studies need
+/// concrete access to the strategy afterwards).
+pub fn run_with_strategy(
+    site: &Arc<Website>,
+    strategy: &mut dyn Strategy,
+    needs_oracle: bool,
+    seed: u64,
+    opts: &RunOpts,
+) -> CrawlOutcome {
+    let server = SiteServer::shared(site.clone());
+    let root = site.page(site.root()).url.clone();
+    let cfg = CrawlConfig {
+        budget: opts.budget,
+        seed,
+        early_stop: opts.early_stop,
+        keep_target_bodies: opts.keep_bodies,
+        max_steps: opts.max_steps,
+        ..Default::default()
+    };
+    let oracle: Option<&dyn sb_crawler::Oracle> = needs_oracle.then_some(site.as_ref() as _);
+    crawl(&server, oracle, &root, strategy, &cfg)
+}
+
+/// Sanity guard used by experiments that print `+∞`.
+pub fn budget_unlimited() -> Budget {
+    Budget::Unlimited
+}

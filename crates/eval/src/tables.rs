@@ -1,0 +1,108 @@
+//! Output formatting: markdown tables and CSV files.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Renders an aligned markdown table.
+pub fn markdown(headers: &[String], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        let _ = write!(out, "|");
+        for (i, w) in widths.iter().enumerate() {
+            let empty = String::new();
+            let cell = cells.get(i).unwrap_or(&empty);
+            let _ = write!(out, " {cell:<w$} |");
+        }
+        let _ = writeln!(out);
+    };
+    line(&mut out, headers);
+    let _ = write!(&mut out, "|");
+    for w in &widths {
+        let _ = write!(&mut out, "{}|", "-".repeat(w + 2));
+    }
+    let _ = writeln!(&mut out);
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Writes a CSV file (creating parent directories).
+pub fn write_csv(path: &Path, headers: &[String], rows: &[Vec<String>]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "{}", headers.iter().map(|h| csv_escape(h)).collect::<Vec<_>>().join(","))?;
+    for row in rows {
+        writeln!(f, "{}", row.iter().map(|c| csv_escape(c)).collect::<Vec<_>>().join(","))?;
+    }
+    Ok(())
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Writes a text/markdown report file.
+pub fn write_text(path: &Path, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    fs::write(path, content)
+}
+
+/// Formats an optional percentage, `+∞` for `None` (the paper's notation).
+pub fn fmt_pct(x: Option<f64>) -> String {
+    match x {
+        Some(v) => format!("{v:.1}"),
+        None => "+∞".to_owned(),
+    }
+}
+
+/// Formats a `value (± std)` cell, Table 1 style.
+pub fn fmt_pm((mean, std): (f64, f64)) -> String {
+    format!("{mean:.2} (±{std:.2})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_aligns() {
+        let md = markdown(
+            &["a".into(), "header".into()],
+            &[vec!["long-cell".into(), "x".into()], vec!["y".into(), "z".into()]],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "{md}");
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(Some(31.24)), "31.2");
+        assert_eq!(fmt_pct(None), "+∞");
+    }
+}

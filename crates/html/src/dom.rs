@@ -1,0 +1,285 @@
+//! Arena-based DOM built from the token stream.
+//!
+//! The tree-construction rules are a pragmatic subset of WHATWG \[58\]: void
+//! elements never take children, a handful of *implied end tag* rules keep
+//! sibling `<li>`/`<p>`/`<td>` elements from nesting, and mismatched end tags
+//! pop up to the nearest matching open element (or are ignored). That is
+//! enough to recover the tag paths of hyperlinks on the real-world markup the
+//! paper's crawler meets.
+
+use crate::token::{tokenize, Attr, Token};
+
+/// Index of a node in its [`Document`] arena.
+pub type NodeId = usize;
+
+/// A DOM node: either an element with attributes and children, or text.
+#[derive(Debug, Clone)]
+pub enum Node {
+    Element {
+        name: String,
+        attrs: Vec<Attr>,
+        children: Vec<NodeId>,
+        parent: Option<NodeId>,
+    },
+    Text {
+        content: String,
+        parent: Option<NodeId>,
+    },
+}
+
+impl Node {
+    /// Element name, or `None` for text nodes.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            Node::Element { name, .. } => Some(name),
+            Node::Text { .. } => None,
+        }
+    }
+
+    /// Value of attribute `want` on an element node.
+    pub fn attr(&self, want: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => {
+                attrs.iter().find(|a| a.name == want).map(|a| a.value.as_str())
+            }
+            Node::Text { .. } => None,
+        }
+    }
+
+    pub fn parent(&self) -> Option<NodeId> {
+        match self {
+            Node::Element { parent, .. } | Node::Text { parent, .. } => *parent,
+        }
+    }
+}
+
+/// A parsed HTML document: a node arena plus the ids of root-level nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
+}
+
+/// Elements that cannot have children.
+const VOID_ELEMENTS: [&str; 14] = [
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
+    "source", "track", "wbr",
+];
+
+/// `(incoming, implicitly-closed)` pairs: opening `incoming` while
+/// `implicitly-closed` is the innermost open element closes the latter first.
+fn implies_close(incoming: &str, open: &str) -> bool {
+    match open {
+        "li" => incoming == "li",
+        "p" => matches!(
+            incoming,
+            "p" | "div" | "ul" | "ol" | "table" | "section" | "article" | "h1" | "h2" | "h3"
+                | "h4" | "h5" | "h6" | "form" | "blockquote" | "pre" | "nav" | "main"
+                | "header" | "footer"
+        ),
+        "td" | "th" => matches!(incoming, "td" | "th" | "tr"),
+        "tr" => incoming == "tr",
+        "option" => incoming == "option",
+        "dt" | "dd" => matches!(incoming, "dt" | "dd"),
+        _ => false,
+    }
+}
+
+/// Parses HTML into a [`Document`]. Never fails.
+pub fn parse(input: &str) -> Document {
+    let mut doc = Document { nodes: Vec::new(), roots: Vec::new() };
+    // Stack of currently-open element ids.
+    let mut open: Vec<NodeId> = Vec::new();
+
+    for tok in tokenize(input) {
+        match tok {
+            Token::Start { name, attrs, self_closing } => {
+                while let Some(&top) = open.last() {
+                    let top_name = doc.nodes[top].name().unwrap_or("").to_owned();
+                    if implies_close(&name, &top_name) {
+                        open.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let is_void = VOID_ELEMENTS.contains(&name.as_str());
+                let id = doc.push_node(
+                    Node::Element { name, attrs, children: Vec::new(), parent: open.last().copied() },
+                    &mut open,
+                );
+                if !self_closing && !is_void {
+                    open.push(id);
+                }
+            }
+            Token::End { name } => {
+                // Pop to the matching open element; ignore if none matches.
+                if let Some(pos) = open.iter().rposition(|&id| doc.nodes[id].name() == Some(name.as_str()))
+                {
+                    open.truncate(pos);
+                }
+            }
+            Token::Text(content) => {
+                if !content.is_empty() {
+                    doc.push_node(Node::Text { content, parent: open.last().copied() }, &mut open);
+                }
+            }
+            Token::Comment(_) | Token::Doctype(_) => {}
+        }
+    }
+    doc
+}
+
+impl Document {
+    fn push_node(&mut self, node: Node, open: &mut [NodeId]) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        match open.last() {
+            Some(&parent) => {
+                if let Node::Element { children, .. } = &mut self.nodes[parent] {
+                    children.push(id);
+                }
+            }
+            None => self.roots.push(id),
+        }
+        id
+    }
+
+    /// All nodes, in document order.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Root-level node ids (usually just `html`).
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Ids of all elements with the given name, in document order.
+    pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&id| self.nodes[id].name() == Some(name))
+            .collect()
+    }
+
+    /// Concatenated text content beneath `id` (including `id` itself if text).
+    pub fn text_content(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.nodes[id] {
+            Node::Text { content, .. } => out.push_str(content),
+            Node::Element { children, .. } => {
+                for &c in children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// The chain of element ids from the document root down to `id`
+    /// (inclusive when `id` is an element).
+    pub fn ancestry(&self, id: NodeId) -> Vec<NodeId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.nodes[c].name().is_some() {
+                chain.push(c);
+            }
+            cur = self.nodes[c].parent();
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_tree() {
+        let doc = parse("<html><body><div id='m'><a href='/x'>t</a></div></body></html>");
+        let a = doc.elements_named("a");
+        assert_eq!(a.len(), 1);
+        assert_eq!(doc.node(a[0]).attr("href"), Some("/x"));
+        let chain = doc.ancestry(a[0]);
+        let names: Vec<_> = chain.iter().map(|&id| doc.node(id).name().unwrap()).collect();
+        assert_eq!(names, vec!["html", "body", "div", "a"]);
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = parse("<p><br>text</p>");
+        let br = doc.elements_named("br")[0];
+        if let Node::Element { children, .. } = doc.node(br) {
+            assert!(children.is_empty());
+        }
+        // "text" is a sibling of <br> inside <p>.
+        let p = doc.elements_named("p")[0];
+        if let Node::Element { children, .. } = doc.node(p) {
+            assert_eq!(children.len(), 2);
+        }
+    }
+
+    #[test]
+    fn sibling_li_do_not_nest() {
+        let doc = parse("<ul><li>a<li>b<li>c</ul>");
+        let lis = doc.elements_named("li");
+        assert_eq!(lis.len(), 3);
+        let ul = doc.elements_named("ul")[0];
+        for &li in &lis {
+            assert_eq!(doc.node(li).parent(), Some(ul));
+        }
+    }
+
+    #[test]
+    fn p_closed_by_div() {
+        let doc = parse("<body><p>one<div>two</div></body>");
+        let div = doc.elements_named("div")[0];
+        let body = doc.elements_named("body")[0];
+        assert_eq!(doc.node(div).parent(), Some(body));
+    }
+
+    #[test]
+    fn mismatched_end_tag_ignored() {
+        let doc = parse("<div><span>x</b></span></div>");
+        assert_eq!(doc.elements_named("span").len(), 1);
+        assert_eq!(doc.elements_named("div").len(), 1);
+    }
+
+    #[test]
+    fn unclosed_elements_ok() {
+        let doc = parse("<html><body><div><a href='/y'>link");
+        let a = doc.elements_named("a")[0];
+        assert_eq!(doc.text_content(a), "link");
+    }
+
+    #[test]
+    fn text_content_recurses() {
+        let doc = parse("<div>a<span>b</span>c</div>");
+        let div = doc.elements_named("div")[0];
+        assert_eq!(doc.text_content(div), "abc");
+    }
+
+    #[test]
+    fn table_cells() {
+        let doc = parse("<table><tr><td>1<td>2<tr><td>3</table>");
+        assert_eq!(doc.elements_named("tr").len(), 2);
+        assert_eq!(doc.elements_named("td").len(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! HTML entity escaping and unescaping.
+//!
+//! Only the entities that actually occur in crawled markup matter here: the
+//! five XML-predefined entities plus decimal/hexadecimal numeric references.
+//! Unknown entities are passed through verbatim, which is what browsers do for
+//! unterminated ampersands and is the tolerant behaviour a crawler needs.
+
+/// Escapes `&`, `<`, `>`, `"` and `'` for safe inclusion in HTML text or
+/// double-quoted attribute values.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves entity references in HTML text or attribute values.
+///
+/// Handles the named entities `amp`, `lt`, `gt`, `quot`, `apos`, `nbsp` and
+/// numeric references (`&#123;`, `&#x1F4A9;`). Anything unrecognised is left
+/// untouched, including a bare `&`.
+pub fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_owned();
+    }
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy the full UTF-8 character, not just one byte.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&s[i..i + ch_len]);
+            i += ch_len;
+            continue;
+        }
+        // Find the terminating ';' within a reasonable window.
+        let end = bytes[i + 1..]
+            .iter()
+            .take(32)
+            .position(|&b| b == b';')
+            .map(|p| i + 1 + p);
+        let Some(end) = end else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let name = &s[i + 1..end];
+        let resolved = match name {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            "nbsp" => Some('\u{a0}'),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32)
+            }
+            _ if name.starts_with('#') => {
+                name[1..].parse::<u32>().ok().and_then(char::from_u32)
+            }
+            _ => None,
+        };
+        match resolved {
+            Some(c) => {
+                out.push(c);
+                i = end + 1;
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_basic() {
+        assert_eq!(escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&#39;");
+    }
+
+    #[test]
+    fn unescape_named() {
+        assert_eq!(unescape("a&lt;b&gt;&amp;&quot;&apos;"), "a<b>&\"'");
+        assert_eq!(unescape("x&nbsp;y"), "x\u{a0}y");
+    }
+
+    #[test]
+    fn unescape_numeric() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+        assert_eq!(unescape("&#x1F4A9;"), "\u{1F4A9}");
+    }
+
+    #[test]
+    fn unescape_tolerates_bare_ampersand() {
+        assert_eq!(unescape("fish & chips"), "fish & chips");
+        assert_eq!(unescape("&unknown;"), "&unknown;");
+        assert_eq!(unescape("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn unescape_preserves_multibyte() {
+        assert_eq!(unescape("é&amp;è"), "é&è");
+        assert_eq!(unescape("日本&lt;語"), "日本<語");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = "a <b> & \"c\" 'd' é 日本語";
+        assert_eq!(unescape(&escape(s)), s);
+    }
+
+    #[test]
+    fn unescape_rejects_invalid_codepoint() {
+        // Surrogate range is not a valid char; left untouched.
+        assert_eq!(unescape("&#xD800;"), "&#xD800;");
+    }
+}

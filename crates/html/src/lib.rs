@@ -1,0 +1,29 @@
+//! Minimal, dependency-free HTML processing for the `sbcrawl` focused crawler.
+//!
+//! The crawler of the paper observes three things in a fetched HTML page:
+//!
+//! 1. the **hyperlinks** it contains (`<a href>`, `<area href>`, `<iframe src>`),
+//! 2. for each hyperlink, its **tag path** — the full path of HTML tags from the
+//!    document root down to the hyperlink element, decorated with `#id` and
+//!    `.class` attributes (e.g. `html body div#main ul.datasets li a`), and
+//! 3. auxiliary text (anchor text, surrounding text) used by the richer
+//!    `URL_CONT` classifier feature set.
+//!
+//! This crate provides a tolerant HTML tokenizer ([`tokenize`]), an arena-based
+//! DOM ([`Document`]), tag-path extraction ([`TagPath`]), link extraction
+//! ([`extract_links`]) and an HTML builder ([`render()`]) used by the synthetic
+//! site generator so that generated pages round-trip through the same parser a
+//! real crawl would use.
+
+pub mod dom;
+pub mod escape;
+pub mod links;
+pub mod render;
+pub mod tagpath;
+pub mod token;
+
+pub use dom::{parse, Document, Node, NodeId};
+pub use links::{extract_links, Link, LinkKind};
+pub use render::{el, render, text, HtmlBuilder};
+pub use tagpath::{PathSegment, TagPath};
+pub use token::{tokenize, Attr, Token};

@@ -1,0 +1,202 @@
+//! Hyperlink extraction: the crawler's view of an HTML page.
+//!
+//! Per Sec 2.2, an edge `(u, v)` exists when `u` links to `v` via `<a>`,
+//! `<area>` or `<iframe>`. Each extracted [`Link`] carries its [`TagPath`]
+//! (the edge label λ) plus the anchor text and a window of surrounding text,
+//! which the `URL_CONT` classifier feature set of Sec 4.6 consumes.
+
+use crate::dom::{parse, Document, Node, NodeId};
+use crate::tagpath::TagPath;
+
+/// Which HTML construct produced the link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    Anchor,
+    Area,
+    Iframe,
+}
+
+impl LinkKind {
+    pub fn tag_name(self) -> &'static str {
+        match self {
+            LinkKind::Anchor => "a",
+            LinkKind::Area => "area",
+            LinkKind::Iframe => "iframe",
+        }
+    }
+}
+
+/// A hyperlink found in a page, with everything the crawler needs to decide
+/// whether and how to follow it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Link {
+    /// The raw (not yet resolved) href/src value.
+    pub href: String,
+    pub kind: LinkKind,
+    /// Root-to-link tag path: the edge label λ of Sec 2.2.
+    pub tag_path: TagPath,
+    /// Text content of the linking element (empty for `<iframe>`).
+    pub anchor_text: String,
+    /// Text of the nearest enclosing block, minus the anchor text: the
+    /// "surrounding text" feature of the URL_CONT variants.
+    pub surrounding_text: String,
+}
+
+/// Extracts all hyperlinks of `html` in document order.
+pub fn extract_links(html: &str) -> Vec<Link> {
+    extract_links_from(&parse(html))
+}
+
+/// As [`extract_links`], over an already-parsed document.
+pub fn extract_links_from(doc: &Document) -> Vec<Link> {
+    let mut out = Vec::new();
+    for id in 0..doc.len() {
+        let node = doc.node(id);
+        let Some(name) = node.name() else { continue };
+        let (kind, url_attr) = match name {
+            "a" => (LinkKind::Anchor, "href"),
+            "area" => (LinkKind::Area, "href"),
+            "iframe" => (LinkKind::Iframe, "src"),
+            _ => continue,
+        };
+        let Some(href) = node.attr(url_attr) else { continue };
+        let href = href.trim();
+        if href.is_empty() || href.starts_with('#') || is_non_http_scheme(href) {
+            continue;
+        }
+        let anchor_text = normalize_ws(&doc.text_content(id));
+        let surrounding_text = surrounding_text(doc, id, &anchor_text);
+        out.push(Link {
+            href: href.to_owned(),
+            kind,
+            tag_path: TagPath::of(doc, id),
+            anchor_text,
+            surrounding_text,
+        });
+    }
+    out
+}
+
+/// `javascript:`, `mailto:`, `tel:`, `data:` … are never crawlable edges.
+fn is_non_http_scheme(href: &str) -> bool {
+    let Some(colon) = href.find(':') else { return false };
+    let scheme = &href[..colon];
+    if !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.') {
+        return false;
+    }
+    !scheme.eq_ignore_ascii_case("http") && !scheme.eq_ignore_ascii_case("https")
+}
+
+/// Text of the nearest block-level ancestor, with the anchor's own text
+/// removed, truncated to a sane window.
+fn surrounding_text(doc: &Document, id: NodeId, anchor_text: &str) -> String {
+    const BLOCKS: [&str; 12] =
+        ["p", "li", "td", "div", "section", "article", "main", "aside", "figure", "dd", "th", "body"];
+    let mut cur = doc.node(id).parent();
+    while let Some(pid) = cur {
+        let node = doc.node(pid);
+        if let Node::Element { name, .. } = node {
+            if BLOCKS.contains(&name.as_str()) {
+                let full = normalize_ws(&doc.text_content(pid));
+                let trimmed = match full.find(anchor_text) {
+                    Some(pos) if !anchor_text.is_empty() => {
+                        let mut s = String::with_capacity(full.len() - anchor_text.len());
+                        s.push_str(&full[..pos]);
+                        s.push_str(&full[pos + anchor_text.len()..]);
+                        normalize_ws(&s)
+                    }
+                    _ => full,
+                };
+                return truncate_chars(&trimmed, 160);
+            }
+        }
+        cur = node.parent();
+    }
+    String::new()
+}
+
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn truncate_chars(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_owned();
+    }
+    s.chars().take(max).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r##"<html><body>
+        <div id="main">
+          <p>Poverty statistics for <a href="/data/pov.csv">2024 CSV</a> are here.</p>
+          <ul class="datasets">
+            <li><a class="dataset" href="/data/a.xlsx">A</a></li>
+            <li><a class="dataset" href="/data/b.xlsx">B</a></li>
+          </ul>
+          <map><area href="/map/region1"></map>
+          <iframe src="/embed/chart"></iframe>
+          <a href="#top">skip</a>
+          <a href="mailto:x@y.z">mail</a>
+          <a href="javascript:void(0)">js</a>
+          <a href="">empty</a>
+        </div>
+      </body></html>"##;
+
+    #[test]
+    fn extracts_all_crawlable_links() {
+        let links = extract_links(PAGE);
+        let hrefs: Vec<_> = links.iter().map(|l| l.href.as_str()).collect();
+        assert_eq!(
+            hrefs,
+            vec!["/data/pov.csv", "/data/a.xlsx", "/data/b.xlsx", "/map/region1", "/embed/chart"]
+        );
+    }
+
+    #[test]
+    fn skips_fragments_and_non_http() {
+        let links = extract_links(PAGE);
+        assert!(links.iter().all(|l| !l.href.starts_with('#')));
+        assert!(links.iter().all(|l| !l.href.starts_with("mailto:")));
+        assert!(links.iter().all(|l| !l.href.starts_with("javascript:")));
+    }
+
+    #[test]
+    fn tag_paths_include_classes() {
+        let links = extract_links(PAGE);
+        let a = &links[1];
+        assert_eq!(a.tag_path.to_string(), "html body div#main ul.datasets li a.dataset");
+    }
+
+    #[test]
+    fn kinds() {
+        let links = extract_links(PAGE);
+        assert_eq!(links[0].kind, LinkKind::Anchor);
+        assert_eq!(links[3].kind, LinkKind::Area);
+        assert_eq!(links[4].kind, LinkKind::Iframe);
+    }
+
+    #[test]
+    fn anchor_and_surrounding_text() {
+        let links = extract_links(PAGE);
+        assert_eq!(links[0].anchor_text, "2024 CSV");
+        assert_eq!(links[0].surrounding_text, "Poverty statistics for are here.");
+    }
+
+    #[test]
+    fn relative_protocol_and_absolute_kept() {
+        let links =
+            extract_links(r#"<a href="https://www.a.com/x">1</a><a href="//cdn.a.com/y">2</a>"#);
+        assert_eq!(links.len(), 2);
+    }
+
+    #[test]
+    fn query_only_href_kept() {
+        let links = extract_links(r#"<a href="?page=2">next</a>"#);
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].href, "?page=2");
+    }
+}

@@ -1,0 +1,164 @@
+//! A small HTML builder used by the synthetic site generator.
+//!
+//! Generated pages are rendered to real markup and re-parsed by the same
+//! tokenizer/DOM the crawler uses, so the whole parse → tag-path → cluster
+//! pipeline is exercised end to end rather than being fed pre-cooked paths.
+
+use crate::escape::escape;
+use std::fmt::Write as _;
+
+/// A node in the builder tree: an element or a text run.
+#[derive(Debug, Clone)]
+pub enum HtmlBuilder {
+    Element {
+        name: &'static str,
+        id: Option<String>,
+        classes: Vec<String>,
+        attrs: Vec<(String, String)>,
+        children: Vec<HtmlBuilder>,
+    },
+    Text(String),
+}
+
+/// Creates an element node.
+pub fn el(name: &'static str) -> HtmlBuilder {
+    HtmlBuilder::Element { name, id: None, classes: Vec::new(), attrs: Vec::new(), children: Vec::new() }
+}
+
+/// Creates a text node.
+pub fn text(s: impl Into<String>) -> HtmlBuilder {
+    HtmlBuilder::Text(s.into())
+}
+
+impl HtmlBuilder {
+    pub fn id(mut self, v: impl Into<String>) -> Self {
+        if let HtmlBuilder::Element { id, .. } = &mut self {
+            *id = Some(v.into());
+        }
+        self
+    }
+
+    pub fn class(mut self, v: impl Into<String>) -> Self {
+        if let HtmlBuilder::Element { classes, .. } = &mut self {
+            classes.push(v.into());
+        }
+        self
+    }
+
+    pub fn attr(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        if let HtmlBuilder::Element { attrs, .. } = &mut self {
+            attrs.push((k.into(), v.into()));
+        }
+        self
+    }
+
+    pub fn child(mut self, c: HtmlBuilder) -> Self {
+        if let HtmlBuilder::Element { children, .. } = &mut self {
+            children.push(c);
+        }
+        self
+    }
+
+    pub fn children(mut self, cs: impl IntoIterator<Item = HtmlBuilder>) -> Self {
+        if let HtmlBuilder::Element { children, .. } = &mut self {
+            children.extend(cs);
+        }
+        self
+    }
+
+    /// Convenience: `<a href=..>text</a>` child.
+    pub fn link(self, href: impl Into<String>, anchor: impl Into<String>) -> Self {
+        self.child(el("a").attr("href", href).child(text(anchor)))
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            HtmlBuilder::Text(s) => out.push_str(&escape(s)),
+            HtmlBuilder::Element { name, id, classes, attrs, children } => {
+                out.push('<');
+                out.push_str(name);
+                if let Some(id) = id {
+                    let _ = write!(out, " id=\"{}\"", escape(id));
+                }
+                if !classes.is_empty() {
+                    let _ = write!(out, " class=\"{}\"", escape(&classes.join(" ")));
+                }
+                for (k, v) in attrs {
+                    let _ = write!(out, " {}=\"{}\"", k, escape(v));
+                }
+                out.push('>');
+                if is_void(name) {
+                    return;
+                }
+                for c in children {
+                    c.write(out);
+                }
+                let _ = write!(out, "</{name}>");
+            }
+        }
+    }
+}
+
+fn is_void(name: &str) -> bool {
+    matches!(
+        name,
+        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
+            | "param" | "source" | "track" | "wbr"
+    )
+}
+
+/// Renders a full document (`<!DOCTYPE html>` + tree).
+pub fn render(root: &HtmlBuilder) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("<!DOCTYPE html>");
+    root.write(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::extract_links;
+
+    #[test]
+    fn renders_and_reparses() {
+        let page = el("html").child(
+            el("body").child(
+                el("div").id("main").child(
+                    el("ul")
+                        .class("datasets")
+                        .child(el("li").link("/d/a.csv", "A"))
+                        .child(el("li").link("/d/b.csv", "B")),
+                ),
+            ),
+        );
+        let html = render(&page);
+        let links = extract_links(&html);
+        assert_eq!(links.len(), 2);
+        assert_eq!(links[0].tag_path.to_string(), "html body div#main ul.datasets li a");
+    }
+
+    #[test]
+    fn escapes_attr_and_text() {
+        let page = el("html").child(el("body").child(el("a").attr("href", "/q?a=1&b=2").child(text("R&D <3"))));
+        let html = render(&page);
+        assert!(html.contains("href=\"/q?a=1&amp;b=2\""));
+        assert!(html.contains("R&amp;D &lt;3"));
+        let links = extract_links(&html);
+        assert_eq!(links[0].href, "/q?a=1&b=2");
+        assert_eq!(links[0].anchor_text, "R&D <3");
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let html = render(&el("html").child(el("body").child(el("br"))));
+        assert!(html.contains("<br>"));
+        assert!(!html.contains("</br>"));
+    }
+
+    #[test]
+    fn classes_joined() {
+        let html = render(&el("a").class("fr-link").class("fr-link--download"));
+        assert!(html.contains("class=\"fr-link fr-link--download\""));
+    }
+}

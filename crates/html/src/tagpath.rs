@@ -1,0 +1,219 @@
+//! Tag paths: the edge labels of the website graph (Sec 2.2 of the paper).
+//!
+//! A tag path is the full path of HTML tags from the document root down to a
+//! hyperlink tag, decorated with `id` and `class` attributes, rendered e.g. as
+//! `html body div#main ul.datasets li a`. The paper's central hypothesis is
+//! that links found on similar tag paths lead to similar content; tag paths
+//! are therefore both the clustering key of the action space (Algorithm 1) and
+//! the unit that gets vectorised into token n-grams (Fig 3).
+
+use crate::dom::{Document, NodeId};
+use std::fmt;
+
+/// One step of a tag path: element name plus optional `#id` and `.class`es.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathSegment {
+    pub name: String,
+    pub id: Option<String>,
+    pub classes: Vec<String>,
+}
+
+impl PathSegment {
+    pub fn new(name: impl Into<String>) -> Self {
+        PathSegment { name: name.into(), id: None, classes: Vec::new() }
+    }
+
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    pub fn with_class(mut self, class: impl Into<String>) -> Self {
+        self.classes.push(class.into());
+        self
+    }
+
+    /// Token form used by the n-gram vectoriser, e.g. `div#main` or
+    /// `ul.datasets.active`. `#` prefixes the id, `.` each class, matching the
+    /// paper's label syntax.
+    pub fn token(&self) -> String {
+        let mut s = String::with_capacity(
+            self.name.len()
+                + self.id.as_ref().map_or(0, |i| i.len() + 1)
+                + self.classes.iter().map(|c| c.len() + 1).sum::<usize>(),
+        );
+        s.push_str(&self.name);
+        if let Some(id) = &self.id {
+            s.push('#');
+            s.push_str(id);
+        }
+        for c in &self.classes {
+            s.push('.');
+            s.push_str(c);
+        }
+        s
+    }
+}
+
+impl fmt::Display for PathSegment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// A root-to-element tag path.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TagPath {
+    pub segments: Vec<PathSegment>,
+}
+
+impl TagPath {
+    pub fn new(segments: Vec<PathSegment>) -> Self {
+        TagPath { segments }
+    }
+
+    /// Extracts the tag path of the element `id` within `doc`.
+    pub fn of(doc: &Document, id: NodeId) -> Self {
+        let segments = doc
+            .ancestry(id)
+            .into_iter()
+            .map(|nid| {
+                let node = doc.node(nid);
+                let name = node.name().unwrap_or("").to_owned();
+                let elem_id = node
+                    .attr("id")
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned);
+                let classes = node
+                    .attr("class")
+                    .map(|c| c.split_ascii_whitespace().map(str::to_owned).collect())
+                    .unwrap_or_default();
+                PathSegment { name, id: elem_id, classes }
+            })
+            .collect();
+        TagPath { segments }
+    }
+
+    /// Parses the space-separated rendered form (`html body div#main ... a`).
+    pub fn parse(s: &str) -> Self {
+        let segments = s
+            .split_ascii_whitespace()
+            .map(|tok| {
+                let (name_part, rest) = match tok.find(['#', '.']) {
+                    Some(pos) => (&tok[..pos], &tok[pos..]),
+                    None => (tok, ""),
+                };
+                let mut seg = PathSegment::new(name_part);
+                let mut rest = rest;
+                while !rest.is_empty() {
+                    let kind = rest.as_bytes()[0];
+                    let tail = &rest[1..];
+                    let end = tail.find(['#', '.']).unwrap_or(tail.len());
+                    let val = &tail[..end];
+                    match kind {
+                        b'#' => seg.id = Some(val.to_owned()),
+                        _ => seg.classes.push(val.to_owned()),
+                    }
+                    rest = &tail[end..];
+                }
+                seg
+            })
+            .collect();
+        TagPath { segments }
+    }
+
+    /// The tokens fed to the n-gram vectoriser, **order-preserving** (the
+    /// paper shows order matters: n=2,3 beat n=1).
+    pub fn tokens(&self) -> impl Iterator<Item = String> + '_ {
+        self.segments.iter().map(PathSegment::token)
+    }
+
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Number of leading segments shared with `other`.
+    pub fn common_prefix_len(&self, other: &TagPath) -> usize {
+        self.segments
+            .iter()
+            .zip(&other.segments)
+            .take_while(|(a, b)| a == b)
+            .count()
+    }
+}
+
+impl fmt::Display for TagPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::parse as parse_html;
+
+    #[test]
+    fn extracts_paper_style_path() {
+        let doc = parse_html(
+            r#"<html><body><div id="main"><ul class="datasets"><li><a href="/d.csv">d</a></li></ul></div></body></html>"#,
+        );
+        let a = doc.elements_named("a")[0];
+        let tp = TagPath::of(&doc, a);
+        assert_eq!(tp.to_string(), "html body div#main ul.datasets li a");
+    }
+
+    #[test]
+    fn multiple_classes() {
+        let doc = parse_html(r#"<html><body><a class="fr-link fr-link--download" href="/x">x</a></body></html>"#);
+        let a = doc.elements_named("a")[0];
+        let tp = TagPath::of(&doc, a);
+        assert_eq!(tp.to_string(), "html body a.fr-link.fr-link--download");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let s = "html body div#container div div ul li.datasets a.dataset";
+        assert_eq!(TagPath::parse(s).to_string(), s);
+    }
+
+    #[test]
+    fn parse_id_and_class_on_same_segment() {
+        let tp = TagPath::parse("div#main.wide.dark a");
+        assert_eq!(tp.segments[0].id.as_deref(), Some("main"));
+        assert_eq!(tp.segments[0].classes, vec!["wide", "dark"]);
+    }
+
+    #[test]
+    fn tokens_preserve_order() {
+        let tp = TagPath::parse("html body div ul li a");
+        let toks: Vec<_> = tp.tokens().collect();
+        assert_eq!(toks, vec!["html", "body", "div", "ul", "li", "a"]);
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = TagPath::parse("html body div#m ul li a");
+        let b = TagPath::parse("html body div#m ol li a");
+        assert_eq!(a.common_prefix_len(&b), 3);
+    }
+
+    #[test]
+    fn empty_id_attribute_ignored() {
+        let doc = parse_html(r#"<html><body><a id="" href="/x">x</a></body></html>"#);
+        let a = doc.elements_named("a")[0];
+        let tp = TagPath::of(&doc, a);
+        assert_eq!(tp.to_string(), "html body a");
+    }
+}

@@ -1,0 +1,368 @@
+//! A tolerant HTML tokenizer.
+//!
+//! Real-world pages the paper crawls (ministries, UN agencies, 20+ languages)
+//! are full of unclosed tags, stray `<`, uppercase tag names and unquoted
+//! attributes. The tokenizer therefore never fails: any input produces a token
+//! stream. It handles comments, doctype, CDATA-ish sections and the *raw text*
+//! elements `script` and `style` whose content must not be scanned for tags.
+
+use crate::escape::unescape;
+
+/// A single attribute on a start tag. Values are entity-decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    pub name: String,
+    pub value: String,
+}
+
+/// One lexical token of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v">`; `self_closing` is true for `<name/>`.
+    Start {
+        name: String,
+        attrs: Vec<Attr>,
+        self_closing: bool,
+    },
+    /// `</name>`
+    End { name: String },
+    /// Entity-decoded character data.
+    Text(String),
+    /// `<!-- ... -->` (contents, undecoded).
+    Comment(String),
+    /// `<!DOCTYPE html>` and friends (contents after `<!`).
+    Doctype(String),
+}
+
+/// Elements whose raw content is consumed until the matching close tag
+/// without interpreting `<` inside.
+const RAW_TEXT_ELEMENTS: [&str; 2] = ["script", "style"];
+
+/// Tokenizes an HTML document. Never fails; garbage in, best-effort tokens out.
+pub fn tokenize(input: &str) -> Vec<Token> {
+    Tokenizer::new(input).run()
+}
+
+struct Tokenizer<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    out: Vec<Token>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(input: &'a str) -> Self {
+        Tokenizer { input, bytes: input.as_bytes(), pos: 0, out: Vec::new() }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                self.lex_angle();
+            } else {
+                self.lex_text();
+            }
+        }
+        self.out
+    }
+
+    fn lex_text(&mut self) {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        let raw = &self.input[start..self.pos];
+        if !raw.is_empty() {
+            self.out.push(Token::Text(unescape(raw)));
+        }
+    }
+
+    fn lex_angle(&mut self) {
+        debug_assert_eq!(self.bytes[self.pos], b'<');
+        let rest = &self.bytes[self.pos + 1..];
+        match rest.first() {
+            Some(b'!') => self.lex_markup_decl(),
+            Some(b'/') => self.lex_end_tag(),
+            Some(c) if c.is_ascii_alphabetic() => self.lex_start_tag(),
+            _ => {
+                // A stray '<': emit as text and move on.
+                self.out.push(Token::Text("<".to_owned()));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn lex_markup_decl(&mut self) {
+        // self.pos at '<', next is '!'.
+        if self.input[self.pos..].starts_with("<!--") {
+            let body_start = self.pos + 4;
+            let end = self.input[body_start..].find("-->");
+            match end {
+                Some(off) => {
+                    self.out.push(Token::Comment(self.input[body_start..body_start + off].to_owned()));
+                    self.pos = body_start + off + 3;
+                }
+                None => {
+                    self.out.push(Token::Comment(self.input[body_start..].to_owned()));
+                    self.pos = self.bytes.len();
+                }
+            }
+            return;
+        }
+        // <!DOCTYPE ...> or <![CDATA[...]]> — consume to the next '>'.
+        let body_start = self.pos + 2;
+        let end = self.input[body_start..].find('>');
+        match end {
+            Some(off) => {
+                self.out.push(Token::Doctype(self.input[body_start..body_start + off].to_owned()));
+                self.pos = body_start + off + 1;
+            }
+            None => {
+                self.out.push(Token::Doctype(self.input[body_start..].to_owned()));
+                self.pos = self.bytes.len();
+            }
+        }
+    }
+
+    fn lex_end_tag(&mut self) {
+        // self.pos at '<', next is '/'.
+        self.pos += 2;
+        let name = self.lex_name();
+        // Skip anything until '>'.
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        if self.pos < self.bytes.len() {
+            self.pos += 1; // consume '>'
+        }
+        if !name.is_empty() {
+            self.out.push(Token::End { name });
+        }
+    }
+
+    fn lex_start_tag(&mut self) {
+        self.pos += 1; // consume '<'
+        let name = self.lex_name();
+        let mut attrs = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bytes.get(self.pos) == Some(&b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                }
+                Some(_) => {
+                    if let Some(attr) = self.lex_attr() {
+                        attrs.push(attr);
+                    } else {
+                        // Unparseable junk: skip one byte to guarantee progress.
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        // Raw-text elements swallow everything until their close tag.
+        if RAW_TEXT_ELEMENTS.contains(&name.as_str()) && !self_closing {
+            self.out.push(Token::Start { name: name.clone(), attrs, self_closing });
+            self.consume_raw_text(&name);
+            return;
+        }
+        self.out.push(Token::Start { name, attrs, self_closing });
+    }
+
+    /// After `<script ...>`: consume (and discard) content until `</script`.
+    fn consume_raw_text(&mut self, name: &str) {
+        let close = format!("</{name}");
+        let hay = &self.input[self.pos..];
+        let lower = hay.to_ascii_lowercase();
+        match lower.find(&close) {
+            Some(off) => {
+                self.pos += off;
+                // Emit the end tag through the normal path.
+                self.lex_end_tag_at_close();
+            }
+            None => self.pos = self.bytes.len(),
+        }
+    }
+
+    fn lex_end_tag_at_close(&mut self) {
+        // self.pos at '<' of '</name>'.
+        self.lex_angle();
+    }
+
+    fn lex_name(&mut self) -> String {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_ascii_lowercase()
+    }
+
+    fn lex_attr(&mut self) -> Option<Attr> {
+        let name_start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'=' || b == b'>' || b == b'/' || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == name_start {
+            return None;
+        }
+        let name = self.input[name_start..self.pos].to_ascii_lowercase();
+        self.skip_ws();
+        if self.bytes.get(self.pos) != Some(&b'=') {
+            return Some(Attr { name, value: String::new() });
+        }
+        self.pos += 1; // consume '='
+        self.skip_ws();
+        let value = match self.bytes.get(self.pos) {
+            Some(&q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != q {
+                    self.pos += 1;
+                }
+                let v = &self.input[vstart..self.pos];
+                if self.pos < self.bytes.len() {
+                    self.pos += 1; // closing quote
+                }
+                unescape(v)
+            }
+            _ => {
+                let vstart = self.pos;
+                while self.pos < self.bytes.len() {
+                    let b = self.bytes[self.pos];
+                    if b == b'>' || b.is_ascii_whitespace() {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                unescape(&self.input[vstart..self.pos])
+            }
+        };
+        Some(Attr { name, value })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::Start {
+            name: name.into(),
+            attrs: attrs.iter().map(|(n, v)| Attr { name: (*n).into(), value: (*v).into() }).collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_document() {
+        let toks = tokenize("<html><body>hi</body></html>");
+        assert_eq!(
+            toks,
+            vec![
+                start("html", &[]),
+                start("body", &[]),
+                Token::Text("hi".into()),
+                Token::End { name: "body".into() },
+                Token::End { name: "html".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_and_unquoted() {
+        let toks = tokenize(r#"<a href="/x.csv" class=dataset data-k='v'>d</a>"#);
+        assert_eq!(
+            toks[0],
+            start("a", &[("href", "/x.csv"), ("class", "dataset"), ("data-k", "v")])
+        );
+    }
+
+    #[test]
+    fn boolean_attribute() {
+        let toks = tokenize("<input disabled>");
+        assert_eq!(toks[0], start("input", &[("disabled", "")]));
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = tokenize("<br/><img src='a.png'/>");
+        assert!(matches!(&toks[0], Token::Start { name, self_closing: true, .. } if name == "br"));
+        assert!(matches!(&toks[1], Token::Start { name, self_closing: true, .. } if name == "img"));
+    }
+
+    #[test]
+    fn comment_and_doctype() {
+        let toks = tokenize("<!DOCTYPE html><!-- note --><p>x</p>");
+        assert_eq!(toks[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(toks[1], Token::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn script_content_is_raw() {
+        let toks = tokenize("<script>if (a < b) { x('<a href=\"no\">'); }</script><p>y</p>");
+        // No <a> token must appear from inside the script.
+        assert!(!toks.iter().any(|t| matches!(t, Token::Start { name, .. } if name == "a")));
+        assert!(toks.iter().any(|t| matches!(t, Token::Start { name, .. } if name == "p")));
+    }
+
+    #[test]
+    fn uppercase_normalized() {
+        let toks = tokenize("<DIV CLASS='Main'>t</DIV>");
+        assert_eq!(toks[0], start("div", &[("class", "Main")]));
+        assert_eq!(toks[2], Token::End { name: "div".into() });
+    }
+
+    #[test]
+    fn stray_angle_bracket() {
+        let toks = tokenize("a < b <p>c</p>");
+        assert_eq!(toks[0], Token::Text("a ".into()));
+        assert_eq!(toks[1], Token::Text("<".into()));
+        assert!(toks.iter().any(|t| matches!(t, Token::Start { name, .. } if name == "p")));
+    }
+
+    #[test]
+    fn entity_in_text_and_attr() {
+        let toks = tokenize(r#"<a href="/q?a=1&amp;b=2">R&amp;D</a>"#);
+        assert_eq!(toks[0], start("a", &[("href", "/q?a=1&b=2")]));
+        assert_eq!(toks[1], Token::Text("R&D".into()));
+    }
+
+    #[test]
+    fn truncated_input_never_panics() {
+        for s in ["<", "<a", "<a href", "<a href=", "<a href='x", "</", "<!--", "<!DOC"] {
+            let _ = tokenize(s);
+        }
+    }
+
+    #[test]
+    fn unterminated_comment() {
+        let toks = tokenize("<!-- never closed");
+        assert_eq!(toks, vec![Token::Comment(" never closed".into())]);
+    }
+}

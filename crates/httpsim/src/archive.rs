@@ -1,0 +1,455 @@
+//! On-disk archive of fetched resources (a WARC-lite).
+//!
+//! The paper's reproducibility kit persists every fetched resource (URL,
+//! status, headers, body) in a local database so crawls replay offline
+//! (Sec 4.4 / Artifacts). This module gives the [`crate::ReplayStore`] a
+//! durable form: a simple length-prefixed binary record format with
+//! per-record CRC-32 integrity, stream-writable and stream-readable, so
+//! multi-week crawls can checkpoint and resume.
+//!
+//! ```text
+//! archive := magic "SBA1" ++ u32 version ++ record*
+//! record  := u32 url_len ++ url
+//!          ++ u16 status
+//!          ++ u8 flags            (1 = content_type, 2 = content_length,
+//!                                  4 = location)
+//!          ++ [u32 len ++ bytes]  content_type, if flagged
+//!          ++ [u64]               content_length, if flagged
+//!          ++ [u32 len ++ bytes]  location, if flagged
+//!          ++ u64 body_len ++ body
+//!          ++ u32 crc32           (over everything above, per record)
+//! ```
+//!
+//! All integers are little-endian.
+
+use crate::response::{Headers, Response};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"SBA1";
+const VERSION: u32 = 1;
+/// Upper bound accepted for a single stored string (sanity check against
+/// corrupt length prefixes).
+const MAX_STRING: u32 = 1 << 20;
+/// Upper bound accepted for one body (64 MiB, above the generator's cap).
+const MAX_BODY: u64 = 64 << 20;
+
+/// Errors reading or writing an archive.
+#[derive(Debug)]
+pub enum ArchiveError {
+    Io(io::Error),
+    /// Not an archive, or an unsupported version.
+    BadHeader,
+    /// A record's CRC did not match (record index reported).
+    Corrupt { record: usize },
+    /// The stream ended mid-record (record index reported).
+    Truncated { record: usize },
+    /// A length prefix exceeded the sanity bounds.
+    Oversized { record: usize },
+    /// Stored bytes were not valid UTF-8 where a string was expected.
+    BadString { record: usize },
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive I/O error: {e}"),
+            ArchiveError::BadHeader => f.write_str("not an sbcrawl archive (bad magic/version)"),
+            ArchiveError::Corrupt { record } => write!(f, "CRC mismatch in record {record}"),
+            ArchiveError::Truncated { record } => write!(f, "archive truncated in record {record}"),
+            ArchiveError::Oversized { record } => {
+                write!(f, "record {record} declares an implausible length")
+            }
+            ArchiveError::BadString { record } => {
+                write!(f, "record {record} contains non-UTF-8 text")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+impl From<io::Error> for ArchiveError {
+    fn from(e: io::Error) -> Self {
+        ArchiveError::Io(e)
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc32_table();
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// Streaming archive writer.
+pub struct ArchiveWriter<W: Write> {
+    out: W,
+    records: usize,
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    pub fn new(mut out: W) -> Result<Self, ArchiveError> {
+        out.write_all(MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        Ok(ArchiveWriter { out, records: 0 })
+    }
+
+    /// Appends one (URL, response) record.
+    pub fn write(&mut self, url: &str, response: &Response) -> Result<(), ArchiveError> {
+        let mut buf: Vec<u8> = Vec::with_capacity(64 + url.len() + response.body.len());
+        buf.extend_from_slice(&(url.len() as u32).to_le_bytes());
+        buf.extend_from_slice(url.as_bytes());
+        buf.extend_from_slice(&response.status.to_le_bytes());
+        let h = &response.headers;
+        let flags: u8 = u8::from(h.content_type.is_some())
+            | (u8::from(h.content_length.is_some()) << 1)
+            | (u8::from(h.location.is_some()) << 2);
+        buf.push(flags);
+        if let Some(ct) = &h.content_type {
+            buf.extend_from_slice(&(ct.len() as u32).to_le_bytes());
+            buf.extend_from_slice(ct.as_bytes());
+        }
+        if let Some(cl) = h.content_length {
+            buf.extend_from_slice(&cl.to_le_bytes());
+        }
+        if let Some(loc) = &h.location {
+            buf.extend_from_slice(&(loc.len() as u32).to_le_bytes());
+            buf.extend_from_slice(loc.as_bytes());
+        }
+        buf.extend_from_slice(&(response.body.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&response.body);
+        let crc = crc32(&buf);
+        self.out.write_all(&buf)?;
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, ArchiveError> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming archive reader: an iterator over `(url, Response)` records.
+pub struct ArchiveReader<R: Read> {
+    input: R,
+    record: usize,
+    done: bool,
+}
+
+impl<R: Read> ArchiveReader<R> {
+    pub fn new(mut input: R) -> Result<Self, ArchiveError> {
+        let mut magic = [0u8; 4];
+        input.read_exact(&mut magic).map_err(|_| ArchiveError::BadHeader)?;
+        let mut ver = [0u8; 4];
+        input.read_exact(&mut ver).map_err(|_| ArchiveError::BadHeader)?;
+        if &magic != MAGIC || u32::from_le_bytes(ver) != VERSION {
+            return Err(ArchiveError::BadHeader);
+        }
+        Ok(ArchiveReader { input, record: 0, done: false })
+    }
+
+    fn read_record(&mut self) -> Result<Option<(String, Response)>, ArchiveError> {
+        let rec = self.record;
+        // Every read feeds `raw` so the CRC covers exactly what was stored.
+        let mut raw: Vec<u8> = Vec::new();
+
+        let mut first = [0u8; 4];
+        match read_exact_or_eof(&mut self.input, &mut first) {
+            ReadOutcome::Eof => return Ok(None),
+            ReadOutcome::Partial => return Err(ArchiveError::Truncated { record: rec }),
+            ReadOutcome::Full => {}
+        }
+        raw.extend_from_slice(&first);
+        let url_len = u32::from_le_bytes(first);
+        if url_len > MAX_STRING {
+            return Err(ArchiveError::Oversized { record: rec });
+        }
+        let url = self.read_str(url_len as usize, &mut raw, rec)?;
+
+        let status = u16::from_le_bytes(self.take::<2>(&mut raw, rec)?);
+        let flags = self.take::<1>(&mut raw, rec)?[0];
+        let content_type = if flags & 1 != 0 {
+            let len = u32::from_le_bytes(self.take::<4>(&mut raw, rec)?);
+            if len > MAX_STRING {
+                return Err(ArchiveError::Oversized { record: rec });
+            }
+            Some(self.read_str(len as usize, &mut raw, rec)?)
+        } else {
+            None
+        };
+        let content_length = if flags & 2 != 0 {
+            Some(u64::from_le_bytes(self.take::<8>(&mut raw, rec)?))
+        } else {
+            None
+        };
+        let location = if flags & 4 != 0 {
+            let len = u32::from_le_bytes(self.take::<4>(&mut raw, rec)?);
+            if len > MAX_STRING {
+                return Err(ArchiveError::Oversized { record: rec });
+            }
+            Some(self.read_str(len as usize, &mut raw, rec)?)
+        } else {
+            None
+        };
+        let body_len = u64::from_le_bytes(self.take::<8>(&mut raw, rec)?);
+        if body_len > MAX_BODY {
+            return Err(ArchiveError::Oversized { record: rec });
+        }
+        let mut body = vec![0u8; body_len as usize];
+        self.input
+            .read_exact(&mut body)
+            .map_err(|_| ArchiveError::Truncated { record: rec })?;
+        raw.extend_from_slice(&body);
+
+        let mut crc_bytes = [0u8; 4];
+        self.input
+            .read_exact(&mut crc_bytes)
+            .map_err(|_| ArchiveError::Truncated { record: rec })?;
+        if u32::from_le_bytes(crc_bytes) != crc32(&raw) {
+            return Err(ArchiveError::Corrupt { record: rec });
+        }
+
+        self.record += 1;
+        Ok(Some((
+            url,
+            Response {
+                status,
+                headers: Headers { content_type, content_length, location },
+                body,
+            },
+        )))
+    }
+
+    fn take<const N: usize>(&mut self, raw: &mut Vec<u8>, rec: usize) -> Result<[u8; N], ArchiveError> {
+        let mut buf = [0u8; N];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|_| ArchiveError::Truncated { record: rec })?;
+        raw.extend_from_slice(&buf);
+        Ok(buf)
+    }
+
+    fn read_str(&mut self, len: usize, raw: &mut Vec<u8>, rec: usize) -> Result<String, ArchiveError> {
+        let mut buf = vec![0u8; len];
+        self.input
+            .read_exact(&mut buf)
+            .map_err(|_| ArchiveError::Truncated { record: rec })?;
+        raw.extend_from_slice(&buf);
+        String::from_utf8(buf).map_err(|_| ArchiveError::BadString { record: rec })
+    }
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// Distinguishes a clean EOF (no bytes) from a mid-field truncation.
+fn read_exact_or_eof<R: Read>(input: &mut R, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match input.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial };
+            }
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Partial,
+        }
+    }
+    ReadOutcome::Full
+}
+
+impl<R: Read> Iterator for ArchiveReader<R> {
+    type Item = Result<(String, Response), ArchiveError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.read_record() {
+            Ok(Some(item)) => Some(Ok(item)),
+            Ok(None) => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::error_response;
+
+    fn sample() -> Vec<(String, Response)> {
+        vec![
+            (
+                "https://www.s.example/".to_owned(),
+                Response {
+                    status: 200,
+                    headers: Headers {
+                        content_type: Some("text/html; charset=utf-8".to_owned()),
+                        content_length: Some(12),
+                        location: None,
+                    },
+                    body: b"<html></html>"[..12].to_vec(),
+                },
+            ),
+            (
+                "https://www.s.example/data.csv".to_owned(),
+                Response {
+                    status: 200,
+                    headers: Headers {
+                        content_type: Some("text/csv".to_owned()),
+                        content_length: Some(9),
+                        location: None,
+                    },
+                    body: b"a,b\n1,2\n\n".to_vec(),
+                },
+            ),
+            ("https://www.s.example/gone".to_owned(), error_response(404)),
+            (
+                "https://www.s.example/moved".to_owned(),
+                Response {
+                    status: 301,
+                    headers: Headers {
+                        content_type: None,
+                        content_length: Some(0),
+                        location: Some("https://www.s.example/new".to_owned()),
+                    },
+                    body: Vec::new(),
+                },
+            ),
+            (
+                "https://www.s.example/empty".to_owned(),
+                Response {
+                    status: 204,
+                    headers: Headers { content_type: None, content_length: None, location: None },
+                    body: Vec::new(),
+                },
+            ),
+        ]
+    }
+
+    fn write_all(records: &[(String, Response)]) -> Vec<u8> {
+        let mut w = ArchiveWriter::new(Vec::new()).unwrap();
+        for (url, r) in records {
+            w.write(url, r).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let records = sample();
+        let bytes = write_all(&records);
+        let back: Vec<(String, Response)> =
+            ArchiveReader::new(&bytes[..]).unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(back.len(), records.len());
+        for ((u1, r1), (u2, r2)) in records.iter().zip(&back) {
+            assert_eq!(u1, u2);
+            assert_eq!(r1, r2);
+        }
+    }
+
+    #[test]
+    fn crc_detects_body_flip() {
+        let bytes = write_all(&sample());
+        for victim in [bytes.len() / 2, bytes.len() - 6] {
+            let mut evil = bytes.clone();
+            evil[victim] ^= 0x40;
+            let result: Result<Vec<_>, _> = ArchiveReader::new(&evil[..]).unwrap().collect();
+            assert!(result.is_err(), "flipping byte {victim} must be detected");
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported_not_panicked() {
+        let bytes = write_all(&sample());
+        // Cut in the middle of the last record.
+        let cut = &bytes[..bytes.len() - 3];
+        let items: Vec<_> = ArchiveReader::new(cut).unwrap().collect();
+        let (ok, err): (Vec<_>, Vec<_>) = items.into_iter().partition(Result::is_ok);
+        assert_eq!(err.len(), 1, "exactly one truncation error");
+        assert!(ok.len() < sample().len());
+        match err[0].as_ref().unwrap_err() {
+            ArchiveError::Truncated { .. } | ArchiveError::Corrupt { .. } => {}
+            other => panic!("expected truncation/corruption, got {other}"),
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(ArchiveReader::new(&b"NOPE\x01\x00\x00\x00"[..]), Err(ArchiveError::BadHeader)));
+        assert!(matches!(ArchiveReader::new(&b"SB"[..]), Err(ArchiveError::BadHeader)));
+        let mut wrong_version = write_all(&[]);
+        wrong_version[4] = 9;
+        assert!(matches!(ArchiveReader::new(&wrong_version[..]), Err(ArchiveError::BadHeader)));
+    }
+
+    #[test]
+    fn empty_archive_yields_nothing() {
+        let bytes = write_all(&[]);
+        assert_eq!(ArchiveReader::new(&bytes[..]).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut bytes = write_all(&sample());
+        // Overwrite the first record's url_len with something absurd.
+        bytes[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let first = ArchiveReader::new(&bytes[..]).unwrap().next().unwrap();
+        assert!(matches!(first, Err(ArchiveError::Oversized { record: 0 })));
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn writer_counts_records() {
+        let mut w = ArchiveWriter::new(Vec::new()).unwrap();
+        assert_eq!(w.records(), 0);
+        for (url, r) in sample() {
+            w.write(&url, &r).unwrap();
+        }
+        assert_eq!(w.records(), 5);
+    }
+}

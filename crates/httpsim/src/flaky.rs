@@ -1,0 +1,279 @@
+//! Failure injection: flaky origins and robot traps.
+//!
+//! Real crawls meet transient 5xx bursts and infinitely deep URL spaces
+//! (calendars, session ids — the "robot traps" the paper mentions when
+//! dismissing DFS for exhaustive crawling, Sec 4.3). These wrappers
+//! reproduce both, deterministically, so engine robustness is testable:
+//! the crawler must terminate, never refetch, and degrade gracefully.
+
+use crate::response::{error_response, HeadResponse, Headers, Response};
+use crate::server::HttpServer;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Wraps a server so that a deterministic, URL-and-attempt-dependent subset
+/// of requests fails with HTTP 503. With `recoverable` set, only the first
+/// attempt on an unlucky URL fails (a transient blip); otherwise every
+/// attempt fails (a hard outage of that URL).
+pub struct FlakyServer<S> {
+    inner: S,
+    /// Probability that a URL is unlucky, in [0, 1].
+    fail_prob: f64,
+    seed: u64,
+    recoverable: bool,
+    protected: Option<String>,
+    injected: AtomicU64,
+    /// First-contact fingerprints for `recoverable` mode (see
+    /// [`FlakyServer::seen_before`]).
+    seen: Vec<AtomicU64>,
+}
+
+impl<S: HttpServer> FlakyServer<S> {
+    pub fn new(inner: S, fail_prob: f64, seed: u64) -> Self {
+        FlakyServer {
+            inner,
+            fail_prob: fail_prob.clamp(0.0, 1.0),
+            seed,
+            recoverable: false,
+            protected: None,
+            injected: AtomicU64::new(0),
+            seen: (0..4096).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Makes failures transient: retrying the same URL succeeds.
+    pub fn recoverable(mut self) -> Self {
+        self.recoverable = true;
+        self
+    }
+
+    /// Exempts one URL from injection (typically the crawl root — entry
+    /// points are monitored and fixed fast in practice).
+    pub fn protecting(mut self, url: &str) -> Self {
+        self.protected = Some(url.to_owned());
+        self
+    }
+
+    /// How many 503s were injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn unlucky(&self, url: &str) -> bool {
+        // splitmix64 over the FNV of the URL: uniform in [0, 1), stable.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for &b in url.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z as f64 / u64::MAX as f64) < self.fail_prob
+    }
+
+    fn inject(&self, url: &str, first_attempt: bool) -> bool {
+        if self.protected.as_deref() == Some(url) || !self.unlucky(url) {
+            return false;
+        }
+        if self.recoverable && !first_attempt {
+            return false;
+        }
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}
+
+impl<S: HttpServer> HttpServer for FlakyServer<S> {
+    fn head(&self, url: &str) -> HeadResponse {
+        if self.inject(url, !self.seen_before(url)) {
+            error_response(503).head()
+        } else {
+            self.inner.head(url)
+        }
+    }
+
+    fn get(&self, url: &str) -> Response {
+        if self.inject(url, !self.seen_before(url)) {
+            error_response(503)
+        } else {
+            self.inner.get(url)
+        }
+    }
+}
+
+impl<S: HttpServer> FlakyServer<S> {
+    /// Tracks first-contact per URL without storing every URL: a 4096-slot
+    /// fingerprint table. A slot collision can make an unlucky URL recover
+    /// one attempt early — harmless for tests, bounded memory for crawls
+    /// of any size.
+    fn seen_before(&self, url: &str) -> bool {
+        let mut h: u64 = 0x100_0000_01b3 ^ self.seed;
+        for &b in url.as_bytes() {
+            h = h.wrapping_mul(31).wrapping_add(u64::from(b));
+        }
+        let slot = (h % 4096) as usize;
+        let fp = h | 1;
+        let prev = self.seen[slot].swap(fp, Ordering::Relaxed);
+        prev == fp
+    }
+}
+
+/// An infinite "calendar" trap: every URL under `/trap/` is a valid HTML
+/// page linking to two deeper trap pages — a URL space with no bottom, the
+/// canonical DFS robot trap. The root serves one entry page linking into
+/// the trap and to one real-looking target, so crawlers have something to
+/// find before falling in.
+pub struct TrapServer {
+    origin: String,
+}
+
+impl TrapServer {
+    /// `origin` like `https://trap.example.org` (no trailing slash).
+    pub fn new(origin: impl Into<String>) -> Self {
+        let mut origin = origin.into();
+        while origin.ends_with('/') {
+            origin.pop();
+        }
+        TrapServer { origin }
+    }
+
+    pub fn root_url(&self) -> String {
+        format!("{}/", self.origin)
+    }
+
+    fn html(&self, body_inner: String) -> Response {
+        let body = format!(
+            "<!DOCTYPE html><html><head><title>calendar</title></head><body>{body_inner}</body></html>"
+        )
+        .into_bytes();
+        Response {
+            status: 200,
+            headers: Headers {
+                content_type: Some("text/html; charset=utf-8".to_owned()),
+                content_length: Some(body.len() as u64),
+                location: None,
+            },
+            body,
+        }
+    }
+
+    fn respond(&self, url: &str) -> Response {
+        let Some(path) = url.strip_prefix(&self.origin) else {
+            return error_response(404);
+        };
+        let path = path.split(['?', '#']).next().unwrap_or("");
+        if path.is_empty() || path == "/" {
+            return self.html(format!(
+                "<div id=\"cal\"><a href=\"{o}/trap/1\">next month</a></div>\
+                 <div class=\"downloads\"><a href=\"{o}/report.csv\">report</a></div>",
+                o = self.origin
+            ));
+        }
+        if path == "/report.csv" {
+            let body = b"year,value\n2026,1\n".to_vec();
+            return Response {
+                status: 200,
+                headers: Headers {
+                    content_type: Some("text/csv".to_owned()),
+                    content_length: Some(body.len() as u64),
+                    location: None,
+                },
+                body,
+            };
+        }
+        if let Some(rest) = path.strip_prefix("/trap/") {
+            // Any numeric-ish tail is a valid page pointing deeper.
+            let n: u64 = rest
+                .split('/')
+                .next_back()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0);
+            return self.html(format!(
+                "<ul class=\"cal\">\
+                 <li><a href=\"{o}/trap/{a}\">next</a></li>\
+                 <li><a href=\"{o}/trap/{b}\">skip ahead</a></li>\
+                 </ul>",
+                o = self.origin,
+                a = n.wrapping_add(1),
+                // Wrapping keeps the URL space effectively bottomless even
+                // for crawlers that always take the doubling branch.
+                b = n.wrapping_mul(2).wrapping_add(3),
+            ));
+        }
+        error_response(404)
+    }
+}
+
+impl HttpServer for TrapServer {
+    fn head(&self, url: &str) -> HeadResponse {
+        self.respond(url).head()
+    }
+
+    fn get(&self, url: &str) -> Response {
+        self.respond(url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SiteServer;
+    use sb_webgraph::gen::{build_site, SiteSpec};
+
+    #[test]
+    fn flaky_is_deterministic_per_url() {
+        let site = build_site(&SiteSpec::demo(100), 3);
+        let urls: Vec<String> = site.pages().iter().map(|p| p.url.clone()).take(50).collect();
+        let flaky = FlakyServer::new(SiteServer::new(site), 0.3, 7);
+        let first: Vec<u16> = urls.iter().map(|u| flaky.get(u).status).collect();
+        let second: Vec<u16> = urls.iter().map(|u| flaky.get(u).status).collect();
+        assert_eq!(first, second, "hard failures are stable per URL");
+        assert!(flaky.injected() > 0, "30 % of 50 URLs should include failures");
+        assert!(first.contains(&200), "and some successes");
+    }
+
+    #[test]
+    fn fail_prob_zero_is_transparent() {
+        let site = build_site(&SiteSpec::demo(60), 3);
+        let url = site.page(site.root()).url.clone();
+        let flaky = FlakyServer::new(SiteServer::new(site), 0.0, 7);
+        assert_eq!(flaky.get(&url).status, 200);
+        assert_eq!(flaky.injected(), 0);
+    }
+
+    #[test]
+    fn fail_prob_one_kills_everything() {
+        let site = build_site(&SiteSpec::demo(60), 3);
+        let url = site.page(site.root()).url.clone();
+        let flaky = FlakyServer::new(SiteServer::new(site), 1.0, 7);
+        assert_eq!(flaky.get(&url).status, 503);
+        assert_eq!(flaky.head(&url).status, 503);
+    }
+
+    #[test]
+    fn trap_pages_always_link_deeper() {
+        let trap = TrapServer::new("https://trap.example.org");
+        let r = trap.get("https://trap.example.org/trap/41");
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.contains("/trap/42"));
+        assert!(body.contains("/trap/85"));
+    }
+
+    #[test]
+    fn trap_root_offers_one_target() {
+        let trap = TrapServer::new("https://trap.example.org/");
+        let r = trap.get(&trap.root_url());
+        assert_eq!(r.status, 200);
+        let csv = trap.get("https://trap.example.org/report.csv");
+        assert_eq!(csv.headers.content_type.as_deref(), Some("text/csv"));
+    }
+
+    #[test]
+    fn trap_foreign_urls_404() {
+        let trap = TrapServer::new("https://trap.example.org");
+        assert_eq!(trap.get("https://elsewhere.example/x").status, 404);
+        assert_eq!(trap.get("https://trap.example.org/unknown").status, 404);
+    }
+}

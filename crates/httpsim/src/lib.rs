@@ -1,0 +1,28 @@
+//! Simulated HTTP transport for the `sbcrawl` focused crawler.
+//!
+//! Everything the paper's crawlers do over the network is reproduced here
+//! offline: an origin [`server`] over a generated website, the local
+//! [`replay`] database of Sec 4.4 (persistable via [`archive`]), and the
+//! crawler-side [`client`] with request/volume cost accounting,
+//! politeness-based time estimation and mid-flight interruption of
+//! block-listed downloads. Production-crawler substrates live alongside:
+//! [`robots`] (RFC 9309 Robots Exclusion Protocol) and [`flaky`]
+//! (failure-injection and robot-trap servers for robustness testing).
+
+pub mod archive;
+pub mod client;
+pub mod flaky;
+pub mod replay;
+pub mod response;
+pub mod robots;
+pub mod server;
+pub mod sitemap;
+
+pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
+pub use client::{Client, Fetched, Politeness, Traffic};
+pub use flaky::{FlakyServer, TrapServer};
+pub use replay::{Mode, ReplayStore};
+pub use response::{HeadResponse, Headers, Response};
+pub use robots::{EnforcedRobots, RobotsTxt, WithRobots};
+pub use server::{HttpServer, SiteServer};
+pub use sitemap::{fetch_sitemap_urls, parse_sitemap, Sitemap, SitemapEntry, WithSitemap};

@@ -1,0 +1,253 @@
+//! The local replication database of Sec 4.4.
+//!
+//! To evaluate seven crawlers with many hyper-parameter settings without
+//! re-crawling live sites, the paper stores each fetched resource (URL,
+//! status, headers, body) in a local database and lets every crawler check it
+//! first. The three execution modes are reproduced:
+//!
+//! * [`Mode::Local`] — the site is fully replicated; misses are errors,
+//! * [`Mode::OnlineToLocal`] — always fetch upstream and store (the naive
+//!   replicating crawler),
+//! * [`Mode::SemiOnline`] — serve from the DB, fetch+store on miss.
+
+use crate::response::{HeadResponse, Response};
+use crate::server::HttpServer;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Replay execution mode (Sec 4.4 / "Artifacts" section of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Local,
+    OnlineToLocal,
+    SemiOnline,
+}
+
+/// A caching layer over an upstream [`HttpServer`].
+pub struct ReplayStore<S> {
+    upstream: S,
+    mode: Mode,
+    store: RwLock<HashMap<String, Response>>,
+    upstream_gets: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl<S: HttpServer> ReplayStore<S> {
+    pub fn new(upstream: S, mode: Mode) -> Self {
+        ReplayStore {
+            upstream,
+            mode,
+            store: RwLock::new(HashMap::new()),
+            upstream_gets: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Fully replicates a list of URLs (used to prepare `Mode::Local` runs).
+    pub fn preload<'a>(&self, urls: impl IntoIterator<Item = &'a str>) {
+        let mut store = self.store.write();
+        for url in urls {
+            let r = self.upstream.get(url);
+            self.upstream_gets.fetch_add(1, Ordering::Relaxed);
+            store.insert(url.to_owned(), r);
+        }
+    }
+
+    /// Number of GETs that actually reached the origin.
+    pub fn upstream_gets(&self) -> u64 {
+        self.upstream_gets.load(Ordering::Relaxed)
+    }
+
+    /// Number of GET/HEAD served from the local database.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.read().is_empty()
+    }
+
+    fn fetch_and_store(&self, url: &str) -> Response {
+        let r = self.upstream.get(url);
+        self.upstream_gets.fetch_add(1, Ordering::Relaxed);
+        self.store.write().insert(url.to_owned(), r.clone());
+        r
+    }
+
+    /// Persists the whole database as an [`crate::archive`] stream, in
+    /// sorted-URL order (deterministic bytes for identical contents).
+    pub fn export_archive<W: std::io::Write>(
+        &self,
+        out: W,
+    ) -> Result<usize, crate::archive::ArchiveError> {
+        let store = self.store.read();
+        let mut urls: Vec<&String> = store.keys().collect();
+        urls.sort();
+        let mut w = crate::archive::ArchiveWriter::new(out)?;
+        for url in urls {
+            w.write(url, &store[url])?;
+        }
+        let n = w.records();
+        w.finish()?;
+        Ok(n)
+    }
+
+    /// Loads records from an archive stream into the database (existing
+    /// entries are overwritten). Returns the number of records loaded.
+    pub fn import_archive<R: std::io::Read>(
+        &self,
+        input: R,
+    ) -> Result<usize, crate::archive::ArchiveError> {
+        let reader = crate::archive::ArchiveReader::new(input)?;
+        let mut n = 0;
+        let mut store = self.store.write();
+        for item in reader {
+            let (url, response) = item?;
+            store.insert(url, response);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+impl<S: HttpServer> HttpServer for ReplayStore<S> {
+    fn head(&self, url: &str) -> HeadResponse {
+        // HEAD is derivable from a stored GET; in Local mode that is the
+        // only source.
+        if let Some(r) = self.store.read().get(url) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return r.head();
+        }
+        match self.mode {
+            Mode::Local => {
+                panic!("Local replay mode: HEAD miss for {url} — preload the site first")
+            }
+            Mode::OnlineToLocal | Mode::SemiOnline => self.fetch_and_store(url).head(),
+        }
+    }
+
+    fn get(&self, url: &str) -> Response {
+        match self.mode {
+            Mode::Local => match self.store.read().get(url) {
+                Some(r) => {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    r.clone()
+                }
+                None => panic!("Local replay mode: GET miss for {url} — preload the site first"),
+            },
+            Mode::OnlineToLocal => self.fetch_and_store(url),
+            Mode::SemiOnline => {
+                if let Some(r) = self.store.read().get(url) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return r.clone();
+                }
+                self.fetch_and_store(url)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SiteServer;
+    use sb_webgraph::gen::{build_site, SiteSpec};
+
+    fn upstream() -> SiteServer {
+        SiteServer::new(build_site(&SiteSpec::demo(120), 5))
+    }
+
+    #[test]
+    fn semi_online_fetches_once() {
+        let s = upstream();
+        let url = s.site().page(s.site().root()).url.clone();
+        let store = ReplayStore::new(s, Mode::SemiOnline);
+        let a = store.get(&url);
+        let b = store.get(&url);
+        assert_eq!(a, b);
+        assert_eq!(store.upstream_gets(), 1);
+        assert_eq!(store.cache_hits(), 1);
+    }
+
+    #[test]
+    fn online_to_local_always_fetches() {
+        let s = upstream();
+        let url = s.site().page(s.site().root()).url.clone();
+        let store = ReplayStore::new(s, Mode::OnlineToLocal);
+        store.get(&url);
+        store.get(&url);
+        assert_eq!(store.upstream_gets(), 2);
+    }
+
+    #[test]
+    fn local_serves_preloaded() {
+        let s = upstream();
+        let urls: Vec<String> = s.site().pages().iter().map(|p| p.url.clone()).collect();
+        let store = ReplayStore::new(s, Mode::Local);
+        store.preload(urls.iter().map(String::as_str));
+        let before = store.upstream_gets();
+        let r = store.get(&urls[0]);
+        assert_eq!(r.status, 200);
+        assert_eq!(store.upstream_gets(), before, "no new upstream traffic in Local mode");
+    }
+
+    #[test]
+    #[should_panic(expected = "Local replay mode")]
+    fn local_miss_panics() {
+        let s = upstream();
+        let store = ReplayStore::new(s, Mode::Local);
+        store.get("https://www.stats.example.org/never/stored");
+    }
+
+    #[test]
+    fn archive_roundtrip_rebuilds_a_local_store() {
+        let s = upstream();
+        let urls: Vec<String> = s.site().pages().iter().map(|p| p.url.clone()).collect();
+        let store = ReplayStore::new(s, Mode::OnlineToLocal);
+        for u in &urls {
+            store.get(u);
+        }
+        let mut bytes = Vec::new();
+        let exported = store.export_archive(&mut bytes).expect("export");
+        assert_eq!(exported, store.len());
+
+        // A brand-new Local-mode store, fed only from the archive, must
+        // answer every URL identically with zero upstream traffic.
+        let fresh = ReplayStore::new(upstream(), Mode::Local);
+        let imported = fresh.import_archive(&bytes[..]).expect("import");
+        assert_eq!(imported, exported);
+        for u in &urls {
+            assert_eq!(fresh.get(u), store.get(u), "mismatch for {u}");
+        }
+        assert_eq!(fresh.upstream_gets(), 0);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let s = upstream();
+        let urls: Vec<String> = s.site().pages().iter().map(|p| p.url.clone()).collect();
+        let store = ReplayStore::new(s, Mode::SemiOnline);
+        store.preload(urls.iter().map(String::as_str));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        store.export_archive(&mut a).unwrap();
+        store.export_archive(&mut b).unwrap();
+        assert_eq!(a, b, "sorted-URL export yields identical bytes");
+    }
+
+    #[test]
+    fn head_served_from_stored_get() {
+        let s = upstream();
+        let url = s.site().page(s.site().root()).url.clone();
+        let store = ReplayStore::new(s, Mode::SemiOnline);
+        store.get(&url);
+        let h = store.head(&url);
+        assert_eq!(h.status, 200);
+        assert_eq!(store.upstream_gets(), 1);
+    }
+}

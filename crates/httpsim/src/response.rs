@@ -1,0 +1,143 @@
+//! HTTP message types for the simulated transport.
+//!
+//! Only what a crawler observes is modelled: status code, the three headers
+//! that matter (`Content-Type`, `Content-Length`, `Location`) and the body.
+//! Header wire size is estimated so that HEAD-request costs `c(u)` can be
+//! accounted in volume mode (Sec 2.2: "much smaller than ω(u)").
+
+/// Response headers (the crawler-relevant subset).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Headers {
+    pub content_type: Option<String>,
+    pub content_length: Option<u64>,
+    pub location: Option<String>,
+}
+
+impl Headers {
+    /// Approximate on-the-wire size of the status line plus headers.
+    pub fn wire_size(&self) -> u64 {
+        let mut n = 96u64; // status line + date + server + connection
+        if let Some(ct) = &self.content_type {
+            n += 16 + ct.len() as u64;
+        }
+        if self.content_length.is_some() {
+            n += 24;
+        }
+        if let Some(loc) = &self.location {
+            n += 12 + loc.len() as u64;
+        }
+        n
+    }
+}
+
+/// A HEAD response: status and headers only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeadResponse {
+    pub status: u16,
+    pub headers: Headers,
+}
+
+impl HeadResponse {
+    pub fn wire_size(&self) -> u64 {
+        self.headers.wire_size()
+    }
+}
+
+/// A GET response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Headers,
+    /// The body as delivered. Huge files are truncated to a cap; the
+    /// *declared* `Content-Length` is authoritative for volume accounting.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// Declared body size: `Content-Length` if present, else actual length.
+    pub fn declared_len(&self) -> u64 {
+        self.headers.content_length.unwrap_or(self.body.len() as u64)
+    }
+
+    /// Full wire size of the response (headers + declared body).
+    pub fn wire_size(&self) -> u64 {
+        self.headers.wire_size() + self.declared_len()
+    }
+
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    pub fn is_redirect(&self) -> bool {
+        (300..400).contains(&self.status)
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.status >= 400
+    }
+
+    pub fn head(&self) -> HeadResponse {
+        HeadResponse { status: self.status, headers: self.headers.clone() }
+    }
+}
+
+/// Builds a minimal 404/500-style response.
+pub fn error_response(status: u16) -> Response {
+    let body = format!("<html><body><h1>{status}</h1></body></html>").into_bytes();
+    Response {
+        status,
+        headers: Headers {
+            content_type: Some("text/html".to_owned()),
+            content_length: Some(body.len() as u64),
+            location: None,
+        },
+        body,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declared_length_wins_over_body() {
+        let r = Response {
+            status: 200,
+            headers: Headers {
+                content_type: Some("application/zip".into()),
+                content_length: Some(10_000_000),
+                location: None,
+            },
+            body: vec![0; 1024],
+        };
+        assert_eq!(r.declared_len(), 10_000_000);
+        assert!(r.wire_size() > 10_000_000);
+    }
+
+    #[test]
+    fn status_categories() {
+        assert!(error_response(404).is_error());
+        assert!(error_response(500).is_error());
+        let mut r = error_response(301);
+        r.status = 301;
+        assert!(r.is_redirect());
+        r.status = 204;
+        assert!(r.is_success());
+    }
+
+    #[test]
+    fn head_carries_headers_not_body() {
+        let r = error_response(404);
+        let h = r.head();
+        assert_eq!(h.status, 404);
+        assert_eq!(h.headers, r.headers);
+        assert!(h.wire_size() < r.wire_size());
+    }
+
+    #[test]
+    fn wire_size_counts_location() {
+        let with = Headers { location: Some("https://a.com/x".into()), ..Default::default() };
+        let without = Headers::default();
+        assert!(with.wire_size() > without.wire_size());
+    }
+}

@@ -1,0 +1,187 @@
+//! The origin server: serves a generated [`Website`] over the simulated
+//! transport, exactly as the paper's crawlers would see it — HTML pages with
+//! links, target files with their MIME types and sizes, 4xx/5xx dead URLs,
+//! and 3xx redirects with `Location` headers.
+
+use crate::response::{error_response, HeadResponse, Headers, Response};
+use sb_webgraph::content::target_body;
+use sb_webgraph::gen::render::render_page;
+use sb_webgraph::gen::{PageKind, Website};
+use std::sync::Arc;
+
+/// Anything that answers HEAD and GET for absolute URLs.
+pub trait HttpServer: Send + Sync {
+    fn head(&self, url: &str) -> HeadResponse;
+    fn get(&self, url: &str) -> Response;
+}
+
+/// Serves one synthetic website. The site is shared (`Arc`) so many
+/// concurrent experiment runs can serve the same generated site cheaply.
+pub struct SiteServer {
+    site: Arc<Website>,
+}
+
+impl SiteServer {
+    pub fn new(site: Website) -> Self {
+        SiteServer { site: Arc::new(site) }
+    }
+
+    pub fn shared(site: Arc<Website>) -> Self {
+        SiteServer { site }
+    }
+
+    pub fn site(&self) -> &Website {
+        &self.site
+    }
+
+    fn respond(&self, url: &str, with_body: bool) -> Response {
+        let Some(id) = self.site.lookup(url) else {
+            return error_response(404);
+        };
+        let page = self.site.page(id);
+        match &page.kind {
+            PageKind::Html(role) => {
+                let body = if with_body {
+                    render_page(&self.site, id).into_bytes()
+                } else {
+                    // HEAD still needs an accurate Content-Length.
+                    render_page(&self.site, id).into_bytes()
+                };
+                let _ = role;
+                Response {
+                    status: 200,
+                    headers: Headers {
+                        content_type: Some("text/html; charset=utf-8".to_owned()),
+                        content_length: Some(body.len() as u64),
+                        location: None,
+                    },
+                    body: if with_body { body } else { Vec::new() },
+                }
+            }
+            PageKind::Target { ext, mime, declared_size, planted_tables } => {
+                let style = self.site.section_style(0);
+                let body = if with_body {
+                    target_body(
+                        self.site.seed() ^ u64::from(id),
+                        ext,
+                        *planted_tables,
+                        *declared_size,
+                        style.lang,
+                    )
+                } else {
+                    Vec::new()
+                };
+                Response {
+                    status: 200,
+                    headers: Headers {
+                        content_type: Some((*mime).to_owned()),
+                        content_length: Some(*declared_size),
+                        location: None,
+                    },
+                    body,
+                }
+            }
+            PageKind::Error { status } => error_response(*status),
+            PageKind::Redirect { to } => Response {
+                status: 301,
+                headers: Headers {
+                    content_type: None,
+                    content_length: Some(0),
+                    location: Some(self.site.page(*to).url.clone()),
+                },
+                body: Vec::new(),
+            },
+        }
+    }
+}
+
+impl HttpServer for SiteServer {
+    fn head(&self, url: &str) -> HeadResponse {
+        self.respond(url, false).head()
+    }
+
+    fn get(&self, url: &str) -> Response {
+        self.respond(url, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_webgraph::gen::{build_site, SiteSpec};
+    use sb_webgraph::PageKind;
+
+    fn server() -> SiteServer {
+        SiteServer::new(build_site(&SiteSpec::demo(300), 5))
+    }
+
+    #[test]
+    fn serves_root_html() {
+        let s = server();
+        let root_url = s.site().page(s.site().root()).url.clone();
+        let r = s.get(&root_url);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.headers.content_type.as_deref(), Some("text/html; charset=utf-8"));
+        assert!(!r.body.is_empty());
+        assert_eq!(r.headers.content_length, Some(r.body.len() as u64));
+    }
+
+    #[test]
+    fn serves_targets_with_declared_size() {
+        let s = server();
+        let tid = s.site().target_ids()[0];
+        let page = s.site().page(tid).clone();
+        let PageKind::Target { mime, declared_size, .. } = page.kind else { unreachable!() };
+        let r = s.get(&page.url);
+        assert_eq!(r.status, 200);
+        assert_eq!(r.headers.content_type.as_deref(), Some(mime));
+        assert_eq!(r.headers.content_length, Some(declared_size));
+    }
+
+    #[test]
+    fn head_matches_get_headers() {
+        let s = server();
+        for id in [s.site().root(), s.site().target_ids()[0]] {
+            let url = &s.site().page(id).url;
+            let h = s.head(url);
+            let g = s.get(url);
+            assert_eq!(h.status, g.status);
+            assert_eq!(h.headers.content_type, g.headers.content_type);
+            assert_eq!(h.headers.content_length, g.headers.content_length);
+        }
+    }
+
+    #[test]
+    fn unknown_url_is_404() {
+        let s = server();
+        assert_eq!(s.get("https://www.stats.example.org/definitely/not/here").status, 404);
+    }
+
+    #[test]
+    fn error_pages_serve_their_status() {
+        let s = server();
+        let err = s
+            .site()
+            .pages()
+            .iter()
+            .find(|p| matches!(p.kind, PageKind::Error { .. }))
+            .expect("demo site has error pages");
+        let PageKind::Error { status } = err.kind else { unreachable!() };
+        assert_eq!(s.get(&err.url).status, status);
+    }
+
+    #[test]
+    fn redirects_carry_location() {
+        let s = server();
+        let red = s
+            .site()
+            .pages()
+            .iter()
+            .find(|p| matches!(p.kind, PageKind::Redirect { .. }))
+            .expect("demo site has redirects");
+        let r = s.get(&red.url);
+        assert_eq!(r.status, 301);
+        let PageKind::Redirect { to } = red.kind else { unreachable!() };
+        assert_eq!(r.headers.location.as_deref(), Some(s.site().page(to).url.as_str()));
+    }
+}

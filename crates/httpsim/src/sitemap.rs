@@ -1,0 +1,318 @@
+//! XML sitemaps: parsing, recursive fetching and an origin-side overlay.
+//!
+//! Sitemaps are the complement of focused crawling for *cooperative*
+//! sites: a publisher that lists its resources in `/sitemap.xml` lets a
+//! crawler seed its frontier directly instead of learning where targets
+//! live. The harness uses this to quantify how much of SB-CLASSIFIER's
+//! advantage a sitemap would replace — and how the crawler still wins on
+//! the (many) sites whose sitemaps are partial or stale.
+//!
+//! Only the subset of the sitemaps.org protocol that crawlers consume is
+//! implemented: `<urlset>` with `<url><loc>` (+ optional `<lastmod>`), and
+//! `<sitemapindex>` with `<sitemap><loc>` nesting.
+
+use crate::response::{HeadResponse, Headers, Response};
+use crate::server::HttpServer;
+use sb_webgraph::url::Url;
+
+/// One `<url>` entry of a sitemap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitemapEntry {
+    pub loc: String,
+    pub lastmod: Option<String>,
+}
+
+/// A parsed sitemap file: leaf entries and/or child sitemap locations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Sitemap {
+    pub entries: Vec<SitemapEntry>,
+    /// `<sitemapindex>` children, to be fetched recursively.
+    pub children: Vec<String>,
+}
+
+/// Parses sitemap XML. Tolerant: unknown elements are skipped, entity
+/// escapes (`&amp;` etc.) are decoded in `<loc>`, and malformed input
+/// yields whatever well-formed entries it contains (never an error —
+/// real-world sitemaps are as messy as robots.txt files).
+pub fn parse_sitemap(xml: &str) -> Sitemap {
+    let mut out = Sitemap::default();
+    let mut pos = 0usize;
+    // A tiny element scanner: find <tag ...>text</tag> pairs we care about.
+    while let Some((tag, text, next)) = next_element(xml, pos) {
+        pos = next;
+        match tag.as_str() {
+            "url" => {
+                let inner = parse_url_block(&text);
+                if let Some(e) = inner {
+                    out.entries.push(e);
+                }
+            }
+            "sitemap" => {
+                if let Some(loc) = extract_child(&text, "loc") {
+                    out.children.push(unescape(&loc));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn parse_url_block(block: &str) -> Option<SitemapEntry> {
+    let loc = extract_child(block, "loc")?;
+    let loc = unescape(loc.trim());
+    if loc.is_empty() {
+        return None;
+    }
+    Some(SitemapEntry {
+        loc,
+        lastmod: extract_child(block, "lastmod").map(|s| s.trim().to_owned()),
+    })
+}
+
+/// Finds the next `<tag>…</tag>` element at or after `from`; returns the
+/// tag name, inner text and the scan position after the element.
+fn next_element(xml: &str, from: usize) -> Option<(String, String, usize)> {
+    let bytes = xml.as_bytes();
+    let mut i = from;
+    while i < bytes.len() {
+        let open = xml[i..].find('<')? + i;
+        let close = xml[open..].find('>')? + open;
+        let raw = &xml[open + 1..close];
+        // Skip closing tags, comments, declarations, self-closing tags.
+        if raw.starts_with(['/', '!', '?']) || raw.ends_with('/') {
+            i = close + 1;
+            continue;
+        }
+        let name = raw.split_whitespace().next().unwrap_or("").to_ascii_lowercase();
+        if name == "url" || name == "sitemap" {
+            let end_tag = format!("</{name}");
+            let Some(end) = xml[close + 1..].to_ascii_lowercase().find(&end_tag) else {
+                return None; // truncated element: stop scanning
+            };
+            let inner = xml[close + 1..close + 1 + end].to_owned();
+            let after = close + 1 + end + end_tag.len();
+            let resume = xml[after..].find('>').map_or(xml.len(), |p| after + p + 1);
+            return Some((name, inner, resume));
+        }
+        i = close + 1;
+    }
+    None
+}
+
+/// Inner text of the first `<child>…</child>` inside `block`.
+fn extract_child(block: &str, child: &str) -> Option<String> {
+    let lower = block.to_ascii_lowercase();
+    let open = format!("<{child}");
+    let start = lower.find(&open)?;
+    let text_start = block[start..].find('>')? + start + 1;
+    let close = format!("</{child}");
+    let end = lower[text_start..].find(&close)? + text_start;
+    Some(block[text_start..end].to_owned())
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&amp;", "&")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+}
+
+/// Renders sitemap XML for a list of URLs (escaped), chunking into a
+/// `<sitemapindex>` when `urls` exceeds the protocol's 50 000-entry cap
+/// (here configurable for tests via `per_file`).
+pub fn render_sitemaps(origin: &str, urls: &[String], per_file: usize) -> Vec<(String, String)> {
+    let per_file = per_file.max(1);
+    let escape = |s: &str| {
+        s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    };
+    let leaf = |urls: &[String]| {
+        let mut x = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<urlset>\n");
+        for u in urls {
+            x.push_str(&format!("  <url><loc>{}</loc></url>\n", escape(u)));
+        }
+        x.push_str("</urlset>\n");
+        x
+    };
+    if urls.len() <= per_file {
+        return vec![("/sitemap.xml".to_owned(), leaf(urls))];
+    }
+    let mut files = Vec::new();
+    let mut index =
+        String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<sitemapindex>\n");
+    for (i, chunk) in urls.chunks(per_file).enumerate() {
+        let path = format!("/sitemap-{i}.xml");
+        index.push_str(&format!("  <sitemap><loc>{origin}{path}</loc></sitemap>\n"));
+        files.push((path, leaf(chunk)));
+    }
+    index.push_str("</sitemapindex>\n");
+    files.push(("/sitemap.xml".to_owned(), index));
+    files
+}
+
+/// Fetches `{origin}/sitemap.xml` and resolves one level of
+/// `<sitemapindex>` nesting; returns all listed URLs, in file order.
+pub fn fetch_sitemap_urls(server: &dyn HttpServer, root_url: &str) -> Vec<String> {
+    let Ok(root) = Url::parse(root_url) else { return Vec::new() };
+    let Ok(sm_url) = root.join("/sitemap.xml") else { return Vec::new() };
+    let mut out = Vec::new();
+    let top = server.get(&sm_url.as_string());
+    if top.status != 200 {
+        return out;
+    }
+    let top = parse_sitemap(&String::from_utf8_lossy(&top.body));
+    out.extend(top.entries.iter().map(|e| e.loc.clone()));
+    for child in top.children.iter().take(64) {
+        let r = server.get(child);
+        if r.status != 200 {
+            continue;
+        }
+        let leaf = parse_sitemap(&String::from_utf8_lossy(&r.body));
+        out.extend(leaf.entries.into_iter().map(|e| e.loc));
+    }
+    out
+}
+
+/// Serves generated sitemap files over a wrapped server.
+pub struct WithSitemap<S> {
+    inner: S,
+    /// (absolute URL, XML body) pairs.
+    files: Vec<(String, String)>,
+}
+
+impl<S: HttpServer> WithSitemap<S> {
+    /// Publishes `urls` as the site's sitemap (chunked at `per_file`).
+    pub fn new(inner: S, root_url: &str, urls: &[String], per_file: usize) -> WithSitemap<S> {
+        let origin = Url::parse(root_url)
+            .map(|u| format!("{}://{}", u.scheme, u.host))
+            .unwrap_or_default();
+        let files = render_sitemaps(&origin, urls, per_file)
+            .into_iter()
+            .map(|(path, body)| (format!("{origin}{path}"), body))
+            .collect();
+        WithSitemap { inner, files }
+    }
+
+    fn serve(&self, url: &str) -> Option<Response> {
+        let body = &self.files.iter().find(|(u, _)| u == url)?.1;
+        let bytes = body.clone().into_bytes();
+        Some(Response {
+            status: 200,
+            headers: Headers {
+                content_type: Some("application/xml".to_owned()),
+                content_length: Some(bytes.len() as u64),
+                location: None,
+            },
+            body: bytes,
+        })
+    }
+}
+
+impl<S: HttpServer> HttpServer for WithSitemap<S> {
+    fn head(&self, url: &str) -> HeadResponse {
+        match self.serve(url) {
+            Some(r) => r.head(),
+            None => self.inner.head(url),
+        }
+    }
+
+    fn get(&self, url: &str) -> Response {
+        self.serve(url).unwrap_or_else(|| self.inner.get(url))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SiteServer;
+    use sb_webgraph::gen::{build_site, SiteSpec};
+
+    const LEAF: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<urlset xmlns="http://www.sitemaps.org/schemas/sitemap/0.9">
+  <url><loc>https://www.s.example/a</loc><lastmod>2026-01-01</lastmod></url>
+  <url>
+    <loc>https://www.s.example/b?x=1&amp;y=2</loc>
+  </url>
+  <url><priority>0.5</priority></url> <!-- no loc: dropped -->
+</urlset>"#;
+
+    #[test]
+    fn parses_urlset_with_lastmod_and_entities() {
+        let sm = parse_sitemap(LEAF);
+        assert_eq!(sm.children.len(), 0);
+        assert_eq!(sm.entries.len(), 2);
+        assert_eq!(sm.entries[0].loc, "https://www.s.example/a");
+        assert_eq!(sm.entries[0].lastmod.as_deref(), Some("2026-01-01"));
+        assert_eq!(sm.entries[1].loc, "https://www.s.example/b?x=1&y=2");
+        assert_eq!(sm.entries[1].lastmod, None);
+    }
+
+    #[test]
+    fn parses_sitemapindex() {
+        let xml = r#"<sitemapindex>
+          <sitemap><loc>https://www.s.example/sitemap-0.xml</loc></sitemap>
+          <sitemap><loc>https://www.s.example/sitemap-1.xml</loc></sitemap>
+        </sitemapindex>"#;
+        let sm = parse_sitemap(xml);
+        assert_eq!(sm.entries.len(), 0);
+        assert_eq!(sm.children.len(), 2);
+    }
+
+    #[test]
+    fn tolerates_garbage() {
+        for garbage in ["", "<urlset>", "not xml at all", "<url><loc></loc></url>", "<<<>>>"] {
+            let sm = parse_sitemap(garbage);
+            assert!(sm.entries.is_empty(), "garbage {garbage:?} produced {:?}", sm.entries);
+        }
+    }
+
+    #[test]
+    fn render_roundtrips_through_parse() {
+        let urls: Vec<String> =
+            (0..7).map(|i| format!("https://www.s.example/p{i}?a=1&b=2")).collect();
+        let files = render_sitemaps("https://www.s.example", &urls, 100);
+        assert_eq!(files.len(), 1);
+        let parsed = parse_sitemap(&files[0].1);
+        let back: Vec<String> = parsed.entries.into_iter().map(|e| e.loc).collect();
+        assert_eq!(back, urls);
+    }
+
+    #[test]
+    fn render_chunks_into_index() {
+        let urls: Vec<String> = (0..10).map(|i| format!("https://www.s.example/p{i}")).collect();
+        let files = render_sitemaps("https://www.s.example", &urls, 4);
+        // 3 leaves + 1 index.
+        assert_eq!(files.len(), 4);
+        let index = &files.last().unwrap().1;
+        let parsed = parse_sitemap(index);
+        assert_eq!(parsed.children.len(), 3);
+    }
+
+    #[test]
+    fn overlay_serves_and_fetch_resolves_nesting() {
+        let site = build_site(&SiteSpec::demo(150), 5);
+        let root = site.page(site.root()).url.clone();
+        let targets: Vec<String> = site
+            .target_ids()
+            .iter()
+            .map(|&id| site.page(id).url.clone())
+            .collect();
+        let n = targets.len();
+        assert!(n > 4, "demo site has targets");
+        let server = WithSitemap::new(SiteServer::new(site), &root, &targets, 3);
+        let urls = fetch_sitemap_urls(&server, &root);
+        assert_eq!(urls.len(), n, "all chunks resolved through the index");
+        assert_eq!(urls, targets);
+        // Delegation intact.
+        assert_eq!(server.get(&root).status, 200);
+    }
+
+    #[test]
+    fn missing_sitemap_is_empty() {
+        let site = build_site(&SiteSpec::demo(100), 5);
+        let root = site.page(site.root()).url.clone();
+        let server = SiteServer::new(site);
+        assert!(fetch_sitemap_urls(&server, &root).is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the httpsim substrates: the robots.txt parser and
+//! matcher (never panic, spec invariants) and the archive format
+//! (roundtrip fidelity, corruption detection).
+
+use proptest::prelude::*;
+use sb_httpsim::robots::pattern_matches;
+use sb_httpsim::{ArchiveReader, ArchiveWriter, Headers, Response, RobotsTxt};
+
+proptest! {
+    /// The parser must accept anything without panicking — robots.txt in
+    /// the wild is full of garbage — and always answer queries.
+    #[test]
+    fn robots_parse_never_panics(text in ".{0,400}", agent in "[a-zA-Z0-9]{0,12}", path in "/[ -~]{0,40}") {
+        let r = RobotsTxt::parse(&text);
+        let _ = r.allows(&agent, &path);
+        let _ = r.crawl_delay(&agent);
+    }
+
+    /// A file with no groups allows everything for everyone.
+    #[test]
+    fn robots_empty_allows_all(agent in "[a-z]{1,8}", path in "/[ -~]{0,40}") {
+        let r = RobotsTxt::parse("# only comments\n\n");
+        prop_assert!(r.allows(&agent, &path));
+        prop_assert_eq!(r.crawl_delay(&agent), None);
+    }
+
+    /// `Disallow: /` under `User-agent: *` blocks every path for every
+    /// agent — the strongest rule dominates whatever else the path is.
+    #[test]
+    fn robots_disallow_root_blocks_everything(agent in "[a-z]{1,8}", path in "/[ -~]{0,40}") {
+        let r = RobotsTxt::parse("User-agent: *\nDisallow: /");
+        prop_assert!(!r.allows(&agent, &path));
+    }
+
+    /// A wildcard-free, unanchored pattern matches exactly the paths it
+    /// prefixes — no more, no less.
+    #[test]
+    fn literal_patterns_are_prefix_matches(pat in "/[a-z0-9/]{0,16}", path in "/[a-z0-9/]{0,24}") {
+        prop_assert_eq!(pattern_matches(&pat, &path), path.starts_with(&pat));
+    }
+
+    /// `pattern$` matches iff the unanchored pattern matches with its tail
+    /// ending exactly at the path end; `$`-anchored never matches a strict
+    /// extension of a match it rejects.
+    #[test]
+    fn anchored_literal_is_equality(pat in "/[a-z0-9]{0,16}") {
+        let anchored = format!("{pat}$");
+        let extended = format!("{pat}x");
+        prop_assert!(pattern_matches(&anchored, &pat));
+        prop_assert!(!pattern_matches(&anchored, &extended));
+    }
+
+    /// The glob matcher never panics on adversarial patterns.
+    #[test]
+    fn glob_never_panics(pat in "[*a-z$/]{0,24}", path in "[ -~]{0,48}") {
+        let _ = pattern_matches(&pat, &path);
+    }
+
+    /// A lone `*` (plus the implicit prefix semantics) matches everything.
+    #[test]
+    fn star_matches_everything(path in "[ -~]{0,64}") {
+        prop_assert!(pattern_matches("*", &path));
+    }
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        100u16..600,
+        proptest::option::of("[ -~]{0,40}"),
+        proptest::option::of(any::<u64>()),
+        proptest::option::of("[ -~]{0,60}"),
+        proptest::collection::vec(any::<u8>(), 0..300),
+    )
+        .prop_map(|(status, content_type, content_length, location, body)| Response {
+            status,
+            headers: Headers { content_type, content_length, location },
+            body,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever goes into an archive comes back, bit for bit, in order.
+    #[test]
+    fn archive_roundtrip(
+        records in proptest::collection::vec(("https?://[a-z]{1,10}\\.example/[ -~]{0,30}", arb_response()), 0..12)
+    ) {
+        let mut w = ArchiveWriter::new(Vec::new()).unwrap();
+        for (url, r) in &records {
+            w.write(url, r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let back: Vec<(String, Response)> =
+            ArchiveReader::new(&bytes[..]).unwrap().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(back.len(), records.len());
+        for ((u1, r1), (u2, r2)) in records.iter().zip(&back) {
+            prop_assert_eq!(u1, u2);
+            prop_assert_eq!(r1, r2);
+        }
+    }
+
+    /// Flipping any single byte after the header either errors out or
+    /// changes the decoded records — silent corruption is impossible.
+    #[test]
+    fn archive_detects_any_single_byte_flip(
+        records in proptest::collection::vec(("https?://[a-z]{1,8}\\.example/[a-z]{0,16}", arb_response()), 1..6),
+        flip_seed in any::<u64>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut w = ArchiveWriter::new(Vec::new()).unwrap();
+        for (url, r) in &records {
+            w.write(url, r).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        prop_assume!(bytes.len() > 8);
+        let victim = 8 + (flip_seed as usize) % (bytes.len() - 8);
+        let mut evil = bytes.clone();
+        evil[victim] ^= 1 << flip_bit;
+
+        let originals: Vec<(String, Response)> =
+            ArchiveReader::new(&bytes[..]).unwrap().map(|r| r.unwrap()).collect();
+        match ArchiveReader::new(&evil[..]) {
+            Err(_) => {} // header flip: rejected outright
+            Ok(reader) => {
+                let decoded: Result<Vec<(String, Response)>, _> = reader.collect();
+                match decoded {
+                    Err(_) => {} // CRC / framing violation: detected
+                    Ok(items) => prop_assert_ne!(
+                        items, originals,
+                        "a byte flip at {} went completely unnoticed", victim
+                    ),
+                }
+            }
+        }
+    }
+}

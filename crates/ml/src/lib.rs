@@ -1,0 +1,17 @@
+//! Online machine learning for URL classification (Sec 3.3, Sec 4.6).
+//!
+//! * [`features`] — character 2-gram features, `URL_ONLY` and `URL_CONT`,
+//! * [`models`] — online LR (default), linear SVM, multinomial NB and
+//!   passive-aggressive classifiers,
+//! * [`classifier`] — the batch-incremental URL classifier of Algorithm 2,
+//! * [`metrics`] — 3×3 confusion matrices and the MR metric of Table 5.
+
+pub mod classifier;
+pub mod features;
+pub mod metrics;
+pub mod models;
+
+pub use classifier::{Class2, UrlClassifier};
+pub use features::{featurize, FeatureInput, FeatureSet, SparseVec};
+pub use metrics::{Class3, Confusion};
+pub use models::{ModelKind, OnlineBinaryModel};

@@ -1,0 +1,184 @@
+//! Confusion matrices and the "MR" misclassification-rate metric of Table 5
+//! and Tables 8–16.
+//!
+//! The matrices are 3×3 (true HTML / Target / Neither × predicted HTML /
+//! Target / Neither) even though the classifier never predicts "Neither"
+//! (Sec 3.3): the predicted-Neither column is structurally zero, exactly as
+//! in the paper's appendix tables.
+
+/// The three URL classes of Sec 3.3 (classifier-side mirror of
+/// `sb_webgraph::UrlClass` so this crate stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class3 {
+    Html,
+    Target,
+    Neither,
+}
+
+impl Class3 {
+    pub const ALL: [Class3; 3] = [Class3::Html, Class3::Target, Class3::Neither];
+
+    pub fn index(self) -> usize {
+        match self {
+            Class3::Html => 0,
+            Class3::Target => 1,
+            Class3::Neither => 2,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Class3::Html => "HTML",
+            Class3::Target => "Target",
+            Class3::Neither => "Neither",
+        }
+    }
+}
+
+/// A running 3×3 confusion matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Confusion {
+    /// `m[true][predicted]` raw counts.
+    m: [[f64; 3]; 3],
+}
+
+impl Confusion {
+    pub fn new() -> Self {
+        Confusion::default()
+    }
+
+    pub fn record(&mut self, truth: Class3, predicted: Class3) {
+        self.m[truth.index()][predicted.index()] += 1.0;
+    }
+
+    pub fn count(&self, truth: Class3, predicted: Class3) -> f64 {
+        self.m[truth.index()][predicted.index()]
+    }
+
+    pub fn total(&self) -> f64 {
+        self.m.iter().flatten().sum()
+    }
+
+    /// The matrix as percentages of all recorded URLs (the paper's format).
+    pub fn percentages(&self) -> [[f64; 3]; 3] {
+        let t = self.total();
+        if t == 0.0 {
+            return [[0.0; 3]; 3];
+        }
+        let mut out = [[0.0; 3]; 3];
+        for (i, row) in self.m.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                out[i][j] = 100.0 * v / t;
+            }
+        }
+        out
+    }
+
+    /// The "MR" column of Table 5: off-diagonal mass within the true-HTML
+    /// and true-Target rows, as a percentage of those rows' mass. (The
+    /// Neither row is excluded: those URLs have no correct answer available
+    /// to a two-class model.)
+    pub fn misclassification_rate(&self) -> f64 {
+        let rows = [Class3::Html.index(), Class3::Target.index()];
+        let mut wrong = 0.0;
+        let mut mass = 0.0;
+        for &r in &rows {
+            for j in 0..3 {
+                mass += self.m[r][j];
+                if j != r {
+                    wrong += self.m[r][j];
+                }
+            }
+        }
+        if mass == 0.0 {
+            0.0
+        } else {
+            100.0 * wrong / mass
+        }
+    }
+
+    /// Merges another matrix into this one (inter-site averaging).
+    pub fn merge(&mut self, other: &Confusion) {
+        for i in 0..3 {
+            for j in 0..3 {
+                self.m[i][j] += other.m[i][j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut c = Confusion::new();
+        c.record(Class3::Html, Class3::Html);
+        c.record(Class3::Html, Class3::Target);
+        c.record(Class3::Target, Class3::Target);
+        c.record(Class3::Neither, Class3::Html);
+        assert_eq!(c.total(), 4.0);
+        assert_eq!(c.count(Class3::Html, Class3::Target), 1.0);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let mut c = Confusion::new();
+        for _ in 0..7 {
+            c.record(Class3::Html, Class3::Html);
+        }
+        for _ in 0..3 {
+            c.record(Class3::Target, Class3::Html);
+        }
+        let p = c.percentages();
+        let sum: f64 = p.iter().flatten().sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    /// Reproduces the paper's aggregate numbers (Table 16): row masses
+    /// 60.42 % HTML / 33.5 % Target, off-diagonal 2.46 ⇒ MR ≈ 2.62.
+    #[test]
+    fn mr_matches_paper_arithmetic() {
+        let mut c = Confusion::new();
+        let scale = 100.0;
+        let add = |c: &mut Confusion, t: Class3, p: Class3, pct: f64| {
+            for _ in 0..((pct * scale) as usize) {
+                c.record(t, p);
+            }
+        };
+        add(&mut c, Class3::Html, Class3::Html, 58.73);
+        add(&mut c, Class3::Html, Class3::Target, 1.69);
+        add(&mut c, Class3::Target, Class3::Html, 0.77);
+        add(&mut c, Class3::Target, Class3::Target, 32.73);
+        add(&mut c, Class3::Neither, Class3::Html, 4.50);
+        add(&mut c, Class3::Neither, Class3::Target, 1.58);
+        // (1.69 + 0.77) / (58.73 + 1.69 + 0.77 + 32.73) ≈ 2.62 %
+        assert!((c.misclassification_rate() - 2.62).abs() < 0.02, "{}", c.misclassification_rate());
+    }
+
+    #[test]
+    fn neither_predictions_never_counted_as_right() {
+        let mut c = Confusion::new();
+        c.record(Class3::Neither, Class3::Target);
+        assert_eq!(c.misclassification_rate(), 0.0, "Neither row excluded from MR");
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Confusion::new();
+        a.record(Class3::Html, Class3::Html);
+        let mut b = Confusion::new();
+        b.record(Class3::Html, Class3::Target);
+        a.merge(&b);
+        assert_eq!(a.total(), 2.0);
+        assert!(a.misclassification_rate() > 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_is_quiet() {
+        let c = Confusion::new();
+        assert_eq!(c.misclassification_rate(), 0.0);
+        assert_eq!(c.percentages(), [[0.0; 3]; 3]);
+    }
+}

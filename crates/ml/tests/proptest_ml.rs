@@ -1,0 +1,76 @@
+//! Property tests for the feature pipeline and the online models.
+
+use proptest::prelude::*;
+use sb_ml::features::{featurize, FeatureInput, FeatureSet};
+use sb_ml::metrics::{Class3, Confusion};
+use sb_ml::models::ModelKind;
+use sb_ml::{Class2, UrlClassifier};
+
+proptest! {
+    /// Featurisation is total, deterministic and L2-normalised for any URL.
+    #[test]
+    fn featurize_total_and_normalised(url in ".{0,120}") {
+        let a = featurize(FeatureSet::UrlOnly, &FeatureInput::url_only(&url));
+        let b = featurize(FeatureSet::UrlOnly, &FeatureInput::url_only(&url));
+        prop_assert_eq!(&a, &b);
+        if a.nnz() > 0 {
+            prop_assert!((a.norm_sq() - 1.0).abs() < 1e-4);
+        }
+        // Indices strictly increasing and in range.
+        prop_assert!(a.items.windows(2).all(|w| w[0].0 < w[1].0));
+        for &(i, _) in &a.items {
+            prop_assert!((i as usize) < FeatureSet::UrlOnly.dim());
+        }
+    }
+
+    /// Every model kind, trained on linearly separated URL families, gets
+    /// the held-out family members right — regardless of batch slicing.
+    #[test]
+    fn models_learn_under_any_batching(
+        batch_size in 2usize..40,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = ModelKind::ALL[kind_idx];
+        let mut clf = UrlClassifier::new(kind, FeatureSet::UrlOnly, batch_size);
+        for i in 0..120 {
+            let (url, class) = if i % 2 == 0 {
+                (format!("https://a.com/files/data-{i}.csv"), Class2::Target)
+            } else {
+                (format!("https://a.com/pages/article-{i}.html"), Class2::Html)
+            };
+            clf.observe(&FeatureInput::url_only(&url), class);
+        }
+        let mut right = 0;
+        for i in 500..520 {
+            if clf.predict(&FeatureInput::url_only(&format!("https://a.com/files/data-{i}.csv")))
+                == Class2::Target
+            {
+                right += 1;
+            }
+            if clf.predict(&FeatureInput::url_only(&format!("https://a.com/pages/article-{i}.html")))
+                == Class2::Html
+            {
+                right += 1;
+            }
+        }
+        prop_assert!(right >= 34, "{:?} with b={batch_size}: {right}/40", kind);
+    }
+
+    /// Confusion-matrix percentages always sum to 100 and MR is within
+    /// [0, 100], for any record pattern.
+    #[test]
+    fn confusion_invariants(records in proptest::collection::vec((0usize..3, 0usize..2), 1..200)) {
+        let mut c = Confusion::new();
+        for (t, p) in records {
+            c.record(Class3::ALL[t], Class3::ALL[p]);
+        }
+        let total: f64 = c.percentages().iter().flatten().sum();
+        prop_assert!((total - 100.0).abs() < 1e-6);
+        let mr = c.misclassification_rate();
+        prop_assert!((0.0..=100.0).contains(&mr));
+        // Predicted-Neither column is structurally zero for 2-class preds.
+        for t in Class3::ALL {
+            prop_assert_eq!(c.count(t, Class3::Neither), 0.0);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! The change model: what happens to a website between two crawls.
+//!
+//! Calibrated on the behaviour the revisit literature reports for
+//! institutional sites (and that the paper's own Table 1 sites exhibit):
+//! change is *bursty and concentrated* — a few live sections (news feeds,
+//! data catalogs) gain links to fresh datasets all the time, most of the
+//! site is static, and a trickle of pages dies. A change model is applied to
+//! a generated site by [`crate::EvolvingSite::evolve`], which materialises
+//! one snapshot per epoch and records the ground truth as [`EpochEvents`].
+
+/// Knobs of the per-epoch site mutation. All rates are means of the
+/// deterministic pseudo-Poisson sampler used by the generator, so the same
+/// seed always yields the same evolution.
+#[derive(Debug, Clone)]
+pub struct ChangeModel {
+    /// Number of snapshots to materialise, **including** the base (epoch 0).
+    pub epochs: usize,
+    /// Mean number of brand-new target files linked from existing catalog
+    /// pages, per epoch.
+    pub new_targets_per_epoch: f64,
+    /// Mean number of new article pages per epoch; each brings 1–2 fresh
+    /// targets of its own via its download box.
+    pub new_articles_per_epoch: f64,
+    /// Fraction of existing targets whose content is refreshed per epoch
+    /// (declared size and body change; the URL stays).
+    pub target_update_frac: f64,
+    /// Fraction of existing HTML article pages that die (HTTP 410) per epoch.
+    pub death_frac: f64,
+    /// Number of "hot" sections where the new content concentrates. The
+    /// hot set is drawn once per evolution, not per epoch — live sections
+    /// stay live, which is what group-learning revisit policies exploit.
+    pub hot_sections: usize,
+}
+
+impl Default for ChangeModel {
+    fn default() -> Self {
+        ChangeModel {
+            epochs: 6,
+            new_targets_per_epoch: 8.0,
+            new_articles_per_epoch: 2.0,
+            target_update_frac: 0.03,
+            death_frac: 0.005,
+            hot_sections: 2,
+        }
+    }
+}
+
+impl ChangeModel {
+    /// A model where all change is new-dataset publication in hot sections:
+    /// the cleanest setting for comparing discovery-oriented policies.
+    pub fn publication_only(epochs: usize, new_targets_per_epoch: f64) -> Self {
+        ChangeModel {
+            epochs,
+            new_targets_per_epoch,
+            new_articles_per_epoch: 0.0,
+            target_update_frac: 0.0,
+            death_frac: 0.0,
+            hot_sections: 1,
+        }
+    }
+
+    /// A model with churn but no new content: only updates and deaths.
+    /// Freshness-oriented policies should win here; discovery ones starve.
+    pub fn churn_only(epochs: usize, target_update_frac: f64, death_frac: f64) -> Self {
+        ChangeModel {
+            epochs,
+            new_targets_per_epoch: 0.0,
+            new_articles_per_epoch: 0.0,
+            target_update_frac,
+            death_frac,
+            hot_sections: 1,
+        }
+    }
+}
+
+/// Ground truth of one epoch transition (snapshot `e−1` → snapshot `e`),
+/// recorded while mutating. Everything is keyed by URL because that is all
+/// a crawler ever sees; page ids differ across snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct EpochEvents {
+    /// Targets that did not exist before this epoch.
+    pub new_target_urls: Vec<String>,
+    /// HTML pages that did not exist before this epoch.
+    pub new_html_urls: Vec<String>,
+    /// Existing targets whose body/size changed.
+    pub updated_target_urls: Vec<String>,
+    /// Pages that now answer 410.
+    pub died_urls: Vec<String>,
+    /// Existing HTML pages whose rendered body changed (they gained links).
+    pub changed_html_urls: Vec<String>,
+}
+
+impl EpochEvents {
+    /// Total number of recorded mutations.
+    pub fn len(&self) -> usize {
+        self.new_target_urls.len()
+            + self.new_html_urls.len()
+            + self.updated_target_urls.len()
+            + self.died_urls.len()
+            + self.changed_html_urls.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_concentrated_and_multi_epoch() {
+        let m = ChangeModel::default();
+        assert!(m.epochs >= 2);
+        assert!(m.hot_sections >= 1);
+        assert!(m.new_targets_per_epoch > 0.0);
+    }
+
+    #[test]
+    fn publication_only_disables_churn() {
+        let m = ChangeModel::publication_only(4, 10.0);
+        assert_eq!(m.target_update_frac, 0.0);
+        assert_eq!(m.death_frac, 0.0);
+        assert_eq!(m.new_articles_per_epoch, 0.0);
+        assert_eq!(m.epochs, 4);
+    }
+
+    #[test]
+    fn churn_only_disables_publication() {
+        let m = ChangeModel::churn_only(3, 0.1, 0.02);
+        assert_eq!(m.new_targets_per_epoch, 0.0);
+        assert!(m.target_update_frac > 0.0);
+    }
+
+    #[test]
+    fn empty_events_report_empty() {
+        let e = EpochEvents::default();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Change-rate estimation from sparse, binary revisit observations.
+//!
+//! A revisiting crawler only sees, at each access, *whether* a page changed
+//! since its last access — not how many times. Under a Poisson change
+//! process with rate `λ` (changes per access interval), the naive estimator
+//! `x/n` (x = accesses that detected a change out of n) is biased low: two
+//! changes between accesses register as one. Cho & Garcia-Molina's
+//! bias-corrected estimator is
+//!
+//! ```text
+//! λ̂ = −log((n − x + 0.5) / (n + 0.5))
+//! ```
+//!
+//! which is consistent and defined even at the x = n boundary. The
+//! change-rate-proportional revisit policy ranks pages by this estimate.
+
+/// Bias-corrected Poisson change-rate estimate (changes per access
+/// interval) from `visits` accesses of which `changes` detected a change.
+///
+/// Returns 0 when there are no observations yet. `changes` is clamped to
+/// `visits` (a page cannot change more often than it was observed).
+pub fn change_rate(visits: u64, changes: u64) -> f64 {
+    if visits == 0 {
+        return 0.0;
+    }
+    let n = visits as f64;
+    let x = changes.min(visits) as f64;
+    -((n - x + 0.5) / (n + 0.5)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_observations_is_zero() {
+        assert_eq!(change_rate(0, 0), 0.0);
+        assert_eq!(change_rate(0, 5), 0.0);
+    }
+
+    #[test]
+    fn never_changed_is_exactly_zero() {
+        // x = 0 makes the corrected ratio (n + 0.5)/(n + 0.5) = 1: a page
+        // never observed to change has estimated rate 0 at any n.
+        assert_eq!(change_rate(5, 0), 0.0);
+        assert_eq!(change_rate(50, 0), 0.0);
+    }
+
+    #[test]
+    fn one_change_weighs_less_with_more_visits() {
+        let r5 = change_rate(5, 1);
+        let r50 = change_rate(50, 1);
+        assert!(r5 > r50, "the same single change over more visits → lower rate");
+        assert!(r50 > 0.0);
+    }
+
+    #[test]
+    fn always_changed_is_large_and_grows_with_visits() {
+        let r2 = change_rate(2, 2);
+        let r20 = change_rate(20, 20);
+        assert!(r2 > 1.0);
+        assert!(r20 > r2, "a page that changes at every access has rate ≥ access rate");
+    }
+
+    #[test]
+    fn monotone_in_changes() {
+        let mut prev = -1.0;
+        for x in 0..=10 {
+            let r = change_rate(10, x);
+            assert!(r > prev, "λ̂ must increase with observed changes");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn half_changed_is_about_log2() {
+        // n large, x = n/2: λ̂ → −log(1/2) = log 2.
+        let r = change_rate(1000, 500);
+        assert!((r - std::f64::consts::LN_2).abs() < 0.01, "got {r}");
+    }
+
+    #[test]
+    fn changes_clamped_to_visits() {
+        assert_eq!(change_rate(3, 9), change_rate(3, 3));
+    }
+
+    #[test]
+    fn finite_at_boundary() {
+        // x = n used to be a singularity of the uncorrected MLE.
+        assert!(change_rate(7, 7).is_finite());
+    }
+}

@@ -1,0 +1,56 @@
+//! Incremental recrawl of an evolving website.
+//!
+//! The paper's crawler is single-shot: it acquires a site's targets once and
+//! explicitly leaves "extending our crawler with *incremental revisits* …
+//! combining the knowledge acquired by our RL-agent with existing
+//! re-crawling strategies" as future work (Sec 6). This crate builds that
+//! extension, together with the substrate it needs:
+//!
+//! * [`change`] — a deterministic **change model**: how a site publishes new
+//!   datasets, updates existing ones, and retires pages between crawls.
+//! * [`evolve`] — [`EvolvingSite`]: a sequence of site snapshots derived from
+//!   one generated [`sb_webgraph::Website`], plus an epoch-switchable
+//!   [`EvolvingServer`] that serves whichever snapshot is current.
+//! * [`snapshot`] — the initial acquisition crawl and the [`Corpus`] of
+//!   known pages the incremental crawler maintains (body hashes, in-link tag
+//!   paths, per-page change history).
+//! * [`estimate`] — change-rate estimation from sparse revisit observations
+//!   (the Cho–Garcia-Molina estimator used by the revisit literature
+//!   referenced in Sec 5: \[5, 16, 35, 36, 46\]).
+//! * [`policy`] — revisit scheduling policies: uniform round-robin,
+//!   change-rate-proportional, Thompson sampling over tag-path groups (the
+//!   winning family of \[46\]), and the paper-native **sleeping-bandit**
+//!   scheduler that reuses the AUER machinery of `sb-bandit` over the same
+//!   tag-path groups the single-shot crawler learned.
+//! * [`harness`] — the per-epoch recrawl loop with cost accounting,
+//!   freshness and new-target recall metrics.
+//!
+//! # Quick example
+//!
+//! ```
+//! use sb_revisit::{ChangeModel, EvolvingSite, RecrawlConfig, SleepingBanditRevisit, recrawl};
+//! use sb_webgraph::{build_site, SiteSpec};
+//!
+//! let base = build_site(&SiteSpec::demo(150), 11);
+//! let site = EvolvingSite::evolve(base, &ChangeModel::default(), 11);
+//! let mut policy = SleepingBanditRevisit::default();
+//! let outcome = recrawl(&site, &mut policy, &RecrawlConfig::default());
+//! assert_eq!(outcome.epochs.len(), site.epochs() - 1);
+//! ```
+
+pub mod change;
+pub mod estimate;
+pub mod evolve;
+pub mod harness;
+pub mod policy;
+pub mod snapshot;
+
+pub use change::{ChangeModel, EpochEvents};
+pub use estimate::change_rate;
+pub use evolve::{EvolvingServer, EvolvingSite};
+pub use harness::{recrawl, EpochStats, RecrawlConfig, RecrawlOutcome};
+pub use policy::{
+    Observation, ProportionalRevisit, RevisitPolicy, RoundRobinRevisit, SleepingBanditRevisit,
+    ThompsonGroupsRevisit,
+};
+pub use snapshot::{fnv64, snapshot_crawl, Corpus, KnownPage};

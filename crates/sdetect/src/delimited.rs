@@ -1,0 +1,139 @@
+//! Candidate-table extraction from delimited text (CSV/TSV/…).
+//!
+//! Multi-region files (blank-line-separated blocks, the layout-template
+//! problem of \[54\]) are split first; each block becomes a candidate table
+//! whose cells are then checked by the numeric-column heuristic.
+
+use crate::detect::DetectedTable;
+
+/// Is a cell numeric-ish? Integers, decimals, thousands separators and
+/// percentage/negative decorations all count.
+pub fn is_numeric_cell(cell: &str) -> bool {
+    let s = cell.trim().trim_start_matches('-').trim_end_matches('%');
+    if s.is_empty() {
+        return false;
+    }
+    let cleaned: String = s.chars().filter(|&c| c != ',' && c != ' ' && c != '\u{a0}').collect();
+    !cleaned.is_empty()
+        && cleaned.chars().all(|c| c.is_ascii_digit() || c == '.')
+        && cleaned.chars().any(|c| c.is_ascii_digit())
+}
+
+/// Splits `text` into blank-line-separated blocks of rows, each row split
+/// by `sep`.
+fn blocks(text: &str, sep: char) -> Vec<Vec<Vec<String>>> {
+    let mut out = Vec::new();
+    let mut current: Vec<Vec<String>> = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        current.push(line.split(sep).map(|c| c.trim().to_owned()).collect());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Decides whether a block of rows is a statistic table: at least
+/// `MIN_ROWS` data rows, at least 2 columns, and at least 2 columns that
+/// are ≥ 70 % numeric (ignoring the first row, a presumed header).
+pub fn classify_block(rows: &[Vec<String>]) -> Option<DetectedTable> {
+    const MIN_ROWS: usize = 4; // header + 3 data rows
+    if rows.len() < MIN_ROWS {
+        return None;
+    }
+    let cols = rows.iter().map(Vec::len).max().unwrap_or(0);
+    if cols < 2 {
+        return None;
+    }
+    let data = &rows[1..];
+    let mut numeric_cols = 0;
+    for c in 0..cols {
+        let (mut numeric, mut filled) = (0usize, 0usize);
+        for row in data {
+            if let Some(cell) = row.get(c) {
+                if !cell.is_empty() {
+                    filled += 1;
+                    if is_numeric_cell(cell) {
+                        numeric += 1;
+                    }
+                }
+            }
+        }
+        if filled >= 3 && numeric * 10 >= filled * 7 {
+            numeric_cols += 1;
+        }
+    }
+    if numeric_cols >= 2 {
+        Some(DetectedTable { rows: rows.len(), cols })
+    } else {
+        None
+    }
+}
+
+/// Detects statistic tables in delimited text.
+pub fn detect(text: &str, sep: char) -> Vec<DetectedTable> {
+    blocks(text, sep).iter().filter_map(|b| classify_block(b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cells() {
+        for ok in ["42", "3.14", "-7", "1,234,567", "12%", "1 234"] {
+            assert!(is_numeric_cell(ok), "{ok}");
+        }
+        for bad in ["", "R01", "3.1.4.x", "-", "%", "year"] {
+            assert!(!is_numeric_cell(bad), "{bad}");
+        }
+    }
+
+    #[test]
+    fn detects_a_simple_stat_table() {
+        let csv = "year,region,count\n2001,R01,500\n2002,R02,700\n2003,R01,900\n2004,R03,1100\n";
+        let found = detect(csv, ',');
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].cols, 3);
+        assert_eq!(found[0].rows, 5);
+    }
+
+    #[test]
+    fn rejects_textual_listings() {
+        let csv = "name,address,contact,notes\nAlice,1 Main st,office,hello\nBob,2 Oak av,office,there\nCarol,3 Elm rd,office,again\n";
+        assert!(detect(csv, ',').is_empty());
+    }
+
+    #[test]
+    fn one_numeric_column_is_not_enough() {
+        let csv = "id,label\n1,apples\n2,pears\n3,plums\n4,figs\n";
+        assert!(detect(csv, ',').is_empty());
+    }
+
+    #[test]
+    fn splits_multi_region_files() {
+        let one = "year,count\n2001,5\n2002,6\n2003,7\n";
+        let csv = format!("{one}\n{one}\n{one}");
+        assert_eq!(detect(&csv, ',').len(), 3);
+    }
+
+    #[test]
+    fn short_blocks_ignored() {
+        let csv = "year,count\n2001,5\n2002,6\n";
+        assert!(detect(csv, ',').is_empty());
+    }
+
+    #[test]
+    fn tsv_and_semicolon() {
+        let tsv = "year\tcount\n2001\t5\n2002\t6\n2003\t7\n";
+        assert_eq!(detect(tsv, '\t').len(), 1);
+        let semi = "year;count\n2001;5\n2002;6\n2003;7\n";
+        assert_eq!(detect(semi, ';').len(), 1);
+    }
+}

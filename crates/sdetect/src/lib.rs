@@ -1,0 +1,21 @@
+//! Statistics-dataset detection in retrieved target files (Table 7).
+//!
+//! The paper manually annotated 280 sampled targets, counting the statistic
+//! tables (SDs) each contains. This crate is the machine judge that replaces
+//! the human: given a target's bytes and MIME type it recognises the
+//! container format, extracts candidate tables and keeps those that look
+//! like *statistics* — several rows, several columns, with at least two
+//! predominantly numeric columns (SDs are "mostly numeric …
+//! multidimensional aggregates", Sec 1).
+//!
+//! Formats handled: delimited text (CSV/TSV/semicolon), PDF-extracted text
+//! (whitespace-aligned columns), sheet containers, JSON/YAML record arrays
+//! and word-processor text. Archives are opaque without extraction and
+//! detect as zero tables — the same blind spot a human has before unzipping.
+
+pub mod delimited;
+pub mod detect;
+pub mod records;
+pub mod textual;
+
+pub use detect::{detect_tables, DetectedTable, Detection, Format};

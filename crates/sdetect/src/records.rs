@@ -1,0 +1,98 @@
+//! Table detection in record-oriented formats (JSON / YAML).
+//!
+//! Statistic content in JSON/YAML appears as arrays of homogeneous records
+//! with numeric fields. Full parsers are unnecessary for the decision: a
+//! run of ≥ 3 consecutive record-shaped lines (`{…}` with at least two
+//! numeric values) counts as one table.
+
+use crate::detect::DetectedTable;
+
+/// Counts numeric values in a record-ish line.
+fn numeric_values(line: &str) -> usize {
+    let mut count = 0;
+    let mut in_number = false;
+    let mut prev: Option<char> = None;
+    for c in line.chars() {
+        let starts_value = matches!(prev, Some(':' | ' ' | ',' | '{' | '['));
+        if c.is_ascii_digit() && !in_number && starts_value {
+            in_number = true;
+            count += 1;
+        } else if !c.is_ascii_digit() && c != '.' {
+            in_number = false;
+        }
+        prev = Some(c);
+    }
+    count
+}
+
+/// Is this line one record of a data array?
+fn is_record_line(line: &str) -> bool {
+    let t = line.trim().trim_start_matches("- ").trim_end_matches(',');
+    t.starts_with('{') && t.ends_with('}') && numeric_values(t) >= 2
+}
+
+/// Detects record-array tables in JSON/YAML text.
+pub fn detect(text: &str) -> Vec<DetectedTable> {
+    let mut out = Vec::new();
+    let mut run = 0usize;
+    let mut cols = 0usize;
+    for line in text.lines() {
+        if is_record_line(line) {
+            run += 1;
+            cols = cols.max(line.matches(':').count());
+        } else {
+            if run >= 3 {
+                out.push(DetectedTable { rows: run, cols });
+            }
+            run = 0;
+            cols = 0;
+        }
+    }
+    if run >= 3 {
+        out.push(DetectedTable { rows: run, cols });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_json_record_array() {
+        let json = r#"{
+  "table1": [
+    {"year": 2001, "region": "R01", "count": 500},
+    {"year": 2002, "region": "R02", "count": 700},
+    {"year": 2003, "region": "R03", "count": 900},
+  ],
+}"#;
+        let found = detect(json);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rows, 3);
+    }
+
+    #[test]
+    fn detects_yaml_records() {
+        let yaml = "table1:\n  - {year: 2001, region: R01, count: 500}\n  - {year: 2002, region: R02, count: 700}\n  - {year: 2003, region: R03, count: 900}\n";
+        assert_eq!(detect(yaml).len(), 1);
+    }
+
+    #[test]
+    fn two_arrays_two_tables() {
+        let json = "\n  \"t1\": [\n    {\"year\": 2001, \"count\": 5},\n    {\"year\": 2002, \"count\": 6},\n    {\"year\": 2003, \"count\": 7},\n  ],\n  \"t2\": [\n    {\"year\": 2001, \"count\": 5},\n    {\"year\": 2002, \"count\": 6},\n    {\"year\": 2003, \"count\": 7},\n  ],\n";
+        assert_eq!(detect(json).len(), 2);
+    }
+
+    #[test]
+    fn metadata_objects_rejected() {
+        let json = "{\n  \"description\": \"site metadata\",\n  \"links\": [\"a\", \"b\"]\n}";
+        assert!(detect(json).is_empty());
+    }
+
+    #[test]
+    fn records_need_two_numbers() {
+        let json = "    {\"name\": \"a\", \"id\": 1},\n    {\"name\": \"b\", \"id\": 2},\n    {\"name\": \"c\", \"id\": 3},\n";
+        assert!(detect(json).is_empty(), "one numeric field is not a stat table");
+    }
+}

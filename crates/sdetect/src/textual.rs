@@ -1,0 +1,102 @@
+//! Table detection in extracted *text* (PDF and word-processor documents).
+//!
+//! Text extracted from PDFs loses cell structure; what remains are runs of
+//! lines whose whitespace-separated fields align into columns. A run of at
+//! least four such lines with a consistent field count and ≥ 2 numeric
+//! columns is counted as one statistic table — the "roughly one second per
+//! PDF page" pipeline of \[51\], reduced to its structural core.
+
+use crate::detect::DetectedTable;
+
+/// Splits a line into column fields on runs of ≥ 2 spaces or tabs.
+fn fields(line: &str) -> Vec<String> {
+    let normalized = line.replace('\t', "  ");
+    normalized
+        .split("  ")
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Detects aligned-column tables in document text.
+pub fn detect(text: &str) -> Vec<DetectedTable> {
+    let mut out = Vec::new();
+    let mut run: Vec<Vec<String>> = Vec::new();
+    let mut run_cols = 0usize;
+    let flush = |run: &mut Vec<Vec<String>>, run_cols: &mut usize, out: &mut Vec<DetectedTable>| {
+        if run.len() >= 4 {
+            if let Some(t) = crate::delimited::classify_block(run) {
+                out.push(t);
+            }
+        }
+        run.clear();
+        *run_cols = 0;
+    };
+    for line in text.lines() {
+        let f = fields(line);
+        // A table line has ≥ 2 aligned fields; consistency of field count
+        // (± 1, headers can be ragged) keeps prose out.
+        let is_tably = f.len() >= 2;
+        let consistent = run_cols == 0 || f.len() + 1 >= run_cols && f.len() <= run_cols + 1;
+        if is_tably && consistent {
+            run_cols = run_cols.max(f.len());
+            run.push(f);
+        } else {
+            flush(&mut run, &mut run_cols, &mut out);
+        }
+    }
+    flush(&mut run, &mut run_cols, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_aligned_table_between_prose() {
+        let text = "\
+This report presents the annual figures.\n\
+\n\
+year        region          count\n\
+2001        R01               500\n\
+2002        R02               700\n\
+2003        R01               900\n\
+\n\
+The methodology follows international standards.\n";
+        let found = detect(text);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].cols, 3);
+    }
+
+    #[test]
+    fn prose_alone_detects_nothing() {
+        let text = "One sentence here.\nAnother sentence follows.\nAnd a third one.\nAnd more.\n";
+        assert!(detect(text).is_empty());
+    }
+
+    #[test]
+    fn two_tables_separated_by_prose() {
+        let table = "year      count\n2001       10\n2002       20\n2003       30\n";
+        let text = format!("{table}\nSome separating prose only here.\n\n{table}");
+        assert_eq!(detect(&text).len(), 2);
+    }
+
+    #[test]
+    fn short_runs_rejected() {
+        let text = "year      count\n2001       10\n2002       20\n";
+        assert!(detect(text).is_empty());
+    }
+
+    #[test]
+    fn textual_columns_rejected() {
+        let text = "\
+name          city\n\
+Alice         Paris\n\
+Bob           Lyon\n\
+Carol         Lille\n\
+Dave          Nice\n";
+        assert!(detect(text).is_empty());
+    }
+}

@@ -1,0 +1,317 @@
+//! Deterministic HTML rendering of generated pages.
+//!
+//! Pages are rendered with the `sb-html` builder and re-parsed by the crawler
+//! with the same crate's parser, so tag paths travel through a genuine
+//! parse. Every [`Slot`] renders at a distinct, section-styled DOM location;
+//! the per-section style variations (extra wrappers, different list classes,
+//! `div#frame-…` unique ids on `unique_ids` sites) produce the near-duplicate
+//! tag paths the θ-threshold clustering has to cope with.
+
+use super::{HtmlRole, PageId, PageKind, SectionStyle, Slot, Website};
+use crate::gen::lexicon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sb_html::{el, render as render_doc, text, HtmlBuilder};
+
+/// Renders the HTML body of page `id`. Panics if the page is not HTML.
+pub fn render_page(site: &Website, id: PageId) -> String {
+    let page = site.page(id);
+    let PageKind::Html(role) = page.kind else {
+        panic!("render_page on non-HTML page {id}");
+    };
+    let style = site.section_style(role.section());
+    let mut rng = StdRng::seed_from_u64(site.seed() ^ (u64::from(id) << 17) ^ 0x9e37_79b9);
+
+    let mut by_slot: Vec<Vec<&crate::gen::OutLink>> = vec![Vec::new(); Slot::ALL.len()];
+    for l in &page.out {
+        by_slot[slot_index(l.slot)].push(l);
+    }
+
+    let head = el("head")
+        .child(el("meta").attr("charset", "utf-8"))
+        .child(el("title").child(text(page.title.clone())));
+
+    let mut body = el("body");
+    body = body.child(nav_bar(site, &by_slot[slot_index(Slot::Nav)], &mut rng));
+
+    let mut layout = el("div").id("layout");
+    if !by_slot[slot_index(Slot::Breadcrumb)].is_empty() {
+        let mut bc = el("div").class("breadcrumb");
+        for l in &by_slot[slot_index(Slot::Breadcrumb)] {
+            bc = bc.child(anchor(site, l.to, None, &mut rng));
+        }
+        layout = layout.child(bc);
+    }
+
+    let mut content = el("div");
+    for c in &style.content_classes {
+        content = content.class(c.clone());
+    }
+    if site.spec().unique_ids {
+        // The `ed` pathology: a unique id in the path of every content link.
+        content = content.child(frame_content(site, id, role, style, &by_slot, &mut rng));
+    } else {
+        content = content_children(content, site, role, style, &by_slot, &mut rng);
+    }
+
+    let mut main = el("main").child(content);
+    for _ in 0..style.wrapper_divs {
+        main = el("div").class("wrap").child(main);
+    }
+    layout = layout.child(main);
+    body = body.child(layout);
+
+    // Footer links.
+    let footer_links = &by_slot[slot_index(Slot::Footer)];
+    if !footer_links.is_empty() {
+        let mut links = el("div").class("links");
+        for l in footer_links.iter() {
+            links = links.child(anchor(site, l.to, None, &mut rng));
+        }
+        body = body.child(el("footer").child(links));
+    }
+    // Embeds.
+    for l in &by_slot[slot_index(Slot::Embed)] {
+        body = body.child(el("iframe").attr("src", href(site, l.to, &mut rng)));
+    }
+
+    render_doc(&el("html").child(head).child(body))
+}
+
+fn frame_content(
+    site: &Website,
+    id: PageId,
+    role: HtmlRole,
+    style: &SectionStyle,
+    by_slot: &[Vec<&crate::gen::OutLink>],
+    rng: &mut StdRng,
+) -> HtmlBuilder {
+    let inner = content_children(el("div").class("frame-standard"), site, role, style, by_slot, rng);
+    el("div").id(format!("frame-{id}")).class("frame").child(inner)
+}
+
+fn content_children(
+    mut content: HtmlBuilder,
+    site: &Website,
+    role: HtmlRole,
+    style: &SectionStyle,
+    by_slot: &[Vec<&crate::gen::OutLink>],
+    rng: &mut StdRng,
+) -> HtmlBuilder {
+    let lang = style.lang;
+    content = content.child(el("h1").child(text(title_of(site, role))));
+    // Filler paragraphs.
+    for _ in 0..rng.gen_range(1..4) {
+        content = content.child(el("p").child(text(lexicon::pick(rng, lexicon::filler(lang)).to_owned())));
+    }
+
+    // Topic lists (hub → chains/catalog heads).
+    let topics = &by_slot[slot_index(Slot::TopicItem)];
+    if !topics.is_empty() {
+        let mut ul = el("ul").class("topics");
+        for l in topics.iter() {
+            ul = ul.child(el("li").child(anchor(site, l.to, None, rng)));
+        }
+        content = content.child(ul);
+    }
+
+    // Article listings.
+    let items = &by_slot[slot_index(Slot::ListItem)];
+    if !items.is_empty() {
+        let mut ul = el("ul").class("items");
+        for l in items.iter() {
+            ul = ul.child(el("li").class("item").child(anchor(site, l.to, None, rng)));
+        }
+        content = content.child(ul);
+    }
+
+    // Dataset listings — the target-rich slot.
+    let datasets = &by_slot[slot_index(Slot::DatasetItem)];
+    if !datasets.is_empty() {
+        let mut ul = el("ul").class(style.list_class.clone());
+        for l in datasets.iter() {
+            ul = ul.child(el("li").child(anchor(site, l.to, Some(&style.link_class), rng)));
+        }
+        content = content.child(ul);
+    }
+
+    // Article download boxes.
+    let downloads = &by_slot[slot_index(Slot::Download)];
+    if !downloads.is_empty() {
+        let mut ul = el("ul");
+        for l in downloads.iter() {
+            ul = ul.child(el("li").child(anchor(site, l.to, Some(&style.link_class), rng)));
+        }
+        content = content
+            .child(el("article").child(el("div").class("downloads").child(ul)));
+    }
+
+    // Related links.
+    let related = &by_slot[slot_index(Slot::Related)];
+    if !related.is_empty() {
+        let mut ul = el("ul");
+        for l in related.iter() {
+            ul = ul.child(el("li").child(anchor(site, l.to, None, rng)));
+        }
+        content = content.child(el("div").class("related").child(ul));
+    }
+
+    // Pagination.
+    let pag = &by_slot[slot_index(Slot::Pagination)];
+    if !pag.is_empty() {
+        let mut div = el("div").class("pagination");
+        for l in pag.iter() {
+            div = div.child(
+                el("a").class("page").attr("href", href(site, l.to, rng)).child(text("Next")),
+            );
+        }
+        content = content.child(div);
+    }
+    content
+}
+
+fn nav_bar(site: &Website, links: &[&crate::gen::OutLink], rng: &mut StdRng) -> HtmlBuilder {
+    let mut ul = el("ul").class("menu");
+    for l in links.iter() {
+        let lang = match site.page(l.to).kind {
+            PageKind::Html(r) => site.section_style(r.section()).lang,
+            _ => site.section_style(0).lang,
+        };
+        let word = lexicon::pick(rng, lexicon::nav_words(lang)).to_owned();
+        ul = ul.child(el("li").child(el("a").attr("href", href(site, l.to, rng)).child(text(word))));
+    }
+    el("header").child(el("nav").child(ul))
+}
+
+fn anchor(site: &Website, to: PageId, class: Option<&str>, rng: &mut StdRng) -> HtmlBuilder {
+    let mut a = el("a").attr("href", href(site, to, rng));
+    if let Some(c) = class {
+        for part in c.split_ascii_whitespace() {
+            a = a.class(part);
+        }
+    }
+    a.child(text(site.page(to).title.clone()))
+}
+
+/// Mostly root-relative hrefs, occasionally absolute — both forms occur in
+/// the wild and both must resolve to the same page.
+fn href(site: &Website, to: PageId, rng: &mut StdRng) -> String {
+    let url = &site.page(to).url;
+    if rng.gen_bool(0.1) {
+        return url.clone();
+    }
+    match url.find("://").and_then(|p| url[p + 3..].find('/').map(|q| p + 3 + q)) {
+        Some(slash) => url[slash..].to_owned(),
+        None => url.clone(),
+    }
+}
+
+fn title_of(site: &Website, role: HtmlRole) -> String {
+    match role {
+        HtmlRole::Root => site.spec().name.to_owned(),
+        _ => {
+            // Titles are stored on the page itself; the caller passes role
+            // only, so regenerate a section-ish heading.
+            let style = site.section_style(role.section());
+            format!("Section {} — {}", role.section(), style.content_classes.last().cloned().unwrap_or_default())
+        }
+    }
+}
+
+fn slot_index(s: Slot) -> usize {
+    Slot::ALL.iter().position(|&x| x == s).expect("slot in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{build_site, SiteSpec};
+    use sb_html::extract_links;
+
+    #[test]
+    fn rendered_links_match_graph() {
+        let spec = SiteSpec::demo(300);
+        let site = build_site(&spec, 11);
+        let root_url = crate::url::Url::parse(&site.page(site.root()).url).unwrap();
+        for id in 0..site.len() as PageId {
+            if !matches!(site.page(id).kind, PageKind::Html(_)) {
+                continue;
+            }
+            let html = render_page(&site, id);
+            let links = extract_links(&html);
+            // Every graph out-link appears exactly once in the rendered page
+            // (order differs: the template groups links by slot).
+            assert_eq!(links.len(), site.page(id).out.len(), "page {id}");
+            let mut rendered: Vec<String> = links
+                .iter()
+                .map(|l| root_url.join(&l.href).unwrap().as_string())
+                .collect();
+            let mut expected: Vec<String> =
+                site.page(id).out.iter().map(|o| site.page(o.to).url.clone()).collect();
+            rendered.sort();
+            expected.sort();
+            assert_eq!(rendered, expected, "page {id}");
+        }
+    }
+
+    #[test]
+    fn deterministic_rendering() {
+        let spec = SiteSpec::demo(120);
+        let site = build_site(&spec, 3);
+        for id in [0u32, 1, 5] {
+            if matches!(site.page(id).kind, PageKind::Html(_)) {
+                assert_eq!(render_page(&site, id), render_page(&site, id));
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_links_share_tag_path_within_section() {
+        let spec = SiteSpec::demo(600);
+        let site = build_site(&spec, 9);
+        // Find a list page with ≥ 2 dataset links.
+        for id in 0..site.len() as PageId {
+            let page = site.page(id);
+            if !matches!(page.kind, PageKind::Html(HtmlRole::List { .. })) {
+                continue;
+            }
+            let n_ds = page.out.iter().filter(|l| l.slot == Slot::DatasetItem).count();
+            if n_ds < 2 {
+                continue;
+            }
+            let html = render_page(&site, id);
+            let links = extract_links(&html);
+            let ds_paths: Vec<String> = links
+                .iter()
+                .filter(|l| l.tag_path.to_string().contains("li a."))
+                .map(|l| l.tag_path.to_string())
+                .collect();
+            assert!(ds_paths.len() >= 2);
+            assert!(ds_paths.windows(2).all(|w| w[0] == w[1]), "{ds_paths:?}");
+            return;
+        }
+        panic!("no list page with 2+ dataset links found");
+    }
+
+    #[test]
+    fn unique_ids_change_paths_per_page() {
+        let mut spec = SiteSpec::demo(300);
+        spec.unique_ids = true;
+        let site = build_site(&spec, 2);
+        let mut seen = std::collections::HashSet::new();
+        let mut pages_with_frame = 0;
+        for id in 0..site.len() as PageId {
+            if !matches!(site.page(id).kind, PageKind::Html(_)) {
+                continue;
+            }
+            let html = render_page(&site, id);
+            if let Some(pos) = html.find("id=\"frame-") {
+                let end = html[pos + 10..].find('"').unwrap();
+                seen.insert(html[pos + 10..pos + 10 + end].to_owned());
+                pages_with_frame += 1;
+            }
+        }
+        assert!(pages_with_frame > 10);
+        assert_eq!(seen.len(), pages_with_frame, "frame ids must be unique");
+    }
+}

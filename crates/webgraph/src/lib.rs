@@ -1,0 +1,26 @@
+//! Website graphs, URLs, MIME policy, synthetic site generation and the
+//! NP-hardness module for the `sbcrawl` focused crawler.
+//!
+//! This crate is the crawler's *world model*:
+//!
+//! * [`url`] — URL parsing and the Sec 2.2 site-boundary rule,
+//! * [`mime`] — target MIME types (Appendix A.2) and multimedia blocklists,
+//! * [`graph`] — the formal website-graph / crawl-tree model (Defs 1–3),
+//! * [`complexity`] — the set-cover reduction and exact solvers behind
+//!   Proposition 4,
+//! * [`gen`] — deterministic synthetic websites reproducing the Table 1
+//!   profiles (the offline stand-in for the paper's 18 live sites),
+//! * [`content`] — target file bodies with planted statistic tables
+//!   (ground truth for the Table 7 experiment).
+
+pub mod complexity;
+pub mod content;
+pub mod gen;
+pub mod graph;
+pub mod mime;
+pub mod url;
+
+pub use gen::{build_site, paper_profiles, profile, Census, PageId, PageKind, SiteSpec, Website};
+pub use graph::{Crawl, NodeIdx, WebsiteGraph};
+pub use mime::{MimePolicy, UrlClass};
+pub use url::Url;

@@ -1,0 +1,287 @@
+//! URL parsing, normalisation and the website-boundary rule of Sec 2.2.
+//!
+//! The paper identifies pages by URL and decides site membership
+//! pragmatically: a URL belongs to the website of root `r` iff its hostname
+//! (minus a possible `www.` prefix) **is a subdomain of** (or equal to) the
+//! hostname of `r`. So with root `https://www.A.B.com/index.php`,
+//! `https://www.C.A.B.com/page.html` is in, `https://www.B.com/page.php` is
+//! out. This module implements that rule plus the usual crawler chores:
+//! resolving relative references, stripping fragments and extracting the
+//! file extension used by the blocklists.
+
+use std::fmt;
+
+/// A parsed absolute http(s) URL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Url {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// Hostname, lowercase, no port handling beyond keeping it verbatim.
+    pub host: String,
+    /// Path, always starting with `/`.
+    pub path: String,
+    /// Query string without the leading `?`, empty if none.
+    pub query: String,
+}
+
+/// Errors when parsing an absolute URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UrlError {
+    /// Scheme missing or not http/https.
+    BadScheme,
+    /// No hostname.
+    NoHost,
+}
+
+impl fmt::Display for UrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrlError::BadScheme => f.write_str("URL scheme is not http(s)"),
+            UrlError::NoHost => f.write_str("URL has no hostname"),
+        }
+    }
+}
+
+impl std::error::Error for UrlError {}
+
+impl Url {
+    /// Parses an absolute URL. Fragments (`#…`) are dropped: they never
+    /// change the fetched resource.
+    pub fn parse(s: &str) -> Result<Url, UrlError> {
+        let s = s.trim();
+        let (scheme, rest) = match s.split_once("://") {
+            Some((sch, rest)) => (sch.to_ascii_lowercase(), rest),
+            None => return Err(UrlError::BadScheme),
+        };
+        if scheme != "http" && scheme != "https" {
+            return Err(UrlError::BadScheme);
+        }
+        let rest = rest.split('#').next().unwrap_or("");
+        let (authority, path_query) = match rest.find('/') {
+            Some(pos) => (&rest[..pos], &rest[pos..]),
+            None => match rest.find('?') {
+                Some(pos) => (&rest[..pos], &rest[pos..]),
+                None => (rest, ""),
+            },
+        };
+        if authority.is_empty() {
+            return Err(UrlError::NoHost);
+        }
+        // Strip userinfo if any.
+        let host = authority.rsplit('@').next().unwrap_or(authority).to_ascii_lowercase();
+        if host.is_empty() {
+            return Err(UrlError::NoHost);
+        }
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (path_query, ""),
+        };
+        let path = if path.is_empty() { "/".to_owned() } else { normalize_path(path) };
+        Ok(Url { scheme, host, path, query: query.to_owned() })
+    }
+
+    /// Resolves `reference` (absolute, protocol-relative, root-relative,
+    /// relative or query-only) against `self` as base.
+    pub fn join(&self, reference: &str) -> Result<Url, UrlError> {
+        let r = reference.trim();
+        let r = r.split('#').next().unwrap_or("");
+        if r.is_empty() {
+            return Ok(self.clone());
+        }
+        if r.contains("://") {
+            return Url::parse(r);
+        }
+        if let Some(rest) = r.strip_prefix("//") {
+            return Url::parse(&format!("{}://{}", self.scheme, rest));
+        }
+        if let Some(q) = r.strip_prefix('?') {
+            let mut u = self.clone();
+            u.query = q.to_owned();
+            return Ok(u);
+        }
+        let (ref_path, query) = match r.split_once('?') {
+            Some((p, q)) => (p, q.to_owned()),
+            None => (r, String::new()),
+        };
+        let path = if ref_path.starts_with('/') {
+            normalize_path(ref_path)
+        } else {
+            // Relative to the base path's directory.
+            let dir = match self.path.rfind('/') {
+                Some(pos) => &self.path[..=pos],
+                None => "/",
+            };
+            normalize_path(&format!("{dir}{ref_path}"))
+        };
+        Ok(Url { scheme: self.scheme.clone(), host: self.host.clone(), path, query })
+    }
+
+    /// Hostname with a leading `www.` removed — the paper's footnote-1 rule.
+    pub fn host_sans_www(&self) -> &str {
+        self.host.strip_prefix("www.").unwrap_or(&self.host)
+    }
+
+    /// Website-boundary test of Sec 2.2: is `self` part of the site rooted at
+    /// `root`? True iff `self`'s www-stripped host equals or is a subdomain
+    /// of `root`'s www-stripped host.
+    pub fn same_site_as(&self, root: &Url) -> bool {
+        let mine = self.host_sans_www();
+        let theirs = root.host_sans_www();
+        mine == theirs || mine.ends_with(&format!(".{theirs}"))
+    }
+
+    /// Lowercased extension of the last path segment, if any
+    /// (`/a/b/file.CSV` → `csv`). Query strings don't count.
+    pub fn extension(&self) -> Option<String> {
+        let last = self.path.rsplit('/').next()?;
+        let (stem, ext) = last.rsplit_once('.')?;
+        if stem.is_empty() || ext.is_empty() || ext.len() > 10 {
+            return None;
+        }
+        if !ext.bytes().all(|b| b.is_ascii_alphanumeric()) {
+            return None;
+        }
+        Some(ext.to_ascii_lowercase())
+    }
+
+    /// Canonical string form.
+    pub fn as_string(&self) -> String {
+        let mut s =
+            String::with_capacity(self.scheme.len() + 3 + self.host.len() + self.path.len() + self.query.len() + 1);
+        s.push_str(&self.scheme);
+        s.push_str("://");
+        s.push_str(&self.host);
+        s.push_str(&self.path);
+        if !self.query.is_empty() {
+            s.push('?');
+            s.push_str(&self.query);
+        }
+        s
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.as_string())
+    }
+}
+
+/// Collapses `.` and `..` segments and duplicate slashes.
+fn normalize_path(path: &str) -> String {
+    let mut out: Vec<&str> = Vec::new();
+    let trailing_slash = path.ends_with('/');
+    for seg in path.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            s => out.push(s),
+        }
+    }
+    let mut p = String::with_capacity(path.len());
+    p.push('/');
+    p.push_str(&out.join("/"));
+    if trailing_slash && !p.ends_with('/') {
+        p.push('/');
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(s: &str) -> Url {
+        Url::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let url = u("https://www.A.B.com/folder/content.php?x=1#frag");
+        assert_eq!(url.scheme, "https");
+        assert_eq!(url.host, "www.a.b.com");
+        assert_eq!(url.path, "/folder/content.php");
+        assert_eq!(url.query, "x=1");
+    }
+
+    #[test]
+    fn parse_no_path() {
+        assert_eq!(u("http://a.com").path, "/");
+        assert_eq!(u("http://a.com?x=1").query, "x=1");
+    }
+
+    #[test]
+    fn rejects_non_http() {
+        assert_eq!(Url::parse("ftp://a.com/x"), Err(UrlError::BadScheme));
+        assert_eq!(Url::parse("mailto:a@b.c"), Err(UrlError::BadScheme));
+        assert_eq!(Url::parse("/relative/only"), Err(UrlError::BadScheme));
+    }
+
+    /// The exact examples of Sec 2.2.
+    #[test]
+    fn paper_site_boundary_examples() {
+        let root = u("https://www.A.B.com/index.php");
+        assert!(u("https://www.A.B.com/folder/content.php").same_site_as(&root));
+        assert!(u("https://www.C.A.B.com/page.html").same_site_as(&root));
+        assert!(!u("https://www.B.com/page.php").same_site_as(&root));
+        assert!(!u("https://edbticdt2026.github.io/?contents=EDBT_CFP.html").same_site_as(&root));
+    }
+
+    #[test]
+    fn www_stripping_is_symmetric() {
+        let root = u("https://nces.ed.gov/");
+        assert!(u("https://www.nces.ed.gov/x").same_site_as(&root));
+        let root2 = u("https://www.justice.gouv.fr/");
+        assert!(u("https://justice.gouv.fr/en/node/9961").same_site_as(&root2));
+    }
+
+    #[test]
+    fn subdomain_requires_dot_boundary() {
+        let root = u("https://b.com/");
+        assert!(!u("https://evilb.com/").same_site_as(&root));
+        assert!(u("https://a.b.com/").same_site_as(&root));
+    }
+
+    #[test]
+    fn join_absolute_and_relative() {
+        let base = u("https://a.com/dir/page.html");
+        assert_eq!(base.join("https://x.org/y").unwrap().host, "x.org");
+        assert_eq!(base.join("/root.csv").unwrap().path, "/root.csv");
+        assert_eq!(base.join("sub/file.pdf").unwrap().path, "/dir/sub/file.pdf");
+        assert_eq!(base.join("../up.xls").unwrap().path, "/up.xls");
+        assert_eq!(base.join("?page=2").unwrap().query, "page=2");
+        assert_eq!(base.join("?page=2").unwrap().path, "/dir/page.html");
+        assert_eq!(base.join("//cdn.a.com/y").unwrap().host, "cdn.a.com");
+    }
+
+    #[test]
+    fn join_drops_fragment() {
+        let base = u("https://a.com/dir/");
+        assert_eq!(base.join("x.html#sec").unwrap().path, "/dir/x.html");
+    }
+
+    #[test]
+    fn extension_extraction() {
+        assert_eq!(u("https://a.com/f/data.CSV").extension().as_deref(), Some("csv"));
+        assert_eq!(u("https://a.com/f/archive.tar.gz").extension().as_deref(), Some("gz"));
+        assert_eq!(u("https://a.com/en/node/9961").extension(), None);
+        assert_eq!(u("https://a.com/.hidden").extension(), None);
+        assert_eq!(u("https://a.com/x.csv?dl=1").extension().as_deref(), Some("csv"));
+        assert_eq!(u("https://a.com/weird.d-t").extension(), None);
+    }
+
+    #[test]
+    fn normalize_collapses_dots_and_slashes() {
+        assert_eq!(u("https://a.com//x///y/./z/../w").path, "/x/y/w");
+        assert_eq!(u("https://a.com/a/b/").path, "/a/b/");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["https://a.b.com/x/y.csv?q=1", "http://a.com/", "https://a.com/p"] {
+            assert_eq!(u(s).to_string(), s);
+            assert_eq!(u(&u(s).to_string()), u(s));
+        }
+    }
+}

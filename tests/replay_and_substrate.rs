@@ -1,0 +1,97 @@
+//! Cross-crate substrate tests: the Sec 4.4 replay methodology, the MIME
+//! policy plumbing, and the NP-hardness module working over the same graph
+//! types the crawler uses.
+
+use sbcrawl::crawler::engine::{crawl, CrawlConfig};
+use sbcrawl::crawler::strategies::QueueStrategy;
+use sbcrawl::httpsim::{Mode, ReplayStore, SiteServer};
+use sbcrawl::webgraph::complexity::{
+    crawl_budget_for_cover_budget, min_crawl_cost, min_set_cover, reduce_set_cover,
+    SetCoverInstance,
+};
+use sbcrawl::webgraph::{build_site, SiteSpec};
+
+/// Sec 4.4: crawlers behind a semi-online replay store see exactly what a
+/// direct crawl sees, and the second crawler costs the origin nothing.
+#[test]
+fn replay_store_is_transparent_and_saves_origin_traffic() {
+    let site = build_site(&SiteSpec::demo(250), 1);
+    let root = site.page(site.root()).url.clone();
+
+    // Direct crawl.
+    let direct_server = SiteServer::new(site.clone());
+    let mut bfs = QueueStrategy::bfs();
+    let direct = crawl(&direct_server, None, &root, &mut bfs, &CrawlConfig::default());
+
+    // Same crawl through a semi-online replay store.
+    let store = ReplayStore::new(SiteServer::new(site.clone()), Mode::SemiOnline);
+    let mut bfs2 = QueueStrategy::bfs();
+    let replayed = crawl(&store, None, &root, &mut bfs2, &CrawlConfig::default());
+    assert_eq!(direct.targets_found(), replayed.targets_found());
+    assert_eq!(direct.traffic.get_requests, replayed.traffic.get_requests);
+
+    // A second crawler re-uses the database: zero new upstream GETs.
+    let upstream_before = store.upstream_gets();
+    let mut dfs = QueueStrategy::dfs();
+    let second = crawl(&store, None, &root, &mut dfs, &CrawlConfig::default());
+    assert_eq!(second.targets_found(), direct.targets_found());
+    assert_eq!(
+        store.upstream_gets(),
+        upstream_before,
+        "DFS after BFS must be served fully from the replay DB"
+    );
+}
+
+/// A PDF-only policy retrieves exactly the PDFs (custom target MIME lists,
+/// Sec 2.2).
+#[test]
+fn custom_mime_policy_restricts_targets() {
+    use sbcrawl::webgraph::{MimePolicy, PageKind};
+    let site = build_site(&SiteSpec::demo(400), 2);
+    let n_pdfs = site
+        .pages()
+        .iter()
+        .filter(|p| matches!(&p.kind, PageKind::Target { mime, .. } if *mime == "application/pdf"))
+        .count() as u64;
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+    let mut bfs = QueueStrategy::bfs();
+    let cfg = CrawlConfig {
+        policy: MimePolicy::with_targets(["application/pdf"]),
+        ..Default::default()
+    };
+    let out = crawl(&server, None, &root, &mut bfs, &cfg);
+    assert_eq!(out.targets_found(), n_pdfs);
+    assert!(out.targets.iter().all(|t| t.mime == "application/pdf"));
+}
+
+/// Prop 4 at integration level: reduce, solve exactly, verify the budget
+/// arithmetic — over the same `WebsiteGraph` type the rest of the repo uses.
+#[test]
+fn prop4_reduction_roundtrip() {
+    let inst = SetCoverInstance::new(
+        7,
+        vec![vec![0, 1, 2, 3], vec![3, 4], vec![4, 5, 6], vec![0, 6], vec![1, 4, 5]],
+    );
+    let b_star = min_set_cover(&inst);
+    let red = reduce_set_cover(&inst);
+    let c_star = min_crawl_cost(&red.graph, &red.targets).expect("targets reachable");
+    assert_eq!(c_star, crawl_budget_for_cover_budget(&inst, b_star));
+}
+
+/// Interrupted downloads (blocked MIME) keep the crawl sound: every real
+/// target still found, multimedia never stored.
+#[test]
+fn blocked_mime_never_reaches_storage() {
+    let site = build_site(&SiteSpec::demo(300), 3);
+    let total = site.census().targets;
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+    let mut bfs = QueueStrategy::bfs();
+    let out = crawl(&server, None, &root, &mut bfs, &CrawlConfig { keep_target_bodies: true, ..Default::default() });
+    assert_eq!(out.targets_found() as usize, total);
+    assert!(out
+        .targets
+        .iter()
+        .all(|t| !t.mime.starts_with("image/") && !t.mime.starts_with("video/")));
+}
