@@ -1,0 +1,159 @@
+//! End-to-end crawl-engine benchmarks: the interned-id hot path (id-keyed
+//! visited set, no URL re-parse/re-stringify, render-cached site server)
+//! against the preserved seed implementation (string-keyed `seen`,
+//! render-per-GET server) from `sb_bench::reference`.
+//!
+//! `BENCH_engine.json` at the repository root snapshots these numbers;
+//! regenerate it with `scripts/bench_engine.sh`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sb_bench::reference::{reference_queue_crawl, UncachedSiteServer};
+use sb_crawler::engine::{crawl, Budget, CrawlConfig};
+use sb_crawler::strategies::{Discipline, QueueStrategy, SbStrategy};
+use sb_httpsim::SiteServer;
+use sb_webgraph::gen::{build_site, SiteSpec};
+use sb_webgraph::{UrlInterner, Website};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A large generated site shared by every measurement (cache state is part
+/// of what is measured: the seed path re-renders per GET regardless, the
+/// interned path renders each page once per site instance).
+fn bench_site(n: usize) -> Arc<Website> {
+    Arc::new(build_site(&SiteSpec::demo(n), 42))
+}
+
+fn root_of(site: &Website) -> String {
+    site.page(site.root()).url.clone()
+}
+
+/// The headline number: a full BFS crawl of a 4 000-page site, seed path
+/// vs interned path. Both exhaust the site (BFS visits every reachable
+/// URL), so this exercises the visited set, link filtering, URL identity
+/// and page serving end to end.
+fn bench_e2e_bfs(c: &mut Criterion) {
+    let site = bench_site(4_000);
+    let root = root_of(&site);
+
+    let mut group = c.benchmark_group("engine/e2e_bfs_4k");
+    group.sample_size(10);
+    group.bench_function("seed_string_keyed", |b| {
+        let server = UncachedSiteServer::new(Arc::clone(&site));
+        b.iter(|| {
+            black_box(reference_queue_crawl(
+                &server,
+                &root,
+                Discipline::Fifo,
+                Budget::Unlimited,
+                7,
+                None,
+            ))
+        })
+    });
+    group.bench_function("interned_render_cached", |b| {
+        let server = SiteServer::shared(Arc::clone(&site));
+        b.iter(|| {
+            let mut bfs = QueueStrategy::bfs();
+            let cfg = CrawlConfig { seed: 7, ..CrawlConfig::default() };
+            black_box(crawl(&server, None, &root, &mut bfs, &cfg))
+        })
+    });
+    group.finish();
+}
+
+/// The paper's own crawler on the new hot path (no seed counterpart: the
+/// reference module only preserves the queue engine). Tracks the absolute
+/// cost of a budgeted SB-CLASSIFIER run, HEAD bootstrap included.
+fn bench_e2e_sb(c: &mut Criterion) {
+    let site = bench_site(4_000);
+    let root = root_of(&site);
+    let server = SiteServer::shared(Arc::clone(&site));
+
+    let mut group = c.benchmark_group("engine/e2e_sb_classifier_4k");
+    group.sample_size(10);
+    group.bench_function("interned_render_cached", |b| {
+        b.iter(|| {
+            let mut sb = SbStrategy::classifier_default();
+            let cfg = CrawlConfig {
+                budget: Budget::Requests(1_500),
+                seed: 7,
+                ..CrawlConfig::default()
+            };
+            black_box(crawl(&server, None, &root, &mut sb, &cfg))
+        })
+    });
+    group.finish();
+}
+
+/// HEAD-heavy serving: the classifier bootstrap issues one HEAD per
+/// discovered link. Seed path rendered a full body per HEAD; the interned
+/// path serves the precomputed Content-Length.
+fn bench_head(c: &mut Criterion) {
+    let site = bench_site(2_000);
+    let urls: Vec<String> = site
+        .pages()
+        .iter()
+        .filter(|p| matches!(p.kind, sb_webgraph::PageKind::Html(_)))
+        .map(|p| p.url.clone())
+        .take(256)
+        .collect();
+
+    let mut group = c.benchmark_group("server/head_256_html_pages");
+    group.bench_function("seed_render_per_head", |b| {
+        let server = UncachedSiteServer::new(Arc::clone(&site));
+        b.iter(|| {
+            for u in &urls {
+                black_box(sb_httpsim::HttpServer::head(&server, u));
+            }
+        })
+    });
+    group.bench_function("precomputed_content_length", |b| {
+        let server = SiteServer::shared(Arc::clone(&site));
+        b.iter(|| {
+            for u in &urls {
+                black_box(sb_httpsim::HttpServer::head(&server, u));
+            }
+        })
+    });
+    group.finish();
+}
+
+/// Interner micro-costs: membership tests on parsed URLs vs owned-string
+/// hashing, over a realistic URL population.
+fn bench_interner(c: &mut Criterion) {
+    let site = bench_site(2_000);
+    let parsed: Vec<sb_webgraph::Url> =
+        site.pages().iter().map(|p| sb_webgraph::Url::parse(&p.url).unwrap()).collect();
+
+    c.bench_function("interner/intern_2k_urls", |b| {
+        b.iter(|| {
+            let mut it = UrlInterner::new();
+            for u in &parsed {
+                black_box(it.intern(u));
+            }
+            it.len()
+        })
+    });
+    c.bench_function("interner/hit_lookup_2k", |b| {
+        let mut it = UrlInterner::new();
+        for u in &parsed {
+            it.intern(u);
+        }
+        b.iter(|| {
+            let mut found = 0usize;
+            for u in &parsed {
+                found += usize::from(it.get(black_box(u)).is_some());
+            }
+            found
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_interner
+);
+criterion_main!(engine);

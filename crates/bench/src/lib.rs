@@ -1,1 +1,7 @@
-pub fn _placeholder() {}
+//! Benchmark support for the sbcrawl workspace.
+//!
+//! [`reference`] preserves the pre-interning string-keyed engine and the
+//! uncached site server as an executable baseline for `benches/engine.rs`
+//! and the determinism property tests.
+
+pub mod reference;

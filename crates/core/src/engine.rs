@@ -10,14 +10,15 @@
 //! never hinge on engine differences.
 
 use crate::early_stop::{EarlyStop, EarlyStopConfig};
-use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
+use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
 use crate::trace::{CrawlTrace, TracePoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sb_httpsim::{Client, HttpServer, Politeness};
+use sb_webgraph::interner::{UrlId, UrlInterner};
 use sb_webgraph::mime::MimePolicy;
 use sb_webgraph::url::Url;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// The crawl budget `B` of Algorithm 3.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -109,7 +110,8 @@ pub struct RetrievedTarget {
     pub url: String,
     pub mime: String,
     /// Present only when [`CrawlConfig::keep_target_bodies`] is set.
-    pub body: Option<Vec<u8>>,
+    /// Shared bytes — cloning an outcome does not copy target payloads.
+    pub body: Option<sb_httpsim::Body>,
 }
 
 /// Everything a finished crawl reports.
@@ -150,8 +152,12 @@ struct Engine<'a> {
     oracle: Option<&'a dyn Oracle>,
     cfg: &'a CrawlConfig,
     root: Url,
-    /// `T ∪ F` membership with the discovery depth of each URL.
-    seen: HashMap<String, u32>,
+    /// `T ∪ F` membership: every discovered URL is interned exactly once
+    /// (one hash of the parsed `Url`, no string round-trips); the id keys
+    /// everything downstream.
+    interner: UrlInterner,
+    /// Discovery depth per interned id (parallel to the interner).
+    depths: Vec<u32>,
     trace: CrawlTrace,
     targets: Vec<RetrievedTarget>,
     pages_crawled: u64,
@@ -162,10 +168,10 @@ struct Engine<'a> {
     rng: StdRng,
 }
 
-/// Work item of the per-step cascade: a URL plus whether its reward feeds
-/// back into the outer selection.
+/// Work item of the per-step cascade: an interned page plus whether its
+/// reward feeds back into the outer selection.
 struct WorkItem {
-    url: String,
+    id: UrlId,
     depth: u32,
     /// Feedback token of the outer selection; inner (immediately-retrieved)
     /// pages carry `None` — their rewards have no owning action.
@@ -187,7 +193,8 @@ impl<'a> Engine<'a> {
             oracle,
             cfg,
             root,
-            seen: HashMap::new(),
+            interner: UrlInterner::new(),
+            depths: Vec::new(),
             trace: CrawlTrace::new(),
             targets: Vec::new(),
             pages_crawled: 0,
@@ -200,9 +207,9 @@ impl<'a> Engine<'a> {
 
     fn run(mut self, strategy: &mut dyn Strategy) -> CrawlOutcome {
         // Algorithm 3: the crawl starts at r.
-        let root_str = self.root.as_string();
-        self.seen.insert(root_str.clone(), 0);
-        self.process_cascade(strategy, WorkItem { url: root_str, depth: 0, token: None });
+        let root = self.root.clone();
+        let root_id = self.intern_at_depth(&root, 0);
+        self.process_cascade(strategy, WorkItem { id: root_id, depth: 0, token: None });
 
         // Sitemap (or otherwise provided) seeds: fetched like the root.
         let seeds: Vec<String> = self.cfg.seed_urls.clone();
@@ -217,12 +224,11 @@ impl<'a> Engine<'a> {
             if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&url)) {
                 continue;
             }
-            let url_str = url.as_string();
-            if self.seen.contains_key(&url_str) {
+            if self.interner.get(&url).is_some() {
                 continue;
             }
-            self.seen.insert(url_str.clone(), 1);
-            self.process_cascade(strategy, WorkItem { url: url_str, depth: 1, token: None });
+            let id = self.intern_at_depth(&url, 1);
+            self.process_cascade(strategy, WorkItem { id, depth: 1, token: None });
         }
 
         let mut stopped_early = false;
@@ -241,8 +247,36 @@ impl<'a> Engine<'a> {
             let Some(Selection { url, token }) = strategy.next(&mut self.rng) else {
                 break; // frontier exhausted: the site is fully crawled
             };
-            let depth = self.seen.get(&url).copied().unwrap_or(0);
-            self.process_cascade(strategy, WorkItem { url, depth, token: Some(token) });
+            let id = match url {
+                // Hot path: the id resolves without parsing or hashing.
+                SelUrl::Id(id) if (id as usize) < self.depths.len() => id,
+                SelUrl::Id(_) => {
+                    // An id the engine never handed out — a strategy bug.
+                    // Degrade like an error answer instead of panicking.
+                    debug_assert!(false, "strategy returned an unknown UrlId");
+                    strategy.feedback_error(token);
+                    continue;
+                }
+                // Boundary path (oracle answer keys): parse + intern once.
+                SelUrl::Text(s) => {
+                    let Ok(u) = Url::parse(&s) else {
+                        // Seed parity: an unparseable selection still costs
+                        // a (404-answered) fetch, so budgets advance and a
+                        // re-offering strategy cannot spin the loop.
+                        self.t += 1;
+                        self.pages_crawled += 1;
+                        let f = self.client.get(&s);
+                        self.push_trace();
+                        if f.status >= 400 {
+                            strategy.feedback_error(token);
+                        }
+                        continue;
+                    };
+                    self.intern_at_depth(&u, 0)
+                }
+            };
+            let depth = self.depths[id as usize];
+            self.process_cascade(strategy, WorkItem { id, depth, token: Some(token) });
         }
 
         CrawlOutcome {
@@ -280,6 +314,16 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Interns `url`, recording `depth` if it is new. Existing ids keep
+    /// their original discovery depth.
+    fn intern_at_depth(&mut self, url: &Url, depth: u32) -> UrlId {
+        let id = self.interner.intern(url);
+        if id as usize == self.depths.len() {
+            self.depths.push(depth);
+        }
+        id
+    }
+
     /// Algorithm 4 for a single URL.
     fn process_one(
         &mut self,
@@ -287,36 +331,38 @@ impl<'a> Engine<'a> {
         item: WorkItem,
         queue: &mut VecDeque<WorkItem>,
     ) {
-        // Follow redirects (3xx) up to a small chain bound.
-        let mut url = item.url;
+        // Follow redirects (3xx) up to a small chain bound. `id` is always
+        // interned, so the canonical string and parsed form resolve without
+        // any re-parse or re-stringify.
+        let mut id = item.id;
         let mut fetched = None;
         for _ in 0..MAX_REDIRECTS {
             self.t += 1;
             self.pages_crawled += 1;
-            let f = self.client.get(&url);
+            let f = self.client.get(self.interner.text(id));
             self.push_trace();
             if !f.status.is_redirect_status() {
-                fetched = Some((url.clone(), f));
+                fetched = Some((id, f));
                 break;
             }
             // 3xx: follow the Location if it is new, on-site and admitted.
             let Some(loc) = f.location.clone() else { return };
-            let Ok(base) = Url::parse(&url) else { return };
-            let Ok(next) = base.join(&loc) else { return };
+            let Ok(next) = self.interner.url(id).join(&loc) else { return };
             if !next.same_site_as(&self.root) {
                 return;
             }
             if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&next)) {
                 return;
             }
-            let next_str = next.as_string();
-            if self.seen.contains_key(&next_str) && next_str != url {
-                return; // already known elsewhere; don't crawl twice
+            match self.interner.get(&next) {
+                // Already known elsewhere; don't crawl twice.
+                Some(known) if known != id => return,
+                // Self-redirect: keep following until the chain bound.
+                Some(known) => id = known,
+                None => id = self.intern_at_depth(&next, item.depth),
             }
-            self.seen.insert(next_str.clone(), item.depth);
-            url = next_str;
         }
-        let Some((url, f)) = fetched else { return };
+        let Some((id, f)) = fetched else { return };
 
         // Errors (4xx/5xx) yield nothing; the selection still consumed a pull.
         if f.status >= 400 {
@@ -331,17 +377,17 @@ impl<'a> Engine<'a> {
         let Some(mime) = f.mime.clone() else { return };
 
         if self.cfg.policy.is_html_mime(&mime) {
-            strategy.on_fetched(&url, sb_webgraph::UrlClass::Html);
-            let reward = self.process_html(strategy, &url, item.depth, &f.body, queue);
+            strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Html);
+            let reward = self.process_html(strategy, id, item.depth, &f.body, queue);
             if let Some(token) = item.token {
                 strategy.feedback(token, reward);
             }
         } else if self.cfg.policy.is_target_mime(&mime) {
             // A target: tag its volume and keep it.
             self.client.tag_target(f.wire_bytes);
-            strategy.on_fetched(&url, sb_webgraph::UrlClass::Target);
+            strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Target);
             self.targets.push(RetrievedTarget {
-                url,
+                url: self.interner.text(id).to_owned(),
                 mime,
                 body: self.cfg.keep_target_bodies.then_some(f.body),
             });
@@ -360,14 +406,17 @@ impl<'a> Engine<'a> {
     fn process_html(
         &mut self,
         strategy: &mut dyn Strategy,
-        page_url: &str,
+        page_id: UrlId,
         page_depth: u32,
         body: &[u8],
         queue: &mut VecDeque<WorkItem>,
     ) -> f64 {
         let html = String::from_utf8_lossy(body);
-        let links = sb_html::extract_links(&html);
-        let Ok(base) = Url::parse(page_url) else { return 0.0 };
+        let links = sb_html::extract_links_with(&html, strategy.link_needs());
+        // One clone of the parsed base per page (instead of a re-parse);
+        // per link, membership is checked on the parsed `Url` itself, so
+        // known links cost one hash and zero allocations.
+        let base = self.interner.url(page_id).clone();
         let mut reward = 0.0;
         for link in &links {
             let Ok(resolved) = base.join(&link.href) else { continue };
@@ -375,9 +424,8 @@ impl<'a> Engine<'a> {
             if !resolved.same_site_as(&self.root) {
                 continue;
             }
-            let url_str = resolved.as_string();
             // u_new ∉ T ∪ F
-            if self.seen.contains_key(&url_str) {
+            if self.interner.get(&resolved).is_some() {
                 continue;
             }
             // Extension blocklist: skipped without any bookkeeping.
@@ -388,9 +436,11 @@ impl<'a> Engine<'a> {
             if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&resolved)) {
                 continue;
             }
+            let id = self.intern_at_depth(&resolved, page_depth + 1);
             let new_link = NewLink {
+                id,
                 url: &resolved,
-                url_str: &url_str,
+                url_str: self.interner.text(id),
                 html: link,
                 source_depth: page_depth,
             };
@@ -400,16 +450,12 @@ impl<'a> Engine<'a> {
                 policy: &self.cfg.policy,
             };
             match strategy.decide(&new_link, &mut services) {
-                LinkDecision::Enqueue => {
-                    self.seen.insert(url_str, page_depth + 1);
-                }
+                // Enqueue/Skip need no bookkeeping: interning above already
+                // recorded membership and depth.
+                LinkDecision::Enqueue | LinkDecision::Skip => {}
                 LinkDecision::FetchNow => {
-                    self.seen.insert(url_str.clone(), page_depth + 1);
                     reward += 1.0;
-                    queue.push_back(WorkItem { url: url_str, depth: page_depth + 1, token: None });
-                }
-                LinkDecision::Skip => {
-                    self.seen.insert(url_str, page_depth + 1);
+                    queue.push_back(WorkItem { id, depth: page_depth + 1, token: None });
                 }
                 LinkDecision::ActionSpaceFull => {
                     self.aborted_oom = true;

@@ -36,5 +36,5 @@ pub use early_stop::{EarlyStop, EarlyStopConfig};
 pub use engine::{
     crawl, robots_filter, Budget, CrawlConfig, CrawlOutcome, Oracle, RetrievedTarget, UrlFilter,
 };
-pub use strategy::{ArmReport, LinkDecision, NewLink, Selection, Services, Strategy, StrategyReport};
+pub use strategy::{ArmReport, LinkDecision, NewLink, SelUrl, Selection, Services, Strategy, StrategyReport};
 pub use trace::{CrawlTrace, TracePoint};

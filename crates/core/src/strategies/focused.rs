@@ -13,9 +13,9 @@ use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
 use rand::rngs::StdRng;
 use sb_ml::features::{featurize, FeatureInput, FeatureSet, SparseVec};
 use sb_ml::models::{LogReg, OnlineBinaryModel};
-use sb_webgraph::UrlClass;
+use sb_webgraph::{FxHashMap, UrlClass, UrlId};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 /// One-hot depth features live past the bigram blocks.
 const DEPTH_BUCKETS: usize = 17;
@@ -40,7 +40,7 @@ struct Entry {
     score: f32,
     /// Tie-break: FIFO among equal scores.
     seq: u64,
-    url: String,
+    id: UrlId,
 }
 
 impl PartialEq for Entry {
@@ -70,7 +70,7 @@ pub struct FocusedStrategy {
     model: LogReg,
     heap: BinaryHeap<Entry>,
     /// Features of enqueued links, waiting for their fetch-time label.
-    pending: HashMap<String, SparseVec>,
+    pending: FxHashMap<UrlId, SparseVec>,
     batch: Vec<(SparseVec, bool)>,
     retrain_every: usize,
     seq: u64,
@@ -87,7 +87,7 @@ impl FocusedStrategy {
         FocusedStrategy {
             model: LogReg::new(feature_dim()),
             heap: BinaryHeap::new(),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             batch: Vec::new(),
             retrain_every: 32,
             seq: 0,
@@ -100,21 +100,26 @@ impl Strategy for FocusedStrategy {
         "FOCUSED".to_owned()
     }
 
+    fn link_needs(&self) -> sb_html::LinkNeeds {
+        // URL + anchor bigrams + depth; no tag paths.
+        sb_html::LinkNeeds { tag_path: false, anchor_text: true, surrounding_text: false }
+    }
+
     fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
-        self.heap.pop().map(|e| Selection { url: e.url, token: 0 })
+        self.heap.pop().map(|e| Selection { url: e.id.into(), token: 0 })
     }
 
     fn decide(&mut self, link: &NewLink<'_>, _services: &mut Services<'_, '_>) -> LinkDecision {
         let x = features(link.url_str, &link.html.anchor_text, link.source_depth);
         let score = if self.model.trained() { self.model.predict_score(&x) } else { 0.0 };
-        self.pending.insert(link.url_str.to_owned(), x);
+        self.pending.insert(link.id, x);
         self.seq += 1;
-        self.heap.push(Entry { score, seq: self.seq, url: link.url_str.to_owned() });
+        self.heap.push(Entry { score, seq: self.seq, id: link.id });
         LinkDecision::Enqueue
     }
 
-    fn on_fetched(&mut self, url: &str, class: UrlClass) {
-        let Some(x) = self.pending.remove(url) else { return };
+    fn on_fetched(&mut self, id: UrlId, _url: &str, class: UrlClass) {
+        let Some(x) = self.pending.remove(&id) else { return };
         let label = match class {
             UrlClass::Target => true,
             UrlClass::Html => false,
@@ -139,14 +144,15 @@ mod tests {
 
     #[test]
     fn heap_orders_by_score_then_fifo() {
+        use crate::strategy::SelUrl;
         let mut s = FocusedStrategy::new();
-        s.heap.push(Entry { score: 0.5, seq: 1, url: "b".into() });
-        s.heap.push(Entry { score: 0.9, seq: 2, url: "a".into() });
-        s.heap.push(Entry { score: 0.5, seq: 0, url: "c".into() });
+        s.heap.push(Entry { score: 0.5, seq: 1, id: 11 });
+        s.heap.push(Entry { score: 0.9, seq: 2, id: 10 });
+        s.heap.push(Entry { score: 0.5, seq: 0, id: 12 });
         let mut rng = StdRng::seed_from_u64(0);
-        let order: Vec<String> =
+        let order: Vec<SelUrl> =
             std::iter::from_fn(|| s.next(&mut rng)).map(|sel| sel.url).collect();
-        assert_eq!(order, vec!["a", "c", "b"]);
+        assert_eq!(order, vec![SelUrl::Id(10), SelUrl::Id(12), SelUrl::Id(11)]);
     }
 
     #[test]

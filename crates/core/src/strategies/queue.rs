@@ -5,6 +5,7 @@
 use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
 use rand::rngs::StdRng;
 use rand::Rng;
+use sb_webgraph::UrlId;
 use std::collections::VecDeque;
 
 /// Frontier discipline.
@@ -18,10 +19,11 @@ pub enum Discipline {
     Random,
 }
 
-/// BFS / DFS / RANDOM, depending on [`Discipline`].
+/// BFS / DFS / RANDOM, depending on [`Discipline`]. The frontier holds
+/// interned ids — `Copy` keys, no per-link string storage.
 pub struct QueueStrategy {
     discipline: Discipline,
-    frontier: VecDeque<String>,
+    frontier: VecDeque<UrlId>,
 }
 
 impl QueueStrategy {
@@ -47,8 +49,13 @@ impl Strategy for QueueStrategy {
         }
     }
 
+    fn link_needs(&self) -> sb_html::LinkNeeds {
+        // Frontier order only: hrefs suffice.
+        sb_html::LinkNeeds::HREF_ONLY
+    }
+
     fn next(&mut self, rng: &mut StdRng) -> Option<Selection> {
-        let url = match self.discipline {
+        let id = match self.discipline {
             Discipline::Fifo => self.frontier.pop_front()?,
             Discipline::Lifo => self.frontier.pop_back()?,
             Discipline::Random => {
@@ -59,11 +66,11 @@ impl Strategy for QueueStrategy {
                 self.frontier.swap_remove_back(i)?
             }
         };
-        Some(Selection { url, token: 0 })
+        Some(Selection { url: id.into(), token: 0 })
     }
 
     fn decide(&mut self, link: &NewLink<'_>, _services: &mut Services<'_, '_>) -> LinkDecision {
-        self.frontier.push_back(link.url_str.to_owned());
+        self.frontier.push_back(link.id);
         LinkDecision::Enqueue
     }
 
@@ -75,36 +82,42 @@ impl Strategy for QueueStrategy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::strategy::SelUrl;
     use rand::SeedableRng;
 
-    fn sel_order(mut s: QueueStrategy, urls: &[&str]) -> Vec<String> {
-        // Feed URLs directly into the frontier (decide() requires engine
+    fn sel_order(mut s: QueueStrategy, ids: &[UrlId]) -> Vec<UrlId> {
+        // Feed ids directly into the frontier (decide() requires engine
         // plumbing; the ordering logic is what's under test).
-        for u in urls {
-            s.frontier.push_back((*u).to_owned());
+        for &id in ids {
+            s.frontier.push_back(id);
         }
         let mut rng = StdRng::seed_from_u64(1);
-        std::iter::from_fn(|| s.next(&mut rng)).map(|sel| sel.url).collect()
+        std::iter::from_fn(|| s.next(&mut rng))
+            .map(|sel| match sel.url {
+                SelUrl::Id(id) => id,
+                SelUrl::Text(_) => unreachable!("queue frontiers hold ids"),
+            })
+            .collect()
     }
 
     #[test]
     fn bfs_is_fifo() {
-        let order = sel_order(QueueStrategy::bfs(), &["a", "b", "c"]);
-        assert_eq!(order, vec!["a", "b", "c"]);
+        let order = sel_order(QueueStrategy::bfs(), &[0, 1, 2]);
+        assert_eq!(order, vec![0, 1, 2]);
     }
 
     #[test]
     fn dfs_is_lifo() {
-        let order = sel_order(QueueStrategy::dfs(), &["a", "b", "c"]);
-        assert_eq!(order, vec!["c", "b", "a"]);
+        let order = sel_order(QueueStrategy::dfs(), &[0, 1, 2]);
+        assert_eq!(order, vec![2, 1, 0]);
     }
 
     #[test]
     fn random_is_permutation() {
-        let order = sel_order(QueueStrategy::random(), &["a", "b", "c", "d", "e"]);
+        let order = sel_order(QueueStrategy::random(), &[0, 1, 2, 3, 4]);
         let mut sorted = order.clone();
-        sorted.sort();
-        assert_eq!(sorted, vec!["a", "b", "c", "d", "e"]);
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

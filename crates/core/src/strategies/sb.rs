@@ -19,8 +19,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use sb_bandit::{ArmStats, Auer, Policy, ALPHA_DEFAULT};
 use sb_ml::{Class2, FeatureInput, FeatureSet, ModelKind, UrlClassifier};
-use sb_webgraph::UrlClass;
-use std::collections::HashMap;
+use sb_webgraph::{FxHashMap, UrlClass, UrlId};
 
 /// How the strategy estimates a link's class.
 pub enum SbMode {
@@ -117,15 +116,16 @@ pub struct SbStrategy {
     mode: SbMode,
     actions: ActionSpace,
     arms: Vec<ArmStats>,
-    /// Frontier pool per action.
-    pools: Vec<Vec<String>>,
+    /// Frontier pool per action — interned ids, so a pool entry is 4
+    /// bytes and moving links between pools never copies a string.
+    pools: Vec<Vec<UrlId>>,
     frontier_total: usize,
     policy: AnyPolicy,
     /// Selection counter `t` of the AUER score.
     t: u64,
     /// Link context for URL_CONT online training (anchor, DOM path,
     /// surrounding text of the link that discovered each URL).
-    link_ctx: Option<HashMap<String, (String, String, String)>>,
+    link_ctx: Option<FxHashMap<UrlId, (String, String, String)>>,
     /// When enabled, every post-bootstrap prediction is recorded for the
     /// confusion-matrix studies (Tables 5, 8–16).
     recorded: Option<Vec<(String, Class2)>>,
@@ -148,7 +148,7 @@ impl SbStrategy {
             frontier_total: 0,
             policy: cfg.policy(),
             t: 0,
-            link_ctx: track_ctx.then(HashMap::new),
+            link_ctx: track_ctx.then(FxHashMap::default),
             recorded: None,
         }
     }
@@ -192,10 +192,18 @@ impl SbStrategy {
         match &mut self.mode {
             SbMode::Oracle => services.oracle_class(link.url_str),
             SbMode::Classifier(clf) => {
+                // The tag-path string only feeds the URL_CONT feature set;
+                // URL_ONLY (the paper default) must not pay a per-link
+                // render of the path.
+                let dom_path = if clf.feature_set() == FeatureSet::UrlContent {
+                    link.html.tag_path.to_string()
+                } else {
+                    String::new()
+                };
                 let input = FeatureInput {
                     url: link.url_str,
                     anchor: &link.html.anchor_text,
-                    dom_path: &link.html.tag_path.to_string(),
+                    dom_path: &dom_path,
                     surrounding: &link.html.surrounding_text,
                 };
                 if clf.in_initial_phase() {
@@ -221,12 +229,12 @@ impl SbStrategy {
         }
     }
 
-    fn pool_push(&mut self, action: ActionId, url: String) {
+    fn pool_push(&mut self, action: ActionId, id: UrlId) {
         while self.pools.len() <= action {
             self.pools.push(Vec::new());
             self.arms.push(ArmStats::new());
         }
-        self.pools[action].push(url);
+        self.pools[action].push(id);
         self.frontier_total += 1;
     }
 }
@@ -242,6 +250,18 @@ impl Strategy for SbStrategy {
                 }
             }
             SbMode::Oracle => "SB-ORACLE".to_owned(),
+        }
+    }
+
+    fn link_needs(&self) -> sb_html::LinkNeeds {
+        match &self.mode {
+            // URL_CONT consumes anchor, DOM path and surrounding text;
+            // URL_ONLY (the paper default) and the oracle only need the
+            // tag path that drives action clustering.
+            SbMode::Classifier(c) if c.feature_set() == FeatureSet::UrlContent => {
+                sb_html::LinkNeeds::ALL
+            }
+            _ => sb_html::LinkNeeds::TAG_PATH,
         }
     }
 
@@ -264,9 +284,9 @@ impl Strategy for SbStrategy {
         // Uniform link choice within the chosen action (Sec 3.2).
         let pool = &mut self.pools[a];
         let i = rng.gen_range(0..pool.len());
-        let url = pool.swap_remove(i);
+        let id = pool.swap_remove(i);
         self.frontier_total -= 1;
-        Some(Selection { url, token: a as u64 })
+        Some(Selection { url: id.into(), token: a as u64 })
     }
 
     fn decide(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> LinkDecision {
@@ -278,7 +298,7 @@ impl Strategy for SbStrategy {
                     Ok(a) => {
                         if let Some(ctx) = &mut self.link_ctx {
                             ctx.insert(
-                                link.url_str.to_owned(),
+                                link.id,
                                 (
                                     link.html.anchor_text.clone(),
                                     link.html.tag_path.to_string(),
@@ -286,7 +306,7 @@ impl Strategy for SbStrategy {
                                 ),
                             );
                         }
-                        self.pool_push(a, link.url_str.to_owned());
+                        self.pool_push(a, link.id);
                         LinkDecision::Enqueue
                     }
                     Err(_) => LinkDecision::ActionSpaceFull,
@@ -306,7 +326,7 @@ impl Strategy for SbStrategy {
     // R_mean update for non-HTML fetches — a pull without an observation —
     // so the default no-ops are exactly right.
 
-    fn on_fetched(&mut self, url: &str, class: UrlClass) {
+    fn on_fetched(&mut self, id: UrlId, url: &str, class: UrlClass) {
         // Free online training from GET outcomes (Algorithm 2, phase 2).
         if let SbMode::Classifier(clf) = &mut self.mode {
             let class2 = match class {
@@ -314,7 +334,7 @@ impl Strategy for SbStrategy {
                 UrlClass::Target => Class2::Target,
                 UrlClass::Neither => return,
             };
-            let ctx = self.link_ctx.as_mut().and_then(|m| m.remove(url));
+            let ctx = self.link_ctx.as_mut().and_then(|m| m.remove(&id));
             let (anchor, dom, surr) = ctx.unwrap_or_default();
             let input = FeatureInput { url, anchor: &anchor, dom_path: &dom, surrounding: &surr };
             clf.observe(&input, class2);
@@ -352,8 +372,8 @@ mod tests {
     #[test]
     fn selects_from_nonempty_pools_only() {
         let mut s = SbStrategy::oracle(SbConfig::default());
-        s.pool_push(0, "https://a.com/x".to_owned());
-        s.pool_push(2, "https://a.com/y".to_owned());
+        s.pool_push(0, 1);
+        s.pool_push(2, 2);
         // Pool 1 exists but is empty.
         s.pools[1].clear();
         let mut rng = StdRng::seed_from_u64(1);
@@ -369,7 +389,7 @@ mod tests {
     #[test]
     fn feedback_updates_selected_arm() {
         let mut s = SbStrategy::oracle(SbConfig::default());
-        s.pool_push(0, "https://a.com/x".to_owned());
+        s.pool_push(0, 1);
         let mut rng = StdRng::seed_from_u64(1);
         let sel = s.next(&mut rng).unwrap();
         s.feedback(sel.token, 7.0);
@@ -382,8 +402,8 @@ mod tests {
         let mut s = SbStrategy::oracle(SbConfig::default());
         // Two actions with plenty of links.
         for i in 0..50 {
-            s.pool_push(0, format!("https://a.com/good/{i}"));
-            s.pool_push(1, format!("https://a.com/bad/{i}"));
+            s.pool_push(0, i);
+            s.pool_push(1, 100 + i);
         }
         let mut rng = StdRng::seed_from_u64(2);
         let mut picks = [0u32; 2];
@@ -407,7 +427,7 @@ mod tests {
     #[test]
     fn report_carries_action_stats() {
         let mut s = SbStrategy::oracle(SbConfig::default());
-        s.pool_push(0, "https://a.com/x".to_owned());
+        s.pool_push(0, 1);
         let mut rng = StdRng::seed_from_u64(1);
         let sel = s.next(&mut rng).unwrap();
         s.feedback(sel.token, 3.0);

@@ -16,15 +16,15 @@
 use crate::action::{ActionSpace, ActionSpaceConfig};
 use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
 use rand::rngs::StdRng;
-use sb_webgraph::UrlClass;
+use sb_webgraph::{FxHashMap, UrlClass, UrlId};
 use std::cmp::Ordering;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 struct Entry {
     benefit: f64,
     seq: u64,
-    url: String,
+    id: UrlId,
 }
 
 impl PartialEq for Entry {
@@ -51,12 +51,12 @@ impl PartialOrd for Entry {
 pub struct TpOffStrategy {
     /// Pages left in the oracle-assisted BFS phase.
     phase1_left: usize,
-    bfs: VecDeque<String>,
+    bfs: VecDeque<UrlId>,
     groups: ActionSpace,
     /// Per-group benefit accumulator: (sum, observations).
     benefit: Vec<(f64, u64)>,
     /// Group each phase-1 frontier URL was reached through.
-    link_group: HashMap<String, usize>,
+    link_group: FxHashMap<UrlId, usize>,
     heap: std::collections::BinaryHeap<Entry>,
     seq: u64,
     drained: bool,
@@ -70,7 +70,7 @@ impl TpOffStrategy {
             bfs: VecDeque::new(),
             groups: ActionSpace::new(ActionSpaceConfig::default()),
             benefit: Vec::new(),
-            link_group: HashMap::new(),
+            link_group: FxHashMap::default(),
             heap: std::collections::BinaryHeap::new(),
             seq: 0,
             drained: false,
@@ -94,10 +94,10 @@ impl TpOffStrategy {
             return;
         }
         self.drained = true;
-        while let Some(url) = self.bfs.pop_front() {
-            let benefit = self.link_group.get(&url).map_or(0.0, |&g| self.avg_benefit(g));
+        while let Some(id) = self.bfs.pop_front() {
+            let benefit = self.link_group.get(&id).map_or(0.0, |&g| self.avg_benefit(g));
             self.seq += 1;
-            self.heap.push(Entry { benefit, seq: self.seq, url });
+            self.heap.push(Entry { benefit, seq: self.seq, id });
         }
     }
 }
@@ -107,17 +107,22 @@ impl Strategy for TpOffStrategy {
         "TP-OFF".to_owned()
     }
 
+    fn link_needs(&self) -> sb_html::LinkNeeds {
+        // Tag paths drive the groups; no text features.
+        sb_html::LinkNeeds::TAG_PATH
+    }
+
     fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
         if self.in_phase1() {
-            if let Some(url) = self.bfs.pop_front() {
+            if let Some(id) = self.bfs.pop_front() {
                 self.phase1_left -= 1;
-                let g = self.link_group.get(&url).copied().unwrap_or(usize::MAX);
-                return Some(Selection { url, token: g as u64 });
+                let g = self.link_group.get(&id).copied().unwrap_or(usize::MAX);
+                return Some(Selection { url: id.into(), token: g as u64 });
             }
             return None;
         }
         self.drain_bfs();
-        self.heap.pop().map(|e| Selection { url: e.url, token: u64::MAX })
+        self.heap.pop().map(|e| Selection { url: e.id.into(), token: u64::MAX })
     }
 
     fn decide(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> LinkDecision {
@@ -133,8 +138,8 @@ impl Strategy for TpOffStrategy {
                         while self.benefit.len() <= g {
                             self.benefit.push((0.0, 0));
                         }
-                        self.link_group.insert(link.url_str.to_owned(), g);
-                        self.bfs.push_back(link.url_str.to_owned());
+                        self.link_group.insert(link.id, g);
+                        self.bfs.push_back(link.id);
                         LinkDecision::Enqueue
                     } else {
                         LinkDecision::ActionSpaceFull
@@ -150,7 +155,7 @@ impl Strategy for TpOffStrategy {
                 None => 0.0,
             };
             self.seq += 1;
-            self.heap.push(Entry { benefit, seq: self.seq, url: link.url_str.to_owned() });
+            self.heap.push(Entry { benefit, seq: self.seq, id: link.id });
             LinkDecision::Enqueue
         }
     }
@@ -179,12 +184,13 @@ mod tests {
 
     #[test]
     fn phase1_is_fifo() {
+        use crate::strategy::SelUrl;
         let mut s = TpOffStrategy::new(10);
-        s.bfs.push_back("a".into());
-        s.bfs.push_back("b".into());
+        s.bfs.push_back(1);
+        s.bfs.push_back(2);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(s.next(&mut rng).unwrap().url, "a");
-        assert_eq!(s.next(&mut rng).unwrap().url, "b");
+        assert_eq!(s.next(&mut rng).unwrap().url, SelUrl::Id(1));
+        assert_eq!(s.next(&mut rng).unwrap().url, SelUrl::Id(2));
         assert_eq!(s.phase1_left, 8);
     }
 
@@ -200,27 +206,29 @@ mod tests {
 
     #[test]
     fn phase2_orders_by_group_benefit() {
+        use crate::strategy::SelUrl;
         let mut s = TpOffStrategy::new(0); // straight to phase 2
         s.drained = true;
-        s.heap.push(Entry { benefit: 0.0, seq: 0, url: "zero".into() });
-        s.heap.push(Entry { benefit: 9.0, seq: 1, url: "nine".into() });
-        s.heap.push(Entry { benefit: 4.0, seq: 2, url: "four".into() });
+        s.heap.push(Entry { benefit: 0.0, seq: 0, id: 0 });
+        s.heap.push(Entry { benefit: 9.0, seq: 1, id: 9 });
+        s.heap.push(Entry { benefit: 4.0, seq: 2, id: 4 });
         let mut rng = StdRng::seed_from_u64(0);
-        let order: Vec<String> =
+        let order: Vec<SelUrl> =
             std::iter::from_fn(|| s.next(&mut rng)).map(|sel| sel.url).collect();
-        assert_eq!(order, vec!["nine", "four", "zero"]);
+        assert_eq!(order, vec![SelUrl::Id(9), SelUrl::Id(4), SelUrl::Id(0)]);
     }
 
     #[test]
     fn leftover_bfs_drains_into_heap() {
+        use crate::strategy::SelUrl;
         let mut s = TpOffStrategy::new(1);
-        s.bfs.push_back("first".into());
-        s.bfs.push_back("left-over".into());
+        s.bfs.push_back(7);
+        s.bfs.push_back(8);
         let mut rng = StdRng::seed_from_u64(0);
         // Consumes the single phase-1 page.
-        assert_eq!(s.next(&mut rng).unwrap().url, "first");
+        assert_eq!(s.next(&mut rng).unwrap().url, SelUrl::Id(7));
         assert!(!s.in_phase1());
         // Next selection must surface the drained leftover.
-        assert_eq!(s.next(&mut rng).unwrap().url, "left-over");
+        assert_eq!(s.next(&mut rng).unwrap().url, SelUrl::Id(8));
     }
 }

@@ -15,7 +15,7 @@
 
 use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
 use rand::rngs::StdRng;
-use sb_webgraph::UrlClass;
+use sb_webgraph::{UrlClass, UrlId};
 
 /// The seed keywords of Appendix B.2 (anchor phrases; single tokens cover
 /// the multi-word phrases too since matching is substring-based).
@@ -35,6 +35,9 @@ pub const TRES_KEYWORDS: [&str; 74] = [
 ];
 
 struct FrontierNode {
+    id: UrlId,
+    /// URL text kept for re-scoring (TRES re-reads every frontier URL at
+    /// every selection — that is the behavioural signature under study).
     url: String,
     anchor: String,
     /// Relevance of the page this link was found on (tree propagation).
@@ -83,6 +86,11 @@ impl Strategy for TresStrategy {
         "TRES".to_owned()
     }
 
+    fn link_needs(&self) -> sb_html::LinkNeeds {
+        // Keyword relevance reads URL + anchor text.
+        sb_html::LinkNeeds { tag_path: false, anchor_text: true, surrounding_text: false }
+    }
+
     fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
         if self.frontier.is_empty() {
             return None;
@@ -100,7 +108,7 @@ impl Strategy for TresStrategy {
             }
         }
         let node = self.frontier.swap_remove(best);
-        Some(Selection { url: node.url, token: 0 })
+        Some(Selection { url: node.id.into(), token: 0 })
     }
 
     fn decide(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> LinkDecision {
@@ -110,9 +118,9 @@ impl Strategy for TresStrategy {
             UrlClass::Target => LinkDecision::FetchNow,
             UrlClass::Neither => LinkDecision::Skip,
             UrlClass::Html => {
-                let parent_relevance =
-                    self.relevance(link.url.as_string().as_str(), &link.html.anchor_text);
+                let parent_relevance = self.relevance(link.url_str, &link.html.anchor_text);
                 self.frontier.push(FrontierNode {
+                    id: link.id,
                     url: link.url_str.to_owned(),
                     anchor: link.html.anchor_text.clone(),
                     parent_relevance,
@@ -150,6 +158,7 @@ mod tests {
         let mut s = TresStrategy::new();
         for i in 0..100 {
             s.frontier.push(FrontierNode {
+                id: i,
                 url: format!("https://a.com/{i}"),
                 anchor: String::new(),
                 parent_relevance: 0.0,
@@ -164,18 +173,21 @@ mod tests {
 
     #[test]
     fn picks_highest_scoring_link() {
+        use crate::strategy::SelUrl;
         let mut s = TresStrategy::new();
         s.frontier.push(FrontierNode {
+            id: 0,
             url: "https://a.com/boring".into(),
             anchor: "misc".into(),
             parent_relevance: 0.0,
         });
         s.frontier.push(FrontierNode {
+            id: 1,
             url: "https://a.com/statistics/download".into(),
             anchor: "Download dataset".into(),
             parent_relevance: 0.0,
         });
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(s.next(&mut rng).unwrap().url, "https://a.com/statistics/download");
+        assert_eq!(s.next(&mut rng).unwrap().url, SelUrl::Id(1));
     }
 }

@@ -10,13 +10,41 @@ use rand::rngs::StdRng;
 use sb_httpsim::{Client, HttpServer};
 use sb_webgraph::mime::MimePolicy;
 use sb_webgraph::url::Url;
-use sb_webgraph::UrlClass;
+use sb_webgraph::{UrlClass, UrlId};
+
+/// What a strategy hands back from [`Strategy::next`] to identify the page
+/// to crawl.
+///
+/// The hot path is [`SelUrl::Id`]: an interned id the engine resolves to
+/// its parsed `Url` and canonical string without hashing, parsing or
+/// allocating. [`SelUrl::Text`] is the escape hatch for strategies that
+/// know URLs the engine has never discovered (OMNISCIENT's answer key);
+/// the engine parses and interns those at the boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SelUrl {
+    /// An id previously handed to the strategy via [`NewLink::id`].
+    Id(UrlId),
+    /// An absolute URL string, parsed and interned by the engine.
+    Text(String),
+}
+
+impl From<UrlId> for SelUrl {
+    fn from(id: UrlId) -> SelUrl {
+        SelUrl::Id(id)
+    }
+}
+
+impl From<String> for SelUrl {
+    fn from(s: String) -> SelUrl {
+        SelUrl::Text(s)
+    }
+}
 
 /// A frontier pick: the URL to crawl and an opaque token the engine hands
 /// back through the feedback hooks (the SB crawlers store the action id).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Selection {
-    pub url: String,
+    pub url: SelUrl,
     pub token: u64,
 }
 
@@ -38,6 +66,8 @@ pub enum LinkDecision {
 /// extension-blocked).
 #[derive(Debug)]
 pub struct NewLink<'a> {
+    /// Interned id — the key strategies should store in their frontiers.
+    pub id: UrlId,
     pub url: &'a Url,
     pub url_str: &'a str,
     /// The parsed hyperlink: tag path, anchor text, surrounding text.
@@ -112,6 +142,14 @@ pub struct StrategyReport {
 pub trait Strategy {
     fn name(&self) -> String;
 
+    /// Which per-link features this strategy reads ([`NewLink::html`]).
+    /// The engine skips computing the rest during link extraction — tag
+    /// paths and text windows cost real time on every fetched page. The
+    /// conservative default is everything.
+    fn link_needs(&self) -> sb_html::LinkNeeds {
+        sb_html::LinkNeeds::ALL
+    }
+
     /// Picks the next frontier link, or `None` when the frontier is empty.
     fn next(&mut self, rng: &mut StdRng) -> Option<Selection>;
 
@@ -136,9 +174,10 @@ pub trait Strategy {
     }
 
     /// A page was successfully fetched and its true class is now known —
-    /// the free online-training signal of Algorithm 2.
-    fn on_fetched(&mut self, url: &str, class: UrlClass) {
-        let _ = (url, class);
+    /// the free online-training signal of Algorithm 2. `id` is the page's
+    /// interned id (the frontier key); `url` its canonical string.
+    fn on_fetched(&mut self, id: UrlId, url: &str, class: UrlClass) {
+        let _ = (id, url, class);
     }
 
     /// Links currently in the frontier.

@@ -3,7 +3,6 @@
 use sb_crawler::engine::Budget;
 use sb_crawler::EarlyStopConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use crate::setup::SbTuning;
 
@@ -33,6 +32,11 @@ impl Default for RunOpts {
 }
 
 /// Maps `f` over `items` on `jobs` worker threads, preserving order.
+///
+/// Work is handed out through a single atomic cursor (dynamic load
+/// balancing) and every worker writes into its own local buffer, so there
+/// is **no shared-state contention** on the results: buffers are merged by
+/// original index after the workers join.
 pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -43,28 +47,36 @@ where
         return Vec::new();
     }
     let jobs = jobs.clamp(1, items.len());
+    if jobs == 1 {
+        return items.iter().map(&f).collect();
+    }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
-    crossbeam::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results.lock().expect("no poisoned workers")[i] = Some(r);
-            });
+    let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            buckets.push(h.join().expect("worker panicked"));
         }
-    })
-    .expect("worker panicked");
-    results
-        .into_inner()
-        .expect("scope joined")
-        .into_iter()
-        .map(|r| r.expect("every item processed"))
-        .collect()
+    });
+    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter().map(|r| r.expect("every item processed")).collect()
 }
 
 /// Mean of an iterator of f64 (None on empty).

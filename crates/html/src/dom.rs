@@ -180,6 +180,12 @@ impl Document {
         out
     }
 
+    /// As [`Document::text_content`], appending into a caller-supplied
+    /// buffer (hot callers reuse one scratch allocation across nodes).
+    pub fn text_content_into(&self, id: NodeId, out: &mut String) {
+        self.collect_text(id, out);
+    }
+
     fn collect_text(&self, id: NodeId, out: &mut String) {
         match &self.nodes[id] {
             Node::Text { content, .. } => out.push_str(content),

@@ -23,7 +23,7 @@ pub mod tagpath;
 pub mod token;
 
 pub use dom::{parse, Document, Node, NodeId};
-pub use links::{extract_links, Link, LinkKind};
+pub use links::{extract_links, extract_links_from, extract_links_with, Link, LinkKind, LinkNeeds};
 pub use render::{el, render, text, HtmlBuilder};
 pub use tagpath::{PathSegment, TagPath};
 pub use token::{tokenize, Attr, Token};

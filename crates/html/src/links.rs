@@ -42,14 +42,58 @@ pub struct Link {
     pub surrounding_text: String,
 }
 
+/// Which per-link features a consumer actually reads. Link extraction
+/// runs on every fetched page; computing tag paths and text windows for a
+/// crawler that never looks at them (BFS reads hrefs only, the paper's
+/// URL_ONLY classifier reads hrefs + tag paths) is pure hot-path waste,
+/// so consumers declare their needs and the rest is skipped — the skipped
+/// fields come back empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkNeeds {
+    pub tag_path: bool,
+    pub anchor_text: bool,
+    pub surrounding_text: bool,
+}
+
+impl LinkNeeds {
+    /// Everything populated (the default, and the conservative choice).
+    pub const ALL: LinkNeeds =
+        LinkNeeds { tag_path: true, anchor_text: true, surrounding_text: true };
+    /// Hrefs only — frontier-order crawlers.
+    pub const HREF_ONLY: LinkNeeds =
+        LinkNeeds { tag_path: false, anchor_text: false, surrounding_text: false };
+    /// Hrefs + tag paths — the URL_ONLY sleeping-bandit configuration.
+    pub const TAG_PATH: LinkNeeds =
+        LinkNeeds { tag_path: true, anchor_text: false, surrounding_text: false };
+}
+
+impl Default for LinkNeeds {
+    fn default() -> Self {
+        LinkNeeds::ALL
+    }
+}
+
 /// Extracts all hyperlinks of `html` in document order.
 pub fn extract_links(html: &str) -> Vec<Link> {
     extract_links_from(&parse(html))
 }
 
+/// As [`extract_links`], computing only the features `needs` asks for.
+pub fn extract_links_with(html: &str, needs: LinkNeeds) -> Vec<Link> {
+    links_from(&parse(html), needs)
+}
+
 /// As [`extract_links`], over an already-parsed document.
 pub fn extract_links_from(doc: &Document) -> Vec<Link> {
+    links_from(doc, LinkNeeds::ALL)
+}
+
+fn links_from(doc: &Document, needs: LinkNeeds) -> Vec<Link> {
     let mut out = Vec::new();
+    // One scratch buffer reused for every raw text collection: link
+    // extraction runs on every fetched page, so per-link temporaries are
+    // kept off the allocator.
+    let mut scratch = String::new();
     for id in 0..doc.len() {
         let node = doc.node(id);
         let Some(name) = node.name() else { continue };
@@ -64,13 +108,23 @@ pub fn extract_links_from(doc: &Document) -> Vec<Link> {
         if href.is_empty() || href.starts_with('#') || is_non_http_scheme(href) {
             continue;
         }
-        let anchor_text = normalize_ws(&doc.text_content(id));
-        let surrounding_text = surrounding_text(doc, id, &anchor_text);
+        let anchor_text = if needs.anchor_text || needs.surrounding_text {
+            scratch.clear();
+            doc.text_content_into(id, &mut scratch);
+            normalize_ws(&scratch)
+        } else {
+            String::new()
+        };
+        let surrounding_text = if needs.surrounding_text {
+            surrounding_text(doc, id, &anchor_text, &mut scratch)
+        } else {
+            String::new()
+        };
         out.push(Link {
             href: href.to_owned(),
             kind,
-            tag_path: TagPath::of(doc, id),
-            anchor_text,
+            tag_path: if needs.tag_path { TagPath::of(doc, id) } else { TagPath::default() },
+            anchor_text: if needs.anchor_text { anchor_text } else { String::new() },
             surrounding_text,
         });
     }
@@ -88,8 +142,9 @@ fn is_non_http_scheme(href: &str) -> bool {
 }
 
 /// Text of the nearest block-level ancestor, with the anchor's own text
-/// removed, truncated to a sane window.
-fn surrounding_text(doc: &Document, id: NodeId, anchor_text: &str) -> String {
+/// removed, truncated to a sane window. `scratch` is a reusable buffer for
+/// the raw (pre-normalisation) block text.
+fn surrounding_text(doc: &Document, id: NodeId, anchor_text: &str, scratch: &mut String) -> String {
     const BLOCKS: [&str; 12] =
         ["p", "li", "td", "div", "section", "article", "main", "aside", "figure", "dd", "th", "body"];
     let mut cur = doc.node(id).parent();
@@ -97,7 +152,9 @@ fn surrounding_text(doc: &Document, id: NodeId, anchor_text: &str) -> String {
         let node = doc.node(pid);
         if let Node::Element { name, .. } = node {
             if BLOCKS.contains(&name.as_str()) {
-                let full = normalize_ws(&doc.text_content(pid));
+                scratch.clear();
+                doc.text_content_into(pid, scratch);
+                let full = normalize_ws(scratch);
                 let trimmed = match full.find(anchor_text) {
                     Some(pos) if !anchor_text.is_empty() => {
                         let mut s = String::with_capacity(full.len() - anchor_text.len());
@@ -116,7 +173,16 @@ fn surrounding_text(doc: &Document, id: NodeId, anchor_text: &str) -> String {
 }
 
 fn normalize_ws(s: &str) -> String {
-    s.split_whitespace().collect::<Vec<_>>().join(" ")
+    // Single pass, no intermediate Vec — this runs twice per extracted
+    // link (anchor + surrounding block).
+    let mut out = String::with_capacity(s.len());
+    for word in s.split_whitespace() {
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        out.push_str(word);
+    }
+    out
 }
 
 fn truncate_chars(s: &str, max: usize) -> String {

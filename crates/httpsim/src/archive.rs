@@ -243,7 +243,7 @@ impl<R: Read> ArchiveReader<R> {
             Response {
                 status,
                 headers: Headers { content_type, content_length, location },
-                body,
+                body: body.into(),
             },
         )))
     }
@@ -326,7 +326,7 @@ mod tests {
                         content_length: Some(12),
                         location: None,
                     },
-                    body: b"<html></html>"[..12].to_vec(),
+                    body: b"<html></html>"[..12].to_vec().into(),
                 },
             ),
             (
@@ -338,7 +338,7 @@ mod tests {
                         content_length: Some(9),
                         location: None,
                     },
-                    body: b"a,b\n1,2\n\n".to_vec(),
+                    body: b"a,b\n1,2\n\n".to_vec().into(),
                 },
             ),
             ("https://www.s.example/gone".to_owned(), error_response(404)),
@@ -351,7 +351,7 @@ mod tests {
                         content_length: Some(0),
                         location: Some("https://www.s.example/new".to_owned()),
                     },
-                    body: Vec::new(),
+                    body: crate::response::Body::empty(),
                 },
             ),
             (
@@ -359,7 +359,7 @@ mod tests {
                 Response {
                     status: 204,
                     headers: Headers { content_type: None, content_length: None, location: None },
-                    body: Vec::new(),
+                    body: crate::response::Body::empty(),
                 },
             ),
         ]

@@ -8,7 +8,7 @@
 //! `Content-Type` is block-listed are interrupted mid-flight as in
 //! Algorithm 3.
 
-use crate::response::{HeadResponse, Response};
+use crate::response::{Body, HeadResponse, Response};
 use crate::server::HttpServer;
 use sb_webgraph::mime::{normalize_mime, MimePolicy};
 
@@ -42,8 +42,9 @@ pub struct Fetched {
     pub mime: Option<String>,
     /// Redirect target, if any.
     pub location: Option<String>,
-    /// The body; empty if the download was interrupted.
-    pub body: Vec<u8>,
+    /// The body; empty if the download was interrupted. Shared bytes —
+    /// cloning a `Fetched` does not copy the buffer.
+    pub body: Body,
     /// True when the transfer was aborted because of a block-listed MIME.
     pub interrupted: bool,
     /// Bytes this transfer cost on the wire.
@@ -119,7 +120,7 @@ impl<'a, S: HttpServer + ?Sized> Client<'a, S> {
         let mime = r.headers.content_type.as_deref().map(normalize_mime);
         let blocked = mime.as_deref().is_some_and(|m| self.policy.is_blocked_mime(m));
         let (body, interrupted, wire) = if blocked {
-            (Vec::new(), true, r.headers.wire_size() + INTERRUPT_PREFIX.min(r.declared_len()))
+            (Body::empty(), true, r.headers.wire_size() + INTERRUPT_PREFIX.min(r.declared_len()))
         } else {
             let wire = r.wire_size();
             (r.body, false, wire)
@@ -235,7 +236,7 @@ mod tests {
                         content_length: Some(5_000_000),
                         location: None,
                     },
-                    body: vec![0; 1024],
+                    body: vec![0; 1024].into(),
                 }
             }
         }

@@ -154,7 +154,7 @@ impl TrapServer {
                 content_length: Some(body.len() as u64),
                 location: None,
             },
-            body,
+            body: body.into(),
         }
     }
 
@@ -179,7 +179,7 @@ impl TrapServer {
                     content_length: Some(body.len() as u64),
                     location: None,
                 },
-                body,
+                body: body.into(),
             };
         }
         if let Some(rest) = path.strip_prefix("/trap/") {
@@ -256,7 +256,7 @@ mod tests {
         let trap = TrapServer::new("https://trap.example.org");
         let r = trap.get("https://trap.example.org/trap/41");
         assert_eq!(r.status, 200);
-        let body = String::from_utf8(r.body).unwrap();
+        let body = String::from_utf8(r.body.to_vec()).unwrap();
         assert!(body.contains("/trap/42"));
         assert!(body.contains("/trap/85"));
     }

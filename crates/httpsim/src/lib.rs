@@ -22,7 +22,7 @@ pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
 pub use client::{Client, Fetched, Politeness, Traffic};
 pub use flaky::{FlakyServer, TrapServer};
 pub use replay::{Mode, ReplayStore};
-pub use response::{HeadResponse, Headers, Response};
+pub use response::{Body, HeadResponse, Headers, Response};
 pub use robots::{EnforcedRobots, RobotsTxt, WithRobots};
 pub use server::{HttpServer, SiteServer};
 pub use sitemap::{fetch_sitemap_urls, parse_sitemap, Sitemap, SitemapEntry, WithSitemap};

@@ -4,6 +4,91 @@
 //! that matter (`Content-Type`, `Content-Length`, `Location`) and the body.
 //! Header wire size is estimated so that HEAD-request costs `c(u)` can be
 //! accounted in volume mode (Sec 2.2: "much smaller than ω(u)").
+//!
+//! Bodies are [`Body`] — shared, immutable byte buffers — so a `Response`
+//! clone (replay stores, archives, the server's render cache) is a pointer
+//! copy, not a buffer copy.
+
+use std::sync::Arc;
+
+/// A response body: immutable shared bytes, cheap to clone.
+///
+/// Dereferences to `&[u8]`, so existing `&response.body` call sites keep
+/// working. Construct from `Vec<u8>`, `&[u8]` or an existing `Arc<[u8]>`
+/// (the latter is what the site server's render cache hands out — zero
+/// copies per request).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Body(Arc<[u8]>);
+
+impl Body {
+    /// The shared empty body.
+    pub fn empty() -> Body {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
+        Body(Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new()))))
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Default for Body {
+    fn default() -> Self {
+        Body::empty()
+    }
+}
+
+impl std::ops::Deref for Body {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Body {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Body {
+    fn from(v: Vec<u8>) -> Body {
+        Body(Arc::from(v))
+    }
+}
+
+impl From<&[u8]> for Body {
+    fn from(v: &[u8]) -> Body {
+        Body(Arc::from(v))
+    }
+}
+
+impl From<Arc<[u8]>> for Body {
+    fn from(v: Arc<[u8]>) -> Body {
+        Body(v)
+    }
+}
+
+impl From<String> for Body {
+    fn from(s: String) -> Body {
+        Body(Arc::from(s.into_bytes()))
+    }
+}
+
+impl FromIterator<u8> for Body {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Body {
+        Body(iter.into_iter().collect())
+    }
+}
 
 /// Response headers (the crawler-relevant subset).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -50,7 +135,7 @@ pub struct Response {
     pub headers: Headers,
     /// The body as delivered. Huge files are truncated to a cap; the
     /// *declared* `Content-Length` is authoritative for volume accounting.
-    pub body: Vec<u8>,
+    pub body: Body,
 }
 
 impl Response {
@@ -83,7 +168,7 @@ impl Response {
 
 /// Builds a minimal 404/500-style response.
 pub fn error_response(status: u16) -> Response {
-    let body = format!("<html><body><h1>{status}</h1></body></html>").into_bytes();
+    let body: Body = format!("<html><body><h1>{status}</h1></body></html>").into();
     Response {
         status,
         headers: Headers {
@@ -108,7 +193,7 @@ mod tests {
                 content_length: Some(10_000_000),
                 location: None,
             },
-            body: vec![0; 1024],
+            body: vec![0; 1024].into(),
         };
         assert_eq!(r.declared_len(), 10_000_000);
         assert!(r.wire_size() > 10_000_000);

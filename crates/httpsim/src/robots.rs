@@ -236,7 +236,7 @@ impl<S: HttpServer> WithRobots<S> {
                 content_length: Some(body.len() as u64),
                 location: None,
             },
-            body,
+            body: body.into(),
         }
     }
 }

@@ -3,10 +3,9 @@
 //! links, target files with their MIME types and sizes, 4xx/5xx dead URLs,
 //! and 3xx redirects with `Location` headers.
 
-use crate::response::{error_response, HeadResponse, Headers, Response};
-use sb_webgraph::content::target_body;
-use sb_webgraph::gen::render::render_page;
+use crate::response::{error_response, Body, HeadResponse, Headers, Response};
 use sb_webgraph::gen::{PageKind, Website};
+use sb_webgraph::PageId;
 use std::sync::Arc;
 
 /// Anything that answers HEAD and GET for absolute URLs.
@@ -34,42 +33,54 @@ impl SiteServer {
         &self.site
     }
 
+    /// The shared site handle (the render cache lives on the `Website`, so
+    /// servers constructed from clones of this handle share rendered pages).
+    pub fn site_arc(&self) -> Arc<Website> {
+        Arc::clone(&self.site)
+    }
+
+    /// String-keyed boundary: resolves the URL (one FxHash lookup) and
+    /// serves by page id.
     fn respond(&self, url: &str, with_body: bool) -> Response {
         let Some(id) = self.site.lookup(url) else {
             return error_response(404);
         };
+        self.respond_id(id, with_body)
+    }
+
+    /// Id-keyed fast path. HTML bodies come from the site's shared render
+    /// cache (each page rendered at most once per site instance) and HEAD
+    /// serves the precomputed Content-Length without touching a body.
+    pub fn respond_id(&self, id: PageId, with_body: bool) -> Response {
         let page = self.site.page(id);
         match &page.kind {
-            PageKind::Html(role) => {
-                let body = if with_body {
-                    render_page(&self.site, id).into_bytes()
+            PageKind::Html(_) => {
+                let (body, content_length) = if with_body {
+                    let cached = self.site.rendered(id);
+                    let len = cached.len() as u64;
+                    (Body::from(cached), len)
                 } else {
-                    // HEAD still needs an accurate Content-Length.
-                    render_page(&self.site, id).into_bytes()
+                    // HEAD: precomputed length, zero renders.
+                    (Body::empty(), self.site.content_length(id))
                 };
-                let _ = role;
                 Response {
                     status: 200,
                     headers: Headers {
                         content_type: Some("text/html; charset=utf-8".to_owned()),
-                        content_length: Some(body.len() as u64),
+                        content_length: Some(content_length),
                         location: None,
                     },
-                    body: if with_body { body } else { Vec::new() },
+                    body,
                 }
             }
-            PageKind::Target { ext, mime, declared_size, planted_tables } => {
-                let style = self.site.section_style(0);
+            PageKind::Target { mime, declared_size, .. } => {
                 let body = if with_body {
-                    target_body(
-                        self.site.seed() ^ u64::from(id),
-                        ext,
-                        *planted_tables,
-                        *declared_size,
-                        style.lang,
-                    )
+                    // Deterministic payloads come from the site's shared
+                    // (budget-bounded) cache: generated once, served as an
+                    // `Arc` clone afterwards.
+                    Body::from(self.site.target_payload(id))
                 } else {
-                    Vec::new()
+                    Body::empty()
                 };
                 Response {
                     status: 200,
@@ -89,7 +100,7 @@ impl SiteServer {
                     content_length: Some(0),
                     location: Some(self.site.page(*to).url.clone()),
                 },
-                body: Vec::new(),
+                body: Body::empty(),
             },
         }
     }
@@ -136,6 +147,51 @@ mod tests {
         assert_eq!(r.status, 200);
         assert_eq!(r.headers.content_type.as_deref(), Some(mime));
         assert_eq!(r.headers.content_length, Some(declared_size));
+    }
+
+    /// The HEAD path must never render a body: Content-Length comes from
+    /// the build-time precomputation.
+    #[test]
+    fn head_performs_zero_renders() {
+        let s = server();
+        assert_eq!(s.site().render_count(), 0, "build-time precompute is not cache traffic");
+        let html_urls: Vec<String> = s
+            .site()
+            .pages()
+            .iter()
+            .filter(|p| matches!(p.kind, PageKind::Html(_)))
+            .map(|p| p.url.clone())
+            .collect();
+        let mut heads = Vec::new();
+        for url in &html_urls {
+            heads.push(s.head(url));
+        }
+        assert_eq!(s.site().render_count(), 0, "HEAD rendered a body");
+        // And the lengths it reported are the real rendered lengths.
+        for (url, h) in html_urls.iter().zip(&heads) {
+            let g = s.get(url);
+            assert_eq!(h.headers.content_length, g.headers.content_length, "{url}");
+        }
+    }
+
+    /// GETs hit the shared render cache: one render per page per site
+    /// instance, across repeated fetches and across servers sharing the
+    /// same `Arc<Website>`.
+    #[test]
+    fn render_cache_renders_each_page_once() {
+        let site = std::sync::Arc::new(build_site(&SiteSpec::demo(300), 5));
+        let s1 = SiteServer::shared(std::sync::Arc::clone(&site));
+        let root_url = site.page(site.root()).url.clone();
+        let before = site.render_count();
+        let a = s1.get(&root_url);
+        let b = s1.get(&root_url);
+        assert_eq!(a, b);
+        assert_eq!(site.render_count(), before + 1, "second GET must be served from cache");
+        // A second server over the same site shares the cache.
+        let s2 = SiteServer::shared(std::sync::Arc::clone(&site));
+        let c = s2.get(&root_url);
+        assert_eq!(a, c);
+        assert_eq!(site.render_count(), before + 1, "sibling server re-rendered");
     }
 
     #[test]

@@ -204,7 +204,7 @@ impl<S: HttpServer> WithSitemap<S> {
                 content_length: Some(bytes.len() as u64),
                 location: None,
             },
-            body: bytes,
+            body: bytes.into(),
         })
     }
 }

@@ -74,7 +74,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         .prop_map(|(status, content_type, content_length, location, body)| Response {
             status,
             headers: Headers { content_type, content_length, location },
-            body,
+            body: body.into(),
         })
 }
 

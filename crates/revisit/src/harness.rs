@@ -255,7 +255,7 @@ fn harvest_new_links(
     found_new: &mut HashSet<String>,
 ) -> Harvest {
     let mut harvest = Harvest { new_targets: 0, new_pages: 0, complete: true };
-    let mut queue: VecDeque<(Url, String, u32, Vec<u8>)> = VecDeque::new();
+    let mut queue: VecDeque<(Url, String, u32, sb_httpsim::Body)> = VecDeque::new();
     let mut local_seen: HashSet<String> = HashSet::new();
     // Seed with the changed page's own links.
     let mut frontier: Vec<(String, String, u32)> =

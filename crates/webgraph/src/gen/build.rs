@@ -12,9 +12,9 @@ use super::lexicon::{self, Lang};
 use super::spec::SiteSpec;
 use super::{HtmlRole, OutLink, PageId, PageKind, SectionStyle, SitePage, Slot, Website};
 use crate::mime::mime_for_extension;
+use crate::interner::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 /// Bodies of huge targets are truncated to this many bytes; headers keep the
 /// declared size, which is what cost accounting uses.
@@ -30,7 +30,7 @@ struct Builder {
     seed: u64,
     rng: StdRng,
     pages: Vec<SitePage>,
-    url_index: HashMap<String, PageId>,
+    url_index: FxHashMap<String, PageId>,
     styles: Vec<SectionStyle>,
     base: String,
     /// HTML pages that will carry target links, in creation order.
@@ -50,7 +50,7 @@ impl Builder {
             seed,
             rng: StdRng::seed_from_u64(seed ^ h),
             pages: Vec::new(),
-            url_index: HashMap::new(),
+            url_index: FxHashMap::default(),
             styles: Vec::new(),
             base,
             linkers: Vec::new(),
@@ -120,14 +120,22 @@ impl Builder {
         // Chrome: nav, breadcrumbs, footers on all HTML pages.
         self.add_chrome(&hubs, &article_ids);
 
-        Website {
+        let mut site = Website {
             spec: self.spec,
             seed: self.seed,
             root,
             pages: self.pages,
             url_index: self.url_index,
             section_styles: self.styles,
-        }
+            render: Vec::new(),
+            in_links: Vec::new(),
+            renders: std::sync::atomic::AtomicU64::new(0),
+            target_cache_budget: std::sync::atomic::AtomicU64::new(super::TARGET_CACHE_BUDGET),
+        };
+        // Precompute every HTML page's rendered Content-Length so the
+        // origin server can answer HEAD without rendering a body.
+        site.finish_build();
+        site
     }
 
     // ------------------------------------------------------------------

@@ -25,8 +25,10 @@ pub use lexicon::Lang;
 pub use profiles::{paper_profiles, profile};
 pub use spec::{MimePalette, SiteSpec, StructureSpec};
 
+use crate::interner::FxHashMap;
 use crate::mime::UrlClass;
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// Index of a page within its [`Website`].
 pub type PageId = u32;
@@ -151,15 +153,62 @@ pub struct SectionStyle {
     pub wrapper_divs: u8,
 }
 
+/// Per-page render state: the precomputed rendered Content-Length (filled
+/// for every HTML page at build time, so HEAD requests never render) and
+/// the lazily-populated rendered-body cache shared by everything holding
+/// the same `Website` (notably every `SiteServer` over an `Arc<Website>`)
+/// — each page is rendered at most once per site instance, not once per
+/// GET.
+#[derive(Debug, Clone, Default)]
+struct RenderSlot {
+    len: OnceLock<u64>,
+    body: OnceLock<Arc<[u8]>>,
+}
+
 /// A fully generated website.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Website {
     spec: SiteSpec,
     seed: u64,
     root: PageId,
     pages: Vec<SitePage>,
-    url_index: HashMap<String, PageId>,
+    url_index: FxHashMap<String, PageId>,
     section_styles: Vec<SectionStyle>,
+    /// Parallel to `pages`; see [`RenderSlot`].
+    render: Vec<RenderSlot>,
+    /// Reverse link index (`in_links[p]` = pages with an out-link to `p`),
+    /// kept so mutation-time cache invalidation is O(in-degree) instead of
+    /// a full site scan. May contain duplicates; only used to reset slots.
+    in_links: Vec<Vec<PageId>>,
+    /// Number of HTML render passes performed through the cache since this
+    /// instance was built (build-time Content-Length precomputation is not
+    /// counted). Exposed for the HEAD-performs-zero-renders tests.
+    renders: AtomicU64,
+    /// Remaining byte budget for cached *target* payloads (HTML bodies are
+    /// always cached — they are small; target bodies can reach
+    /// `content::BODY_CAP` each, so caching is bounded per site instance).
+    target_cache_budget: AtomicU64,
+}
+
+/// Default per-site budget for cached target payloads (see
+/// [`Website::target_payload`]).
+pub const TARGET_CACHE_BUDGET: u64 = 256 << 20;
+
+impl Clone for Website {
+    fn clone(&self) -> Self {
+        Website {
+            spec: self.spec.clone(),
+            seed: self.seed,
+            root: self.root,
+            pages: self.pages.clone(),
+            url_index: self.url_index.clone(),
+            section_styles: self.section_styles.clone(),
+            render: self.render.clone(),
+            in_links: self.in_links.clone(),
+            renders: AtomicU64::new(self.renders.load(Ordering::Relaxed)),
+            target_cache_budget: AtomicU64::new(self.target_cache_budget.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl Website {
@@ -196,8 +245,116 @@ impl Website {
     }
 
     /// Resolves a URL string to a page id, if it belongs to the site.
+    /// Single FxHash lookup — this is the server's per-request hot path.
     pub fn lookup(&self, url: &str) -> Option<PageId> {
         self.url_index.get(url).copied()
+    }
+
+    /// The rendered HTML body of page `id`, from the shared per-page cache.
+    /// The first call renders (deterministically) and caches; every later
+    /// call — from any `SiteServer` over the same site instance — is an
+    /// `Arc` clone. Panics if `id` is not an HTML page.
+    pub fn rendered(&self, id: PageId) -> Arc<[u8]> {
+        debug_assert!(matches!(self.page(id).kind, PageKind::Html(_)));
+        let slot = &self.render[id as usize];
+        Arc::clone(slot.body.get_or_init(|| {
+            self.renders.fetch_add(1, Ordering::Relaxed);
+            Arc::from(render::render_page(self, id).into_bytes())
+        }))
+    }
+
+    /// The Content-Length the origin server declares for page `id`,
+    /// **without rendering**: HTML lengths are precomputed at build time,
+    /// targets report their declared size. After a mutation
+    /// ([`Website::add_out_link`], [`Website::set_kind`]) the affected
+    /// page's length is recomputed lazily — one render, then cached again.
+    pub fn content_length(&self, id: PageId) -> u64 {
+        match &self.page(id).kind {
+            PageKind::Html(_) => {
+                let slot = &self.render[id as usize];
+                if let Some(len) = slot.len.get() {
+                    return *len;
+                }
+                let len = self.rendered(id).len() as u64;
+                let _ = self.render[id as usize].len.set(len);
+                len
+            }
+            PageKind::Target { declared_size, .. } => *declared_size,
+            PageKind::Error { .. } | PageKind::Redirect { .. } => 0,
+        }
+    }
+
+    /// The payload bytes of target page `id`, from the shared per-page
+    /// cache. Generation is deterministic, so serving a cached `Arc` is
+    /// indistinguishable from regenerating — except it is free. Caching is
+    /// bounded by a per-site byte budget ([`TARGET_CACHE_BUDGET`]); beyond
+    /// it, payloads are regenerated per call. Panics if `id` is not a
+    /// target page.
+    pub fn target_payload(&self, id: PageId) -> Arc<[u8]> {
+        let slot = &self.render[id as usize];
+        if let Some(cached) = slot.body.get() {
+            return Arc::clone(cached);
+        }
+        let PageKind::Target { ext, declared_size, planted_tables, .. } = &self.page(id).kind
+        else {
+            panic!("target_payload called on a non-target page");
+        };
+        let bytes: Arc<[u8]> = Arc::from(crate::content::target_body(
+            self.seed ^ u64::from(id),
+            ext,
+            *planted_tables,
+            *declared_size,
+            self.section_style(0).lang,
+        ));
+        let cost = bytes.len() as u64;
+        if self.try_charge_target_cache(cost) && slot.body.set(Arc::clone(&bytes)).is_err() {
+            // Another thread cached it first: release our reservation.
+            self.target_cache_budget.fetch_add(cost, Ordering::Relaxed);
+        }
+        bytes
+    }
+
+    /// Reserves `cost` bytes of the target-cache budget, if available.
+    fn try_charge_target_cache(&self, cost: u64) -> bool {
+        let mut remaining = self.target_cache_budget.load(Ordering::Relaxed);
+        loop {
+            if remaining < cost {
+                return false;
+            }
+            match self.target_cache_budget.compare_exchange_weak(
+                remaining,
+                remaining - cost,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => remaining = actual,
+            }
+        }
+    }
+
+    /// HTML render passes performed through the cache on this instance.
+    pub fn render_count(&self) -> u64 {
+        self.renders.load(Ordering::Relaxed)
+    }
+
+    /// Build-time finalisation: sizes the render-slot table and precomputes
+    /// every HTML page's rendered Content-Length (one render pass per page,
+    /// bodies discarded) so that serving HEAD never needs a body.
+    pub(crate) fn finish_build(&mut self) {
+        self.render = (0..self.pages.len()).map(|_| RenderSlot::default()).collect();
+        self.in_links = vec![Vec::new(); self.pages.len()];
+        for (pid, page) in self.pages.iter().enumerate() {
+            for l in &page.out {
+                self.in_links[l.to as usize].push(pid as PageId);
+            }
+        }
+        for id in 0..self.pages.len() as PageId {
+            if matches!(self.pages[id as usize].kind, PageKind::Html(_)) {
+                let len = render::render_page(self, id).len() as u64;
+                let _ = self.render[id as usize].len.set(len);
+            }
+        }
     }
 
     /// Ground-truth class of a page (what a perfect oracle would say).
@@ -270,7 +427,13 @@ impl Website {
         }
         let id = self.pages.len() as PageId;
         self.url_index.insert(page.url.clone(), id);
+        for l in &page.out {
+            self.in_links[l.to as usize].push(id);
+        }
         self.pages.push(page);
+        // Fresh slot; the page's Content-Length is computed on first demand.
+        self.render.push(RenderSlot::default());
+        self.in_links.push(Vec::new());
         Ok(id)
     }
 
@@ -286,12 +449,44 @@ impl Website {
             "out-links can only be added to HTML pages"
         );
         page.out.push(link);
+        self.in_links[link.to as usize].push(from);
+        // The rendered body changed: drop the cached body and length.
+        self.render[from as usize] = RenderSlot::default();
     }
 
     /// Replaces the kind of a page in place (a target growing a revision, a
     /// page dying with `Error { status: 410 }`, …). The URL is unchanged.
     pub fn set_kind(&mut self, id: PageId, kind: PageKind) {
+        self.refund_cached_target(id);
         self.pages[id as usize].kind = kind;
+        self.render[id as usize] = RenderSlot::default();
+        // Rendering reads *linked* pages' kinds (nav/anchor wording), so
+        // any page linking here may now render differently: drop their
+        // cached bodies and precomputed lengths too (O(in-degree) via the
+        // reverse index).
+        let sources = std::mem::take(&mut self.in_links[id as usize]);
+        for &pid in &sources {
+            if matches!(self.pages[pid as usize].kind, PageKind::Html(_)) {
+                self.render[pid as usize] = RenderSlot::default();
+            }
+        }
+        self.in_links[id as usize] = sources;
+    }
+
+    /// Returns a to-be-dropped cached target payload's bytes to the cache
+    /// budget (HTML bodies are never charged).
+    fn refund_cached_target(&mut self, id: PageId) {
+        if matches!(self.pages[id as usize].kind, PageKind::Target { .. }) {
+            if let Some(body) = self.render[id as usize].body.get() {
+                self.target_cache_budget.fetch_add(body.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Remaining target-payload cache budget, in bytes (observability +
+    /// tests; starts at [`TARGET_CACHE_BUDGET`]).
+    pub fn target_cache_remaining(&self) -> u64 {
+        self.target_cache_budget.load(Ordering::Relaxed)
     }
 
     /// The Table 1 census of this site; see [`Census`].
@@ -470,6 +665,34 @@ mod mutation_tests {
         assert_eq!(site.true_class(victim), UrlClass::Neither);
         // The URL still resolves (to the tombstone).
         assert_eq!(site.lookup(&site.page(victim).url.clone()), Some(victim));
+    }
+
+    #[test]
+    fn set_kind_refunds_cached_target_budget() {
+        let mut site = small_site();
+        let target = site.target_ids()[0];
+        let before = site.target_cache_remaining();
+        let body = site.target_payload(target);
+        assert_eq!(site.target_cache_remaining(), before - body.len() as u64);
+        site.set_kind(target, PageKind::Error { status: 410 });
+        assert_eq!(site.target_cache_remaining(), before, "invalidation must refund the budget");
+    }
+
+    #[test]
+    fn set_kind_invalidates_pages_linking_to_the_mutated_page() {
+        let mut site = small_site();
+        let root = site.root();
+        let victim = site.page(root).out[0].to;
+        let before = site.rendered(root);
+        let renders = site.render_count();
+        site.set_kind(victim, PageKind::Error { status: 410 });
+        // The root links to the victim, so its cached body must have been
+        // dropped; the fresh render reflects the new site state.
+        let after = site.rendered(root);
+        assert_eq!(site.render_count(), renders + 1, "root body must re-render");
+        let fresh = crate::gen::render::render_page(&site, root);
+        assert_eq!(&after[..], fresh.as_bytes());
+        let _ = before;
     }
 
     #[test]

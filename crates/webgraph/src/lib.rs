@@ -4,6 +4,8 @@
 //! This crate is the crawler's *world model*:
 //!
 //! * [`url`] — URL parsing and the Sec 2.2 site-boundary rule,
+//! * [`interner`] — FxHash and the `Url ↔ u32` interning table behind the
+//!   allocation-free crawl hot path,
 //! * [`mime`] — target MIME types (Appendix A.2) and multimedia blocklists,
 //! * [`graph`] — the formal website-graph / crawl-tree model (Defs 1–3),
 //! * [`complexity`] — the set-cover reduction and exact solvers behind
@@ -17,10 +19,12 @@ pub mod complexity;
 pub mod content;
 pub mod gen;
 pub mod graph;
+pub mod interner;
 pub mod mime;
 pub mod url;
 
 pub use gen::{build_site, paper_profiles, profile, Census, PageId, PageKind, SiteSpec, Website};
 pub use graph::{Crawl, NodeIdx, WebsiteGraph};
+pub use interner::{FxBuildHasher, FxHashMap, FxHashSet, UrlId, UrlInterner};
 pub use mime::{MimePolicy, UrlClass};
 pub use url::Url;

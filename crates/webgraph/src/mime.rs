@@ -134,7 +134,10 @@ impl MimePolicy {
     /// Should this URL be skipped outright because of its extension?
     pub fn has_blocked_extension(&self, url: &Url) -> bool {
         match url.extension() {
-            Some(ext) => self.blocked_extensions.iter().any(|b| b == &ext),
+            // The blocklist is stored lowercase; the URL side keeps its
+            // original case, so compare case-insensitively without
+            // allocating a lowercased copy per link.
+            Some(ext) => self.blocked_extensions.iter().any(|b| b.eq_ignore_ascii_case(ext)),
             None => false,
         }
     }

@@ -106,12 +106,18 @@ impl Url {
         let path = if ref_path.starts_with('/') {
             normalize_path(ref_path)
         } else {
-            // Relative to the base path's directory.
+            // Relative to the base path's directory. The two halves are
+            // normalised as one stream — no `format!("{dir}{ref_path}")`
+            // scratch string (this runs once per discovered link).
             let dir = match self.path.rfind('/') {
                 Some(pos) => &self.path[..=pos],
                 None => "/",
             };
-            normalize_path(&format!("{dir}{ref_path}"))
+            normalize_segments(
+                dir.split('/').chain(ref_path.split('/')),
+                ref_path.ends_with('/'),
+                dir.len() + ref_path.len(),
+            )
         };
         Ok(Url { scheme: self.scheme.clone(), host: self.host.clone(), path, query })
     }
@@ -125,14 +131,21 @@ impl Url {
     /// `root`? True iff `self`'s www-stripped host equals or is a subdomain
     /// of `root`'s www-stripped host.
     pub fn same_site_as(&self, root: &Url) -> bool {
-        let mine = self.host_sans_www();
-        let theirs = root.host_sans_www();
-        mine == theirs || mine.ends_with(&format!(".{theirs}"))
+        // Byte-wise suffix check: this runs once per discovered link, so no
+        // `format!(".{theirs}")` scratch allocation is tolerable here.
+        let mine = self.host_sans_www().as_bytes();
+        let theirs = root.host_sans_www().as_bytes();
+        mine == theirs
+            || (mine.len() > theirs.len()
+                && mine[mine.len() - theirs.len() - 1] == b'.'
+                && mine.ends_with(theirs))
     }
 
-    /// Lowercased extension of the last path segment, if any
-    /// (`/a/b/file.CSV` → `csv`). Query strings don't count.
-    pub fn extension(&self) -> Option<String> {
+    /// Extension of the last path segment, if any, **in original case**
+    /// (`/a/b/file.CSV` → `CSV`). Query strings don't count. Compare with
+    /// `eq_ignore_ascii_case` — returning a borrowed slice keeps this
+    /// allocation-free on the per-link hot path.
+    pub fn extension(&self) -> Option<&str> {
         let last = self.path.rsplit('/').next()?;
         let (stem, ext) = last.rsplit_once('.')?;
         if stem.is_empty() || ext.is_empty() || ext.len() > 10 {
@@ -141,7 +154,7 @@ impl Url {
         if !ext.bytes().all(|b| b.is_ascii_alphanumeric()) {
             return None;
         }
-        Some(ext.to_ascii_lowercase())
+        Some(ext)
     }
 
     /// Canonical string form.
@@ -168,20 +181,36 @@ impl fmt::Display for Url {
 
 /// Collapses `.` and `..` segments and duplicate slashes.
 fn normalize_path(path: &str) -> String {
-    let mut out: Vec<&str> = Vec::new();
-    let trailing_slash = path.ends_with('/');
-    for seg in path.split('/') {
+    normalize_segments(path.split('/'), path.ends_with('/'), path.len())
+}
+
+/// Single-pass, single-allocation normalisation over a segment stream:
+/// `..` pops by truncating to the previous `/` instead of via a segment
+/// `Vec` + `join`.
+fn normalize_segments<'a>(
+    segments: impl Iterator<Item = &'a str>,
+    trailing_slash: bool,
+    capacity_hint: usize,
+) -> String {
+    let mut p = String::with_capacity(capacity_hint + 1);
+    p.push('/');
+    for seg in segments {
         match seg {
             "" | "." => {}
             ".." => {
-                out.pop();
+                if p.len() > 1 {
+                    let cut = p.rfind('/').unwrap_or(0);
+                    p.truncate(cut.max(1));
+                }
             }
-            s => out.push(s),
+            s => {
+                if !p.ends_with('/') {
+                    p.push('/');
+                }
+                p.push_str(s);
+            }
         }
     }
-    let mut p = String::with_capacity(path.len());
-    p.push('/');
-    p.push_str(&out.join("/"));
     if trailing_slash && !p.ends_with('/') {
         p.push('/');
     }
@@ -263,11 +292,12 @@ mod tests {
 
     #[test]
     fn extension_extraction() {
-        assert_eq!(u("https://a.com/f/data.CSV").extension().as_deref(), Some("csv"));
-        assert_eq!(u("https://a.com/f/archive.tar.gz").extension().as_deref(), Some("gz"));
+        // Original case is preserved; callers compare case-insensitively.
+        assert!(u("https://a.com/f/data.CSV").extension().unwrap().eq_ignore_ascii_case("csv"));
+        assert_eq!(u("https://a.com/f/archive.tar.gz").extension(), Some("gz"));
         assert_eq!(u("https://a.com/en/node/9961").extension(), None);
         assert_eq!(u("https://a.com/.hidden").extension(), None);
-        assert_eq!(u("https://a.com/x.csv?dl=1").extension().as_deref(), Some("csv"));
+        assert_eq!(u("https://a.com/x.csv?dl=1").extension(), Some("csv"));
         assert_eq!(u("https://a.com/weird.d-t").extension(), None);
     }
 

@@ -109,3 +109,103 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Interning is a bijection on arbitrary valid URLs: text and parsed
+    /// form round-trip, ids are stable and dense, and `get` agrees with
+    /// `intern`.
+    #[test]
+    fn interner_roundtrips_arbitrary_urls(
+        hosts in proptest::collection::vec("[a-z]{1,8}(\\.[a-z]{1,5}){1,2}", 1..12),
+        paths in proptest::collection::vec("(/[a-z0-9._-]{1,8}){0,3}", 1..12),
+    ) {
+        use sb_webgraph::UrlInterner;
+        let mut it = UrlInterner::new();
+        let urls: Vec<Url> = hosts
+            .iter()
+            .zip(&paths)
+            .map(|(h, p)| Url::parse(&format!("https://{h}{p}")).expect("constructed valid"))
+            .collect();
+        let ids: Vec<_> = urls.iter().map(|u| it.intern(u)).collect();
+        for (u, &id) in urls.iter().zip(&ids) {
+            prop_assert_eq!(it.get(u), Some(id));
+            prop_assert_eq!(it.intern(u), id, "re-interning must be stable");
+            prop_assert_eq!(it.url(id), u);
+            let text = u.as_string();
+            prop_assert_eq!(it.text(id), text.as_str());
+        }
+        // Dense ids: every id below len() is populated.
+        prop_assert!(ids.iter().all(|&id| (id as usize) < it.len()));
+    }
+
+    /// The precomputed Content-Length equals the actual rendered length on
+    /// every HTML page of arbitrary generated sites, without rendering on
+    /// the length path.
+    #[test]
+    fn precomputed_lengths_match_renders(seed in 0u64..200, n in 80usize..250) {
+        use sb_webgraph::gen::render::render_page;
+        let site = build_site(&SiteSpec::demo(n), seed);
+        prop_assert_eq!(site.render_count(), 0);
+        for id in 0..site.len() as u32 {
+            if !matches!(site.page(id).kind, PageKind::Html(_)) {
+                continue;
+            }
+            let declared = site.content_length(id);
+            prop_assert_eq!(site.render_count(), 0, "content_length must not render");
+            let actual = render_page(&site, id).len() as u64;
+            prop_assert_eq!(declared, actual, "page {}", id);
+        }
+    }
+
+    /// The render cache is transparent: cached bytes equal a fresh render,
+    /// and each page renders at most once per site instance.
+    #[test]
+    fn render_cache_is_transparent(seed in 0u64..200) {
+        use sb_webgraph::gen::render::render_page;
+        let site = build_site(&SiteSpec::demo(150), seed);
+        let mut rendered_pages = 0;
+        for id in (0..site.len() as u32).step_by(7) {
+            if !matches!(site.page(id).kind, PageKind::Html(_)) {
+                continue;
+            }
+            let a = site.rendered(id);
+            let b = site.rendered(id);
+            rendered_pages += 1;
+            prop_assert_eq!(&a[..], &b[..]);
+            let fresh = render_page(&site, id);
+            prop_assert_eq!(&a[..], fresh.as_bytes());
+        }
+        prop_assert_eq!(site.render_count(), rendered_pages, "cache must render once per page");
+    }
+
+    /// Mutations invalidate the affected page's cache entry: the new body
+    /// and the new Content-Length agree after `add_out_link`.
+    #[test]
+    fn mutation_invalidates_render_cache(seed in 0u64..100) {
+        use sb_webgraph::gen::{OutLink, SitePage, Slot};
+        let mut site = build_site(&SiteSpec::demo(120), seed);
+        let root = site.root();
+        let before_len = site.content_length(root);
+        let before_body = site.rendered(root);
+        let id = site
+            .push_page(SitePage {
+                url: "https://www.stats.example.org/fresh/extra.csv".to_owned(),
+                kind: PageKind::Target {
+                    ext: "csv",
+                    mime: "text/csv",
+                    declared_size: 2048,
+                    planted_tables: 1,
+                },
+                title: "Extra dataset".to_owned(),
+                out: Vec::new(),
+            })
+            .expect("fresh URL");
+        site.add_out_link(root, OutLink { to: id, slot: Slot::DatasetItem });
+        let after_body = site.rendered(root);
+        prop_assert_ne!(&before_body[..], &after_body[..]);
+        prop_assert_eq!(site.content_length(root), after_body.len() as u64);
+        prop_assert_ne!(before_len, site.content_length(root));
+    }
+}

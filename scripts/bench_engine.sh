@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_engine.json: runs the engine bench suite (seed baseline
+# vs interned hot path) and snapshots the numbers with the speedup ratios.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_RAW=target/bench-engine.jsonl
+rm -f "$OUT_RAW"
+BENCH_SHIM_OUT="$PWD/$OUT_RAW" cargo bench --offline -p sb-bench --bench engine
+
+python3 - "$OUT_RAW" <<'PY'
+import json, subprocess, sys
+
+records = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    records[r["id"]] = r  # last run wins
+
+def ns(bench_id):
+    return records[bench_id]["ns_per_iter"]
+
+def pair(name, before_id, after_id):
+    before, after = ns(before_id), ns(after_id)
+    return {
+        "bench": name,
+        "before": {"id": before_id, "ns_per_iter": round(before, 1)},
+        "after": {"id": after_id, "ns_per_iter": round(after, 1)},
+        "speedup": round(before / after, 2),
+    }
+
+rustc = subprocess.run(["rustc", "--version"], capture_output=True, text=True).stdout.strip()
+snapshot = {
+    "description": "Seed string-keyed engine + render-per-GET server vs "
+                   "interned-id engine + render-cached server "
+                   "(sb_bench::reference preserves the seed implementation; "
+                   "see crates/bench/benches/engine.rs)",
+    "rustc": rustc,
+    "comparisons": [
+        pair("end-to-end BFS crawl, 4000-page site",
+             "engine/e2e_bfs_4k/seed_string_keyed",
+             "engine/e2e_bfs_4k/interned_render_cached"),
+        pair("HEAD x256 HTML pages",
+             "server/head_256_html_pages/seed_render_per_head",
+             "server/head_256_html_pages/precomputed_content_length"),
+    ],
+    "absolute": [
+        {"id": i, "ns_per_iter": round(r["ns_per_iter"], 1)}
+        for i, r in sorted(records.items())
+        if "seed" not in i
+    ],
+}
+with open("BENCH_engine.json", "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(json.dumps(snapshot["comparisons"], indent=2))
+PY

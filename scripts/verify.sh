@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification: release build, full test suite, bench compile check
+# (benches can't rot) and an xp-driven smoke run of the experiment harness.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+# Benches must stay compilable even when nobody runs them.
+cargo bench --no-run --offline -p sb-bench
+# End-to-end harness smoke: one tiny experiment through site generation,
+# crawling, metrics and report rendering.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    table1 --scale 0.003 --seeds 1 --sites cl,nc --jobs 2 --out target/verify-smoke
+echo "verify: OK"

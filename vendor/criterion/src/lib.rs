@@ -1,0 +1,261 @@
+//! Offline stand-in for `criterion`: a small wall-clock benchmark harness
+//! with criterion's surface API (`Criterion`, `benchmark_group`, `Bencher`,
+//! `black_box`, `criterion_group!`, `criterion_main!`).
+//!
+//! Measurement model: run the routine for `warm_up_time`, then run batches
+//! until `measurement_time` elapses, reporting the mean ns/iteration. Every
+//! result is printed and also appended as a JSON line to
+//! `target/bench-shim.jsonl` (path overridable via `BENCH_SHIM_OUT`) so
+//! snapshot files like `BENCH_engine.json` can be assembled from runs.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Harness configuration + result sink.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(id, self.sample_size, self.warm_up_time, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group of related benchmarks (`group/name` ids).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.sample_size, self.warm_up_time, self.measurement_time, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure of `bench_function`; collects timed iterations.
+pub struct Bencher {
+    mode: Mode,
+    /// (total busy time, iterations) accumulated by `iter`.
+    busy: Duration,
+    iters: u64,
+    deadline: Instant,
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.busy += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+        if matches!(self.mode, Mode::WarmUp) {
+            self.busy = Duration::ZERO;
+            self.iters = 0;
+        }
+    }
+
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.busy += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= self.deadline {
+                break;
+            }
+        }
+        if matches!(self.mode, Mode::WarmUp) {
+            self.busy = Duration::ZERO;
+            self.iters = 0;
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    _sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    f: &mut F,
+) {
+    let mut b = Bencher {
+        mode: Mode::WarmUp,
+        busy: Duration::ZERO,
+        iters: 0,
+        deadline: Instant::now() + warm_up,
+    };
+    f(&mut b);
+
+    b.mode = Mode::Measure;
+    b.busy = Duration::ZERO;
+    b.iters = 0;
+    b.deadline = Instant::now() + measurement;
+    f(&mut b);
+
+    let iters = b.iters.max(1);
+    let ns_per_iter = b.busy.as_nanos() as f64 / iters as f64;
+    println!("{id:<50} time: {:>14} ({} iters)", format_ns(ns_per_iter), iters);
+    append_record(id, ns_per_iter, iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn append_record(id: &str, ns_per_iter: f64, iters: u64) {
+    let path = std::env::var("BENCH_SHIM_OUT").unwrap_or_else(|_| {
+        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_owned());
+        format!("{target}/bench-shim.jsonl")
+    });
+    if let Some(dir) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        let _ = writeln!(
+            file,
+            "{{\"id\":\"{}\",\"ns_per_iter\":{:.1},\"iters\":{}}}",
+            id.replace('"', "'"),
+            ns_per_iter,
+            iters
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("x", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,328 @@
+//! Offline stand-in for the crates.io `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`proptest!`] macro, the [`Strategy`] trait with `prop_map`, strategies
+//! for numeric ranges / tuples / regex-subset string patterns /
+//! `option::of` / `collection::vec` / `bool::ANY` / [`any`], the
+//! `prop_assert*` and `prop_assume!` macros and [`ProptestConfig`].
+//!
+//! Differences from upstream: no shrinking (the failing input is printed
+//! as-is), and case generation is deterministic per test name (override
+//! with `PROPTEST_SEED`), which makes CI runs reproducible.
+
+pub mod strategy;
+pub mod string;
+
+pub use strategy::{any, Any, Just, Map, Strategy};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration. Only `cases` is consulted.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the whole test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the input: the case is retried.
+    Reject,
+}
+
+impl TestCaseError {
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// Drives `body` over `config.cases` generated inputs. Called by the
+/// [`proptest!`] expansion — not part of the public upstream API.
+pub fn run_cases<S, F>(config: ProptestConfig, test_name: &str, strat: &S, mut body: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let base_seed = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv64(s.as_bytes())),
+        Err(_) => fnv64(test_name.as_bytes()),
+    };
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 16 + 64;
+    while passed < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest '{test_name}': too many rejected cases ({attempts} attempts for {} passes)",
+            passed
+        );
+        let mut rng = StdRng::seed_from_u64(base_seed ^ attempts.wrapping_mul(0x9e3779b97f4a7c15));
+        let value = strat.new_value(&mut rng);
+        let shown = format!("{value:#?}");
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+        match outcome {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject)) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {} (attempt {attempts}, seed {base_seed}):\n{msg}\ninput: {shown}",
+                    passed + 1
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest '{test_name}' panicked at case {} (attempt {attempts}, seed {base_seed})\ninput: {shown}",
+                    passed + 1
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use rand::Rng;
+
+    /// Uniform `bool` strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut rand::rngs::StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::Rng;
+
+    /// `Option` strategy: `None` a quarter of the time, like upstream's
+    /// default 1:3 weighting.
+    #[derive(Debug, Clone)]
+    pub struct OfStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OfStrategy<S> {
+        OfStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OfStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn new_value(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// `Vec` strategy with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            let n = if self.len.is_empty() {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(config, stringify!($name), &($($strat,)+), |__values| {
+                let ($($pat,)+) = __values;
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            });
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u64..10, -3i32..3), f in 0.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((-3..3).contains(&b));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_option(
+            v in crate::collection::vec(crate::any::<u8>(), 2..5),
+            o in crate::option::of(0usize..3),
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            if let Some(x) = o {
+                prop_assert!(x < 3);
+            }
+        }
+
+        #[test]
+        fn assume_rejects(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn mapped(s in (1usize..4).prop_map(|n| "x".repeat(n))) {
+            prop_assert!(!s.is_empty() && s.len() < 4);
+        }
+    }
+
+    #[test]
+    fn config_with_cases() {
+        let c = ProptestConfig { cases: 3, ..ProptestConfig::default() };
+        assert_eq!(c.cases, 3);
+        assert_eq!(ProptestConfig::with_cases(5).cases, 5);
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Strategy`] trait and the built-in strategies: numeric ranges,
+//! tuples, regex-subset string patterns (via `&str`), [`Just`] and
+//! [`any`].
+
+use crate::string::Pattern;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of values for property tests. Upstream proptest separates
+/// strategies from value trees (for shrinking); this stand-in generates
+/// values directly.
+pub trait Strategy {
+    type Value;
+
+    fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy for any value of a `rand`-samplable type: `any::<u64>()` etc.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+pub fn any<T: rand::Standard>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: rand::Standard> Strategy for Any<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String literals are regex-subset patterns, as in upstream proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        Pattern::parse(self).generate(rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut StdRng) -> String {
+        Pattern::parse(self).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tuple_and_map_compose() {
+        let strat = (0u8..4, 10usize..12).prop_map(|(a, b)| a as usize + b);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((10..16).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Just(7u32).new_value(&mut rng), 7);
+    }
+}

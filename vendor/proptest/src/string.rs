@@ -1,0 +1,323 @@
+//! Regex-subset string generation for `&str` strategies.
+//!
+//! Supported syntax (the subset this workspace's tests use, plus
+//! alternation for good measure): literals, `\x` escapes, `.`, character
+//! classes `[...]` with ranges and a leading `^` for negation, groups
+//! `(...)` with `|` alternation, and the quantifiers `?`, `*`, `+`,
+//! `{n}`, `{m,n}`, `{m,}`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A parsed pattern: alternatives of atom sequences.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    alternatives: Vec<Vec<Atom>>,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    kind: AtomKind,
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+enum AtomKind {
+    Literal(char),
+    /// Inclusive char ranges; `negated` inverts membership.
+    Class {
+        ranges: Vec<(char, char)>,
+        negated: bool,
+    },
+    /// `.`: any char except newline.
+    Dot,
+    Group(Pattern),
+}
+
+/// Unbounded quantifiers (`*`, `+`, `{m,}`) are capped at `min + 8`.
+const UNBOUNDED_EXTRA: u32 = 8;
+
+impl Pattern {
+    /// Parses `pattern`, panicking on syntax outside the supported subset
+    /// (a test-authoring error, not a runtime condition).
+    pub fn parse(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (pat, consumed) = parse_alternatives(&chars, 0, false);
+        assert!(
+            consumed == chars.len(),
+            "unsupported regex pattern (stopped at char {consumed}): {pattern:?}"
+        );
+        pat
+    }
+
+    pub fn generate(&self, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        self.generate_into(rng, &mut out);
+        out
+    }
+
+    fn generate_into(&self, rng: &mut StdRng, out: &mut String) {
+        let alt = &self.alternatives[rng.gen_range(0..self.alternatives.len())];
+        for atom in alt {
+            let reps = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                atom.generate_one(rng, out);
+            }
+        }
+    }
+}
+
+impl Atom {
+    fn generate_one(&self, rng: &mut StdRng, out: &mut String) {
+        match &self.kind {
+            AtomKind::Literal(c) => out.push(*c),
+            AtomKind::Dot => out.push(random_dot_char(rng)),
+            AtomKind::Class { ranges, negated } => {
+                if *negated {
+                    // Rejection-sample a printable char outside the class.
+                    for _ in 0..64 {
+                        let c = random_dot_char(rng);
+                        if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                            out.push(c);
+                            return;
+                        }
+                    }
+                    out.push('\u{fffd}');
+                } else {
+                    let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                    let mut pick = rng.gen_range(0..total.max(1));
+                    for &(lo, hi) in ranges {
+                        let span = hi as u32 - lo as u32 + 1;
+                        if pick < span {
+                            // Skip the surrogate gap if a range crosses it.
+                            let code = lo as u32 + pick;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            return;
+                        }
+                        pick -= span;
+                    }
+                }
+            }
+            AtomKind::Group(p) => p.generate_into(rng, out),
+        }
+    }
+}
+
+/// `.` distribution: mostly printable ASCII, some control bytes and some
+/// arbitrary Unicode scalars, so totality tests see hostile input.
+fn random_dot_char(rng: &mut StdRng) -> char {
+    let roll: f64 = rng.gen();
+    if roll < 0.75 {
+        char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap()
+    } else if roll < 0.85 {
+        // Control/extended single bytes (newline excluded: regex `.`).
+        let c = char::from_u32(rng.gen_range(0u32..0x20)).unwrap();
+        if c == '\n' {
+            '\t'
+        } else {
+            c
+        }
+    } else {
+        loop {
+            let code = rng.gen_range(0x80u32..0x1_0000);
+            if let Some(c) = char::from_u32(code) {
+                return c;
+            }
+        }
+    }
+}
+
+/// Parses alternatives until end of input or an unmatched `)`.
+/// Returns the pattern and the index one past the last consumed char.
+fn parse_alternatives(chars: &[char], mut i: usize, in_group: bool) -> (Pattern, usize) {
+    let mut alternatives = Vec::new();
+    let mut current: Vec<Atom> = Vec::new();
+    while i < chars.len() {
+        match chars[i] {
+            ')' if in_group => break,
+            '|' => {
+                alternatives.push(std::mem::take(&mut current));
+                i += 1;
+            }
+            _ => {
+                let (kind, next) = parse_atom(chars, i);
+                let (min, max, next) = parse_quantifier(chars, next);
+                current.push(Atom { kind, min, max });
+                i = next;
+            }
+        }
+    }
+    alternatives.push(current);
+    (Pattern { alternatives }, i)
+}
+
+fn parse_atom(chars: &[char], i: usize) -> (AtomKind, usize) {
+    match chars[i] {
+        '.' => (AtomKind::Dot, i + 1),
+        '\\' => {
+            let c = *chars.get(i + 1).expect("dangling escape in pattern");
+            (AtomKind::Literal(unescape(c)), i + 2)
+        }
+        '[' => parse_class(chars, i + 1),
+        '(' => {
+            let (pat, end) = parse_alternatives(chars, i + 1, true);
+            assert!(chars.get(end) == Some(&')'), "unclosed group in pattern");
+            (AtomKind::Group(pat), end + 1)
+        }
+        c => (AtomKind::Literal(c), i + 1),
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (AtomKind, usize) {
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut first = true;
+    while i < chars.len() && (chars[i] != ']' || first) {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            unescape(*chars.get(i).expect("dangling escape in class"))
+        } else {
+            chars[i]
+        };
+        i += 1;
+        // A range needs `-` followed by something other than `]`.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&c| c != ']') {
+            i += 1;
+            let hi = if chars[i] == '\\' {
+                i += 1;
+                unescape(*chars.get(i).expect("dangling escape in class"))
+            } else {
+                chars[i]
+            };
+            i += 1;
+            assert!(lo <= hi, "inverted range in class");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+        first = false;
+    }
+    assert!(chars.get(i) == Some(&']'), "unclosed class in pattern");
+    (AtomKind::Class { ranges, negated }, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, UNBOUNDED_EXTRA, i + 1),
+        Some('+') => (1, 1 + UNBOUNDED_EXTRA, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .expect("unclosed quantifier in pattern");
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                None => {
+                    let n: u32 = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+                Some((lo, hi)) => {
+                    let min: u32 = lo.trim().parse().expect("bad quantifier");
+                    let max: u32 = if hi.trim().is_empty() {
+                        min + UNBOUNDED_EXTRA
+                    } else {
+                        hi.trim().parse().expect("bad quantifier")
+                    };
+                    (min, max)
+                }
+            };
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen_many(pattern: &str, n: usize) -> Vec<String> {
+        let p = Pattern::parse(pattern);
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| p.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn literal_and_escape() {
+        for s in gen_many(r"ab\.c", 5) {
+            assert_eq!(s, "ab.c");
+        }
+    }
+
+    #[test]
+    fn class_with_ranges() {
+        for s in gen_many("[a-z0-9._-]{1,10}", 200) {
+            assert!((1..=10).contains(&s.chars().count()), "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_range_class() {
+        for s in gen_many("[ -~]{0,48}", 200) {
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            assert!(s.chars().count() <= 48);
+        }
+    }
+
+    #[test]
+    fn groups_quantifiers_and_optional() {
+        for s in gen_many(r"(/[a-z]{1,3}){0,4}/?", 200) {
+            // Only slashes and lowercase, segments of 1-3 chars.
+            assert!(s.chars().all(|c| c == '/' || c.is_ascii_lowercase()), "{s:?}");
+        }
+        for s in gen_many("https?://x", 50) {
+            assert!(s == "http://x" || s == "https://x", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_specials() {
+        for s in gen_many("[<>a-z/='\"! -]{1,20}", 200) {
+            for c in s.chars() {
+                assert!(
+                    "<>/='\"! -".contains(c) || c.is_ascii_lowercase(),
+                    "unexpected {c:?} in {s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_avoids_newline() {
+        for s in gen_many(".{0,200}", 50) {
+            assert!(!s.contains('\n'));
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn exact_count_quantifier() {
+        for s in gen_many("[a-f]{4}", 50) {
+            assert_eq!(s.len(), 4);
+        }
+    }
+}

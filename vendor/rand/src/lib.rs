@@ -1,0 +1,326 @@
+//! Offline stand-in for the crates.io `rand` crate (0.8 API subset).
+//!
+//! Implements exactly what this workspace uses: `rngs::StdRng`, the `Rng`
+//! extension trait (`gen`, `gen_range`, `gen_bool`), `SeedableRng` and
+//! `seq::SliceRandom::shuffle`. The generator is xoshiro256** seeded through
+//! SplitMix64 — fast, high-quality, deterministic per seed. Streams differ
+//! from upstream `StdRng` (ChaCha12); in-tree uses are statistical only.
+
+/// Core RNG interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+/// Seedable construction, as in rand 0.8.
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic seeded RNG (xoshiro256**). Stand-in for rand's StdRng.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..i * 8 + 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0, 0, 0, 0] {
+                s = [0x9e37_79b9_7f4a_7c15, 0xbf58_476d_1ce4_e5b9, 0x94d0_49bb_1331_11eb, 1];
+            }
+            StdRng { s }
+        }
+    }
+}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in [0, 1) with 53 bits of precision.
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable from a half-open or inclusive range. The
+/// blanket [`SampleRange`] impls below mirror rand 0.8's shape so that
+/// unsuffixed integer literals still fall back to `i32`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_in<R: RngCore + ?Sized>(lo: Self, hi_excl: Self, rng: &mut R) -> Self;
+    fn sample_in_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in<R: RngCore + ?Sized>(lo: Self, hi_excl: Self, rng: &mut R) -> Self {
+                assert!(lo < hi_excl, "gen_range: empty range");
+                let span = (hi_excl as i128 - lo as i128) as u128;
+                // Widening-multiply map of a 64-bit draw onto the span. Bias
+                // is < span/2^64 — negligible for simulation workloads.
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+
+            #[inline]
+            fn sample_in_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128 * span) >> 64;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_in<R: RngCore + ?Sized>(lo: Self, hi_excl: Self, rng: &mut R) -> Self {
+                assert!(lo < hi_excl, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi_excl - lo)
+            }
+
+            #[inline]
+            fn sample_in_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                Self::sample_in(lo, hi, rng)
+            }
+        }
+    )*};
+}
+
+impl_uniform_float!(f32, f64);
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_in_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// The user-facing RNG extension trait (rand 0.8 names).
+pub trait Rng: RngCore {
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    #[inline]
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        <f64 as Standard>::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod seq {
+    use super::RngCore;
+
+    /// Slice helpers (rand 0.8 `SliceRandom` subset).
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() as u128 * (i as u128 + 1) >> 64) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                return None;
+            }
+            let i = (rng.next_u64() as u128 * self.len() as u128 >> 64) as usize;
+            self.get(i)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_values_cover_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2600..3400).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}
