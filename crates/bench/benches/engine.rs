@@ -9,6 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sb_bench::reference::{reference_queue_crawl, UncachedSiteServer};
 use sb_crawler::engine::{crawl, Budget, CrawlConfig};
+use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
 use sb_crawler::strategies::{Discipline, QueueStrategy, SbStrategy};
 use sb_httpsim::SiteServer;
 use sb_webgraph::gen::{build_site, SiteSpec};
@@ -118,6 +119,37 @@ fn bench_head(c: &mut Criterion) {
     group.finish();
 }
 
+/// The multi-site fleet: 8 independent BFS sessions over 8 generated
+/// 500-page sites, politeness-aware round-robin on 1 vs 4 worker threads.
+/// `workers_1` is the serial baseline; the ratio is the fleet's parallel
+/// speedup (bounded by the machine's core count — on a single-core runner
+/// it only measures scheduling overhead), and 8 sites / `workers_4` time
+/// is the recorded multi-site throughput in `BENCH_engine.json`.
+fn bench_fleet(c: &mut Criterion) {
+    let sites: Vec<Arc<Website>> =
+        (0..8).map(|i| Arc::new(build_site(&SiteSpec::demo(500), 100 + i))).collect();
+
+    let mut group = c.benchmark_group("engine/fleet_8x500_bfs");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let id = format!("workers_{workers}");
+        group.bench_function(&id, |b| {
+            b.iter(|| {
+                let mut fleet = Fleet::new(workers);
+                for (i, site) in sites.iter().enumerate() {
+                    let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
+                    let root = root_of(site);
+                    fleet.push(FleetJob::new(format!("site{i}"), server, root, || {
+                        Box::new(QueueStrategy::bfs())
+                    }));
+                }
+                black_box(fleet.run())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Interner micro-costs: membership tests on parsed URLs vs owned-string
 /// hashing, over a realistic URL population.
 fn bench_interner(c: &mut Criterion) {
@@ -154,6 +186,6 @@ criterion_group!(
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_interner
+    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_interner
 );
 criterion_main!(engine);

@@ -246,6 +246,34 @@ fn seed_truncate_chars(s: &str, max: usize) -> String {
     s.chars().take(max).collect()
 }
 
+/// Collapses the seed engine's post-target trace duplicates.
+///
+/// The seed `amend_trace` *appended* a second point at the same request
+/// count after target-volume tagging (pre-tag point kept, post-tag point
+/// added); the session engine amends the point in place, recording only
+/// the post-tag tallies. This helper drops the superseded pre-tag points
+/// from a reference trace so the two series compare point for point — a
+/// **knowing** divergence from the frozen seed behaviour (ISSUE 2
+/// satellite: "make amend_trace replace the last point"); the reference
+/// implementation itself stays verbatim.
+///
+/// Both metrics of Sec 4.5 are unaffected: the dropped point's tallies are
+/// dominated by its same-request successor, so `requests_to_*` and
+/// `non_target_volume_*` scans resolve identically on either series.
+pub fn collapse_target_amends(trace: &CrawlTrace) -> CrawlTrace {
+    let mut out = CrawlTrace::new();
+    let pts = trace.points();
+    for (i, p) in pts.iter().enumerate() {
+        let superseded = pts
+            .get(i + 1)
+            .is_some_and(|next| next.requests == p.requests && next.targets > p.targets);
+        if !superseded {
+            out.push(*p);
+        }
+    }
+    out
+}
+
 /// What the reference crawl reports — the subset the determinism tests and
 /// benches compare against [`sb_crawler::CrawlOutcome`].
 pub struct ReferenceOutcome {

@@ -1,142 +1,24 @@
-//! The crawl engine: Algorithms 3 and 4, generic over a [`Strategy`].
+//! Compatibility surface of the pre-session crawl API.
 //!
-//! The engine owns everything every crawler shares — HTTP, budget, the
-//! visited set `T ∪ F`, link extraction and filtering (site boundary,
-//! extension blocklist, dedup), redirect handling, immediate retrieval of
-//! predicted targets, reward computation, early stopping and tracing — while
-//! the [`Strategy`] decides which frontier link to crawl next and what to do
-//! with each newly discovered link. `SB-CLASSIFIER`, the baselines and the
-//! oracle variants are all strategies over this one engine, so comparisons
-//! never hinge on engine differences.
+//! The engine (Algorithms 3 and 4) lives in [`crate::session`] as the
+//! resumable, observable [`CrawlSession`]; this module keeps the original
+//! names importable — `sb_crawler::engine::{crawl, Budget, CrawlConfig}`
+//! and friends — so the six strategies, the experiment harness and the
+//! frozen `sb_bench::reference` comparisons all keep compiling unchanged.
+//! [`crawl`] is now a one-liner: build a session, run it to completion.
 
-use crate::early_stop::{EarlyStop, EarlyStopConfig};
-use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
-use crate::trace::{CrawlTrace, TracePoint};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sb_httpsim::{Client, HttpServer, Politeness};
-use sb_webgraph::interner::{UrlId, UrlInterner};
-use sb_webgraph::mime::MimePolicy;
-use sb_webgraph::url::Url;
-use std::collections::VecDeque;
+pub use crate::session::{
+    robots_filter, Budget, ConfigError, CrawlConfig, CrawlConfigBuilder, CrawlOutcome, CrawlSession,
+    Oracle, RetrievedTarget, StepReport, UrlFilter,
+};
+use crate::strategy::Strategy;
+use sb_httpsim::HttpServer;
 
-/// The crawl budget `B` of Algorithm 3.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Budget {
-    /// Stop after this many requests (GET + HEAD): the `ω ≡ 1` cost model.
-    Requests(u64),
-    /// Stop after this much received volume (bytes): the size cost model.
-    VolumeBytes(u64),
-    /// Crawl until the frontier is exhausted.
-    Unlimited,
-}
-
-/// Ground-truth URL classes, for oracle strategies (Sec 4.3's `SB-ORACLE`,
-/// `TP-OFF`'s first phase and `TRES`'s URL oracle).
-pub trait Oracle: Sync {
-    fn class_of(&self, url: &str) -> sb_webgraph::UrlClass;
-}
-
-impl Oracle for sb_webgraph::Website {
-    fn class_of(&self, url: &str) -> sb_webgraph::UrlClass {
-        match self.lookup(url) {
-            Some(id) => self.true_class(id),
-            None => sb_webgraph::UrlClass::Neither,
-        }
-    }
-}
-
-/// Engine configuration.
-pub struct CrawlConfig {
-    pub budget: Budget,
-    pub policy: MimePolicy,
-    pub politeness: Politeness,
-    pub seed: u64,
-    pub early_stop: Option<EarlyStopConfig>,
-    /// Keep the bodies of retrieved targets (Table 7 needs them).
-    pub keep_target_bodies: bool,
-    /// Hard cap on crawl steps (safety valve for tests).
-    pub max_steps: Option<u64>,
-    /// Optional URL admission filter, checked on every discovered link and
-    /// redirect target (the root is exempt). `false` drops the URL before
-    /// any request is spent on it — this is where robots.txt compliance
-    /// plugs in (see [`robots_filter`]).
-    pub url_filter: Option<UrlFilter>,
-    /// Extra URLs fetched right after the root, before the strategy takes
-    /// over — sitemap seeding (`sb_httpsim::fetch_sitemap_urls`). Off-site
-    /// and filter-rejected entries are skipped; each seed costs its
-    /// requests against the budget like any other fetch.
-    pub seed_urls: Vec<String>,
-}
-
-/// Boxed URL predicate for [`CrawlConfig::url_filter`].
-pub type UrlFilter = Box<dyn Fn(&Url) -> bool + Send + Sync>;
-
-/// Builds a [`CrawlConfig::url_filter`] that enforces a parsed robots.txt
-/// for the given user agent.
+/// Crawls `root_url` on `server` driving `strategy` to completion — the
+/// one-shot convenience over [`CrawlSession`].
 ///
-/// ```
-/// use sb_crawler::engine::{robots_filter, CrawlConfig};
-/// use sb_httpsim::RobotsTxt;
-///
-/// let robots = RobotsTxt::parse("User-agent: *\nDisallow: /private/");
-/// let cfg = CrawlConfig { url_filter: Some(robots_filter(robots, "sbcrawl")), ..Default::default() };
-/// # let _ = cfg;
-/// ```
-pub fn robots_filter(robots: sb_httpsim::RobotsTxt, agent: &str) -> UrlFilter {
-    let agent = agent.to_owned();
-    Box::new(move |url: &Url| robots.allows(&agent, &url.path))
-}
-
-impl Default for CrawlConfig {
-    fn default() -> Self {
-        CrawlConfig {
-            budget: Budget::Unlimited,
-            policy: MimePolicy::default(),
-            politeness: Politeness::default(),
-            seed: 0,
-            early_stop: None,
-            keep_target_bodies: false,
-            max_steps: None,
-            url_filter: None,
-            seed_urls: Vec::new(),
-        }
-    }
-}
-
-/// A target retrieved during the crawl.
-#[derive(Debug, Clone)]
-pub struct RetrievedTarget {
-    pub url: String,
-    pub mime: String,
-    /// Present only when [`CrawlConfig::keep_target_bodies`] is set.
-    /// Shared bytes — cloning an outcome does not copy target payloads.
-    pub body: Option<sb_httpsim::Body>,
-}
-
-/// Everything a finished crawl reports.
-pub struct CrawlOutcome {
-    pub trace: CrawlTrace,
-    pub targets: Vec<RetrievedTarget>,
-    pub pages_crawled: u64,
-    /// True when Sec 4.8 early stopping fired.
-    pub stopped_early: bool,
-    /// Step at which early stopping fired.
-    pub early_stop_at: Option<u64>,
-    /// True when the action space exploded (the θ = 0.95 OOM of Table 4).
-    pub aborted_oom: bool,
-    pub traffic: sb_httpsim::Traffic,
-    /// Strategy-specific report (action statistics for the SB crawlers).
-    pub report: crate::strategy::StrategyReport,
-}
-
-impl CrawlOutcome {
-    pub fn targets_found(&self) -> u64 {
-        self.targets.len() as u64
-    }
-}
-
-/// Crawls `root_url` on `server` driving `strategy`. The heart of the repo.
+/// Panics on an unparseable root, exactly like the pre-session engine did;
+/// callers that want the error instead use [`CrawlSession::new`].
 pub fn crawl(
     server: &dyn HttpServer,
     oracle: Option<&dyn Oracle>,
@@ -144,354 +26,7 @@ pub fn crawl(
     strategy: &mut dyn Strategy,
     cfg: &CrawlConfig,
 ) -> CrawlOutcome {
-    Engine::new(server, oracle, root_url, cfg).run(strategy)
-}
-
-struct Engine<'a> {
-    client: Client<'a, dyn HttpServer + 'a>,
-    oracle: Option<&'a dyn Oracle>,
-    cfg: &'a CrawlConfig,
-    root: Url,
-    /// `T ∪ F` membership: every discovered URL is interned exactly once
-    /// (one hash of the parsed `Url`, no string round-trips); the id keys
-    /// everything downstream.
-    interner: UrlInterner,
-    /// Discovery depth per interned id (parallel to the interner).
-    depths: Vec<u32>,
-    trace: CrawlTrace,
-    targets: Vec<RetrievedTarget>,
-    pages_crawled: u64,
-    /// Crawl step `t` (pages entered into `T`), as in Algorithm 4.
-    t: u64,
-    early: Option<EarlyStop>,
-    aborted_oom: bool,
-    rng: StdRng,
-}
-
-/// Work item of the per-step cascade: an interned page plus whether its
-/// reward feeds back into the outer selection.
-struct WorkItem {
-    id: UrlId,
-    depth: u32,
-    /// Feedback token of the outer selection; inner (immediately-retrieved)
-    /// pages carry `None` — their rewards have no owning action.
-    token: Option<u64>,
-}
-
-const MAX_REDIRECTS: usize = 5;
-
-impl<'a> Engine<'a> {
-    fn new(
-        server: &'a dyn HttpServer,
-        oracle: Option<&'a dyn Oracle>,
-        root_url: &str,
-        cfg: &'a CrawlConfig,
-    ) -> Self {
-        let root = Url::parse(root_url).expect("crawl root must be an absolute http(s) URL");
-        Engine {
-            client: Client::new(server, cfg.policy.clone()).with_politeness(cfg.politeness),
-            oracle,
-            cfg,
-            root,
-            interner: UrlInterner::new(),
-            depths: Vec::new(),
-            trace: CrawlTrace::new(),
-            targets: Vec::new(),
-            pages_crawled: 0,
-            t: 0,
-            early: cfg.early_stop.map(EarlyStop::new),
-            aborted_oom: false,
-            rng: StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127),
-        }
-    }
-
-    fn run(mut self, strategy: &mut dyn Strategy) -> CrawlOutcome {
-        // Algorithm 3: the crawl starts at r.
-        let root = self.root.clone();
-        let root_id = self.intern_at_depth(&root, 0);
-        self.process_cascade(strategy, WorkItem { id: root_id, depth: 0, token: None });
-
-        // Sitemap (or otherwise provided) seeds: fetched like the root.
-        let seeds: Vec<String> = self.cfg.seed_urls.clone();
-        for seed in seeds {
-            if self.budget_exhausted() || self.aborted_oom {
-                break;
-            }
-            let Ok(url) = Url::parse(&seed) else { continue };
-            if !url.same_site_as(&self.root) {
-                continue;
-            }
-            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&url)) {
-                continue;
-            }
-            if self.interner.get(&url).is_some() {
-                continue;
-            }
-            let id = self.intern_at_depth(&url, 1);
-            self.process_cascade(strategy, WorkItem { id, depth: 1, token: None });
-        }
-
-        let mut stopped_early = false;
-        while !self.budget_exhausted() && !self.aborted_oom {
-            if let Some(max) = self.cfg.max_steps {
-                if self.t >= max {
-                    break;
-                }
-            }
-            if let Some(es) = &mut self.early {
-                if es.observe(self.t, self.targets.len() as f64) {
-                    stopped_early = true;
-                    break;
-                }
-            }
-            let Some(Selection { url, token }) = strategy.next(&mut self.rng) else {
-                break; // frontier exhausted: the site is fully crawled
-            };
-            let id = match url {
-                // Hot path: the id resolves without parsing or hashing.
-                SelUrl::Id(id) if (id as usize) < self.depths.len() => id,
-                SelUrl::Id(_) => {
-                    // An id the engine never handed out — a strategy bug.
-                    // Degrade like an error answer instead of panicking.
-                    debug_assert!(false, "strategy returned an unknown UrlId");
-                    strategy.feedback_error(token);
-                    continue;
-                }
-                // Boundary path (oracle answer keys): parse + intern once.
-                SelUrl::Text(s) => {
-                    let Ok(u) = Url::parse(&s) else {
-                        // Seed parity: an unparseable selection still costs
-                        // a (404-answered) fetch, so budgets advance and a
-                        // re-offering strategy cannot spin the loop.
-                        self.t += 1;
-                        self.pages_crawled += 1;
-                        let f = self.client.get(&s);
-                        self.push_trace();
-                        if f.status >= 400 {
-                            strategy.feedback_error(token);
-                        }
-                        continue;
-                    };
-                    self.intern_at_depth(&u, 0)
-                }
-            };
-            let depth = self.depths[id as usize];
-            self.process_cascade(strategy, WorkItem { id, depth, token: Some(token) });
-        }
-
-        CrawlOutcome {
-            trace: self.trace,
-            targets: self.targets,
-            pages_crawled: self.pages_crawled,
-            stopped_early,
-            early_stop_at: self.early.as_ref().and_then(|e| e.triggered_at()),
-            aborted_oom: self.aborted_oom,
-            traffic: self.client.traffic(),
-            report: strategy.report(),
-        }
-    }
-
-    fn budget_exhausted(&self) -> bool {
-        let traffic = self.client.traffic();
-        match self.cfg.budget {
-            Budget::Requests(b) => traffic.requests() >= b,
-            Budget::VolumeBytes(b) => traffic.total_bytes() >= b,
-            Budget::Unlimited => false,
-        }
-    }
-
-    /// Processes one selected page and, iteratively, every page the
-    /// strategy asked to fetch immediately (Algorithm 4's recursion,
-    /// flattened to survive arbitrarily deep target cascades).
-    fn process_cascade(&mut self, strategy: &mut dyn Strategy, first: WorkItem) {
-        let mut queue: VecDeque<WorkItem> = VecDeque::new();
-        queue.push_back(first);
-        while let Some(item) = queue.pop_front() {
-            if self.budget_exhausted() || self.aborted_oom {
-                return;
-            }
-            self.process_one(strategy, item, &mut queue);
-        }
-    }
-
-    /// Interns `url`, recording `depth` if it is new. Existing ids keep
-    /// their original discovery depth.
-    fn intern_at_depth(&mut self, url: &Url, depth: u32) -> UrlId {
-        let id = self.interner.intern(url);
-        if id as usize == self.depths.len() {
-            self.depths.push(depth);
-        }
-        id
-    }
-
-    /// Algorithm 4 for a single URL.
-    fn process_one(
-        &mut self,
-        strategy: &mut dyn Strategy,
-        item: WorkItem,
-        queue: &mut VecDeque<WorkItem>,
-    ) {
-        // Follow redirects (3xx) up to a small chain bound. `id` is always
-        // interned, so the canonical string and parsed form resolve without
-        // any re-parse or re-stringify.
-        let mut id = item.id;
-        let mut fetched = None;
-        for _ in 0..MAX_REDIRECTS {
-            self.t += 1;
-            self.pages_crawled += 1;
-            let f = self.client.get(self.interner.text(id));
-            self.push_trace();
-            if !f.status.is_redirect_status() {
-                fetched = Some((id, f));
-                break;
-            }
-            // 3xx: follow the Location if it is new, on-site and admitted.
-            let Some(loc) = f.location.clone() else { return };
-            let Ok(next) = self.interner.url(id).join(&loc) else { return };
-            if !next.same_site_as(&self.root) {
-                return;
-            }
-            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&next)) {
-                return;
-            }
-            match self.interner.get(&next) {
-                // Already known elsewhere; don't crawl twice.
-                Some(known) if known != id => return,
-                // Self-redirect: keep following until the chain bound.
-                Some(known) => id = known,
-                None => id = self.intern_at_depth(&next, item.depth),
-            }
-        }
-        let Some((id, f)) = fetched else { return };
-
-        // Errors (4xx/5xx) yield nothing; the selection still consumed a pull.
-        if f.status >= 400 {
-            if let Some(token) = item.token {
-                strategy.feedback_error(token);
-            }
-            return;
-        }
-        if f.interrupted {
-            return; // banned MIME type: transfer aborted (Algorithm 3)
-        }
-        let Some(mime) = f.mime.clone() else { return };
-
-        if self.cfg.policy.is_html_mime(&mime) {
-            strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Html);
-            let reward = self.process_html(strategy, id, item.depth, &f.body, queue);
-            if let Some(token) = item.token {
-                strategy.feedback(token, reward);
-            }
-        } else if self.cfg.policy.is_target_mime(&mime) {
-            // A target: tag its volume and keep it.
-            self.client.tag_target(f.wire_bytes);
-            strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Target);
-            self.targets.push(RetrievedTarget {
-                url: self.interner.text(id).to_owned(),
-                mime,
-                body: self.cfg.keep_target_bodies.then_some(f.body),
-            });
-            self.amend_trace();
-            if let Some(token) = item.token {
-                // Algorithm 4 returns before the R_mean update for targets:
-                // the pull happened but no reward observation follows.
-                strategy.feedback_target(token);
-            }
-        }
-        // Any other MIME type: "Neither", nothing to do.
-    }
-
-    /// Link extraction + per-link decisions; returns the page's reward
-    /// (the number of new links to predicted targets, retrieved at once).
-    fn process_html(
-        &mut self,
-        strategy: &mut dyn Strategy,
-        page_id: UrlId,
-        page_depth: u32,
-        body: &[u8],
-        queue: &mut VecDeque<WorkItem>,
-    ) -> f64 {
-        let html = String::from_utf8_lossy(body);
-        let links = sb_html::extract_links_with(&html, strategy.link_needs());
-        // One clone of the parsed base per page (instead of a re-parse);
-        // per link, membership is checked on the parsed `Url` itself, so
-        // known links cost one hash and zero allocations.
-        let base = self.interner.url(page_id).clone();
-        let mut reward = 0.0;
-        for link in &links {
-            let Ok(resolved) = base.join(&link.href) else { continue };
-            // Only in-website links enter the graph (Sec 2.2).
-            if !resolved.same_site_as(&self.root) {
-                continue;
-            }
-            // u_new ∉ T ∪ F
-            if self.interner.get(&resolved).is_some() {
-                continue;
-            }
-            // Extension blocklist: skipped without any bookkeeping.
-            if self.cfg.policy.has_blocked_extension(&resolved) {
-                continue;
-            }
-            // URL admission filter (robots.txt etc.): dropped unrequested.
-            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&resolved)) {
-                continue;
-            }
-            let id = self.intern_at_depth(&resolved, page_depth + 1);
-            let new_link = NewLink {
-                id,
-                url: &resolved,
-                url_str: self.interner.text(id),
-                html: link,
-                source_depth: page_depth,
-            };
-            let mut services = Services {
-                client: &mut self.client,
-                oracle: self.oracle,
-                policy: &self.cfg.policy,
-            };
-            match strategy.decide(&new_link, &mut services) {
-                // Enqueue/Skip need no bookkeeping: interning above already
-                // recorded membership and depth.
-                LinkDecision::Enqueue | LinkDecision::Skip => {}
-                LinkDecision::FetchNow => {
-                    reward += 1.0;
-                    queue.push_back(WorkItem { id, depth: page_depth + 1, token: None });
-                }
-                LinkDecision::ActionSpaceFull => {
-                    self.aborted_oom = true;
-                    return reward;
-                }
-            }
-        }
-        self.push_trace();
-        reward
-    }
-
-    fn push_trace(&mut self) {
-        let tr = self.client.traffic();
-        self.trace.push(TracePoint {
-            requests: tr.requests(),
-            head_requests: tr.head_requests,
-            target_bytes: tr.target_bytes,
-            non_target_bytes: tr.non_target_bytes,
-            targets: self.targets.len() as u64,
-            elapsed_secs: tr.elapsed_secs,
-        });
-    }
-
-    /// Re-records the last point after target-volume tagging so the series
-    /// reflects the re-attributed bytes.
-    fn amend_trace(&mut self) {
-        self.push_trace();
-    }
-}
-
-trait StatusExt {
-    fn is_redirect_status(&self) -> bool;
-}
-
-impl StatusExt for u16 {
-    fn is_redirect_status(&self) -> bool {
-        (300..400).contains(self)
-    }
+    CrawlSession::new(server, oracle, root_url, strategy, cfg)
+        .expect("crawl root must be an absolute http(s) URL")
+        .run()
 }

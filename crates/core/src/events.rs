@@ -1,0 +1,253 @@
+//! Typed crawl events and the observer interface.
+//!
+//! A [`crate::session::CrawlSession`] narrates its progress as a stream of
+//! [`CrawlEvent`]s: every GET, redirect hop, link decision, retrieved
+//! target and termination cause is announced to every registered
+//! [`CrawlObserver`] the moment it happens, together with a
+//! [`CrawlSnapshot`] of the cost counters at that instant. Nothing in the
+//! engine is hardwired to a particular consumer any more: the per-request
+//! [`CrawlTrace`] that every table and figure of Sec 4 is derived from is
+//! itself just one observer ([`TraceObserver`]), and callers can attach
+//! progress bars, loggers, archivers or live dashboards without touching
+//! the engine.
+//!
+//! Events borrow their URL strings from the session's interner — observing
+//! a crawl allocates nothing on the hot path. Observers that need to keep
+//! an event's data beyond the callback must copy it out.
+
+use crate::strategy::LinkDecision;
+use crate::trace::{CrawlTrace, TracePoint};
+use sb_httpsim::Traffic;
+
+/// Why a selected (or immediately-fetched) page was abandoned without a
+/// class observation: the request budget was spent but nothing came back
+/// that the strategy could learn from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbandonReason {
+    /// The redirect chain was still redirecting after `MAX_REDIRECTS` hops.
+    RedirectChainExhausted,
+    /// A 3xx answer carried no `Location` header.
+    RedirectMissingLocation,
+    /// The `Location` did not resolve to an absolute http(s) URL.
+    RedirectUnparseable,
+    /// The redirect target left the website boundary (Sec 2.2).
+    RedirectOffSite,
+    /// The redirect target was rejected by [`crate::session::CrawlConfig::url_filter`].
+    RedirectFiltered,
+    /// The redirect target was already in `T ∪ F` under another id.
+    RedirectAlreadyKnown,
+    /// The server answered 4xx/5xx.
+    HttpError(u16),
+    /// The strategy selected a string that is not an absolute http(s) URL;
+    /// the fetch was still charged (seed parity) but nothing can come back.
+    UnparseableSelection,
+    /// The transfer was aborted on a block-listed MIME type (Algorithm 3).
+    Interrupted,
+    /// The 2xx answer carried no Content-Type to classify.
+    MissingMime,
+}
+
+/// Why a session stopped stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The strategy's frontier ran dry: the site is fully crawled.
+    FrontierExhausted,
+    /// The crawl budget `B` of Algorithm 3 is spent.
+    BudgetExhausted,
+    /// Sec 4.8 early stopping fired.
+    EarlyStopped,
+    /// The [`crate::session::CrawlConfig::max_steps`] safety valve fired.
+    MaxSteps,
+    /// The action space exploded (Table 4's θ = 0.95 OOM).
+    ActionSpaceOverflow,
+    /// The caller finished the session before any natural end.
+    Cancelled,
+}
+
+/// What one crawl announces while it runs. Emitted in strict happens-after
+/// order: an event is dispatched only after the work it describes is done
+/// and charged, so the accompanying [`CrawlSnapshot`] already includes it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrawlEvent<'e> {
+    /// First event of every session, before any request.
+    SessionStarted { root: &'e str },
+    /// A GET completed (any status — redirect hops and errors included).
+    Fetched { url: &'e str, status: u16, mime: Option<&'e str>, depth: u32 },
+    /// A 3xx `Location` was admitted and will be followed.
+    Redirected { from: &'e str, to: &'e str },
+    /// A fetch cascade entry ended without a class observation; when the
+    /// page was the outer selection, its token received
+    /// [`crate::strategy::Strategy::feedback_error`].
+    Abandoned { url: &'e str, reason: AbandonReason },
+    /// A new on-site, unseen, unblocked link was routed by the strategy.
+    LinkDiscovered { url: &'e str, depth: u32, decision: LinkDecision },
+    /// Link extraction + routing finished for a fetched HTML page.
+    /// `reward` is the page's Algorithm 4 reward (immediately-fetched
+    /// predicted targets).
+    PageProcessed { url: &'e str, new_links: u32, reward: f64 },
+    /// A target was retrieved and its volume tagged. `ordinal` counts
+    /// targets from 1.
+    TargetRetrieved { url: &'e str, mime: &'e str, ordinal: u64 },
+    /// Sec 4.8 early stopping fired at crawl step `step`.
+    EarlyStopped { step: u64 },
+    /// The budget check failed; no further selection will run.
+    BudgetExhausted { requests: u64, total_bytes: u64 },
+    /// The strategy returned `None`: nothing left to crawl.
+    FrontierExhausted,
+    /// Last event of every finished session.
+    SessionFinished { reason: FinishReason },
+}
+
+/// Cost counters at the instant an event is dispatched (the event's work
+/// already included).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrawlSnapshot {
+    pub traffic: Traffic,
+    /// Targets retrieved so far.
+    pub targets: u64,
+    /// Outer selections completed so far (root and admitted seeds count).
+    pub steps: u64,
+}
+
+/// A crawl progress consumer. Registered with
+/// [`crate::session::CrawlSession::observe`]; every event of the session is
+/// delivered in order, on the thread driving the session.
+pub trait CrawlObserver {
+    fn on_event(&mut self, event: &CrawlEvent<'_>, snap: &CrawlSnapshot);
+}
+
+/// [`CrawlTrace`] recording, reimplemented as an observer: one
+/// [`TracePoint`] after every GET and every processed HTML page, with the
+/// point *amended in place* (not duplicated) when target-volume tagging
+/// re-attributes the bytes of the request it describes.
+#[derive(Debug, Default)]
+pub struct TraceObserver {
+    trace: CrawlTrace,
+}
+
+impl TraceObserver {
+    pub fn new() -> Self {
+        TraceObserver::default()
+    }
+
+    pub fn trace(&self) -> &CrawlTrace {
+        &self.trace
+    }
+
+    pub fn into_trace(self) -> CrawlTrace {
+        self.trace
+    }
+
+    fn point(snap: &CrawlSnapshot) -> TracePoint {
+        TracePoint {
+            requests: snap.traffic.requests(),
+            head_requests: snap.traffic.head_requests,
+            target_bytes: snap.traffic.target_bytes,
+            non_target_bytes: snap.traffic.non_target_bytes,
+            targets: snap.targets,
+            elapsed_secs: snap.traffic.elapsed_secs,
+        }
+    }
+}
+
+impl CrawlObserver for TraceObserver {
+    fn on_event(&mut self, event: &CrawlEvent<'_>, snap: &CrawlSnapshot) {
+        match event {
+            CrawlEvent::Fetched { .. } | CrawlEvent::PageProcessed { .. } => {
+                self.trace.push(Self::point(snap));
+            }
+            // The GET that fetched the target already pushed a point at this
+            // request count; re-record it with the re-attributed volume
+            // instead of appending a duplicate.
+            CrawlEvent::TargetRetrieved { .. } => {
+                self.trace.amend_last(Self::point(snap));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// An observer that collects owned copies of every event — handy for tests
+/// and debugging (event ordering assertions), too allocation-happy for
+/// production observation.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Vec<OwnedEvent>,
+}
+
+/// An owned, lifetime-free copy of a [`CrawlEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedEvent {
+    SessionStarted { root: String },
+    Fetched { url: String, status: u16, mime: Option<String>, depth: u32 },
+    Redirected { from: String, to: String },
+    Abandoned { url: String, reason: AbandonReason },
+    LinkDiscovered { url: String, depth: u32, decision: LinkDecision },
+    PageProcessed { url: String, new_links: u32, reward: f64 },
+    TargetRetrieved { url: String, mime: String, ordinal: u64 },
+    EarlyStopped { step: u64 },
+    BudgetExhausted { requests: u64, total_bytes: u64 },
+    FrontierExhausted,
+    SessionFinished { reason: FinishReason },
+}
+
+impl From<&CrawlEvent<'_>> for OwnedEvent {
+    fn from(e: &CrawlEvent<'_>) -> OwnedEvent {
+        match *e {
+            CrawlEvent::SessionStarted { root } => {
+                OwnedEvent::SessionStarted { root: root.to_owned() }
+            }
+            CrawlEvent::Fetched { url, status, mime, depth } => OwnedEvent::Fetched {
+                url: url.to_owned(),
+                status,
+                mime: mime.map(str::to_owned),
+                depth,
+            },
+            CrawlEvent::Redirected { from, to } => {
+                OwnedEvent::Redirected { from: from.to_owned(), to: to.to_owned() }
+            }
+            CrawlEvent::Abandoned { url, reason } => {
+                OwnedEvent::Abandoned { url: url.to_owned(), reason }
+            }
+            CrawlEvent::LinkDiscovered { url, depth, decision } => {
+                OwnedEvent::LinkDiscovered { url: url.to_owned(), depth, decision }
+            }
+            CrawlEvent::PageProcessed { url, new_links, reward } => {
+                OwnedEvent::PageProcessed { url: url.to_owned(), new_links, reward }
+            }
+            CrawlEvent::TargetRetrieved { url, mime, ordinal } => {
+                OwnedEvent::TargetRetrieved { url: url.to_owned(), mime: mime.to_owned(), ordinal }
+            }
+            CrawlEvent::EarlyStopped { step } => OwnedEvent::EarlyStopped { step },
+            CrawlEvent::BudgetExhausted { requests, total_bytes } => {
+                OwnedEvent::BudgetExhausted { requests, total_bytes }
+            }
+            CrawlEvent::FrontierExhausted => OwnedEvent::FrontierExhausted,
+            CrawlEvent::SessionFinished { reason } => OwnedEvent::SessionFinished { reason },
+        }
+    }
+}
+
+impl EventLog {
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    pub fn events(&self) -> &[OwnedEvent] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl CrawlObserver for EventLog {
+    fn on_event(&mut self, event: &CrawlEvent<'_>, _snap: &CrawlSnapshot) {
+        self.events.push(OwnedEvent::from(event));
+    }
+}

@@ -1,0 +1,274 @@
+//! Multi-site crawl scheduling: N independent [`CrawlSession`]s driven
+//! concurrently on worker threads.
+//!
+//! The paper crawls one website at a time; production acquisition runs
+//! thousands of per-site crawls side by side (BUbiNG-style massive
+//! crawling). The session API makes that a scheduling problem rather than
+//! an engine rewrite: a [`Fleet`] owns a set of [`FleetJob`]s (server +
+//! root + strategy factory + config per site), deals them round-robin onto
+//! worker threads, and each worker interleaves its sessions
+//! **politeness-aware** — it always steps the session with the smallest
+//! simulated elapsed time, so a site throttled by a long politeness delay
+//! yields its worker to faster sites instead of blocking them, exactly as
+//! a wall-clock scheduler would.
+//!
+//! Per-site results are **worker-count invariant**: sessions share nothing
+//! (each has its own RNG, interner, client and strategy), so the fleet
+//! produces byte-identical per-site outcomes whether it runs on 1 worker
+//! or 16 — the property the fleet determinism tests pin down.
+
+use crate::events::FinishReason;
+use crate::session::{ConfigError, CrawlConfig, CrawlOutcome, CrawlSession, Oracle};
+use crate::strategy::Strategy;
+use sb_httpsim::{HttpServer, Traffic};
+use std::sync::Arc;
+
+/// Shareable server handle: fleets move jobs across threads.
+pub type SharedServer = Arc<dyn HttpServer + Send + Sync>;
+
+/// Shareable ground-truth oracle for oracle strategies.
+pub type SharedOracle = Arc<dyn Oracle + Send + Sync>;
+
+/// Builds the strategy on the worker thread that will drive the session —
+/// strategies themselves never cross threads.
+pub type StrategyFactory = Box<dyn FnOnce() -> Box<dyn Strategy> + Send>;
+
+/// One site's crawl: everything a worker needs to build and drive a
+/// session.
+pub struct FleetJob {
+    pub name: String,
+    pub root: String,
+    server: SharedServer,
+    oracle: Option<SharedOracle>,
+    strategy: StrategyFactory,
+    cfg: CrawlConfig,
+}
+
+impl FleetJob {
+    pub fn new(
+        name: impl Into<String>,
+        server: SharedServer,
+        root: impl Into<String>,
+        strategy: impl FnOnce() -> Box<dyn Strategy> + Send + 'static,
+    ) -> Self {
+        FleetJob {
+            name: name.into(),
+            root: root.into(),
+            server,
+            oracle: None,
+            strategy: Box::new(strategy),
+            cfg: CrawlConfig::default(),
+        }
+    }
+
+    /// Per-site crawl configuration (budget, politeness, seeds, …).
+    pub fn config(mut self, cfg: CrawlConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Ground truth for oracle strategies on this site.
+    pub fn oracle(mut self, oracle: SharedOracle) -> Self {
+        self.oracle = Some(oracle);
+        self
+    }
+}
+
+/// One site's result. Construction errors (an unparseable root) are
+/// reported here instead of panicking the worker.
+pub struct SiteReport {
+    pub name: String,
+    pub outcome: Result<CrawlOutcome, ConfigError>,
+}
+
+impl SiteReport {
+    /// Convenience: the outcome, or a panic naming the site.
+    pub fn expect_outcome(&self) -> &CrawlOutcome {
+        match &self.outcome {
+            Ok(o) => o,
+            Err(e) => panic!("fleet site {:?} failed to start: {e}", self.name),
+        }
+    }
+}
+
+/// What a finished fleet reports: per-site outcomes (in submission order)
+/// plus aggregate traffic.
+pub struct FleetOutcome {
+    pub sites: Vec<SiteReport>,
+    /// Sum of every site's cost counters. `elapsed_secs` is the *serial*
+    /// simulated time — what one crawler visiting the sites back to back
+    /// would have waited.
+    pub traffic: Traffic,
+    /// Targets retrieved across the fleet.
+    pub targets: u64,
+    /// Real wall-clock seconds the fleet took.
+    pub wall_secs: f64,
+}
+
+impl FleetOutcome {
+    /// Requests per real second across the whole fleet — the headline
+    /// multi-site throughput number.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            return 0.0;
+        }
+        self.traffic.requests() as f64 / self.wall_secs
+    }
+
+    /// Longest simulated per-site duration — the fleet's simulated
+    /// wall-clock, since sites crawl concurrently.
+    pub fn sim_makespan_secs(&self) -> f64 {
+        self.sites
+            .iter()
+            .filter_map(|s| s.outcome.as_ref().ok())
+            .map(|o| o.traffic.elapsed_secs)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// The multi-site scheduler. See the module docs.
+pub struct Fleet {
+    jobs: Vec<FleetJob>,
+    workers: usize,
+}
+
+impl Fleet {
+    /// A fleet driving its sites on up to `workers` threads (clamped to
+    /// the number of jobs at run time; 0 means one worker).
+    pub fn new(workers: usize) -> Self {
+        Fleet { jobs: Vec::new(), workers: workers.max(1) }
+    }
+
+    pub fn push(&mut self, job: FleetJob) {
+        self.jobs.push(job);
+    }
+
+    /// Fluent [`Fleet::push`].
+    pub fn job(mut self, job: FleetJob) -> Self {
+        self.push(job);
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Crawls every site to completion and reports. Jobs are dealt
+    /// round-robin onto workers; each worker interleaves its sessions by
+    /// smallest simulated elapsed time (politeness-aware fairness).
+    pub fn run(self) -> FleetOutcome {
+        let n = self.jobs.len();
+        let workers = self.workers.clamp(1, n.max(1));
+        let started = std::time::Instant::now();
+
+        // Deal jobs round-robin, remembering submission order.
+        let mut buckets: Vec<Vec<(usize, FleetJob)>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in self.jobs.into_iter().enumerate() {
+            buckets[i % workers].push((i, job));
+        }
+
+        let mut indexed: Vec<(usize, SiteReport)> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                buckets.into_iter().map(|bucket| scope.spawn(|| drive_bucket(bucket))).collect();
+            for h in handles {
+                indexed.extend(h.join().expect("fleet worker panicked"));
+            }
+        });
+        indexed.sort_by_key(|(i, _)| *i);
+
+        let mut traffic = Traffic::default();
+        let mut targets = 0u64;
+        let sites: Vec<SiteReport> = indexed.into_iter().map(|(_, r)| r).collect();
+        for report in &sites {
+            if let Ok(o) = &report.outcome {
+                traffic.absorb(&o.traffic);
+                targets += o.targets_found();
+            }
+        }
+        FleetOutcome { sites, traffic, targets, wall_secs: started.elapsed().as_secs_f64() }
+    }
+}
+
+/// Drives one worker's share of the fleet: builds every session, then
+/// repeatedly steps the unfinished session with the smallest simulated
+/// elapsed time until all are done.
+fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
+    // Materialise everything a session borrows (server, oracle, strategy,
+    // config, root) so the sessions below can borrow from this frame.
+    struct Prepared {
+        index: usize,
+        name: String,
+        root: String,
+        server: SharedServer,
+        oracle: Option<SharedOracle>,
+        strategy: Box<dyn Strategy>,
+        cfg: CrawlConfig,
+    }
+    let mut prepared: Vec<Prepared> = bucket
+        .into_iter()
+        .map(|(index, job)| Prepared {
+            index,
+            name: job.name,
+            root: job.root,
+            server: job.server,
+            oracle: job.oracle,
+            strategy: (job.strategy)(),
+            cfg: job.cfg,
+        })
+        .collect();
+    let names: Vec<(usize, String)> = prepared.iter().map(|p| (p.index, p.name.clone())).collect();
+
+    let mut sessions: Vec<Result<CrawlSession<'_>, ConfigError>> = prepared
+        .iter_mut()
+        .map(|p| {
+            CrawlSession::new(
+                p.server.as_ref(),
+                p.oracle.as_ref().map(|o| o.as_ref() as &dyn Oracle),
+                &p.root,
+                p.strategy.as_mut(),
+                &p.cfg,
+            )
+        })
+        .collect();
+
+    // Politeness-aware interleaving: always advance the session whose
+    // simulated clock is furthest behind (ties broken by bucket order, so
+    // scheduling is deterministic).
+    loop {
+        let mut pick: Option<(usize, f64)> = None;
+        for (k, s) in sessions.iter().enumerate() {
+            let Ok(session) = s else { continue };
+            if session.is_finished() {
+                continue;
+            }
+            let elapsed = session.traffic().elapsed_secs;
+            if pick.is_none_or(|(_, best)| elapsed < best) {
+                pick = Some((k, elapsed));
+            }
+        }
+        let Some((k, _)) = pick else { break };
+        if let Ok(session) = &mut sessions[k] {
+            session.step();
+        }
+    }
+
+    sessions
+        .into_iter()
+        .zip(names)
+        .map(|(s, (index, name))| {
+            let outcome = s.map(|session| {
+                debug_assert!(
+                    session.finish_reason() != Some(FinishReason::Cancelled),
+                    "fleet sessions run to natural completion"
+                );
+                session.finish()
+            });
+            (index, SiteReport { name, outcome })
+        })
+        .collect()
+}

@@ -6,9 +6,16 @@
 //! * [`strategy`] — the crawler interface (frontier policy + link routing),
 //! * [`strategies`] — SB-CLASSIFIER, SB-ORACLE, BFS, DFS, RANDOM,
 //!   OMNISCIENT, FOCUSED, TP-OFF, TRES-lite,
-//! * [`engine`] — Algorithms 3 & 4 (fetch, redirects, rewards, budget),
+//! * [`session`] — Algorithms 3 & 4 as a resumable [`CrawlSession`]:
+//!   validated construction, `step()`/`run()`, typed [`CrawlEvent`]s,
+//! * [`events`] — the [`CrawlObserver`] interface ([`CrawlTrace`] is just
+//!   one observer),
+//! * [`fleet`] — the multi-site [`Fleet`] scheduler over worker threads,
+//! * [`engine`] — the pre-session compatibility surface ([`crawl`]),
 //! * [`early_stop`] — the Sec 4.8 stopping rule,
 //! * [`trace`] — per-request series and the Table 2/3 metrics.
+//!
+//! One-shot crawl (the classic API):
 //!
 //! ```no_run
 //! use sb_crawler::engine::{crawl, CrawlConfig};
@@ -23,18 +30,51 @@
 //! let outcome = crawl(&server, None, &root, &mut strategy, &CrawlConfig::default());
 //! println!("retrieved {} targets", outcome.targets_found());
 //! ```
+//!
+//! Step-driven crawl with validation and observation (the session API):
+//!
+//! ```no_run
+//! use sb_crawler::{Budget, CrawlConfig, CrawlSession, EventLog};
+//! use sb_crawler::strategies::QueueStrategy;
+//! use sb_httpsim::SiteServer;
+//! use sb_webgraph::{build_site, SiteSpec};
+//!
+//! let site = build_site(&SiteSpec::demo(500), 42);
+//! let root = site.page(site.root()).url.clone();
+//! let server = SiteServer::new(site);
+//! let cfg = CrawlConfig::builder().budget(Budget::Requests(100)).build()?;
+//! let mut bfs = QueueStrategy::bfs();
+//! let mut log = EventLog::new();
+//! let mut session = CrawlSession::new(&server, None, &root, &mut bfs, &cfg)?.observe(&mut log);
+//! while !session.is_finished() {
+//!     let report = session.step();
+//!     println!("step {}: {} targets so far", report.steps, session.targets_found());
+//! }
+//! let outcome = session.finish();
+//! # Ok::<(), sb_crawler::ConfigError>(())
+//! ```
 
 pub mod action;
 pub mod early_stop;
 pub mod engine;
+pub mod events;
+pub mod fleet;
+pub mod session;
 pub mod strategies;
 pub mod strategy;
 pub mod trace;
 
 pub use action::{ActionId, ActionSpace, ActionSpaceConfig, ActionSpaceFull};
 pub use early_stop::{EarlyStop, EarlyStopConfig};
-pub use engine::{
-    crawl, robots_filter, Budget, CrawlConfig, CrawlOutcome, Oracle, RetrievedTarget, UrlFilter,
+pub use engine::crawl;
+pub use events::{
+    AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, EventLog, FinishReason, OwnedEvent,
+    TraceObserver,
+};
+pub use fleet::{Fleet, FleetJob, FleetOutcome, SharedOracle, SharedServer, SiteReport};
+pub use session::{
+    robots_filter, Budget, ConfigError, CrawlConfig, CrawlConfigBuilder, CrawlOutcome,
+    CrawlSession, Oracle, RetrievedTarget, StepReport, UrlFilter,
 };
 pub use strategy::{ArmReport, LinkDecision, NewLink, SelUrl, Selection, Services, Strategy, StrategyReport};
 pub use trace::{CrawlTrace, TracePoint};

@@ -1,0 +1,927 @@
+//! The resumable crawl session: Algorithms 3 and 4 as a step-driven API.
+//!
+//! [`CrawlSession`] holds every piece of crawl state the old one-shot
+//! `crawl()` call buried inside its engine — the visited set `T ∪ F`
+//! (interned), the budget counters, the redirect handler, early stopping —
+//! and exposes it behind three verbs:
+//!
+//! * [`CrawlSession::step`] advances exactly **one outer selection**
+//!   (including its FetchNow cascade) and returns a [`StepReport`];
+//! * [`CrawlSession::run`] loops `step()` to completion and returns the
+//!   classic [`CrawlOutcome`];
+//! * [`CrawlSession::observe`] attaches [`CrawlObserver`]s that receive
+//!   every typed [`CrawlEvent`] as it happens — tracing, progress bars and
+//!   archivers all hang off this hook ([`TraceObserver`] is built in, so
+//!   [`CrawlOutcome::trace`] keeps existing).
+//!
+//! Holding a session between steps is what makes multi-site scheduling
+//! possible: [`crate::fleet::Fleet`] interleaves many sessions on worker
+//! threads, something the blocking call could never do. Construction is
+//! validated ([`CrawlConfig::builder`], [`ConfigError`]) — an unparseable
+//! root or a zero budget is rejected before any request is spent.
+//!
+//! Behaviour is frozen: `CrawlSession::run` replays the seed engine
+//! byte-for-byte on the determinism property tests
+//! (`crates/bench/tests/determinism.rs`), with one *knowing* exception —
+//! the post-target trace point is amended in place instead of appended as
+//! a duplicate (see [`TraceObserver`]).
+
+use crate::early_stop::{EarlyStop, EarlyStopConfig};
+use crate::events::{
+    AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, FinishReason, TraceObserver,
+};
+use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
+use crate::trace::CrawlTrace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sb_httpsim::{Client, HttpServer, Politeness};
+use sb_webgraph::interner::{UrlId, UrlInterner};
+use sb_webgraph::mime::MimePolicy;
+use sb_webgraph::url::{Url, UrlError};
+use std::collections::VecDeque;
+
+/// The crawl budget `B` of Algorithm 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Stop after this many requests (GET + HEAD): the `ω ≡ 1` cost model.
+    Requests(u64),
+    /// Stop after this much received volume (bytes): the size cost model.
+    VolumeBytes(u64),
+    /// Crawl until the frontier is exhausted.
+    Unlimited,
+}
+
+/// Ground-truth URL classes, for oracle strategies (Sec 4.3's `SB-ORACLE`,
+/// `TP-OFF`'s first phase and `TRES`'s URL oracle).
+pub trait Oracle: Sync {
+    fn class_of(&self, url: &str) -> sb_webgraph::UrlClass;
+}
+
+impl Oracle for sb_webgraph::Website {
+    fn class_of(&self, url: &str) -> sb_webgraph::UrlClass {
+        match self.lookup(url) {
+            Some(id) => self.true_class(id),
+            None => sb_webgraph::UrlClass::Neither,
+        }
+    }
+}
+
+/// Session configuration. Build one with [`CrawlConfig::builder`] for
+/// upfront validation, or as a struct literal (the pre-session API) when
+/// the values are known-good constants.
+pub struct CrawlConfig {
+    pub budget: Budget,
+    pub policy: MimePolicy,
+    pub politeness: Politeness,
+    pub seed: u64,
+    pub early_stop: Option<EarlyStopConfig>,
+    /// Keep the bodies of retrieved targets (Table 7 needs them).
+    pub keep_target_bodies: bool,
+    /// Hard cap on crawl steps (safety valve for tests).
+    pub max_steps: Option<u64>,
+    /// Optional URL admission filter, checked on every discovered link and
+    /// redirect target (the root is exempt). `false` drops the URL before
+    /// any request is spent on it — this is where robots.txt compliance
+    /// plugs in (see [`robots_filter`]).
+    pub url_filter: Option<UrlFilter>,
+    /// Extra URLs fetched right after the root, before the strategy takes
+    /// over — sitemap seeding (`sb_httpsim::fetch_sitemap_urls`). Off-site
+    /// and filter-rejected entries are skipped; each seed costs its
+    /// requests against the budget like any other fetch.
+    pub seed_urls: Vec<String>,
+}
+
+/// Boxed URL predicate for [`CrawlConfig::url_filter`].
+pub type UrlFilter = Box<dyn Fn(&Url) -> bool + Send + Sync>;
+
+/// Builds a [`CrawlConfig::url_filter`] that enforces a parsed robots.txt
+/// for the given user agent.
+///
+/// ```
+/// use sb_crawler::engine::{robots_filter, CrawlConfig};
+/// use sb_httpsim::RobotsTxt;
+///
+/// let robots = RobotsTxt::parse("User-agent: *\nDisallow: /private/");
+/// let cfg = CrawlConfig { url_filter: Some(robots_filter(robots, "sbcrawl")), ..Default::default() };
+/// # let _ = cfg;
+/// ```
+pub fn robots_filter(robots: sb_httpsim::RobotsTxt, agent: &str) -> UrlFilter {
+    let agent = agent.to_owned();
+    Box::new(move |url: &Url| robots.allows(&agent, &url.path))
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            budget: Budget::Unlimited,
+            policy: MimePolicy::default(),
+            politeness: Politeness::default(),
+            seed: 0,
+            early_stop: None,
+            keep_target_bodies: false,
+            max_steps: None,
+            url_filter: None,
+            seed_urls: Vec::new(),
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// A fluent, validating builder.
+    pub fn builder() -> CrawlConfigBuilder {
+        CrawlConfigBuilder { cfg: CrawlConfig::default() }
+    }
+}
+
+/// What [`CrawlConfigBuilder::build`] or [`CrawlSession::new`] rejects
+/// before any request is spent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The crawl root is not an absolute http(s) URL.
+    InvalidRoot { url: String, error: UrlError },
+    /// A zero budget can never admit the root fetch.
+    ZeroBudget,
+    /// `max_steps == 0` can never admit the root fetch.
+    ZeroMaxSteps,
+    /// Politeness delay must be finite and ≥ 0; bandwidth must be > 0.
+    InvalidPoliteness,
+    /// A seed URL is not an absolute http(s) URL.
+    InvalidSeedUrl { url: String, error: UrlError },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidRoot { url, error } => {
+                write!(f, "crawl root {url:?} is not an absolute http(s) URL: {error}")
+            }
+            ConfigError::ZeroBudget => f.write_str("crawl budget is zero"),
+            ConfigError::ZeroMaxSteps => f.write_str("max_steps is zero"),
+            ConfigError::InvalidPoliteness => {
+                f.write_str("politeness delay must be finite and ≥ 0, bandwidth > 0")
+            }
+            ConfigError::InvalidSeedUrl { url, error } => {
+                write!(f, "seed URL {url:?} is not an absolute http(s) URL: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder for [`CrawlConfig`]; [`CrawlConfigBuilder::build`]
+/// validates everything that does not need the root URL (the root is
+/// validated by [`CrawlSession::new`]).
+pub struct CrawlConfigBuilder {
+    cfg: CrawlConfig,
+}
+
+impl CrawlConfigBuilder {
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.cfg.budget = budget;
+        self
+    }
+
+    pub fn mime_policy(mut self, policy: MimePolicy) -> Self {
+        self.cfg.policy = policy;
+        self
+    }
+
+    pub fn politeness(mut self, politeness: Politeness) -> Self {
+        self.cfg.politeness = politeness;
+        self
+    }
+
+    /// RNG seed shared by the engine and the strategy's frontier draws.
+    pub fn rng_seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    pub fn early_stop(mut self, cfg: EarlyStopConfig) -> Self {
+        self.cfg.early_stop = Some(cfg);
+        self
+    }
+
+    pub fn keep_target_bodies(mut self, keep: bool) -> Self {
+        self.cfg.keep_target_bodies = keep;
+        self
+    }
+
+    pub fn max_steps(mut self, max: u64) -> Self {
+        self.cfg.max_steps = Some(max);
+        self
+    }
+
+    pub fn url_filter(mut self, filter: UrlFilter) -> Self {
+        self.cfg.url_filter = Some(filter);
+        self
+    }
+
+    /// Appends one seed URL (validated at [`CrawlConfigBuilder::build`]).
+    pub fn seed_url(mut self, url: impl Into<String>) -> Self {
+        self.cfg.seed_urls.push(url.into());
+        self
+    }
+
+    /// Appends many seed URLs (validated at [`CrawlConfigBuilder::build`]).
+    pub fn seed_urls(mut self, urls: impl IntoIterator<Item = String>) -> Self {
+        self.cfg.seed_urls.extend(urls);
+        self
+    }
+
+    pub fn build(self) -> Result<CrawlConfig, ConfigError> {
+        let cfg = self.cfg;
+        match cfg.budget {
+            Budget::Requests(0) | Budget::VolumeBytes(0) => return Err(ConfigError::ZeroBudget),
+            _ => {}
+        }
+        if cfg.max_steps == Some(0) {
+            return Err(ConfigError::ZeroMaxSteps);
+        }
+        let p = cfg.politeness;
+        if !p.delay_secs.is_finite()
+            || p.delay_secs < 0.0
+            || !p.bytes_per_sec.is_finite()
+            || p.bytes_per_sec <= 0.0
+        {
+            return Err(ConfigError::InvalidPoliteness);
+        }
+        for url in &cfg.seed_urls {
+            if let Err(error) = Url::parse(url) {
+                return Err(ConfigError::InvalidSeedUrl { url: url.clone(), error });
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// A target retrieved during the crawl.
+#[derive(Debug, Clone)]
+pub struct RetrievedTarget {
+    pub url: String,
+    pub mime: String,
+    /// Present only when [`CrawlConfig::keep_target_bodies`] is set.
+    /// Shared bytes — cloning an outcome does not copy target payloads.
+    pub body: Option<sb_httpsim::Body>,
+}
+
+/// Everything a finished crawl reports.
+pub struct CrawlOutcome {
+    pub trace: CrawlTrace,
+    pub targets: Vec<RetrievedTarget>,
+    pub pages_crawled: u64,
+    /// True when Sec 4.8 early stopping fired.
+    pub stopped_early: bool,
+    /// Step at which early stopping fired.
+    pub early_stop_at: Option<u64>,
+    /// True when the action space exploded (the θ = 0.95 OOM of Table 4).
+    pub aborted_oom: bool,
+    pub traffic: sb_httpsim::Traffic,
+    /// Strategy-specific report (action statistics for the SB crawlers).
+    pub report: crate::strategy::StrategyReport,
+    /// Why the session stopped.
+    pub finish_reason: FinishReason,
+}
+
+impl CrawlOutcome {
+    pub fn targets_found(&self) -> u64 {
+        self.targets.len() as u64
+    }
+}
+
+/// What one [`CrawlSession::step`] did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Outer selections completed so far, this step included (the root and
+    /// each admitted seed count as one each).
+    pub steps: u64,
+    /// GET requests issued during this step (its whole cascade).
+    pub fetched: u64,
+    /// Targets retrieved during this step.
+    pub new_targets: u64,
+    /// Cumulative requests (GET + HEAD) after this step.
+    pub requests: u64,
+    /// `None` while the session can still advance; the finish reason once
+    /// it cannot. A finishing step does no crawl work.
+    pub finished: Option<FinishReason>,
+}
+
+/// Phase of the session's outer loop (Algorithm 3's shape, unrolled so it
+/// can pause between selections).
+#[derive(Clone, Copy)]
+enum Phase {
+    /// The root fetch has not happened yet.
+    Root,
+    /// Seed URLs from index `.0` onward remain to be considered.
+    Seeds(usize),
+    /// The strategy drives selections.
+    Steady,
+    Done(FinishReason),
+}
+
+/// Work item of the per-step cascade: an interned page plus whether its
+/// reward feeds back into the outer selection.
+struct WorkItem {
+    id: UrlId,
+    depth: u32,
+    /// Feedback token of the outer selection; inner (immediately-retrieved)
+    /// pages carry `None` — their rewards have no owning action.
+    token: Option<u64>,
+}
+
+pub(crate) const MAX_REDIRECTS: usize = 5;
+
+/// Fans one event out to the built-in trace observer plus every registered
+/// observer. Lives outside `CrawlSession` so emission can borrow the
+/// session's interner strings immutably while the observers are mutated.
+struct ObserverHub<'a> {
+    trace: TraceObserver,
+    user: Vec<&'a mut dyn CrawlObserver>,
+}
+
+impl ObserverHub<'_> {
+    #[inline]
+    fn emit(&mut self, snap: &CrawlSnapshot, event: &CrawlEvent<'_>) {
+        self.trace.on_event(event, snap);
+        for obs in &mut self.user {
+            obs.on_event(event, snap);
+        }
+    }
+}
+
+/// A paused, resumable crawl of one site. See the module docs.
+pub struct CrawlSession<'a> {
+    client: Client<'a, dyn HttpServer + 'a>,
+    oracle: Option<&'a dyn Oracle>,
+    cfg: &'a CrawlConfig,
+    strategy: &'a mut dyn Strategy,
+    hub: ObserverHub<'a>,
+    root: Url,
+    /// Canonical root string, kept for the `SessionStarted` event (the
+    /// root is not interned until the first step).
+    root_text: String,
+    /// `T ∪ F` membership: every discovered URL is interned exactly once
+    /// (one hash of the parsed `Url`, no string round-trips); the id keys
+    /// everything downstream.
+    interner: UrlInterner,
+    /// Discovery depth per interned id (parallel to the interner).
+    depths: Vec<u32>,
+    targets: Vec<RetrievedTarget>,
+    pages_crawled: u64,
+    /// Crawl step `t` (pages entered into `T`), as in Algorithm 4.
+    t: u64,
+    /// Outer selections completed.
+    steps: u64,
+    early: Option<EarlyStop>,
+    aborted_oom: bool,
+    rng: StdRng,
+    phase: Phase,
+}
+
+impl<'a> CrawlSession<'a> {
+    /// Validates the root and builds a session. No request is spent until
+    /// the first [`CrawlSession::step`].
+    pub fn new(
+        server: &'a dyn HttpServer,
+        oracle: Option<&'a dyn Oracle>,
+        root_url: &str,
+        strategy: &'a mut dyn Strategy,
+        cfg: &'a CrawlConfig,
+    ) -> Result<Self, ConfigError> {
+        let root = Url::parse(root_url)
+            .map_err(|error| ConfigError::InvalidRoot { url: root_url.to_owned(), error })?;
+        let root_text = root.as_string();
+        Ok(CrawlSession {
+            client: Client::new(server, cfg.policy.clone()).with_politeness(cfg.politeness),
+            oracle,
+            cfg,
+            strategy,
+            hub: ObserverHub { trace: TraceObserver::new(), user: Vec::new() },
+            root,
+            root_text,
+            interner: UrlInterner::new(),
+            depths: Vec::new(),
+            targets: Vec::new(),
+            pages_crawled: 0,
+            t: 0,
+            steps: 0,
+            early: cfg.early_stop.map(EarlyStop::new),
+            aborted_oom: false,
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127),
+            phase: Phase::Root,
+        })
+    }
+
+    /// Registers an observer (fluent). Observers attached before the first
+    /// step see the whole event stream, `SessionStarted` included.
+    pub fn observe(mut self, observer: &'a mut dyn CrawlObserver) -> Self {
+        self.hub.user.push(observer);
+        self
+    }
+
+    /// The canonical root URL.
+    pub fn root(&self) -> &Url {
+        &self.root
+    }
+
+    /// Cost counters so far.
+    pub fn traffic(&self) -> sb_httpsim::Traffic {
+        self.client.traffic()
+    }
+
+    /// Targets retrieved so far.
+    pub fn targets_found(&self) -> u64 {
+        self.targets.len() as u64
+    }
+
+    /// Outer selections completed so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Pages fetched so far (GET attempts, redirect hops included).
+    pub fn pages_crawled(&self) -> u64 {
+        self.pages_crawled
+    }
+
+    /// The per-request trace recorded so far.
+    pub fn trace(&self) -> &CrawlTrace {
+        self.hub.trace.trace()
+    }
+
+    pub fn is_finished(&self) -> bool {
+        matches!(self.phase, Phase::Done(_))
+    }
+
+    /// The finish reason, once the session stopped.
+    pub fn finish_reason(&self) -> Option<FinishReason> {
+        match self.phase {
+            Phase::Done(reason) => Some(reason),
+            _ => None,
+        }
+    }
+
+    fn snapshot(&self) -> CrawlSnapshot {
+        CrawlSnapshot {
+            traffic: self.client.traffic(),
+            targets: self.targets.len() as u64,
+            steps: self.steps,
+        }
+    }
+
+    /// Advances the crawl by exactly one outer selection — the root fetch,
+    /// one admitted seed, or one strategy pick — including every
+    /// immediately-fetched page of its cascade. On an already-finished (or
+    /// just-finishing) session this is a no-op that reports the reason.
+    pub fn step(&mut self) -> StepReport {
+        let before_gets = self.client.traffic().get_requests;
+        let before_targets = self.targets.len() as u64;
+        loop {
+            match self.phase {
+                Phase::Root => {
+                    let snap = self.snapshot();
+                    self.hub.emit(&snap, &CrawlEvent::SessionStarted { root: &self.root_text });
+                    let root = self.root.clone();
+                    let root_id = self.intern_at_depth(&root, 0);
+                    self.phase = Phase::Seeds(0);
+                    self.process_cascade(WorkItem { id: root_id, depth: 0, token: None });
+                    self.steps += 1;
+                    break;
+                }
+                Phase::Seeds(from) => {
+                    // The seed loop re-checks budget and OOM before every
+                    // entry; once either trips, remaining seeds are moot.
+                    if self.budget_exhausted() || self.aborted_oom {
+                        self.phase = Phase::Steady;
+                        continue;
+                    }
+                    match self.next_admissible_seed(from) {
+                        Some((next_from, id)) => {
+                            self.phase = Phase::Seeds(next_from);
+                            self.process_cascade(WorkItem { id, depth: 1, token: None });
+                            self.steps += 1;
+                            break;
+                        }
+                        None => {
+                            self.phase = Phase::Steady;
+                            continue;
+                        }
+                    }
+                }
+                Phase::Steady => {
+                    if self.steady_step() {
+                        self.steps += 1;
+                    }
+                    break;
+                }
+                Phase::Done(_) => break,
+            }
+        }
+        StepReport {
+            steps: self.steps,
+            fetched: self.client.traffic().get_requests - before_gets,
+            new_targets: self.targets.len() as u64 - before_targets,
+            requests: self.client.traffic().requests(),
+            finished: self.finish_reason(),
+        }
+    }
+
+    /// One steady-state outer iteration. Returns whether a selection was
+    /// consumed (finishing checks consume none).
+    fn steady_step(&mut self) -> bool {
+        if let Some(reason) = self.stop_check() {
+            self.finish_with(reason);
+            return false;
+        }
+        let Some(Selection { url, token }) = self.strategy.next(&mut self.rng) else {
+            let snap = self.snapshot();
+            self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
+            self.finish_with(FinishReason::FrontierExhausted);
+            return false;
+        };
+        let id = match url {
+            // Hot path: the id resolves without parsing or hashing.
+            SelUrl::Id(id) if (id as usize) < self.depths.len() => id,
+            SelUrl::Id(_) => {
+                // An id the engine never handed out — a strategy bug.
+                // Degrade like an error answer instead of panicking.
+                debug_assert!(false, "strategy returned an unknown UrlId");
+                self.strategy.feedback_error(token);
+                return true;
+            }
+            // Boundary path (oracle answer keys): parse + intern once.
+            SelUrl::Text(s) => {
+                let Ok(u) = Url::parse(&s) else {
+                    // Seed parity: an unparseable selection still costs
+                    // a (404-answered) fetch, so budgets advance and a
+                    // re-offering strategy cannot spin the loop. Whatever
+                    // the server answers, nothing classifiable can come
+                    // back from a URL the engine cannot even parse — the
+                    // selection is abandoned, and like every abandoned
+                    // selection it delivers the error feedback (one
+                    // observation per pull, no exceptions).
+                    self.t += 1;
+                    self.pages_crawled += 1;
+                    let f = self.client.get(&s);
+                    let snap = self.snapshot();
+                    self.hub.emit(
+                        &snap,
+                        &CrawlEvent::Fetched {
+                            url: &s,
+                            status: f.status,
+                            mime: f.mime.as_deref(),
+                            depth: 0,
+                        },
+                    );
+                    self.strategy.feedback_error(token);
+                    self.hub.emit(
+                        &snap,
+                        &CrawlEvent::Abandoned {
+                            url: &s,
+                            reason: AbandonReason::UnparseableSelection,
+                        },
+                    );
+                    return true;
+                };
+                self.intern_at_depth(&u, 0)
+            }
+        };
+        let depth = self.depths[id as usize];
+        self.process_cascade(WorkItem { id, depth, token: Some(token) });
+        true
+    }
+
+    /// The ordered stop checks of the outer loop. Order matters for replay
+    /// fidelity: budget, OOM, `max_steps`, then the early-stop observation
+    /// (which mutates the detector and must not run when an earlier check
+    /// already fired).
+    fn stop_check(&mut self) -> Option<FinishReason> {
+        if self.budget_exhausted() {
+            let tr = self.client.traffic();
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::BudgetExhausted {
+                    requests: tr.requests(),
+                    total_bytes: tr.total_bytes(),
+                },
+            );
+            return Some(FinishReason::BudgetExhausted);
+        }
+        if self.aborted_oom {
+            return Some(FinishReason::ActionSpaceOverflow);
+        }
+        if let Some(max) = self.cfg.max_steps {
+            if self.t >= max {
+                return Some(FinishReason::MaxSteps);
+            }
+        }
+        if let Some(es) = &mut self.early {
+            if es.observe(self.t, self.targets.len() as f64) {
+                let snap = self.snapshot();
+                self.hub.emit(&snap, &CrawlEvent::EarlyStopped { step: self.t });
+                return Some(FinishReason::EarlyStopped);
+            }
+        }
+        None
+    }
+
+    fn finish_with(&mut self, reason: FinishReason) {
+        let snap = self.snapshot();
+        self.hub.emit(&snap, &CrawlEvent::SessionFinished { reason });
+        self.phase = Phase::Done(reason);
+    }
+
+    /// Loops [`CrawlSession::step`] to completion, then reports.
+    pub fn run(mut self) -> CrawlOutcome {
+        while !self.is_finished() {
+            self.step();
+        }
+        self.finish()
+    }
+
+    /// Ends the session (cancelling it when it has not finished naturally)
+    /// and assembles the [`CrawlOutcome`].
+    pub fn finish(mut self) -> CrawlOutcome {
+        if !self.is_finished() {
+            self.finish_with(FinishReason::Cancelled);
+        }
+        let reason = self.finish_reason().expect("session finished");
+        CrawlOutcome {
+            trace: self.hub.trace.into_trace(),
+            targets: self.targets,
+            pages_crawled: self.pages_crawled,
+            stopped_early: reason == FinishReason::EarlyStopped,
+            early_stop_at: self.early.as_ref().and_then(|e| e.triggered_at()),
+            aborted_oom: self.aborted_oom,
+            traffic: self.client.traffic(),
+            report: self.strategy.report(),
+            finish_reason: reason,
+        }
+    }
+
+    fn budget_exhausted(&self) -> bool {
+        let traffic = self.client.traffic();
+        match self.cfg.budget {
+            Budget::Requests(b) => traffic.requests() >= b,
+            Budget::VolumeBytes(b) => traffic.total_bytes() >= b,
+            Budget::Unlimited => false,
+        }
+    }
+
+    /// Finds the next seed URL that passes the admission checks (parseable,
+    /// on-site, filter-admitted, unseen), interning it. Returns the index
+    /// to resume from plus the interned id.
+    fn next_admissible_seed(&mut self, from: usize) -> Option<(usize, UrlId)> {
+        let cfg = self.cfg;
+        for (offset, seed) in cfg.seed_urls[from.min(cfg.seed_urls.len())..].iter().enumerate() {
+            let Ok(url) = Url::parse(seed) else { continue };
+            if !url.same_site_as(&self.root) {
+                continue;
+            }
+            if cfg.url_filter.as_ref().is_some_and(|f| !f(&url)) {
+                continue;
+            }
+            if self.interner.get(&url).is_some() {
+                continue;
+            }
+            let id = self.intern_at_depth(&url, 1);
+            return Some((from + offset + 1, id));
+        }
+        None
+    }
+
+    /// Processes one selected page and, iteratively, every page the
+    /// strategy asked to fetch immediately (Algorithm 4's recursion,
+    /// flattened to survive arbitrarily deep target cascades).
+    fn process_cascade(&mut self, first: WorkItem) {
+        let mut queue: VecDeque<WorkItem> = VecDeque::new();
+        queue.push_back(first);
+        while let Some(item) = queue.pop_front() {
+            if self.budget_exhausted() || self.aborted_oom {
+                return;
+            }
+            self.process_one(item, &mut queue);
+        }
+    }
+
+    /// Interns `url`, recording `depth` if it is new. Existing ids keep
+    /// their original discovery depth.
+    fn intern_at_depth(&mut self, url: &Url, depth: u32) -> UrlId {
+        let id = self.interner.intern(url);
+        if id as usize == self.depths.len() {
+            self.depths.push(depth);
+        }
+        id
+    }
+
+    /// A work item ended without a class observation: the pull happened but
+    /// nothing came back. Deliver the error feedback for outer selections —
+    /// a selection must never be a silent pull (satellite of ISSUE 2) —
+    /// and announce the abandonment.
+    fn abandon(&mut self, item: &WorkItem, id: UrlId, reason: AbandonReason) {
+        if let Some(token) = item.token {
+            self.strategy.feedback_error(token);
+        }
+        let snap = self.snapshot();
+        self.hub.emit(&snap, &CrawlEvent::Abandoned { url: self.interner.text(id), reason });
+    }
+
+    /// Algorithm 4 for a single URL.
+    fn process_one(&mut self, item: WorkItem, queue: &mut VecDeque<WorkItem>) {
+        // Follow redirects (3xx) up to a small chain bound. `id` is always
+        // interned, so the canonical string and parsed form resolve without
+        // any re-parse or re-stringify.
+        let mut id = item.id;
+        let mut fetched = None;
+        for _ in 0..MAX_REDIRECTS {
+            self.t += 1;
+            self.pages_crawled += 1;
+            let f = self.client.get(self.interner.text(id));
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::Fetched {
+                    url: self.interner.text(id),
+                    status: f.status,
+                    mime: f.mime.as_deref(),
+                    depth: item.depth,
+                },
+            );
+            if !f.status.is_redirect_status() {
+                fetched = Some((id, f));
+                break;
+            }
+            // 3xx: follow the Location if it is new, on-site and admitted.
+            let Some(loc) = f.location.clone() else {
+                return self.abandon(&item, id, AbandonReason::RedirectMissingLocation);
+            };
+            let Ok(next) = self.interner.url(id).join(&loc) else {
+                return self.abandon(&item, id, AbandonReason::RedirectUnparseable);
+            };
+            if !next.same_site_as(&self.root) {
+                return self.abandon(&item, id, AbandonReason::RedirectOffSite);
+            }
+            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&next)) {
+                return self.abandon(&item, id, AbandonReason::RedirectFiltered);
+            }
+            let next_id = match self.interner.get(&next) {
+                // Already known elsewhere; don't crawl twice.
+                Some(known) if known != id => {
+                    return self.abandon(&item, id, AbandonReason::RedirectAlreadyKnown);
+                }
+                // Self-redirect: keep following until the chain bound.
+                Some(known) => known,
+                None => self.intern_at_depth(&next, item.depth),
+            };
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::Redirected {
+                    from: self.interner.text(id),
+                    to: self.interner.text(next_id),
+                },
+            );
+            id = next_id;
+        }
+        let Some((id, f)) = fetched else {
+            return self.abandon(&item, id, AbandonReason::RedirectChainExhausted);
+        };
+
+        // Errors (4xx/5xx) yield nothing; the selection still consumed a pull.
+        if f.status >= 400 {
+            return self.abandon(&item, id, AbandonReason::HttpError(f.status));
+        }
+        if f.interrupted {
+            // Banned MIME type: transfer aborted (Algorithm 3).
+            return self.abandon(&item, id, AbandonReason::Interrupted);
+        }
+        let Some(mime) = f.mime.clone() else {
+            return self.abandon(&item, id, AbandonReason::MissingMime);
+        };
+
+        if self.cfg.policy.is_html_mime(&mime) {
+            self.strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Html);
+            let reward = self.process_html(id, item.depth, &f.body, queue);
+            if let Some(token) = item.token {
+                self.strategy.feedback(token, reward);
+            }
+        } else if self.cfg.policy.is_target_mime(&mime) {
+            // A target: tag its volume and keep it.
+            self.client.tag_target(f.wire_bytes);
+            self.strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Target);
+            self.targets.push(RetrievedTarget {
+                url: self.interner.text(id).to_owned(),
+                mime: mime.clone(),
+                body: self.cfg.keep_target_bodies.then_some(f.body),
+            });
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::TargetRetrieved {
+                    url: self.interner.text(id),
+                    mime: &mime,
+                    ordinal: self.targets.len() as u64,
+                },
+            );
+            if let Some(token) = item.token {
+                // Algorithm 4 returns before the R_mean update for targets:
+                // the pull happened but no reward observation follows.
+                self.strategy.feedback_target(token);
+            }
+        }
+        // Any other MIME type: "Neither", nothing to do.
+    }
+
+    /// Link extraction + per-link decisions; returns the page's reward
+    /// (the number of new links to predicted targets, retrieved at once).
+    fn process_html(
+        &mut self,
+        page_id: UrlId,
+        page_depth: u32,
+        body: &[u8],
+        queue: &mut VecDeque<WorkItem>,
+    ) -> f64 {
+        let html = String::from_utf8_lossy(body);
+        let links = sb_html::extract_links_with(&html, self.strategy.link_needs());
+        // One clone of the parsed base per page (instead of a re-parse);
+        // per link, membership is checked on the parsed `Url` itself, so
+        // known links cost one hash and zero allocations.
+        let base = self.interner.url(page_id).clone();
+        let mut reward = 0.0;
+        let mut new_links = 0u32;
+        for link in &links {
+            let Ok(resolved) = base.join(&link.href) else { continue };
+            // Only in-website links enter the graph (Sec 2.2).
+            if !resolved.same_site_as(&self.root) {
+                continue;
+            }
+            // u_new ∉ T ∪ F
+            if self.interner.get(&resolved).is_some() {
+                continue;
+            }
+            // Extension blocklist: skipped without any bookkeeping.
+            if self.cfg.policy.has_blocked_extension(&resolved) {
+                continue;
+            }
+            // URL admission filter (robots.txt etc.): dropped unrequested.
+            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&resolved)) {
+                continue;
+            }
+            let id = self.intern_at_depth(&resolved, page_depth + 1);
+            new_links += 1;
+            let new_link = NewLink {
+                id,
+                url: &resolved,
+                url_str: self.interner.text(id),
+                html: link,
+                source_depth: page_depth,
+            };
+            let mut services = Services {
+                client: &mut self.client,
+                oracle: self.oracle,
+                policy: &self.cfg.policy,
+            };
+            let decision = self.strategy.decide(&new_link, &mut services);
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::LinkDiscovered {
+                    url: self.interner.text(id),
+                    depth: page_depth + 1,
+                    decision,
+                },
+            );
+            match decision {
+                // Enqueue/Skip need no bookkeeping: interning above already
+                // recorded membership and depth.
+                LinkDecision::Enqueue | LinkDecision::Skip => {}
+                LinkDecision::FetchNow => {
+                    reward += 1.0;
+                    queue.push_back(WorkItem { id, depth: page_depth + 1, token: None });
+                }
+                LinkDecision::ActionSpaceFull => {
+                    self.aborted_oom = true;
+                    return reward;
+                }
+            }
+        }
+        let snap = self.snapshot();
+        self.hub.emit(
+            &snap,
+            &CrawlEvent::PageProcessed { url: self.interner.text(page_id), new_links, reward },
+        );
+        reward
+    }
+}
+
+trait StatusExt {
+    fn is_redirect_status(&self) -> bool;
+}
+
+impl StatusExt for u16 {
+    fn is_redirect_status(&self) -> bool {
+        (300..400).contains(self)
+    }
+}

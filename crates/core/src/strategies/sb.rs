@@ -324,7 +324,10 @@ impl Strategy for SbStrategy {
 
     // feedback_target / feedback_error: Algorithm 4 returns before the
     // R_mean update for non-HTML fetches — a pull without an observation —
-    // so the default no-ops are exactly right.
+    // so the default no-ops are exactly right. The session engine delivers
+    // feedback_error on *every* abandoned selection (dead redirect chains,
+    // 4xx/5xx, interrupted transfers), so a future SB variant that wants
+    // to penalise wasted pulls has the hook; AUER deliberately ignores it.
 
     fn on_fetched(&mut self, id: UrlId, url: &str, class: UrlClass) {
         // Free online training from GET outcomes (Algorithm 2, phase 2).

@@ -87,20 +87,35 @@ pub struct Services<'c, 'a> {
 impl Services<'_, '_> {
     /// Determines a URL's class with an HTTP HEAD request (charged to the
     /// budget), following up to 3 redirects.
+    ///
+    /// The caller's string is probed as-is — the common no-redirect case
+    /// costs zero allocations — and the URL is parsed (at most) once, on
+    /// the first redirect; later hops join onto the already-parsed form.
     pub fn head_class(&mut self, url: &str) -> UrlClass {
-        let mut current = url.to_owned();
+        // `(parsed, canonical)` of the current redirect target; `None`
+        // means we are still on the caller's original string.
+        let mut current: Option<(Url, String)> = None;
         for _ in 0..3 {
-            let h = self.client.head(&current);
+            let h = match &current {
+                None => self.client.head(url),
+                Some((_, text)) => self.client.head(text),
+            };
             if (300..400).contains(&h.status) {
-                match (Url::parse(&current), h.headers.location) {
-                    (Ok(base), Some(loc)) => match base.join(&loc) {
-                        Ok(next) => {
-                            current = next.as_string();
-                            continue;
-                        }
+                let Some(loc) = h.headers.location else { return UrlClass::Neither };
+                let base = match current.take() {
+                    Some((parsed, _)) => parsed,
+                    None => match Url::parse(url) {
+                        Ok(parsed) => parsed,
                         Err(_) => return UrlClass::Neither,
                     },
-                    _ => return UrlClass::Neither,
+                };
+                match base.join(&loc) {
+                    Ok(next) => {
+                        let text = next.as_string();
+                        current = Some((next, text));
+                        continue;
+                    }
+                    Err(_) => return UrlClass::Neither,
                 }
             }
             if h.status >= 400 {

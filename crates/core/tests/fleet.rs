@@ -1,0 +1,177 @@
+//! Fleet scheduler contract: per-site outcomes are **worker-count
+//! invariant** and identical to sequential single-site crawls — sessions
+//! share nothing, so scheduling can only change wall-clock, never results.
+
+use sb_crawler::engine::{crawl, Budget, CrawlConfig};
+use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
+use sb_crawler::strategies::{QueueStrategy, SbConfig, SbStrategy};
+use sb_crawler::ConfigError;
+use sb_httpsim::{Politeness, SiteServer};
+use sb_webgraph::gen::{build_site, SiteSpec};
+use sb_webgraph::Website;
+use std::sync::Arc;
+
+const N_SITES: usize = 9;
+
+fn fleet_sites() -> Vec<Arc<Website>> {
+    (0..N_SITES)
+        .map(|i| Arc::new(build_site(&SiteSpec::demo(120 + 25 * i), 40 + i as u64)))
+        .collect()
+}
+
+fn root_of(site: &Website) -> String {
+    site.page(site.root()).url.clone()
+}
+
+/// The per-site observables the invariance tests compare.
+#[derive(Debug, PartialEq)]
+struct SiteSummary {
+    name: String,
+    targets: Vec<String>,
+    pages_crawled: u64,
+    requests: u64,
+    trace_len: usize,
+}
+
+fn run_fleet(sites: &[Arc<Website>], workers: usize, budget: Budget) -> Vec<SiteSummary> {
+    let mut fleet = Fleet::new(workers);
+    for (i, site) in sites.iter().enumerate() {
+        let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
+        let cfg = CrawlConfig { budget, seed: i as u64, ..Default::default() };
+        fleet.push(
+            FleetJob::new(format!("site{i}"), server, root_of(site), || {
+                Box::new(QueueStrategy::bfs())
+            })
+            .config(cfg),
+        );
+    }
+    let out = fleet.run();
+    assert_eq!(out.sites.len(), sites.len());
+    out.sites
+        .iter()
+        .map(|r| {
+            let o = r.expect_outcome();
+            SiteSummary {
+                name: r.name.clone(),
+                targets: o.targets.iter().map(|t| t.url.clone()).collect(),
+                pages_crawled: o.pages_crawled,
+                requests: o.traffic.requests(),
+                trace_len: o.trace.points().len(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn per_site_results_are_worker_count_invariant() {
+    let sites = fleet_sites();
+    let sequentialish = run_fleet(&sites, 1, Budget::Unlimited);
+    for workers in [2, 4, N_SITES] {
+        let concurrent = run_fleet(&sites, workers, Budget::Unlimited);
+        assert_eq!(sequentialish, concurrent, "workers={workers} changed per-site results");
+    }
+}
+
+#[test]
+fn fleet_results_match_standalone_crawls() {
+    let sites = fleet_sites();
+    let fleet_out = run_fleet(&sites, 4, Budget::Requests(80));
+    for (i, site) in sites.iter().enumerate() {
+        let server = SiteServer::shared(Arc::clone(site));
+        let mut bfs = QueueStrategy::bfs();
+        let cfg =
+            CrawlConfig { budget: Budget::Requests(80), seed: i as u64, ..Default::default() };
+        let solo = crawl(&server, None, &root_of(site), &mut bfs, &cfg);
+        assert_eq!(fleet_out[i].pages_crawled, solo.pages_crawled, "site{i}");
+        assert_eq!(fleet_out[i].requests, solo.traffic.requests(), "site{i}");
+        let solo_targets: Vec<String> = solo.targets.iter().map(|t| t.url.clone()).collect();
+        assert_eq!(fleet_out[i].targets, solo_targets, "site{i}");
+    }
+}
+
+#[test]
+fn learning_sessions_are_worker_invariant_too() {
+    // The SB crawler holds per-session RNG + bandit + classifier state;
+    // concurrency must not leak between sessions.
+    let sites: Vec<Arc<Website>> =
+        (0..4).map(|i| Arc::new(build_site(&SiteSpec::demo(200), 7 + i))).collect();
+    let run = |workers: usize| -> Vec<Vec<String>> {
+        let mut fleet = Fleet::new(workers);
+        for (i, site) in sites.iter().enumerate() {
+            let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
+            let cfg = CrawlConfig {
+                budget: Budget::Requests(120),
+                seed: i as u64,
+                ..Default::default()
+            };
+            fleet.push(
+                FleetJob::new(format!("s{i}"), server, root_of(site), || {
+                    Box::new(SbStrategy::with_classifier(
+                        SbConfig::default(),
+                        sb_ml::UrlClassifier::paper_default(),
+                    ))
+                })
+                .config(cfg),
+            );
+        }
+        fleet
+            .run()
+            .sites
+            .iter()
+            .map(|r| r.expect_outcome().targets.iter().map(|t| t.url.clone()).collect())
+            .collect()
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn invalid_roots_are_reported_not_panicked() {
+    let site = Arc::new(build_site(&SiteSpec::demo(120), 3));
+    let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(&site)));
+    let mut fleet = Fleet::new(2);
+    fleet.push(FleetJob::new("good", Arc::clone(&server), root_of(&site), || {
+        Box::new(QueueStrategy::bfs())
+    }));
+    fleet.push(FleetJob::new("bad", server, "not-a-url", || Box::new(QueueStrategy::bfs())));
+    let out = fleet.run();
+    assert_eq!(out.sites.len(), 2);
+    assert!(out.sites[0].outcome.is_ok());
+    assert!(matches!(
+        out.sites[1].outcome,
+        Err(ConfigError::InvalidRoot { ref url, .. }) if url == "not-a-url"
+    ));
+    // Aggregates only count the sites that ran.
+    assert_eq!(
+        out.traffic.requests(),
+        out.sites[0].expect_outcome().traffic.requests()
+    );
+}
+
+#[test]
+fn aggregate_traffic_sums_per_site_traffic() {
+    let sites = fleet_sites();
+    let mut fleet = Fleet::new(3);
+    for (i, site) in sites.iter().enumerate() {
+        let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
+        // Vary politeness so the politeness-aware scheduler actually has
+        // skew to balance.
+        let cfg = CrawlConfig {
+            politeness: Politeness { delay_secs: 0.2 * (i + 1) as f64, ..Default::default() },
+            ..Default::default()
+        };
+        fleet.push(
+            FleetJob::new(format!("site{i}"), server, root_of(site), || {
+                Box::new(QueueStrategy::bfs())
+            })
+            .config(cfg),
+        );
+    }
+    let out = fleet.run();
+    let sum_requests: u64 =
+        out.sites.iter().map(|r| r.expect_outcome().traffic.requests()).sum();
+    let sum_targets: u64 = out.sites.iter().map(|r| r.expect_outcome().targets_found()).sum();
+    assert_eq!(out.traffic.requests(), sum_requests);
+    assert_eq!(out.targets, sum_targets);
+    assert!(out.sim_makespan_secs() <= out.traffic.elapsed_secs);
+    assert!(out.wall_secs > 0.0);
+}

@@ -1,0 +1,582 @@
+//! The session API contract: validated construction, step-driven
+//! execution equivalent to `run()`, typed event streams in order, and the
+//! one-feedback-per-selection invariant — including the abandoned
+//! selections (dead redirects, errors) that the pre-session engine left as
+//! silent bandit pulls.
+
+use sb_crawler::engine::{crawl, Budget, ConfigError, CrawlConfig, CrawlSession};
+use sb_crawler::events::{AbandonReason, FinishReason, OwnedEvent, TraceObserver};
+use sb_crawler::strategies::QueueStrategy;
+use sb_crawler::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
+use sb_crawler::EventLog;
+use sb_httpsim::response::error_response;
+use sb_httpsim::{Headers, HeadResponse, HttpServer, Politeness, Response, SiteServer};
+use sb_webgraph::gen::{build_site, SiteSpec};
+use sb_webgraph::UrlId;
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------
+// A small deterministic hand-built site exercising every abandon path.
+// ---------------------------------------------------------------------
+
+/// `https://t.example/` serves:
+///   /            HTML linking every path below
+///   /spin        301 → /spin        (self-redirect: exhausts the chain)
+///   /away        301 → off-site     (abandoned off-site)
+///   /back        301 → /            (abandoned: target already known)
+///   /gone        404                (HTTP error)
+///   /data.csv    200 text/csv       (a target)
+///   /page2       200 HTML, no links
+struct TrickServer;
+
+const TRICK_ROOT: &str = "https://t.example/";
+
+impl TrickServer {
+    fn respond(&self, url: &str) -> Response {
+        let path = url.strip_prefix("https://t.example").unwrap_or("<off>");
+        let html = |body: &str| Response {
+            status: 200,
+            headers: Headers {
+                content_type: Some("text/html".to_owned()),
+                content_length: Some(body.len() as u64),
+                location: None,
+            },
+            body: body.as_bytes().to_vec().into(),
+        };
+        let redirect = |to: &str| Response {
+            status: 301,
+            headers: Headers {
+                content_type: None,
+                content_length: Some(0),
+                location: Some(to.to_owned()),
+            },
+            body: sb_httpsim::Body::empty(),
+        };
+        match path {
+            "/" => html(
+                "<html><body>\
+                 <a href=\"/spin\">spin</a>\
+                 <a href=\"/away\">away</a>\
+                 <a href=\"/back\">back</a>\
+                 <a href=\"/gone\">gone</a>\
+                 <a href=\"/data.csv\">data</a>\
+                 <a href=\"/page2\">page2</a>\
+                 </body></html>",
+            ),
+            "/spin" => redirect("/spin"),
+            "/away" => redirect("https://elsewhere.example/x"),
+            "/back" => redirect("/"),
+            "/gone" => error_response(404),
+            "/data.csv" => Response {
+                status: 200,
+                headers: Headers {
+                    content_type: Some("text/csv".to_owned()),
+                    content_length: Some(9),
+                    location: None,
+                },
+                body: b"a,b\n1,2\n".to_vec().into(),
+            },
+            "/page2" => html("<html><body>nothing here</body></html>"),
+            _ => error_response(404),
+        }
+    }
+}
+
+impl HttpServer for TrickServer {
+    fn head(&self, url: &str) -> HeadResponse {
+        self.respond(url).head()
+    }
+
+    fn get(&self, url: &str) -> Response {
+        self.respond(url)
+    }
+}
+
+// ---------------------------------------------------------------------
+// A BFS strategy that records every feedback delivery per token.
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Recorder {
+    frontier: VecDeque<UrlId>,
+    urls: Vec<(u64, String)>,
+    selected: Vec<u64>,
+    rewards: Vec<u64>,
+    targets: Vec<u64>,
+    errors: Vec<u64>,
+}
+
+impl Strategy for Recorder {
+    fn name(&self) -> String {
+        "RECORDER".to_owned()
+    }
+
+    fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
+        let id = self.frontier.pop_front()?;
+        let token = u64::from(id);
+        self.selected.push(token);
+        Some(Selection { url: SelUrl::Id(id), token })
+    }
+
+    fn decide(&mut self, link: &NewLink<'_>, _services: &mut Services<'_, '_>) -> LinkDecision {
+        self.frontier.push_back(link.id);
+        self.urls.push((u64::from(link.id), link.url_str.to_owned()));
+        LinkDecision::Enqueue
+    }
+
+    fn feedback(&mut self, token: u64, _reward: f64) {
+        self.rewards.push(token);
+    }
+
+    fn feedback_target(&mut self, token: u64) {
+        self.targets.push(token);
+    }
+
+    fn feedback_error(&mut self, token: u64) {
+        self.errors.push(token);
+    }
+
+    fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+impl Recorder {
+    fn token_of(&self, suffix: &str) -> u64 {
+        self.urls
+            .iter()
+            .find(|(_, u)| u.ends_with(suffix))
+            .map(|(t, _)| *t)
+            .unwrap_or_else(|| panic!("no discovered URL ends with {suffix}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Satellite: every abandoned selection delivers feedback_error.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_selection_gets_exactly_one_feedback() {
+    let server = TrickServer;
+    let mut rec = Recorder::default();
+    let out = crawl(&server, None, TRICK_ROOT, &mut rec, &CrawlConfig::default());
+    assert_eq!(out.targets_found(), 1);
+
+    // Every outer selection fed back exactly once, even the dead ends.
+    let mut all: Vec<u64> = Vec::new();
+    all.extend(&rec.rewards);
+    all.extend(&rec.targets);
+    all.extend(&rec.errors);
+    all.sort_unstable();
+    let mut selected = rec.selected.clone();
+    selected.sort_unstable();
+    assert_eq!(all, selected, "each pull must produce exactly one observation");
+
+    // And the dead ends landed in the error bucket specifically.
+    for suffix in ["/spin", "/away", "/back", "/gone"] {
+        let token = rec.token_of(suffix);
+        assert!(
+            rec.errors.contains(&token),
+            "{suffix} dead-ends must deliver feedback_error (got rewards={:?} targets={:?} errors={:?})",
+            rec.rewards,
+            rec.targets,
+            rec.errors
+        );
+    }
+    assert!(rec.targets.contains(&rec.token_of("/data.csv")));
+    assert!(rec.rewards.contains(&rec.token_of("/page2")));
+}
+
+#[test]
+fn redirect_chain_exhaustion_spends_the_chain_bound() {
+    let server = TrickServer;
+    let mut rec = Recorder::default();
+    let out = crawl(&server, None, TRICK_ROOT, &mut rec, &CrawlConfig::default());
+    // /spin burns MAX_REDIRECTS GETs: root + 5×/spin + 5 other selections.
+    assert_eq!(out.pages_crawled, 1 + 5 + 5);
+}
+
+#[test]
+fn unparseable_text_selection_feeds_back_even_on_2xx() {
+    // A server that happily answers 200 for any string: the selection is
+    // still abandoned (nothing classifiable can come back from a URL the
+    // engine cannot parse) and the pull must get its error observation.
+    struct YesServer;
+    impl HttpServer for YesServer {
+        fn head(&self, url: &str) -> HeadResponse {
+            self.get(url).head()
+        }
+        fn get(&self, _url: &str) -> Response {
+            Response {
+                status: 200,
+                headers: Headers {
+                    content_type: Some("text/html".to_owned()),
+                    content_length: Some(0),
+                    location: None,
+                },
+                body: sb_httpsim::Body::empty(),
+            }
+        }
+    }
+
+    struct JunkOnce {
+        sent: bool,
+        errors: Vec<u64>,
+    }
+    impl Strategy for JunkOnce {
+        fn name(&self) -> String {
+            "JUNK".to_owned()
+        }
+        fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
+            (!std::mem::replace(&mut self.sent, true))
+                .then(|| Selection { url: SelUrl::Text("::junk::".to_owned()), token: 9 })
+        }
+        fn decide(&mut self, _l: &NewLink<'_>, _s: &mut Services<'_, '_>) -> LinkDecision {
+            LinkDecision::Skip
+        }
+        fn feedback_error(&mut self, token: u64) {
+            self.errors.push(token);
+        }
+        fn frontier_len(&self) -> usize {
+            usize::from(!self.sent)
+        }
+    }
+
+    let mut junk = JunkOnce { sent: false, errors: Vec::new() };
+    let mut log = EventLog::new();
+    let cfg = CrawlConfig::default();
+    let out = CrawlSession::new(&YesServer, None, "https://y.example/", &mut junk, &cfg)
+        .unwrap()
+        .observe(&mut log)
+        .run();
+    assert_eq!(junk.errors, vec![9], "2xx for junk is still a dead pull");
+    assert!(log.events().iter().any(|e| matches!(
+        e,
+        OwnedEvent::Abandoned { reason: AbandonReason::UnparseableSelection, .. }
+    )));
+    assert_eq!(out.pages_crawled, 2, "root + the charged junk fetch");
+}
+
+// ---------------------------------------------------------------------
+// Builder validation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn builder_rejects_zero_budget() {
+    assert_eq!(
+        CrawlConfig::builder().budget(Budget::Requests(0)).build().err(),
+        Some(ConfigError::ZeroBudget)
+    );
+    assert_eq!(
+        CrawlConfig::builder().budget(Budget::VolumeBytes(0)).build().err(),
+        Some(ConfigError::ZeroBudget)
+    );
+}
+
+#[test]
+fn builder_rejects_zero_max_steps_and_bad_politeness() {
+    assert_eq!(
+        CrawlConfig::builder().max_steps(0).build().err(),
+        Some(ConfigError::ZeroMaxSteps)
+    );
+    let bad = Politeness { delay_secs: -1.0, bytes_per_sec: 1e6 };
+    assert_eq!(
+        CrawlConfig::builder().politeness(bad).build().err(),
+        Some(ConfigError::InvalidPoliteness)
+    );
+    let nan = Politeness { delay_secs: f64::NAN, bytes_per_sec: 1e6 };
+    assert_eq!(
+        CrawlConfig::builder().politeness(nan).build().err(),
+        Some(ConfigError::InvalidPoliteness)
+    );
+    let zero_bw = Politeness { delay_secs: 1.0, bytes_per_sec: 0.0 };
+    assert_eq!(
+        CrawlConfig::builder().politeness(zero_bw).build().err(),
+        Some(ConfigError::InvalidPoliteness)
+    );
+}
+
+#[test]
+fn builder_rejects_unparseable_seed_urls() {
+    let err = CrawlConfig::builder().seed_url("not a url").build().err();
+    assert!(
+        matches!(err, Some(ConfigError::InvalidSeedUrl { ref url, .. }) if url == "not a url"),
+        "got {err:?}"
+    );
+    // A valid seed list passes.
+    assert!(CrawlConfig::builder()
+        .seed_urls(vec!["https://t.example/a".to_owned(), "https://t.example/b".to_owned()])
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn session_rejects_unparseable_root_without_panicking() {
+    let server = TrickServer;
+    let cfg = CrawlConfig::default();
+    let mut bfs = QueueStrategy::bfs();
+    let err = CrawlSession::new(&server, None, "ftp://nope/", &mut bfs, &cfg).err();
+    assert!(
+        matches!(err, Some(ConfigError::InvalidRoot { ref url, .. }) if url == "ftp://nope/"),
+        "got {err:?}"
+    );
+    // No request was spent probing it.
+}
+
+// ---------------------------------------------------------------------
+// seed_urls × url_filter / site boundary.
+// ---------------------------------------------------------------------
+
+#[test]
+fn admitted_seed_is_fetched_filtered_and_offsite_seeds_cost_nothing() {
+    let site = build_site(&SiteSpec::demo(200), 23);
+    let root = site.page(site.root()).url.clone();
+    let a_target = site.target_ids().first().map(|&id| site.page(id).url.clone()).unwrap();
+    let server = SiteServer::new(site);
+
+    // Filter that rejects exactly the target's path.
+    let target_path = sb_webgraph::url::Url::parse(&a_target).unwrap().path;
+    let rejected = target_path.clone();
+    let cfg = CrawlConfig {
+        budget: Budget::Requests(3),
+        seed_urls: vec![
+            "https://elsewhere.example/x.csv".to_owned(), // off-site: free skip
+            a_target.clone(),                             // filter-rejected: free skip
+        ],
+        url_filter: Some(Box::new(move |u: &sb_webgraph::url::Url| u.path != rejected)),
+        ..Default::default()
+    };
+    let mut bfs = QueueStrategy::bfs();
+    let out = crawl(&server, None, &root, &mut bfs, &cfg);
+    // The filtered seed was never requested.
+    assert!(out.targets.iter().all(|t| t.url != a_target));
+
+    // Without the filter, the same target seed is fetched right after the
+    // root, at seed depth.
+    let site2 = build_site(&SiteSpec::demo(200), 23);
+    let server2 = SiteServer::new(site2);
+    let cfg2 = CrawlConfig {
+        budget: Budget::Requests(3),
+        seed_urls: vec![a_target.clone()],
+        ..Default::default()
+    };
+    let mut bfs2 = QueueStrategy::bfs();
+    let out2 = crawl(&server2, None, &root, &mut bfs2, &cfg2);
+    assert!(out2.targets_found() >= 1);
+    assert_eq!(out2.targets[0].url, a_target, "seed fetched right after the root");
+}
+
+#[test]
+fn plain_config_still_skips_unparseable_seeds() {
+    // Compat: the unvalidated struct-literal path tolerates junk seeds by
+    // skipping them for free (the builder is where rejection happens).
+    let site = build_site(&SiteSpec::demo(200), 23);
+    let root = site.page(site.root()).url.clone();
+    let run_with_seeds = |seeds: Vec<String>| {
+        let server = SiteServer::new(site.clone());
+        let cfg =
+            CrawlConfig { budget: Budget::Requests(30), seed_urls: seeds, ..Default::default() };
+        let mut bfs = QueueStrategy::bfs();
+        let out = crawl(&server, None, &root, &mut bfs, &cfg);
+        (out.pages_crawled, out.targets_found(), out.traffic.requests())
+    };
+    let clean = run_with_seeds(Vec::new());
+    let junk = run_with_seeds(vec!["::junk::".to_owned()]);
+    assert_eq!(clean, junk, "a junk seed must be skipped for free");
+}
+
+// ---------------------------------------------------------------------
+// Observer event ordering.
+// ---------------------------------------------------------------------
+
+#[test]
+fn events_arrive_in_happens_after_order() {
+    let server = TrickServer;
+    let cfg = CrawlConfig::default();
+    let mut bfs = QueueStrategy::bfs();
+    let mut log = EventLog::new();
+    let session = CrawlSession::new(&server, None, TRICK_ROOT, &mut bfs, &cfg)
+        .unwrap()
+        .observe(&mut log);
+    let out = session.run();
+
+    let events = log.events();
+    assert!(matches!(events.first(), Some(OwnedEvent::SessionStarted { root }) if root == TRICK_ROOT));
+    assert!(matches!(events.last(), Some(OwnedEvent::SessionFinished { reason: FinishReason::FrontierExhausted })));
+
+    // One Fetched per GET attempt, redirect hops included.
+    let fetched = events.iter().filter(|e| matches!(e, OwnedEvent::Fetched { .. })).count() as u64;
+    assert_eq!(fetched, out.pages_crawled);
+
+    // The target's TargetRetrieved directly follows its Fetched.
+    let tgt = events
+        .iter()
+        .position(|e| matches!(e, OwnedEvent::TargetRetrieved { url, .. } if url.ends_with("/data.csv")))
+        .expect("target event present");
+    assert!(
+        matches!(&events[tgt - 1], OwnedEvent::Fetched { url, .. } if url.ends_with("/data.csv")),
+        "TargetRetrieved must immediately follow its GET, got {:?}",
+        events[tgt - 1]
+    );
+
+    // Links are discovered only after their page was fetched, and the
+    // page's PageProcessed comes after all its LinkDiscovered events.
+    let root_fetch = events
+        .iter()
+        .position(|e| matches!(e, OwnedEvent::Fetched { url, .. } if url == TRICK_ROOT))
+        .unwrap();
+    let first_link =
+        events.iter().position(|e| matches!(e, OwnedEvent::LinkDiscovered { .. })).unwrap();
+    let root_processed = events
+        .iter()
+        .position(|e| matches!(e, OwnedEvent::PageProcessed { url, .. } if url == TRICK_ROOT))
+        .unwrap();
+    let last_link = events
+        .iter()
+        .rposition(|e| matches!(e, OwnedEvent::LinkDiscovered { .. }))
+        .unwrap();
+    assert!(root_fetch < first_link && last_link < root_processed);
+
+    // Each dead end produced one Abandoned with the right reason.
+    let reason_of = |suffix: &str| {
+        events
+            .iter()
+            .find_map(|e| match e {
+                OwnedEvent::Abandoned { url, reason } if url.ends_with(suffix) => Some(*reason),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no Abandoned event for {suffix}"))
+    };
+    assert_eq!(reason_of("/spin"), AbandonReason::RedirectChainExhausted);
+    assert_eq!(reason_of("/away"), AbandonReason::RedirectOffSite);
+    assert_eq!(reason_of("/back"), AbandonReason::RedirectAlreadyKnown);
+    assert_eq!(reason_of("/gone"), AbandonReason::HttpError(404));
+}
+
+#[test]
+fn external_trace_observer_matches_builtin_trace() {
+    // CrawlTrace really is "just one observer": an externally attached
+    // TraceObserver reconstructs the outcome trace bit for bit.
+    let site = build_site(&SiteSpec::demo(300), 7);
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+    let cfg = CrawlConfig::default();
+    let mut bfs = QueueStrategy::bfs();
+    let mut mirror = TraceObserver::new();
+    let out = CrawlSession::new(&server, None, &root, &mut bfs, &cfg)
+        .unwrap()
+        .observe(&mut mirror)
+        .run();
+    assert_eq!(out.trace.points(), mirror.trace().points());
+}
+
+// ---------------------------------------------------------------------
+// Step-driven execution.
+// ---------------------------------------------------------------------
+
+#[test]
+fn stepping_matches_run_exactly() {
+    let site = build_site(&SiteSpec::demo(400), 9);
+    let root = site.page(site.root()).url.clone();
+    let cfg = CrawlConfig { budget: Budget::Requests(120), ..Default::default() };
+
+    let server = SiteServer::new(site.clone());
+    let mut bfs = QueueStrategy::bfs();
+    let run_out = crawl(&server, None, &root, &mut bfs, &cfg);
+
+    let server2 = SiteServer::new(site);
+    let mut bfs2 = QueueStrategy::bfs();
+    let mut session = CrawlSession::new(&server2, None, &root, &mut bfs2, &cfg).unwrap();
+    let mut steps = 0u64;
+    let mut last = None;
+    while !session.is_finished() {
+        let report = session.step();
+        assert!(report.steps >= steps, "steps are monotone");
+        steps = report.steps;
+        last = Some(report);
+    }
+    assert_eq!(last.unwrap().finished, Some(FinishReason::BudgetExhausted));
+    let step_out = session.finish();
+
+    assert_eq!(step_out.pages_crawled, run_out.pages_crawled);
+    assert_eq!(step_out.targets_found(), run_out.targets_found());
+    assert_eq!(step_out.trace.points(), run_out.trace.points());
+    assert_eq!(step_out.finish_reason, FinishReason::BudgetExhausted);
+}
+
+#[test]
+fn step_on_finished_session_is_a_reporting_noop() {
+    let server = TrickServer;
+    let cfg = CrawlConfig::default();
+    let mut bfs = QueueStrategy::bfs();
+    let mut session = CrawlSession::new(&server, None, TRICK_ROOT, &mut bfs, &cfg).unwrap();
+    while !session.is_finished() {
+        session.step();
+    }
+    let before = session.traffic().requests();
+    let report = session.step();
+    assert_eq!(report.finished, Some(FinishReason::FrontierExhausted));
+    assert_eq!(report.fetched, 0);
+    assert_eq!(session.traffic().requests(), before);
+}
+
+#[test]
+fn cancelling_mid_crawl_reports_cancelled() {
+    let site = build_site(&SiteSpec::demo(400), 9);
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+    let cfg = CrawlConfig::default();
+    let mut bfs = QueueStrategy::bfs();
+    let mut session = CrawlSession::new(&server, None, &root, &mut bfs, &cfg).unwrap();
+    session.step();
+    session.step();
+    let out = session.finish();
+    assert_eq!(out.finish_reason, FinishReason::Cancelled);
+    assert!(out.pages_crawled >= 1);
+}
+
+// ---------------------------------------------------------------------
+// Observer-driven early-stop / budget events.
+// ---------------------------------------------------------------------
+
+#[test]
+fn budget_exhaustion_is_announced() {
+    let site = build_site(&SiteSpec::demo(300), 5);
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+    let cfg = CrawlConfig { budget: Budget::Requests(20), ..Default::default() };
+    let mut bfs = QueueStrategy::bfs();
+    let mut log = EventLog::new();
+    let out = CrawlSession::new(&server, None, &root, &mut bfs, &cfg)
+        .unwrap()
+        .observe(&mut log)
+        .run();
+    assert_eq!(out.finish_reason, FinishReason::BudgetExhausted);
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, OwnedEvent::BudgetExhausted { requests, .. } if *requests >= 20)));
+}
+
+/// A strategy wrapper is not needed to observe: observers see the decision
+/// each link got.
+#[test]
+fn link_decisions_are_visible_to_observers() {
+    let server = TrickServer;
+    let cfg = CrawlConfig::default();
+    let mut bfs = QueueStrategy::bfs();
+    let mut log = EventLog::new();
+    CrawlSession::new(&server, None, TRICK_ROOT, &mut bfs, &cfg)
+        .unwrap()
+        .observe(&mut log)
+        .run();
+    let enqueued = log
+        .events()
+        .iter()
+        .filter(|e| {
+            matches!(e, OwnedEvent::LinkDiscovered { decision: LinkDecision::Enqueue, .. })
+        })
+        .count();
+    assert_eq!(enqueued, 6, "the root page links six URLs, all enqueued by BFS");
+}

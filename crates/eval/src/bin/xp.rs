@@ -18,6 +18,7 @@
 //!   revisit     incremental-recrawl policies (Sec 6 future work)
 //!   ablation    bandit-family ablation inside SB-ORACLE (Appendix C)
 //!   hardness    Prop 4 reduction + exact solvers
+//!   fleet       concurrent multi-site crawl (sessions + fleet scheduler)
 //!   all         everything above
 //! ```
 //!
@@ -30,7 +31,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|all>\n\
+        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|all>\n\
          \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);
@@ -76,6 +77,7 @@ fn main() {
             "revisit" => xp::revisit::run(cfg),
             "ablation" => xp::ablation::run(cfg),
             "hardness" => xp::hardness::run(cfg),
+            "fleet" => xp::fleet::run(cfg),
             _ => usage(),
         };
         eprintln!("[xp] {name} done in {:.1?}", t.elapsed());
@@ -85,7 +87,7 @@ fn main() {
         "all" => {
             let all = [
                 "table1", "table2", "table3", "table6", "fig4", "fig15", "table4", "table5",
-                "table7", "se", "time", "revisit", "ablation", "hardness",
+                "table7", "se", "time", "revisit", "ablation", "hardness", "fleet",
             ];
             for name in all {
                 println!("{}", run_one(name, &cfg));

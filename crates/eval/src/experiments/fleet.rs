@@ -1,0 +1,89 @@
+//! Fleet — the first multi-site workload: every selected Table 1 profile
+//! crawled **concurrently** by the paper's SB-CLASSIFIER (early stopping
+//! on), scheduled by `sb_crawler::fleet::Fleet` over `--jobs` worker
+//! threads. Reports per-site outcomes plus aggregate traffic and the
+//! fleet's real-time throughput — numbers the one-site-at-a-time harness
+//! could never produce.
+//!
+//! This is a *throughput/workload* experiment, not a seed-averaged metric
+//! table: each site is crawled once (`--seeds` is not averaged here), with
+//! its RNG seeded per site so no two sessions share a stream.
+
+use crate::experiments::scaled_early_stop;
+use crate::setup::{build_site_for, EvalConfig};
+use crate::tables::{markdown, write_csv, write_text};
+use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
+use sb_crawler::strategies::SbStrategy;
+use sb_crawler::CrawlConfig;
+use sb_httpsim::SiteServer;
+use std::sync::Arc;
+
+pub fn run(cfg: &EvalConfig) -> String {
+    let profiles = cfg.selected_profiles();
+    let mut fleet = Fleet::new(cfg.jobs);
+    for p in &profiles {
+        let site = build_site_for(cfg, p.code);
+        let root = site.page(site.root()).url.clone();
+        let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(&site)));
+        let crawl_cfg = CrawlConfig::builder()
+            .early_stop(scaled_early_stop(cfg.scale))
+            .rng_seed(cfg.site_seed(p.code))
+            .build()
+            .expect("fleet experiment config is valid");
+        fleet.push(
+            FleetJob::new(p.code, server, root, || {
+                Box::new(SbStrategy::classifier_default())
+            })
+            .config(crawl_cfg),
+        );
+    }
+
+    let out = fleet.run();
+
+    let headers: Vec<String> =
+        ["Site", "Targets", "Requests", "Early stop", "Sim. hours"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for report in &out.sites {
+        let o = report.expect_outcome();
+        rows.push(vec![
+            report.name.clone(),
+            o.targets_found().to_string(),
+            o.traffic.requests().to_string(),
+            if o.stopped_early { "✓" } else { "✗" }.to_owned(),
+            format!("{:.2}", o.traffic.elapsed_secs / 3600.0),
+        ]);
+        csv_rows.push(vec![
+            report.name.clone(),
+            o.targets_found().to_string(),
+            o.traffic.requests().to_string(),
+            o.stopped_early.to_string(),
+            format!("{:.4}", o.traffic.elapsed_secs),
+        ]);
+    }
+    let _ = write_csv(
+        &cfg.out_dir.join("fleet.csv"),
+        &["site", "targets", "requests", "stopped_early", "sim_secs"].map(String::from),
+        &csv_rows,
+    );
+
+    let summary = format!(
+        "{} sites on {} workers: {} targets, {} requests in {:.2}s wall \
+         ({:.0} req/s; simulated: {:.1}h serial vs {:.1}h concurrent makespan)",
+        out.sites.len(),
+        cfg.jobs,
+        out.targets,
+        out.traffic.requests(),
+        out.wall_secs,
+        out.requests_per_sec(),
+        out.traffic.elapsed_secs / 3600.0,
+        out.sim_makespan_secs() / 3600.0,
+    );
+    let report = format!(
+        "## Fleet — concurrent multi-site crawl (SB-CLASSIFIER, early stopping)\n\n{}\n\n{}\n",
+        markdown(&headers, &rows),
+        summary,
+    );
+    let _ = write_text(&cfg.out_dir.join("fleet.md"), &report);
+    report
+}

@@ -2,7 +2,7 @@
 //! reference statistics.
 
 use parking_lot::Mutex;
-use sb_crawler::engine::{crawl, Budget, CrawlConfig, CrawlOutcome};
+use sb_crawler::engine::{Budget, CrawlConfig, CrawlOutcome, CrawlSession};
 use sb_crawler::strategies::{
     FocusedStrategy, OmniscientStrategy, QueueStrategy, SbConfig, SbStrategy, TpOffStrategy,
     TresStrategy,
@@ -274,7 +274,8 @@ pub fn run_crawler(site: &Arc<Website>, kind: CrawlerKind, seed: u64, opts: &Run
 }
 
 /// Runs an explicitly constructed strategy (hyper-parameter studies need
-/// concrete access to the strategy afterwards).
+/// concrete access to the strategy afterwards) through the validated
+/// session API.
 pub fn run_with_strategy(
     site: &Arc<Website>,
     strategy: &mut dyn Strategy,
@@ -284,16 +285,21 @@ pub fn run_with_strategy(
 ) -> CrawlOutcome {
     let server = SiteServer::shared(site.clone());
     let root = site.page(site.root()).url.clone();
-    let cfg = CrawlConfig {
-        budget: opts.budget,
-        seed,
-        early_stop: opts.early_stop,
-        keep_target_bodies: opts.keep_bodies,
-        max_steps: opts.max_steps,
-        ..Default::default()
-    };
+    let mut builder = CrawlConfig::builder()
+        .budget(opts.budget)
+        .rng_seed(seed)
+        .keep_target_bodies(opts.keep_bodies);
+    if let Some(es) = opts.early_stop {
+        builder = builder.early_stop(es);
+    }
+    if let Some(max) = opts.max_steps {
+        builder = builder.max_steps(max);
+    }
+    let cfg = builder.build().expect("harness run options are valid");
     let oracle: Option<&dyn sb_crawler::Oracle> = needs_oracle.then_some(site.as_ref() as _);
-    crawl(&server, oracle, &root, strategy, &cfg)
+    CrawlSession::new(&server, oracle, &root, strategy, &cfg)
+        .expect("generated site roots are valid")
+        .run()
 }
 
 /// Sanity guard used by experiments that print `+∞`.

@@ -32,6 +32,18 @@ impl Traffic {
     pub fn total_bytes(&self) -> u64 {
         self.target_bytes + self.non_target_bytes
     }
+
+    /// Adds another crawl's totals into this one (fleet aggregation).
+    /// Destructures so a new counter cannot be silently left out of sums.
+    pub fn absorb(&mut self, other: &Traffic) {
+        let Traffic { get_requests, head_requests, target_bytes, non_target_bytes, elapsed_secs } =
+            *other;
+        self.get_requests += get_requests;
+        self.head_requests += head_requests;
+        self.target_bytes += target_bytes;
+        self.non_target_bytes += non_target_bytes;
+        self.elapsed_secs += elapsed_secs;
+    }
 }
 
 /// What a GET looked like from the crawler's side.

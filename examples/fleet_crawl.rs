@@ -1,0 +1,105 @@
+//! Step-driven sessions, event observers and the multi-site fleet.
+//!
+//! Three things the one-shot `crawl()` call cannot do:
+//!
+//! 1. **observe** a crawl while it runs (typed `CrawlEvent`s),
+//! 2. **hold and step** a crawl — pause, inspect, resume, cancel,
+//! 3. **interleave many sites** concurrently on worker threads.
+//!
+//! Run with: `cargo run --release --example fleet_crawl`
+
+use sb_crawler::events::{CrawlEvent, CrawlObserver, CrawlSnapshot};
+use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
+use sb_crawler::strategies::{QueueStrategy, SbStrategy};
+use sb_crawler::{Budget, CrawlConfig, CrawlSession};
+use sb_httpsim::SiteServer;
+use sb_webgraph::{build_site, SiteSpec};
+use std::sync::Arc;
+
+/// A tiny progress reporter: counts events, prints one line per target.
+#[derive(Default)]
+struct Progress {
+    fetches: u64,
+    links: u64,
+}
+
+impl CrawlObserver for Progress {
+    fn on_event(&mut self, event: &CrawlEvent<'_>, snap: &CrawlSnapshot) {
+        match event {
+            CrawlEvent::Fetched { .. } => self.fetches += 1,
+            CrawlEvent::LinkDiscovered { .. } => self.links += 1,
+            CrawlEvent::TargetRetrieved { url, ordinal, .. } => {
+                println!(
+                    "  target #{ordinal}: {url} (after {} requests)",
+                    snap.traffic.requests()
+                );
+            }
+            CrawlEvent::SessionFinished { reason } => {
+                println!("  finished: {reason:?} ({} fetches, {} links)", self.fetches, self.links);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn main() {
+    // ---- 1. One observed, step-driven session --------------------------
+    println!("== step-driven session with an observer ==");
+    let site = build_site(&SiteSpec::demo(400), 42);
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::new(site);
+    let cfg = CrawlConfig::builder()
+        .budget(Budget::Requests(60))
+        .build()
+        .expect("valid config");
+    let mut sb = SbStrategy::classifier_default();
+    let mut progress = Progress::default();
+    let mut session = CrawlSession::new(&server, None, &root, &mut sb, &cfg)
+        .expect("valid root")
+        .observe(&mut progress);
+
+    // Step by hand: stop the moment five targets are in, budget unspent.
+    while !session.is_finished() && session.targets_found() < 5 {
+        let report = session.step();
+        if report.new_targets > 0 {
+            println!("  step {} landed {} target(s)", report.steps, report.new_targets);
+        }
+    }
+    let outcome = session.finish();
+    println!(
+        "stepped crawl: {} targets, {} requests, reason {:?}\n",
+        outcome.targets_found(),
+        outcome.traffic.requests(),
+        outcome.finish_reason
+    );
+
+    // ---- 2. A fleet of sites crawled concurrently ----------------------
+    println!("== fleet: 6 sites on 3 workers ==");
+    let mut fleet = Fleet::new(3);
+    for i in 0..6u64 {
+        let site = Arc::new(build_site(&SiteSpec::demo(300), i));
+        let root = site.page(site.root()).url.clone();
+        let server: SharedServer = Arc::new(SiteServer::shared(site));
+        fleet.push(FleetJob::new(format!("site-{i}"), server, root, || {
+            Box::new(QueueStrategy::bfs())
+        }));
+    }
+    let out = fleet.run();
+    for report in &out.sites {
+        let o = report.expect_outcome();
+        println!(
+            "  {}: {} targets in {} requests ({:.1} simulated minutes)",
+            report.name,
+            o.targets_found(),
+            o.traffic.requests(),
+            o.traffic.elapsed_secs / 60.0
+        );
+    }
+    println!(
+        "fleet total: {} targets, {} requests in {:.2}s wall ({:.0} req/s)",
+        out.targets,
+        out.traffic.requests(),
+        out.wall_secs,
+        out.requests_per_sec()
+    );
+}

@@ -9,7 +9,7 @@ rm -f "$OUT_RAW"
 BENCH_SHIM_OUT="$PWD/$OUT_RAW" cargo bench --offline -p sb-bench --bench engine
 
 python3 - "$OUT_RAW" <<'PY'
-import json, subprocess, sys
+import json, os, re, subprocess, sys
 
 records = {}
 for line in open(sys.argv[1]):
@@ -29,6 +29,27 @@ def pair(name, before_id, after_id):
     }
 
 rustc = subprocess.run(["rustc", "--version"], capture_output=True, text=True).stdout.strip()
+
+# The fleet group id encodes the workload ("fleet_<sites>x<pages>_..."),
+# so the site count stays in sync with bench_fleet in
+# crates/bench/benches/engine.rs automatically.
+fleet_group = next(i.rsplit("/", 1)[0] for i in records if "/fleet_" in i)
+m = re.search(r"fleet_(\d+)x(\d+)", fleet_group)
+fleet_sites, fleet_pages = int(m.group(1)), int(m.group(2))
+w1 = ns(f"{fleet_group}/workers_1")
+w4 = ns(f"{fleet_group}/workers_4")
+fleet = {
+    "bench": f"fleet of {fleet_sites} BFS CrawlSessions over "
+             f"{fleet_sites} generated {fleet_pages}-page sites",
+    "note": "parallel_speedup is bounded by the runner's core count "
+            "(a single-core runner measures pure scheduling overhead)",
+    "cores": os.cpu_count(),
+    "workers_1": {"id": f"{fleet_group}/workers_1", "ns_per_iter": round(w1, 1)},
+    "workers_4": {"id": f"{fleet_group}/workers_4", "ns_per_iter": round(w4, 1)},
+    "parallel_speedup": round(w1 / w4, 2),
+    "throughput_sites_per_sec_4_workers": round(fleet_sites * 1e9 / w4, 2),
+}
+
 snapshot = {
     "description": "Seed string-keyed engine + render-per-GET server vs "
                    "interned-id engine + render-cached server "
@@ -43,6 +64,7 @@ snapshot = {
              "server/head_256_html_pages/seed_render_per_head",
              "server/head_256_html_pages/precomputed_content_length"),
     ],
+    "fleet": fleet,
     "absolute": [
         {"id": i, "ns_per_iter": round(r["ns_per_iter"], 1)}
         for i, r in sorted(records.items())
@@ -53,4 +75,5 @@ with open("BENCH_engine.json", "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 print(json.dumps(snapshot["comparisons"], indent=2))
+print(json.dumps(snapshot["fleet"], indent=2))
 PY

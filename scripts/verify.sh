@@ -5,6 +5,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+# Examples, benches and test binaries must stay compilable too.
+cargo build --offline --workspace --all-targets
 cargo test -q --offline --workspace
 # Benches must stay compilable even when nobody runs them.
 cargo bench --no-run --offline -p sb-bench
@@ -12,4 +14,7 @@ cargo bench --no-run --offline -p sb-bench
 # crawling, metrics and report rendering.
 cargo run --release --offline -p sb-eval --bin xp -- \
     table1 --scale 0.003 --seeds 1 --sites cl,nc --jobs 2 --out target/verify-smoke
+# Fleet smoke: multi-site concurrent sessions through the fleet scheduler.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    fleet --scale 0.003 --sites cl,nc,ab,ce --jobs 2 --out target/verify-smoke
 echo "verify: OK"

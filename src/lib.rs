@@ -37,6 +37,11 @@
 //! let outcome = crawl(&server, None, &root, &mut strategy, &cfg);
 //! assert!(outcome.targets_found() > 0);
 //! ```
+//!
+//! For resumable step-driven crawls, typed event observation and
+//! concurrent multi-site fleets, see [`crawler::session`],
+//! [`crawler::events`] and [`crawler::fleet`] (demo:
+//! `examples/fleet_crawl.rs`).
 
 pub use sb_ann as ann;
 pub use sb_bandit as bandit;
