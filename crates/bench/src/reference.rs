@@ -166,86 +166,6 @@ fn seed_normalize_path(path: &str) -> String {
     p
 }
 
-/// Seed link extraction: per-link `text_content` temporaries and the
-/// `Vec`-collect/`join` whitespace normalisation. Output-identical to
-/// today's scratch-buffer `extract_links`.
-pub fn seed_extract_links(html: &str) -> Vec<sb_html::Link> {
-    use sb_html::{parse, Link, LinkKind, TagPath};
-    let doc = parse(html);
-    let mut out = Vec::new();
-    for id in 0..doc.len() {
-        let node = doc.node(id);
-        let Some(name) = node.name() else { continue };
-        let (kind, url_attr) = match name {
-            "a" => (LinkKind::Anchor, "href"),
-            "area" => (LinkKind::Area, "href"),
-            "iframe" => (LinkKind::Iframe, "src"),
-            _ => continue,
-        };
-        let Some(href) = node.attr(url_attr) else { continue };
-        let href = href.trim();
-        if href.is_empty() || href.starts_with('#') || seed_is_non_http_scheme(href) {
-            continue;
-        }
-        let anchor_text = seed_normalize_ws(&doc.text_content(id));
-        let surrounding_text = seed_surrounding_text(&doc, id, &anchor_text);
-        out.push(Link {
-            href: href.to_owned(),
-            kind,
-            tag_path: TagPath::of(&doc, id),
-            anchor_text,
-            surrounding_text,
-        });
-    }
-    out
-}
-
-fn seed_is_non_http_scheme(href: &str) -> bool {
-    let Some(colon) = href.find(':') else { return false };
-    let scheme = &href[..colon];
-    if !scheme.chars().all(|c| c.is_ascii_alphanumeric() || c == '+' || c == '-' || c == '.') {
-        return false;
-    }
-    !scheme.eq_ignore_ascii_case("http") && !scheme.eq_ignore_ascii_case("https")
-}
-
-fn seed_surrounding_text(doc: &sb_html::Document, id: sb_html::NodeId, anchor_text: &str) -> String {
-    const BLOCKS: [&str; 12] =
-        ["p", "li", "td", "div", "section", "article", "main", "aside", "figure", "dd", "th", "body"];
-    let mut cur = doc.node(id).parent();
-    while let Some(pid) = cur {
-        let node = doc.node(pid);
-        if let sb_html::Node::Element { name, .. } = node {
-            if BLOCKS.contains(&name.as_str()) {
-                let full = seed_normalize_ws(&doc.text_content(pid));
-                let trimmed = match full.find(anchor_text) {
-                    Some(pos) if !anchor_text.is_empty() => {
-                        let mut s = String::with_capacity(full.len() - anchor_text.len());
-                        s.push_str(&full[..pos]);
-                        s.push_str(&full[pos + anchor_text.len()..]);
-                        seed_normalize_ws(&s)
-                    }
-                    _ => full,
-                };
-                return seed_truncate_chars(&trimmed, 160);
-            }
-        }
-        cur = node.parent();
-    }
-    String::new()
-}
-
-fn seed_normalize_ws(s: &str) -> String {
-    s.split_whitespace().collect::<Vec<_>>().join(" ")
-}
-
-fn seed_truncate_chars(s: &str, max: usize) -> String {
-    if s.chars().count() <= max {
-        return s.to_owned();
-    }
-    s.chars().take(max).collect()
-}
-
 /// Collapses the seed engine's post-target trace duplicates.
 ///
 /// The seed `amend_trace` *appended* a second point at the same request
@@ -371,7 +291,7 @@ pub fn reference_queue_crawl(
         let Some(mime) = f.mime.clone() else { return };
         if policy.is_html_mime(&mime) {
             let html = String::from_utf8_lossy(&f.body);
-            let links = seed_extract_links(&html);
+            let links = crate::seed_html::seed_extract_links(&html);
             let Ok(base) = Url::parse(&url) else { return };
             for link in &links {
                 let Ok(resolved) = seed_url_join(&base, &link.href) else { continue };

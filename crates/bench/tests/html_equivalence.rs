@@ -1,0 +1,266 @@
+//! The zero-copy HTML pipeline (PR 3) must be *value-identical* to the
+//! frozen seed pipeline (`sb_bench::seed_html`): byte-identical tokens,
+//! structurally identical DOMs and field-identical links, on arbitrary
+//! garbage, markup-biased garbage and real generated pages.
+//!
+//! The comparison shims below bridge the borrowed (`Cow`) and owned
+//! (`String`) representations; equality is always on the underlying bytes.
+//! Crawl-trace determinism over the seed engine is covered separately by
+//! `tests/determinism.rs` (the session engine now parses through the
+//! zero-copy path, the reference engine through `seed_html`).
+
+use proptest::prelude::*;
+use sb_bench::seed_html::{
+    seed_extract_links, seed_parse, seed_tokenize, SeedDocument, SeedNode, SeedToken,
+};
+use sb_html::{extract_links, extract_links_with, parse, tokenize, Document, LinkNeeds, Node, Token};
+
+// ---------------------------------------------------------------------------
+// Comparison shims: borrowed pipeline vs owned seed pipeline.
+// ---------------------------------------------------------------------------
+
+/// Asserts the zero-copy token stream equals the seed token stream.
+fn assert_tokens_eq(input: &str) {
+    let seed = seed_tokenize(input);
+    let new = tokenize(input);
+    assert_eq!(seed.len(), new.len(), "token count differs on {input:?}");
+    for (i, (s, n)) in seed.iter().zip(&new).enumerate() {
+        let ok = match (s, n) {
+            (
+                SeedToken::Start { name: sn, attrs: sa, self_closing: sc },
+                Token::Start { name: nn, attrs: na, self_closing: nc },
+            ) => {
+                sn == nn
+                    && sc == nc
+                    && sa.len() == na.len()
+                    && sa
+                        .iter()
+                        .zip(na)
+                        .all(|(x, y)| x.name == y.name && x.value == y.value)
+            }
+            (SeedToken::End { name: sn }, Token::End { name: nn }) => sn == nn,
+            (SeedToken::Text(s), Token::Text(n)) => s == n,
+            (SeedToken::Comment(s), Token::Comment(n)) => s == n,
+            (SeedToken::Doctype(s), Token::Doctype(n)) => s == n,
+            _ => false,
+        };
+        assert!(ok, "token {i} differs on {input:?}:\n  seed: {s:?}\n  new:  {n:?}");
+    }
+}
+
+/// Asserts the zero-copy DOM is structurally identical to the seed DOM:
+/// same arena order, names, text, attributes, parents and child lists.
+fn assert_doms_eq(input: &str) {
+    let seed: SeedDocument = seed_parse(input);
+    let new: Document<'_> = parse(input);
+    assert_eq!(seed.len(), new.len(), "node count differs on {input:?}");
+    assert_eq!(seed.roots(), new.roots(), "roots differ on {input:?}");
+    for id in 0..seed.len() {
+        let s = seed.node(id);
+        let n = new.node(id);
+        assert_eq!(s.parent(), n.parent(), "parent of node {id} differs on {input:?}");
+        match (s, n) {
+            (SeedNode::Element { name: sn, attrs, children, .. }, Node::Element { name: nn, .. }) => {
+                assert_eq!(sn, nn, "name of node {id} differs on {input:?}");
+                let na = new.attrs_of(id);
+                assert_eq!(attrs.len(), na.len(), "attr count of node {id} differs on {input:?}");
+                for (x, y) in attrs.iter().zip(na) {
+                    assert_eq!(x.name, y.name, "attr name on node {id} differs on {input:?}");
+                    assert_eq!(x.value, y.value, "attr value on node {id} differs on {input:?}");
+                }
+                let nc: Vec<_> = new.children(id).collect();
+                assert_eq!(children, &nc, "children of node {id} differ on {input:?}");
+            }
+            (SeedNode::Text { content: sc, .. }, Node::Text { content: nc, .. }) => {
+                assert_eq!(sc, nc, "text of node {id} differs on {input:?}");
+            }
+            _ => panic!("node {id} kind differs on {input:?}"),
+        }
+    }
+}
+
+/// Asserts zero-copy link extraction equals seed link extraction, field by
+/// field, and that the needs-gated variants agree with the seed on every
+/// requested field.
+fn assert_links_eq(input: &str) {
+    let seed = seed_extract_links(input);
+    let new = extract_links(input);
+    assert_eq!(seed.len(), new.len(), "link count differs on {input:?}");
+    for (i, (s, n)) in seed.iter().zip(&new).enumerate() {
+        assert_eq!(s.href, n.href, "href of link {i} differs on {input:?}");
+        assert_eq!(s.kind, n.kind, "kind of link {i} differs on {input:?}");
+        assert_eq!(s.tag_path, n.tag_path, "tag path of link {i} differs on {input:?}");
+        assert_eq!(s.anchor_text, n.anchor_text, "anchor of link {i} differs on {input:?}");
+        assert_eq!(
+            s.surrounding_text, n.surrounding_text,
+            "surrounding text of link {i} differs on {input:?}"
+        );
+    }
+    for needs in [LinkNeeds::HREF_ONLY, LinkNeeds::TAG_PATH, LinkNeeds::ALL] {
+        let gated = extract_links_with(input, needs);
+        assert_eq!(seed.len(), gated.len());
+        for (s, g) in seed.iter().zip(&gated) {
+            assert_eq!(s.href, g.href);
+            if needs.tag_path {
+                assert_eq!(s.tag_path, g.tag_path);
+            }
+            if needs.anchor_text {
+                assert_eq!(s.anchor_text, g.anchor_text);
+            }
+            if needs.surrounding_text {
+                assert_eq!(s.surrounding_text, g.surrounding_text);
+            }
+        }
+    }
+}
+
+fn assert_pipeline_eq(input: &str) {
+    assert_tokens_eq(input);
+    assert_doms_eq(input);
+    assert_links_eq(input);
+}
+
+// ---------------------------------------------------------------------------
+// Pinned edge cases: the places where borrowing could plausibly diverge
+// from decoding (entities, case folding, raw text, truncation at EOF).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn entities_numeric_and_hex() {
+    for s in [
+        "<p>&#65;&#x42;&#x1F4A9;</p>",
+        r#"<a href="/q?a=1&amp;b=2&#38;c=3">R&amp;D &lt;x&gt;</a>"#,
+        "<p>&quot;&apos;&nbsp;</p>",
+        "<p>&#xD800; surrogate stays</p>",
+        "<p>&#999999999999; overflow stays</p>",
+    ] {
+        assert_pipeline_eq(s);
+    }
+    // Pinned expected values, so equality is not just mutual-bug agreement.
+    let toks = tokenize("<p>&#65;&#x42;</p>");
+    assert!(matches!(&toks[1], Token::Text(t) if t == "AB"));
+}
+
+#[test]
+fn truncated_entities_at_eof() {
+    for s in [
+        "&", "&a", "&am", "&amp", "&amp;", "&#", "&#6", "&#x", "&#x1F4A",
+        "<p>&", "<p>&am", "<a href='/x?a=1&am", "text &#", "&;", "&#;", "&#x;",
+    ] {
+        assert_pipeline_eq(s);
+    }
+    // An unterminated reference passes through verbatim.
+    let toks = tokenize("tail &amp");
+    assert!(matches!(&toks[0], Token::Text(t) if t == "tail &amp"));
+}
+
+#[test]
+fn uppercase_and_unquoted_attributes() {
+    for s in [
+        "<DIV CLASS=Main ID=top>x</DIV>",
+        "<A HREF=/data/A.CSV Class='Mixed Case'>D</A>",
+        "<INPUT DISABLED>",
+        "<Ul><LI>a<li>b</UL>",
+        "<a href = /spaced >y</a>",
+        "<a href=>empty-unquoted</a>",
+    ] {
+        assert_pipeline_eq(s);
+    }
+    // Pinned: names fold, values keep their case.
+    let toks = tokenize("<DIV CLASS='Main'>t</DIV>");
+    assert!(
+        matches!(&toks[0], Token::Start { name, attrs, .. }
+            if name == "div" && attrs[0].name == "class" && attrs[0].value == "Main")
+    );
+}
+
+#[test]
+fn raw_text_script_and_style() {
+    for s in [
+        "<script>if (a < b) { x('<a href=\"no\">'); }</script><p>y</p>",
+        "<style>a > b { content: '<'; }</style><a href='/x'>z</a>",
+        "<script>unterminated raw text <a href='/no'>",
+        "<SCRIPT>x()</SCRIPT><p>y</p>",
+        "<script>x()</ScRiPt ><p>y</p>",
+        "<script src='/s.js'></script><script>two()</script><p>t</p>",
+        "<script/>not raw<p>q</p>",
+        "<style>.x{}</style",
+    ] {
+        assert_pipeline_eq(s);
+    }
+    // Pinned: nothing inside the script leaks out as markup.
+    let links = extract_links("<script>var a = '<a href=\"/no\">';</script><a href='/yes'>y</a>");
+    assert_eq!(links.len(), 1);
+    assert_eq!(links[0].href, "/yes");
+}
+
+#[test]
+fn cdata_ish_sections_and_comments() {
+    for s in [
+        "<![CDATA[ <a href='/no'>hidden</a> ]]><p>x</p>",
+        "<!DOCTYPE html><!-- <a href='/no'>c</a> --><a href='/yes'>y</a>",
+        "<!-- unterminated comment <p>x</p>",
+        "<!DOC truncated",
+        "<!>",
+    ] {
+        assert_pipeline_eq(s);
+    }
+    // Pinned: the CDATA-ish block is consumed to the first '>', exactly
+    // like the seed (so the trailing markup re-enters the stream).
+    let toks = tokenize("<![CDATA[ x ]]><p>t</p>");
+    assert!(matches!(&toks[0], Token::Doctype(d) if d == "[CDATA[ x ]]"));
+}
+
+#[test]
+fn whitespace_and_multinode_anchors() {
+    for s in [
+        "<p><a href='/x'>  padded \t text </a>tail</p>",
+        "<p>pre <a href='/x'>one <b>two</b> three</a> post</p>",
+        "<li><a href='/x'></a>no anchor text</li>",
+        "<p>\u{a0}nbsp <a href='/x'>a\u{a0}b</a></p>",
+        "<td>cell <a href='/x'>x</a> <a href='/y'>x</a></td>",
+    ] {
+        assert_pipeline_eq(s);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: arbitrary and generated inputs.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary strings: both pipelines are total and identical.
+    #[test]
+    fn arbitrary_inputs_are_identical(s in ".{0,400}") {
+        assert_pipeline_eq(&s);
+    }
+
+    /// Markup-biased garbage, with ampersands, quotes, hashes and
+    /// uppercase in the alphabet so entities/case folding get exercised.
+    #[test]
+    fn markupish_inputs_are_identical(s in "[<>a-zA-Z/='\"!&;# .-]{0,400}") {
+        assert_pipeline_eq(&s);
+    }
+
+    /// Entity-dense text runs (the decode path).
+    #[test]
+    fn entity_dense_inputs_are_identical(s in "(&(amp|lt|gt|quot|apos|nbsp|#x2603|#65|bogus|);?|[a-z &;]){0,60}") {
+        assert_pipeline_eq(&s);
+    }
+
+    /// Real generated pages: every HTML page of an arbitrary small site
+    /// parses identically through both pipelines.
+    #[test]
+    fn generated_pages_are_identical(n in 40usize..140, seed in 0u64..500) {
+        use sb_webgraph::gen::{build_site, render::render_page, PageKind, SiteSpec};
+        let site = build_site(&SiteSpec::demo(n), seed);
+        for id in 0..site.len() as u32 {
+            if matches!(site.page(id).kind, PageKind::Html(_)) {
+                let html = render_page(&site, id);
+                assert_pipeline_eq(&html);
+            }
+        }
+    }
+}

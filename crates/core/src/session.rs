@@ -843,7 +843,11 @@ impl<'a> CrawlSession<'a> {
         body: &[u8],
         queue: &mut VecDeque<WorkItem>,
     ) -> f64 {
-        let html = String::from_utf8_lossy(body);
+        // Zero-copy parse path (PR 3): the body is borrowed when it is
+        // valid UTF-8 (the render cache guarantees it), and every extracted
+        // link borrows `html` in turn — owned conversion happens only below,
+        // at the interner boundary, for URLs that outlive the page.
+        let html = sb_html::body_str(body);
         let links = sb_html::extract_links_with(&html, self.strategy.link_needs());
         // One clone of the parsed base per page (instead of a re-parse);
         // per link, membership is checked on the parsed `Url` itself, so

@@ -300,9 +300,11 @@ impl Strategy for SbStrategy {
                             ctx.insert(
                                 link.id,
                                 (
-                                    link.html.anchor_text.clone(),
+                                    // Owned-conversion boundary: this
+                                    // context outlives the page buffer.
+                                    link.html.anchor_text.to_string(),
                                     link.html.tag_path.to_string(),
-                                    link.html.surrounding_text.clone(),
+                                    link.html.surrounding_text.to_string(),
                                 ),
                             );
                         }

@@ -122,7 +122,7 @@ impl Strategy for TresStrategy {
                 self.frontier.push(FrontierNode {
                     id: link.id,
                     url: link.url_str.to_owned(),
-                    anchor: link.html.anchor_text.clone(),
+                    anchor: link.html.anchor_text.to_string(),
                     parent_relevance,
                 });
                 LinkDecision::Enqueue

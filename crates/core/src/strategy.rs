@@ -70,8 +70,11 @@ pub struct NewLink<'a> {
     pub id: UrlId,
     pub url: &'a Url,
     pub url_str: &'a str,
-    /// The parsed hyperlink: tag path, anchor text, surrounding text.
-    pub html: &'a sb_html::Link,
+    /// The parsed hyperlink: tag path, anchor text, surrounding text —
+    /// borrowed from the page body. Strategies that keep any of it past
+    /// `decide` must convert to owned here; this is the pipeline's single
+    /// owned-conversion boundary.
+    pub html: &'a sb_html::Link<'a>,
     /// Depth of the page the link was found on.
     pub source_depth: u32,
 }

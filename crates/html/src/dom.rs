@@ -1,4 +1,4 @@
-//! Arena-based DOM built from the token stream.
+//! Arena-based DOM built from the streaming token events.
 //!
 //! The tree-construction rules are a pragmatic subset of WHATWG \[58\]: void
 //! elements never take children, a handful of *implied end tag* rules keep
@@ -6,42 +6,48 @@
 //! pop up to the nearest matching open element (or are ignored). That is
 //! enough to recover the tag paths of hyperlinks on the real-world markup the
 //! paper's crawler meets.
+//!
+//! Storage is allocation-light (PR 3): names and text are [`Cow`]s borrowing
+//! the input, all attributes live in **one arena** (`Document::attrs`, each
+//! element holding a range into it), and child lists are intrusive
+//! first-child/next-sibling links instead of a per-node `Vec<NodeId>`.
+//! Parsing an entity-free page costs a handful of vector growths, not one
+//! allocation per token/node — `tests/alloc_guard.rs` pins this.
 
-use crate::token::{tokenize, Attr, Token};
+use crate::token::{Event, Tokenizer};
+use std::borrow::Cow;
 
 /// Index of a node in its [`Document`] arena.
 pub type NodeId = usize;
 
-/// A DOM node: either an element with attributes and children, or text.
+/// A DOM node: either an element or a text run. Child lists are intrusive
+/// (`first_child`/`next_sibling`); attributes are a range into the
+/// document's shared attribute arena — use [`Document::attrs_of`],
+/// [`Document::attr`] and [`Document::children`] to read them.
 #[derive(Debug, Clone)]
-pub enum Node {
+pub enum Node<'a> {
     Element {
-        name: String,
-        attrs: Vec<Attr>,
-        children: Vec<NodeId>,
+        name: Cow<'a, str>,
+        /// `[start, end)` range into the document's attribute arena
+        /// (read it via [`Document::attrs_of`]).
+        attrs: (u32, u32),
         parent: Option<NodeId>,
+        first_child: Option<NodeId>,
+        last_child: Option<NodeId>,
+        next_sibling: Option<NodeId>,
     },
     Text {
-        content: String,
+        content: Cow<'a, str>,
         parent: Option<NodeId>,
+        next_sibling: Option<NodeId>,
     },
 }
 
-impl Node {
+impl<'a> Node<'a> {
     /// Element name, or `None` for text nodes.
     pub fn name(&self) -> Option<&str> {
         match self {
             Node::Element { name, .. } => Some(name),
-            Node::Text { .. } => None,
-        }
-    }
-
-    /// Value of attribute `want` on an element node.
-    pub fn attr(&self, want: &str) -> Option<&str> {
-        match self {
-            Node::Element { attrs, .. } => {
-                attrs.iter().find(|a| a.name == want).map(|a| a.value.as_str())
-            }
             Node::Text { .. } => None,
         }
     }
@@ -51,12 +57,28 @@ impl Node {
             Node::Element { parent, .. } | Node::Text { parent, .. } => *parent,
         }
     }
+
+    fn next_sibling(&self) -> Option<NodeId> {
+        match self {
+            Node::Element { next_sibling, .. } | Node::Text { next_sibling, .. } => *next_sibling,
+        }
+    }
+
+    fn set_next_sibling(&mut self, id: NodeId) {
+        match self {
+            Node::Element { next_sibling, .. } | Node::Text { next_sibling, .. } => {
+                *next_sibling = Some(id)
+            }
+        }
+    }
 }
 
-/// A parsed HTML document: a node arena plus the ids of root-level nodes.
+/// A parsed HTML document: a node arena, a shared attribute arena, and the
+/// ids of root-level nodes.
 #[derive(Debug, Clone, Default)]
-pub struct Document {
-    nodes: Vec<Node>,
+pub struct Document<'a> {
+    nodes: Vec<Node<'a>>,
+    attrs: Vec<crate::token::Attr<'a>>,
     roots: Vec<NodeId>,
 }
 
@@ -85,58 +107,85 @@ fn implies_close(incoming: &str, open: &str) -> bool {
     }
 }
 
-/// Parses HTML into a [`Document`]. Never fails.
-pub fn parse(input: &str) -> Document {
-    let mut doc = Document { nodes: Vec::new(), roots: Vec::new() };
+/// Parses HTML into a [`Document`]. Never fails. Drives the streaming
+/// tokenizer, so per-tag attributes flow straight from the tokenizer's
+/// reused buffer into the document's arena.
+pub fn parse(input: &str) -> Document<'_> {
+    let mut doc = Document { nodes: Vec::new(), attrs: Vec::new(), roots: Vec::new() };
     // Stack of currently-open element ids.
     let mut open: Vec<NodeId> = Vec::new();
+    let mut tk = Tokenizer::new(input);
 
-    for tok in tokenize(input) {
-        match tok {
-            Token::Start { name, attrs, self_closing } => {
+    while let Some(ev) = tk.next_event() {
+        match ev {
+            Event::Start { name, self_closing } => {
                 while let Some(&top) = open.last() {
-                    let top_name = doc.nodes[top].name().unwrap_or("").to_owned();
-                    if implies_close(&name, &top_name) {
+                    if implies_close(&name, doc.nodes[top].name().unwrap_or("")) {
                         open.pop();
                     } else {
                         break;
                     }
                 }
-                let is_void = VOID_ELEMENTS.contains(&name.as_str());
+                let is_void = VOID_ELEMENTS.contains(&name.as_ref());
+                let astart = doc.attrs.len() as u32;
+                doc.attrs.append(&mut tk.attrs);
+                let aend = doc.attrs.len() as u32;
                 let id = doc.push_node(
-                    Node::Element { name, attrs, children: Vec::new(), parent: open.last().copied() },
-                    &mut open,
+                    Node::Element {
+                        name,
+                        attrs: (astart, aend),
+                        parent: open.last().copied(),
+                        first_child: None,
+                        last_child: None,
+                        next_sibling: None,
+                    },
+                    &open,
                 );
                 if !self_closing && !is_void {
                     open.push(id);
                 }
             }
-            Token::End { name } => {
+            Event::End { name } => {
                 // Pop to the matching open element; ignore if none matches.
-                if let Some(pos) = open.iter().rposition(|&id| doc.nodes[id].name() == Some(name.as_str()))
+                if let Some(pos) =
+                    open.iter().rposition(|&id| doc.nodes[id].name() == Some(name.as_ref()))
                 {
                     open.truncate(pos);
                 }
             }
-            Token::Text(content) => {
+            Event::Text(content) => {
                 if !content.is_empty() {
-                    doc.push_node(Node::Text { content, parent: open.last().copied() }, &mut open);
+                    doc.push_node(
+                        Node::Text { content, parent: open.last().copied(), next_sibling: None },
+                        &open,
+                    );
                 }
             }
-            Token::Comment(_) | Token::Doctype(_) => {}
+            Event::Comment(_) | Event::Doctype(_) => {}
         }
     }
     doc
 }
 
-impl Document {
-    fn push_node(&mut self, node: Node, open: &mut [NodeId]) -> NodeId {
+impl<'a> Document<'a> {
+    fn push_node(&mut self, node: Node<'a>, open: &[NodeId]) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(node);
         match open.last() {
             Some(&parent) => {
-                if let Node::Element { children, .. } = &mut self.nodes[parent] {
-                    children.push(id);
+                let prev = match &mut self.nodes[parent] {
+                    Node::Element { first_child, last_child, .. } => {
+                        let prev = *last_child;
+                        if first_child.is_none() {
+                            *first_child = Some(id);
+                        }
+                        *last_child = Some(id);
+                        prev
+                    }
+                    Node::Text { .. } => None,
+                };
+                if let Some(prev) = prev {
+                    self.nodes[prev].set_next_sibling(id);
                 }
             }
             None => self.roots.push(id),
@@ -145,7 +194,7 @@ impl Document {
     }
 
     /// All nodes, in document order.
-    pub fn nodes(&self) -> &[Node] {
+    pub fn nodes(&self) -> &[Node<'a>] {
         &self.nodes
     }
 
@@ -154,7 +203,7 @@ impl Document {
         &self.roots
     }
 
-    pub fn node(&self, id: NodeId) -> &Node {
+    pub fn node(&self, id: NodeId) -> &Node<'a> {
         &self.nodes[id]
     }
 
@@ -166,11 +215,34 @@ impl Document {
         self.nodes.is_empty()
     }
 
-    /// Ids of all elements with the given name, in document order.
-    pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
-        (0..self.nodes.len())
-            .filter(|&id| self.nodes[id].name() == Some(name))
-            .collect()
+    /// The attributes of element `id` (empty for text nodes), borrowed from
+    /// the shared arena.
+    pub fn attrs_of(&self, id: NodeId) -> &[crate::token::Attr<'a>] {
+        match &self.nodes[id] {
+            Node::Element { attrs: (s, e), .. } => &self.attrs[*s as usize..*e as usize],
+            Node::Text { .. } => &[],
+        }
+    }
+
+    /// Value of attribute `want` on element `id`.
+    pub fn attr(&self, id: NodeId, want: &str) -> Option<&str> {
+        self.attrs_of(id).iter().find(|a| a.name == want).map(|a| a.value.as_ref())
+    }
+
+    /// As [`Document::attr`], exposing the underlying [`Cow`] so zero-copy
+    /// consumers can keep the input borrow instead of re-borrowing the
+    /// document.
+    pub fn attr_value(&self, id: NodeId, want: &str) -> Option<&Cow<'a, str>> {
+        self.attrs_of(id).iter().find(|a| a.name == want).map(|a| &a.value)
+    }
+
+    /// Child ids of `id` in document order (empty for text nodes).
+    pub fn children(&self, id: NodeId) -> Children<'_, 'a> {
+        let first = match &self.nodes[id] {
+            Node::Element { first_child, .. } => *first_child,
+            Node::Text { .. } => None,
+        };
+        Children { doc: self, next: first }
     }
 
     /// Concatenated text content beneath `id` (including `id` itself if text).
@@ -189,12 +261,19 @@ impl Document {
     fn collect_text(&self, id: NodeId, out: &mut String) {
         match &self.nodes[id] {
             Node::Text { content, .. } => out.push_str(content),
-            Node::Element { children, .. } => {
-                for &c in children {
+            Node::Element { .. } => {
+                for c in self.children(id) {
                     self.collect_text(c, out);
                 }
             }
         }
+    }
+
+    /// Ids of all elements with the given name, in document order.
+    pub fn elements_named(&self, name: &str) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&id| self.nodes[id].name() == Some(name))
+            .collect()
     }
 
     /// The chain of element ids from the document root down to `id`
@@ -213,6 +292,22 @@ impl Document {
     }
 }
 
+/// Iterator over a node's children (intrusive sibling chain).
+pub struct Children<'d, 'a> {
+    doc: &'d Document<'a>,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_, '_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.next?;
+        self.next = self.doc.nodes[id].next_sibling();
+        Some(id)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,7 +317,7 @@ mod tests {
         let doc = parse("<html><body><div id='m'><a href='/x'>t</a></div></body></html>");
         let a = doc.elements_named("a");
         assert_eq!(a.len(), 1);
-        assert_eq!(doc.node(a[0]).attr("href"), Some("/x"));
+        assert_eq!(doc.attr(a[0], "href"), Some("/x"));
         let chain = doc.ancestry(a[0]);
         let names: Vec<_> = chain.iter().map(|&id| doc.node(id).name().unwrap()).collect();
         assert_eq!(names, vec!["html", "body", "div", "a"]);
@@ -232,14 +327,10 @@ mod tests {
     fn void_elements_take_no_children() {
         let doc = parse("<p><br>text</p>");
         let br = doc.elements_named("br")[0];
-        if let Node::Element { children, .. } = doc.node(br) {
-            assert!(children.is_empty());
-        }
+        assert_eq!(doc.children(br).count(), 0);
         // "text" is a sibling of <br> inside <p>.
         let p = doc.elements_named("p")[0];
-        if let Node::Element { children, .. } = doc.node(p) {
-            assert_eq!(children.len(), 2);
-        }
+        assert_eq!(doc.children(p).count(), 2);
     }
 
     #[test]
@@ -251,6 +342,7 @@ mod tests {
         for &li in &lis {
             assert_eq!(doc.node(li).parent(), Some(ul));
         }
+        assert_eq!(doc.children(ul).collect::<Vec<_>>(), lis);
     }
 
     #[test]
@@ -287,5 +379,16 @@ mod tests {
         let doc = parse("<table><tr><td>1<td>2<tr><td>3</table>");
         assert_eq!(doc.elements_named("tr").len(), 2);
         assert_eq!(doc.elements_named("td").len(), 3);
+    }
+
+    #[test]
+    fn attrs_live_in_shared_arena() {
+        let doc = parse("<div id='a' class='x y'><a href='/z'>t</a></div>");
+        let div = doc.elements_named("div")[0];
+        assert_eq!(doc.attrs_of(div).len(), 2);
+        assert_eq!(doc.attr(div, "class"), Some("x y"));
+        let a = doc.elements_named("a")[0];
+        assert_eq!(doc.attr(a, "href"), Some("/z"));
+        assert_eq!(doc.attr(a, "id"), None);
     }
 }

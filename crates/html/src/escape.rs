@@ -4,6 +4,14 @@
 //! five XML-predefined entities plus decimal/hexadecimal numeric references.
 //! Unknown entities are passed through verbatim, which is what browsers do for
 //! unterminated ampersands and is the tolerant behaviour a crawler needs.
+//!
+//! [`unescape`] is copy-on-decode: it returns a borrow of the input unless a
+//! reference actually resolves, so the entity-free common case (and the
+//! "bare `&` in prose" case) costs zero allocations. This is the foundation
+//! of the zero-copy tokenizer: text runs and attribute values flow through
+//! here on every parsed page.
+
+use std::borrow::Cow;
 
 /// Escapes `&`, `<`, `>`, `"` and `'` for safe inclusion in HTML text or
 /// double-quoted attribute values.
@@ -27,29 +35,26 @@ pub fn escape(s: &str) -> String {
 /// Handles the named entities `amp`, `lt`, `gt`, `quot`, `apos`, `nbsp` and
 /// numeric references (`&#123;`, `&#x1F4A9;`). Anything unrecognised is left
 /// untouched, including a bare `&`.
-pub fn unescape(s: &str) -> String {
-    if !s.contains('&') {
-        return s.to_owned();
-    }
+///
+/// Allocates only when at least one reference resolves; otherwise the input
+/// is returned as [`Cow::Borrowed`].
+pub fn unescape(s: &str) -> Cow<'_, str> {
     let bytes = s.as_bytes();
-    let mut out = String::with_capacity(s.len());
+    // Owned output, created lazily at the first actual substitution;
+    // `copied` marks how far the input has been flushed into it.
+    let mut out: Option<String> = None;
+    let mut copied = 0;
     let mut i = 0;
     while i < bytes.len() {
         if bytes[i] != b'&' {
-            // Copy the full UTF-8 character, not just one byte.
-            let ch_len = utf8_len(bytes[i]);
-            out.push_str(&s[i..i + ch_len]);
-            i += ch_len;
+            // '&' is ASCII, so scanning bytewise never lands inside a
+            // multi-byte character; slices below stay on char boundaries.
+            i += 1;
             continue;
         }
         // Find the terminating ';' within a reasonable window.
-        let end = bytes[i + 1..]
-            .iter()
-            .take(32)
-            .position(|&b| b == b';')
-            .map(|p| i + 1 + p);
-        let Some(end) = end else {
-            out.push('&');
+        let Some(end) = bytes[i + 1..].iter().take(32).position(|&b| b == b';').map(|p| i + 1 + p)
+        else {
             i += 1;
             continue;
         };
@@ -71,25 +76,23 @@ pub fn unescape(s: &str) -> String {
         };
         match resolved {
             Some(c) => {
+                let out = out.get_or_insert_with(|| String::with_capacity(s.len()));
+                out.push_str(&s[copied..i]);
                 out.push(c);
                 i = end + 1;
+                copied = i;
             }
             None => {
-                out.push('&');
                 i += 1;
             }
         }
     }
-    out
-}
-
-#[inline]
-fn utf8_len(first_byte: u8) -> usize {
-    match first_byte {
-        b if b < 0x80 => 1,
-        b if b < 0xE0 => 2,
-        b if b < 0xF0 => 3,
-        _ => 4,
+    match out {
+        Some(mut o) => {
+            o.push_str(&s[copied..]);
+            Cow::Owned(o)
+        }
+        None => Cow::Borrowed(s),
     }
 }
 
@@ -137,5 +140,18 @@ mod tests {
     fn unescape_rejects_invalid_codepoint() {
         // Surrogate range is not a valid char; left untouched.
         assert_eq!(unescape("&#xD800;"), "&#xD800;");
+    }
+
+    #[test]
+    fn entity_free_input_borrows() {
+        assert!(matches!(unescape("plain text"), Cow::Borrowed(_)));
+        // A '&' that resolves nothing must stay borrowed too.
+        assert!(matches!(unescape("fish & chips"), Cow::Borrowed(_)));
+        assert!(matches!(unescape("&bogus;"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn resolving_input_allocates_once() {
+        assert!(matches!(unescape("a&amp;b"), Cow::Owned(_)));
     }
 }

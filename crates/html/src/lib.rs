@@ -14,6 +14,13 @@
 //! ([`extract_links`]) and an HTML builder ([`render()`]) used by the synthetic
 //! site generator so that generated pages round-trip through the same parser a
 //! real crawl would use.
+//!
+//! The whole pipeline is **zero-copy** (PR 3): tokens, DOM nodes and link
+//! features are lifetime-parameterized `Cow`s that borrow the input buffer
+//! and copy only on entity decoding, case folding or whitespace rewrite.
+//! Start with [`body_str`] to decode a response body without copying it,
+//! parse, and extract; owned conversion belongs at the single boundary
+//! where data outlives the page (the crawl engine's `NewLink` → interner).
 
 pub mod dom;
 pub mod escape;
@@ -22,8 +29,33 @@ pub mod render;
 pub mod tagpath;
 pub mod token;
 
-pub use dom::{parse, Document, Node, NodeId};
-pub use links::{extract_links, extract_links_from, extract_links_with, Link, LinkKind, LinkNeeds};
+pub use dom::{parse, Children, Document, Node, NodeId};
+pub use links::{
+    extract_links, extract_links_from, extract_links_from_with, extract_links_with, Link,
+    LinkKind, LinkNeeds,
+};
 pub use render::{el, render, text, HtmlBuilder};
 pub use tagpath::{PathSegment, TagPath};
 pub use token::{tokenize, Attr, Token};
+
+use std::borrow::Cow;
+
+/// Decodes an HTTP body for parsing: borrows the bytes when they are valid
+/// UTF-8 (the render cache guarantees this for generated sites), allocates
+/// only when lossy replacement is actually required. This is the intended
+/// entry point of the zero-copy parse path — `parse(&body_str(&response.body))`
+/// touches the heap only for the arenas.
+pub fn body_str(bytes: &[u8]) -> Cow<'_, str> {
+    String::from_utf8_lossy(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn body_str_borrows_valid_utf8() {
+        assert!(matches!(body_str(b"<html>ok</html>"), Cow::Borrowed(_)));
+        assert!(matches!(body_str(b"\xff\xfe"), Cow::Owned(_)));
+    }
+}

@@ -4,9 +4,20 @@
 //! `<area>` or `<iframe>`. Each extracted [`Link`] carries its [`TagPath`]
 //! (the edge label λ) plus the anchor text and a window of surrounding text,
 //! which the `URL_CONT` classifier feature set of Sec 4.6 consumes.
+//!
+//! Links are **borrowed** (PR 3): `href`, `anchor_text` and
+//! `surrounding_text` are [`Cow`]s over the page's input buffer. An owned
+//! copy is made only when the value genuinely differs from the raw bytes —
+//! an entity-decoded href, an anchor whose text spans several nodes or
+//! needs whitespace normalisation, a surrounding window with the anchor cut
+//! out. On generated markup (single text node per anchor, pre-normalised)
+//! the common case borrows straight from the response body; the single
+//! owned-conversion boundary of the whole crawl pipeline is the engine's
+//! `NewLink` → interner hand-off, where a URL outlives its page.
 
 use crate::dom::{parse, Document, Node, NodeId};
 use crate::tagpath::TagPath;
+use std::borrow::Cow;
 
 /// Which HTML construct produced the link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,19 +38,20 @@ impl LinkKind {
 }
 
 /// A hyperlink found in a page, with everything the crawler needs to decide
-/// whether and how to follow it.
+/// whether and how to follow it. Text features borrow the page's buffer
+/// whenever extraction did not have to rewrite them.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Link {
+pub struct Link<'a> {
     /// The raw (not yet resolved) href/src value.
-    pub href: String,
+    pub href: Cow<'a, str>,
     pub kind: LinkKind,
     /// Root-to-link tag path: the edge label λ of Sec 2.2.
     pub tag_path: TagPath,
     /// Text content of the linking element (empty for `<iframe>`).
-    pub anchor_text: String,
+    pub anchor_text: Cow<'a, str>,
     /// Text of the nearest enclosing block, minus the anchor text: the
     /// "surrounding text" feature of the URL_CONT variants.
-    pub surrounding_text: String,
+    pub surrounding_text: Cow<'a, str>,
 }
 
 /// Which per-link features a consumer actually reads. Link extraction
@@ -73,26 +85,34 @@ impl Default for LinkNeeds {
     }
 }
 
-/// Extracts all hyperlinks of `html` in document order.
-pub fn extract_links(html: &str) -> Vec<Link> {
-    extract_links_from(&parse(html))
+/// Extracts all hyperlinks of `html` in document order. The returned links
+/// borrow `html`.
+pub fn extract_links(html: &str) -> Vec<Link<'_>> {
+    links_from(&parse(html), LinkNeeds::ALL)
 }
 
 /// As [`extract_links`], computing only the features `needs` asks for.
-pub fn extract_links_with(html: &str, needs: LinkNeeds) -> Vec<Link> {
+pub fn extract_links_with(html: &str, needs: LinkNeeds) -> Vec<Link<'_>> {
     links_from(&parse(html), needs)
 }
 
-/// As [`extract_links`], over an already-parsed document.
-pub fn extract_links_from(doc: &Document) -> Vec<Link> {
+/// As [`extract_links`], over an already-parsed document. The links borrow
+/// the buffer the document was parsed from, not the document itself, so
+/// they outlive it.
+pub fn extract_links_from<'a>(doc: &Document<'a>) -> Vec<Link<'a>> {
     links_from(doc, LinkNeeds::ALL)
 }
 
-fn links_from(doc: &Document, needs: LinkNeeds) -> Vec<Link> {
+/// As [`extract_links_from`] with explicit [`LinkNeeds`].
+pub fn extract_links_from_with<'a>(doc: &Document<'a>, needs: LinkNeeds) -> Vec<Link<'a>> {
+    links_from(doc, needs)
+}
+
+fn links_from<'a>(doc: &Document<'a>, needs: LinkNeeds) -> Vec<Link<'a>> {
     let mut out = Vec::new();
-    // One scratch buffer reused for every raw text collection: link
-    // extraction runs on every fetched page, so per-link temporaries are
-    // kept off the allocator.
+    // One scratch buffer reused for every raw text collection that cannot
+    // borrow: link extraction runs on every fetched page, so per-link
+    // temporaries are kept off the allocator.
     let mut scratch = String::new();
     for id in 0..doc.len() {
         let node = doc.node(id);
@@ -103,32 +123,47 @@ fn links_from(doc: &Document, needs: LinkNeeds) -> Vec<Link> {
             "iframe" => (LinkKind::Iframe, "src"),
             _ => continue,
         };
-        let Some(href) = node.attr(url_attr) else { continue };
-        let href = href.trim();
-        if href.is_empty() || href.starts_with('#') || is_non_http_scheme(href) {
+        let Some(href) = doc.attr_value(id, url_attr) else { continue };
+        let href = trimmed(href);
+        if href.is_empty() || href.starts_with('#') || is_non_http_scheme(&href) {
             continue;
         }
         let anchor_text = if needs.anchor_text || needs.surrounding_text {
-            scratch.clear();
-            doc.text_content_into(id, &mut scratch);
-            normalize_ws(&scratch)
+            element_text(doc, id, &mut scratch)
         } else {
-            String::new()
+            Cow::Borrowed("")
         };
         let surrounding_text = if needs.surrounding_text {
             surrounding_text(doc, id, &anchor_text, &mut scratch)
         } else {
-            String::new()
+            Cow::Borrowed("")
         };
         out.push(Link {
-            href: href.to_owned(),
+            href,
             kind,
             tag_path: if needs.tag_path { TagPath::of(doc, id) } else { TagPath::default() },
-            anchor_text: if needs.anchor_text { anchor_text } else { String::new() },
+            anchor_text: if needs.anchor_text { anchor_text } else { Cow::Borrowed("") },
             surrounding_text,
         });
     }
     out
+}
+
+/// `str::trim` lifted over the input borrow: a borrowed value trims to a
+/// narrower borrow; only an (entity-decoded) owned value re-allocates, and
+/// only when the trim actually removes something.
+fn trimmed<'a>(v: &Cow<'a, str>) -> Cow<'a, str> {
+    match v {
+        Cow::Borrowed(s) => Cow::Borrowed(s.trim()),
+        Cow::Owned(s) => {
+            let t = s.trim();
+            if t.len() == s.len() {
+                Cow::Owned(s.clone())
+            } else {
+                Cow::Owned(t.to_owned())
+            }
+        }
+    }
 }
 
 /// `javascript:`, `mailto:`, `tel:`, `data:` … are never crawlable edges.
@@ -141,40 +176,107 @@ fn is_non_http_scheme(href: &str) -> bool {
     !scheme.eq_ignore_ascii_case("http") && !scheme.eq_ignore_ascii_case("https")
 }
 
+/// Whitespace-normalised text content of `id`, borrowing the input when the
+/// element holds exactly one already-normalised borrowed text node (the
+/// overwhelmingly common case for anchors on generated markup).
+fn element_text<'a>(doc: &Document<'a>, id: NodeId, scratch: &mut String) -> Cow<'a, str> {
+    let mut single: Option<&Cow<'a, str>> = None;
+    if collect_single_text(doc, id, &mut single) {
+        return match single {
+            None => Cow::Borrowed(""),
+            Some(Cow::Borrowed(s)) if is_ws_normalized(s) => Cow::Borrowed(s),
+            Some(c) => Cow::Owned(normalize_ws(c)),
+        };
+    }
+    // More than one text node: concatenate through the scratch buffer.
+    scratch.clear();
+    doc.text_content_into(id, scratch);
+    Cow::Owned(normalize_ws(scratch))
+}
+
+/// Walks the subtree under `id` looking for text nodes. Returns `false` as
+/// soon as a second one is found; otherwise leaves the only one in `single`.
+fn collect_single_text<'d, 'a>(
+    doc: &'d Document<'a>,
+    id: NodeId,
+    single: &mut Option<&'d Cow<'a, str>>,
+) -> bool {
+    for c in doc.children(id) {
+        match doc.node(c) {
+            Node::Text { content, .. } => {
+                if single.is_some() {
+                    return false;
+                }
+                *single = Some(content);
+            }
+            Node::Element { .. } => {
+                if !collect_single_text(doc, c, single) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// True when `normalize_ws(s) == s`: no leading/trailing whitespace, every
+/// internal whitespace run is a single ASCII space, and no non-ASCII
+/// whitespace at all (which `split_whitespace` would also collapse).
+fn is_ws_normalized(s: &str) -> bool {
+    let mut prev_space = true; // rejects a leading space
+    for c in s.chars() {
+        if c == ' ' {
+            if prev_space {
+                return false;
+            }
+            prev_space = true;
+        } else if c.is_whitespace() {
+            return false;
+        } else {
+            prev_space = false;
+        }
+    }
+    // A trailing space leaves prev_space set; the empty string is normal.
+    s.is_empty() || !prev_space
+}
+
 /// Text of the nearest block-level ancestor, with the anchor's own text
 /// removed, truncated to a sane window. `scratch` is a reusable buffer for
 /// the raw (pre-normalisation) block text.
-fn surrounding_text(doc: &Document, id: NodeId, anchor_text: &str, scratch: &mut String) -> String {
+fn surrounding_text<'a>(
+    doc: &Document<'a>,
+    id: NodeId,
+    anchor_text: &str,
+    scratch: &mut String,
+) -> Cow<'a, str> {
     const BLOCKS: [&str; 12] =
         ["p", "li", "td", "div", "section", "article", "main", "aside", "figure", "dd", "th", "body"];
     let mut cur = doc.node(id).parent();
     while let Some(pid) = cur {
         let node = doc.node(pid);
         if let Node::Element { name, .. } = node {
-            if BLOCKS.contains(&name.as_str()) {
-                scratch.clear();
-                doc.text_content_into(pid, scratch);
-                let full = normalize_ws(scratch);
-                let trimmed = match full.find(anchor_text) {
+            if BLOCKS.contains(&name.as_ref()) {
+                let full = element_text(doc, pid, scratch);
+                let cut = match full.find(anchor_text) {
                     Some(pos) if !anchor_text.is_empty() => {
                         let mut s = String::with_capacity(full.len() - anchor_text.len());
                         s.push_str(&full[..pos]);
                         s.push_str(&full[pos + anchor_text.len()..]);
-                        normalize_ws(&s)
+                        Cow::Owned(normalize_ws(&s))
                     }
                     _ => full,
                 };
-                return truncate_chars(&trimmed, 160);
+                return truncate_chars(cut, 160);
             }
         }
         cur = node.parent();
     }
-    String::new()
+    Cow::Borrowed("")
 }
 
 fn normalize_ws(s: &str) -> String {
-    // Single pass, no intermediate Vec — this runs twice per extracted
-    // link (anchor + surrounding block).
+    // Single pass, no intermediate Vec — this runs (at most) twice per
+    // extracted link (anchor + surrounding block).
     let mut out = String::with_capacity(s.len());
     for word in s.split_whitespace() {
         if !out.is_empty() {
@@ -185,11 +287,11 @@ fn normalize_ws(s: &str) -> String {
     out
 }
 
-fn truncate_chars(s: &str, max: usize) -> String {
+fn truncate_chars(s: Cow<'_, str>, max: usize) -> Cow<'_, str> {
     if s.chars().count() <= max {
-        return s.to_owned();
+        return s;
     }
-    s.chars().take(max).collect()
+    Cow::Owned(s.chars().take(max).collect())
 }
 
 #[cfg(test)]
@@ -215,7 +317,7 @@ mod tests {
     #[test]
     fn extracts_all_crawlable_links() {
         let links = extract_links(PAGE);
-        let hrefs: Vec<_> = links.iter().map(|l| l.href.as_str()).collect();
+        let hrefs: Vec<_> = links.iter().map(|l| l.href.as_ref()).collect();
         assert_eq!(
             hrefs,
             vec!["/data/pov.csv", "/data/a.xlsx", "/data/b.xlsx", "/map/region1", "/embed/chart"]
@@ -253,6 +355,22 @@ mod tests {
     }
 
     #[test]
+    fn simple_links_borrow_input() {
+        let links = extract_links(PAGE);
+        // Clean hrefs and single-text-node anchors borrow the page buffer.
+        assert!(matches!(links[0].href, Cow::Borrowed(_)));
+        assert!(matches!(links[0].anchor_text, Cow::Borrowed(_)));
+        assert!(matches!(links[1].anchor_text, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn entity_href_is_decoded_and_owned() {
+        let links = extract_links(r#"<a href="/q?a=1&amp;b=2">x</a>"#);
+        assert_eq!(links[0].href, "/q?a=1&b=2");
+        assert!(matches!(links[0].href, Cow::Owned(_)));
+    }
+
+    #[test]
     fn relative_protocol_and_absolute_kept() {
         let links =
             extract_links(r#"<a href="https://www.a.com/x">1</a><a href="//cdn.a.com/y">2</a>"#);
@@ -264,5 +382,17 @@ mod tests {
         let links = extract_links(r#"<a href="?page=2">next</a>"#);
         assert_eq!(links.len(), 1);
         assert_eq!(links[0].href, "?page=2");
+    }
+
+    #[test]
+    fn multi_node_anchor_text_concatenated() {
+        let links = extract_links(r#"<p><a href="/x">one <b>two</b> three</a></p>"#);
+        assert_eq!(links[0].anchor_text, "one two three");
+    }
+
+    #[test]
+    fn whitespacey_anchor_normalized() {
+        let links = extract_links("<p><a href=\"/x\">  padded \n text </a></p>");
+        assert_eq!(links[0].anchor_text, "padded text");
     }
 }

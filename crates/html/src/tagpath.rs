@@ -6,20 +6,49 @@
 //! that links found on similar tag paths lead to similar content; tag paths
 //! are therefore both the clustering key of the action space (Algorithm 1) and
 //! the unit that gets vectorised into token n-grams (Fig 3).
+//!
+//! Tag paths are stored far beyond the lifetime of the page they came from
+//! (action spaces, graph edge labels), so they cannot borrow the response
+//! body. Instead segment *names* are interned `&'static str`s for every
+//! tag in the `WELL_KNOWN_TAGS` table below — which covers essentially all
+//! real markup — so extracting a path allocates only for ids/classes that
+//! are actually present, never one `String` per ancestor element.
 
 use crate::dom::{Document, NodeId};
+use std::borrow::Cow;
 use std::fmt;
 
+/// Tag names interned as `&'static str` (sorted for binary search): path
+/// segments for these never allocate.
+const WELL_KNOWN_TAGS: [&str; 64] = [
+    "a", "area", "article", "aside", "b", "base", "blockquote", "body", "br", "button",
+    "caption", "code", "col", "dd", "div", "dl", "dt", "em", "embed", "figcaption", "figure",
+    "footer", "form", "h1", "h2", "h3", "h4", "h5", "h6", "head", "header", "hr", "html", "i",
+    "iframe", "img", "input", "label", "li", "link", "main", "map", "meta", "nav", "ol",
+    "option", "p", "param", "pre", "script", "section", "select", "small", "source", "span",
+    "strong", "style", "table", "tbody", "td", "th", "thead", "tr", "ul",
+];
+
+/// Interns `name` against [`WELL_KNOWN_TAGS`]: a `'static` borrow for every
+/// common tag, an owned copy only for exotic ones.
+pub(crate) fn intern_tag(name: &str) -> Cow<'static, str> {
+    match WELL_KNOWN_TAGS.binary_search(&name) {
+        Ok(i) => Cow::Borrowed(WELL_KNOWN_TAGS[i]),
+        Err(_) => Cow::Owned(name.to_owned()),
+    }
+}
+
 /// One step of a tag path: element name plus optional `#id` and `.class`es.
+/// The name is a `'static` borrow for well-known tags (see module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PathSegment {
-    pub name: String,
+    pub name: Cow<'static, str>,
     pub id: Option<String>,
     pub classes: Vec<String>,
 }
 
 impl PathSegment {
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Cow<'static, str>>) -> Self {
         PathSegment { name: name.into(), id: None, classes: Vec::new() }
     }
 
@@ -72,21 +101,22 @@ impl TagPath {
         TagPath { segments }
     }
 
-    /// Extracts the tag path of the element `id` within `doc`.
-    pub fn of(doc: &Document, id: NodeId) -> Self {
+    /// Extracts the tag path of the element `id` within `doc`. Segment
+    /// names are interned; only ids/classes that exist on the element
+    /// allocate.
+    pub fn of(doc: &Document<'_>, id: NodeId) -> Self {
         let segments = doc
             .ancestry(id)
             .into_iter()
             .map(|nid| {
-                let node = doc.node(nid);
-                let name = node.name().unwrap_or("").to_owned();
-                let elem_id = node
-                    .attr("id")
+                let name = intern_tag(doc.node(nid).name().unwrap_or(""));
+                let elem_id = doc
+                    .attr(nid, "id")
                     .map(str::trim)
                     .filter(|s| !s.is_empty())
                     .map(str::to_owned);
-                let classes = node
-                    .attr("class")
+                let classes = doc
+                    .attr(nid, "class")
                     .map(|c| c.split_ascii_whitespace().map(str::to_owned).collect())
                     .unwrap_or_default();
                 PathSegment { name, id: elem_id, classes }
@@ -104,7 +134,7 @@ impl TagPath {
                     Some(pos) => (&tok[..pos], &tok[pos..]),
                     None => (tok, ""),
                 };
-                let mut seg = PathSegment::new(name_part);
+                let mut seg = PathSegment::new(intern_tag(name_part));
                 let mut rest = rest;
                 while !rest.is_empty() {
                     let kind = rest.as_bytes()[0];
@@ -163,6 +193,22 @@ impl fmt::Display for TagPath {
 mod tests {
     use super::*;
     use crate::dom::parse as parse_html;
+
+    #[test]
+    fn well_known_tags_sorted() {
+        let mut sorted = WELL_KNOWN_TAGS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, WELL_KNOWN_TAGS, "binary_search needs a sorted table");
+    }
+
+    #[test]
+    fn interning_borrows_common_tags() {
+        assert!(matches!(intern_tag("div"), Cow::Borrowed(_)));
+        assert!(matches!(intern_tag("a"), Cow::Borrowed(_)));
+        assert!(matches!(intern_tag("x-custom"), Cow::Owned(_)));
+        // Interned and owned names compare equal (Cow compares as str).
+        assert_eq!(intern_tag("div"), Cow::<str>::Owned("div".to_owned()));
+    }
 
     #[test]
     fn extracts_paper_style_path() {

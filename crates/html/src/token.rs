@@ -1,130 +1,186 @@
-//! A tolerant HTML tokenizer.
+//! A tolerant, zero-copy HTML tokenizer.
 //!
 //! Real-world pages the paper crawls (ministries, UN agencies, 20+ languages)
 //! are full of unclosed tags, stray `<`, uppercase tag names and unquoted
 //! attributes. The tokenizer therefore never fails: any input produces a token
 //! stream. It handles comments, doctype, CDATA-ish sections and the *raw text*
 //! elements `script` and `style` whose content must not be scanned for tags.
+//!
+//! Tokens are **copy-on-decode** (PR 3): every payload is a [`Cow`] that
+//! borrows the input buffer unless entity decoding or ASCII case folding
+//! actually changes the bytes. On generated markup (lowercase tags, few
+//! entities) the whole token stream is allocation-free apart from the
+//! output vector itself. The DOM builder bypasses even that: it drives the
+//! crate-internal streaming `Tokenizer`, whose start-tag attributes land
+//! in one reused buffer instead of a fresh `Vec` per tag.
 
 use crate::escape::unescape;
+use std::borrow::Cow;
 
-/// A single attribute on a start tag. Values are entity-decoded.
+/// A single attribute on a start tag. Values are entity-decoded; both
+/// fields borrow the input unless decoding/case folding forced a copy.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Attr {
-    pub name: String,
-    pub value: String,
+pub struct Attr<'a> {
+    pub name: Cow<'a, str>,
+    pub value: Cow<'a, str>,
 }
 
-/// One lexical token of an HTML document.
+/// One lexical token of an HTML document, borrowing the input where it can.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Token {
+pub enum Token<'a> {
     /// `<name attr="v">`; `self_closing` is true for `<name/>`.
     Start {
-        name: String,
-        attrs: Vec<Attr>,
+        name: Cow<'a, str>,
+        attrs: Vec<Attr<'a>>,
         self_closing: bool,
     },
     /// `</name>`
-    End { name: String },
+    End { name: Cow<'a, str> },
     /// Entity-decoded character data.
-    Text(String),
-    /// `<!-- ... -->` (contents, undecoded).
-    Comment(String),
+    Text(Cow<'a, str>),
+    /// `<!-- ... -->` (contents, undecoded — always borrowed).
+    Comment(Cow<'a, str>),
     /// `<!DOCTYPE html>` and friends (contents after `<!`).
-    Doctype(String),
+    Doctype(Cow<'a, str>),
 }
 
-/// Elements whose raw content is consumed until the matching close tag
-/// without interpreting `<` inside.
-const RAW_TEXT_ELEMENTS: [&str; 2] = ["script", "style"];
-
-/// Tokenizes an HTML document. Never fails; garbage in, best-effort tokens out.
-pub fn tokenize(input: &str) -> Vec<Token> {
-    Tokenizer::new(input).run()
+/// Tokenizes an HTML document. Never fails; garbage in, best-effort tokens
+/// out. This is the convenience API that materialises a `Vec<Token>`; the
+/// DOM builder consumes the streaming `Tokenizer` directly and never
+/// allocates per-tag attribute vectors.
+pub fn tokenize(input: &str) -> Vec<Token<'_>> {
+    let mut tk = Tokenizer::new(input);
+    let mut out = Vec::new();
+    while let Some(ev) = tk.next_event() {
+        out.push(match ev {
+            Event::Start { name, self_closing } => {
+                Token::Start { name, attrs: tk.attrs.drain(..).collect(), self_closing }
+            }
+            Event::End { name } => Token::End { name },
+            Event::Text(t) => Token::Text(t),
+            Event::Comment(c) => Token::Comment(Cow::Borrowed(c)),
+            Event::Doctype(d) => Token::Doctype(Cow::Borrowed(d)),
+        });
+    }
+    out
 }
 
-struct Tokenizer<'a> {
+/// One streamed lexical event. Start-tag attributes are *not* carried here:
+/// they sit in [`Tokenizer::attrs`] (one reused buffer) until the next
+/// start tag overwrites them.
+pub(crate) enum Event<'a> {
+    Start { name: Cow<'a, str>, self_closing: bool },
+    End { name: Cow<'a, str> },
+    Text(Cow<'a, str>),
+    Comment(&'a str),
+    Doctype(&'a str),
+}
+
+/// The raw-text element opened by the last start tag, whose content must be
+/// skipped without interpreting `<`.
+#[derive(Clone, Copy)]
+enum RawText {
+    Script,
+    Style,
+}
+
+impl RawText {
+    fn close_tag(self) -> &'static str {
+        match self {
+            RawText::Script => "</script",
+            RawText::Style => "</style",
+        }
+    }
+}
+
+/// Streaming tokenizer: call [`Tokenizer::next_event`] until `None`.
+pub(crate) struct Tokenizer<'a> {
     input: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    out: Vec<Token>,
+    /// Attributes of the most recent `Event::Start`, in document order.
+    /// Cleared (capacity kept) at every start tag.
+    pub(crate) attrs: Vec<Attr<'a>>,
+    /// Set when the last start tag opened `<script>`/`<style>`: the next
+    /// event must skip raw text to the matching close tag.
+    raw_text: Option<RawText>,
 }
 
 impl<'a> Tokenizer<'a> {
-    fn new(input: &'a str) -> Self {
-        Tokenizer { input, bytes: input.as_bytes(), pos: 0, out: Vec::new() }
+    pub(crate) fn new(input: &'a str) -> Self {
+        Tokenizer { input, bytes: input.as_bytes(), pos: 0, attrs: Vec::new(), raw_text: None }
     }
 
-    fn run(mut self) -> Vec<Token> {
-        while self.pos < self.bytes.len() {
-            if self.bytes[self.pos] == b'<' {
-                self.lex_angle();
-            } else {
-                self.lex_text();
+    pub(crate) fn next_event(&mut self) -> Option<Event<'a>> {
+        if let Some(raw) = self.raw_text.take() {
+            if let Some(ev) = self.skip_raw_text(raw) {
+                return Some(ev);
             }
         }
-        self.out
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'<' {
+                match self.bytes.get(self.pos + 1) {
+                    Some(b'!') => return Some(self.lex_markup_decl()),
+                    Some(b'/') => {
+                        // An empty end-tag name (`</>`) yields nothing;
+                        // keep scanning.
+                        if let Some(ev) = self.lex_end_tag() {
+                            return Some(ev);
+                        }
+                    }
+                    Some(c) if c.is_ascii_alphabetic() => return Some(self.lex_start_tag()),
+                    _ => {
+                        // A stray '<': emit as text and move on.
+                        let s = &self.input[self.pos..self.pos + 1];
+                        self.pos += 1;
+                        return Some(Event::Text(Cow::Borrowed(s)));
+                    }
+                }
+            } else {
+                return Some(self.lex_text());
+            }
+        }
+        None
     }
 
-    fn lex_text(&mut self) {
+    fn lex_text(&mut self) -> Event<'a> {
         let start = self.pos;
         while self.pos < self.bytes.len() && self.bytes[self.pos] != b'<' {
             self.pos += 1;
         }
-        let raw = &self.input[start..self.pos];
-        if !raw.is_empty() {
-            self.out.push(Token::Text(unescape(raw)));
-        }
+        Event::Text(unescape(&self.input[start..self.pos]))
     }
 
-    fn lex_angle(&mut self) {
-        debug_assert_eq!(self.bytes[self.pos], b'<');
-        let rest = &self.bytes[self.pos + 1..];
-        match rest.first() {
-            Some(b'!') => self.lex_markup_decl(),
-            Some(b'/') => self.lex_end_tag(),
-            Some(c) if c.is_ascii_alphabetic() => self.lex_start_tag(),
-            _ => {
-                // A stray '<': emit as text and move on.
-                self.out.push(Token::Text("<".to_owned()));
-                self.pos += 1;
-            }
-        }
-    }
-
-    fn lex_markup_decl(&mut self) {
+    fn lex_markup_decl(&mut self) -> Event<'a> {
         // self.pos at '<', next is '!'.
         if self.input[self.pos..].starts_with("<!--") {
             let body_start = self.pos + 4;
-            let end = self.input[body_start..].find("-->");
-            match end {
+            return match self.input[body_start..].find("-->") {
                 Some(off) => {
-                    self.out.push(Token::Comment(self.input[body_start..body_start + off].to_owned()));
                     self.pos = body_start + off + 3;
+                    Event::Comment(&self.input[body_start..body_start + off])
                 }
                 None => {
-                    self.out.push(Token::Comment(self.input[body_start..].to_owned()));
                     self.pos = self.bytes.len();
+                    Event::Comment(&self.input[body_start..])
                 }
-            }
-            return;
+            };
         }
         // <!DOCTYPE ...> or <![CDATA[...]]> — consume to the next '>'.
         let body_start = self.pos + 2;
-        let end = self.input[body_start..].find('>');
-        match end {
+        match self.input[body_start..].find('>') {
             Some(off) => {
-                self.out.push(Token::Doctype(self.input[body_start..body_start + off].to_owned()));
                 self.pos = body_start + off + 1;
+                Event::Doctype(&self.input[body_start..body_start + off])
             }
             None => {
-                self.out.push(Token::Doctype(self.input[body_start..].to_owned()));
                 self.pos = self.bytes.len();
+                Event::Doctype(&self.input[body_start..])
             }
         }
     }
 
-    fn lex_end_tag(&mut self) {
+    fn lex_end_tag(&mut self) -> Option<Event<'a>> {
         // self.pos at '<', next is '/'.
         self.pos += 2;
         let name = self.lex_name();
@@ -135,15 +191,17 @@ impl<'a> Tokenizer<'a> {
         if self.pos < self.bytes.len() {
             self.pos += 1; // consume '>'
         }
-        if !name.is_empty() {
-            self.out.push(Token::End { name });
+        if name.is_empty() {
+            None
+        } else {
+            Some(Event::End { name })
         }
     }
 
-    fn lex_start_tag(&mut self) {
+    fn lex_start_tag(&mut self) -> Event<'a> {
         self.pos += 1; // consume '<'
         let name = self.lex_name();
-        let mut attrs = Vec::new();
+        self.attrs.clear();
         let mut self_closing = false;
         loop {
             self.skip_ws();
@@ -163,7 +221,7 @@ impl<'a> Tokenizer<'a> {
                 }
                 Some(_) => {
                     if let Some(attr) = self.lex_attr() {
-                        attrs.push(attr);
+                        self.attrs.push(attr);
                     } else {
                         // Unparseable junk: skip one byte to guarantee progress.
                         self.pos += 1;
@@ -172,35 +230,35 @@ impl<'a> Tokenizer<'a> {
             }
         }
         // Raw-text elements swallow everything until their close tag.
-        if RAW_TEXT_ELEMENTS.contains(&name.as_str()) && !self_closing {
-            self.out.push(Token::Start { name: name.clone(), attrs, self_closing });
-            self.consume_raw_text(&name);
-            return;
+        if !self_closing {
+            match name.as_ref() {
+                "script" => self.raw_text = Some(RawText::Script),
+                "style" => self.raw_text = Some(RawText::Style),
+                _ => {}
+            }
         }
-        self.out.push(Token::Start { name, attrs, self_closing });
+        Event::Start { name, self_closing }
     }
 
-    /// After `<script ...>`: consume (and discard) content until `</script`.
-    fn consume_raw_text(&mut self, name: &str) {
-        let close = format!("</{name}");
-        let hay = &self.input[self.pos..];
-        let lower = hay.to_ascii_lowercase();
-        match lower.find(&close) {
+    /// After `<script ...>`: skip (and discard) content until `</script`,
+    /// then emit the close tag through the normal end-tag path. Unlike the
+    /// seed (which lowercased the entire remaining input to search), this
+    /// scans case-insensitively in place.
+    fn skip_raw_text(&mut self, raw: RawText) -> Option<Event<'a>> {
+        match find_ascii_ci(&self.bytes[self.pos..], raw.close_tag()) {
             Some(off) => {
                 self.pos += off;
-                // Emit the end tag through the normal path.
-                self.lex_end_tag_at_close();
+                self.lex_end_tag()
             }
-            None => self.pos = self.bytes.len(),
+            None => {
+                self.pos = self.bytes.len();
+                None
+            }
         }
     }
 
-    fn lex_end_tag_at_close(&mut self) {
-        // self.pos at '<' of '</name>'.
-        self.lex_angle();
-    }
-
-    fn lex_name(&mut self) -> String {
+    /// Tag/attribute name, ASCII-lowercased — borrowed when it already is.
+    fn lex_name(&mut self) -> Cow<'a, str> {
         let start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
@@ -210,10 +268,10 @@ impl<'a> Tokenizer<'a> {
                 break;
             }
         }
-        self.input[start..self.pos].to_ascii_lowercase()
+        lowercased(&self.input[start..self.pos])
     }
 
-    fn lex_attr(&mut self) -> Option<Attr> {
+    fn lex_attr(&mut self) -> Option<Attr<'a>> {
         let name_start = self.pos;
         while self.pos < self.bytes.len() {
             let b = self.bytes[self.pos];
@@ -225,10 +283,10 @@ impl<'a> Tokenizer<'a> {
         if self.pos == name_start {
             return None;
         }
-        let name = self.input[name_start..self.pos].to_ascii_lowercase();
+        let name = lowercased(&self.input[name_start..self.pos]);
         self.skip_ws();
         if self.bytes.get(self.pos) != Some(&b'=') {
-            return Some(Attr { name, value: String::new() });
+            return Some(Attr { name, value: Cow::Borrowed("") });
         }
         self.pos += 1; // consume '='
         self.skip_ws();
@@ -267,11 +325,32 @@ impl<'a> Tokenizer<'a> {
     }
 }
 
+/// Borrow `s` when it is already ASCII-lowercase, else fold a copy.
+fn lowercased(s: &str) -> Cow<'_, str> {
+    if s.bytes().any(|b| b.is_ascii_uppercase()) {
+        Cow::Owned(s.to_ascii_lowercase())
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
+/// First case-insensitive occurrence of ASCII `needle` in `hay`, without
+/// copying `hay` (the seed lowercased the whole remaining input per
+/// `<script>` tag). Case folding is ASCII-only on both sides, exactly like
+/// `to_ascii_lowercase`, so offsets agree with the seed byte for byte.
+fn find_ascii_ci(hay: &[u8], needle: &str) -> Option<usize> {
+    let needle = needle.as_bytes();
+    if hay.len() < needle.len() {
+        return None;
+    }
+    (0..=hay.len() - needle.len()).find(|&i| hay[i..i + needle.len()].eq_ignore_ascii_case(needle))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+    fn start<'a>(name: &'a str, attrs: &[(&'a str, &'a str)]) -> Token<'a> {
         Token::Start {
             name: name.into(),
             attrs: attrs.iter().map(|(n, v)| Attr { name: (*n).into(), value: (*v).into() }).collect(),
@@ -332,6 +411,13 @@ mod tests {
     }
 
     #[test]
+    fn uppercase_close_of_raw_text_found() {
+        let toks = tokenize("<script>x()</SCRIPT><p>y</p>");
+        assert!(toks.iter().any(|t| matches!(t, Token::End { name } if name == "script")));
+        assert!(toks.iter().any(|t| matches!(t, Token::Start { name, .. } if name == "p")));
+    }
+
+    #[test]
     fn uppercase_normalized() {
         let toks = tokenize("<DIV CLASS='Main'>t</DIV>");
         assert_eq!(toks[0], start("div", &[("class", "Main")]));
@@ -364,5 +450,28 @@ mod tests {
     fn unterminated_comment() {
         let toks = tokenize("<!-- never closed");
         assert_eq!(toks, vec![Token::Comment(" never closed".into())]);
+    }
+
+    /// The zero-copy contract: on lowercase, entity-free markup every token
+    /// payload borrows the input buffer.
+    #[test]
+    fn clean_markup_borrows_everything() {
+        let toks = tokenize(r#"<div id="m"><a href="/x.csv">data</a> more</div>"#);
+        fn borrowed(c: &Cow<'_, str>) -> bool {
+            matches!(c, Cow::Borrowed(_))
+        }
+        for t in &toks {
+            match t {
+                Token::Start { name, attrs, .. } => {
+                    assert!(borrowed(name));
+                    for a in attrs {
+                        assert!(borrowed(&a.name) && borrowed(&a.value));
+                    }
+                }
+                Token::End { name } => assert!(borrowed(name)),
+                Token::Text(s) => assert!(borrowed(s)),
+                Token::Comment(s) | Token::Doctype(s) => assert!(borrowed(s)),
+            }
+        }
     }
 }

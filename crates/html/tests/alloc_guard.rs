@@ -1,0 +1,114 @@
+//! Allocation-regression guard for the zero-copy HTML pipeline (PR 3).
+//!
+//! Tokenizing + DOM-building an entity-free, lowercase page must cost a
+//! *bounded handful* of heap allocations — the arena vectors and their
+//! geometric growth, nothing per token or per node. Before PR 3 the same
+//! parse allocated one `String` per tag name, attribute value and text run
+//! plus one `Vec` per element (hundreds of allocations on the page below);
+//! if a change reintroduces per-token/per-node allocation, the pinned
+//! ceilings here fail tier-1 verify.
+//!
+//! The counting allocator is process-global, so this file holds exactly one
+//! `#[test]` — a second concurrent test would corrupt the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth realloc is an allocator round-trip too; count it so
+        // arena doubling stays visible in the budget.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+/// An entity-free, lowercase page in the shape the generator produces:
+/// ~100 elements, most carrying attributes, every anchor a single text node.
+fn entity_free_page() -> String {
+    let mut page = String::with_capacity(8 * 1024);
+    page.push_str("<!DOCTYPE html><html><head><title>datasets</title></head><body>");
+    page.push_str("<div id=\"main\" class=\"content wide\">");
+    for section in 0..4 {
+        page.push_str(&format!("<section class=\"sec-{section}\"><h2>section {section}</h2>"));
+        page.push_str("<ul class=\"datasets\">");
+        for item in 0..8 {
+            page.push_str(&format!(
+                "<li class=\"row\"><a class=\"dataset\" href=\"/data/s{section}/d{item}.csv\">dataset {item}</a> updated daily</li>"
+            ));
+        }
+        page.push_str("</ul></section>");
+    }
+    page.push_str("</div></body></html>");
+    page
+}
+
+#[test]
+fn parse_of_entity_free_page_is_allocation_bounded() {
+    let page = entity_free_page();
+
+    // Warm up once outside the counted region (lazy runtime init, etc.).
+    let warm = sb_html::parse(&page);
+    assert!(warm.len() > 100, "page should be non-trivial, got {} nodes", warm.len());
+
+    // Tokenize + DOM build. Budget: the node arena, the attr arena, the
+    // roots/open stacks and the tokenizer's reused attr buffer, each with
+    // O(log n) geometric growth — measured 17 on this page; 32 leaves
+    // headroom without letting per-node allocation (hundreds here) sneak
+    // back.
+    let doc_allocs = count_allocs(|| {
+        let doc = sb_html::parse(&page);
+        assert!(doc.len() > 100);
+        std::mem::forget(doc); // keep dealloc out of the counted region
+    });
+    assert!(
+        doc_allocs <= 32,
+        "tokenize+parse allocated {doc_allocs} times (budget 32): \
+         per-token/per-node allocation has crept back in"
+    );
+
+    // Href-only link extraction on top of a parsed document — the BFS/DFS
+    // hot path — adds only the output vector's growth: borrowed hrefs, no
+    // tag paths, no text windows. Measured 4; budget 8.
+    let doc = sb_html::parse(&page);
+    let link_allocs = count_allocs(|| {
+        let links = sb_html::extract_links_from_with(&doc, sb_html::LinkNeeds::HREF_ONLY);
+        assert_eq!(links.len(), 32);
+        std::mem::forget(links);
+    });
+    assert!(
+        link_allocs <= 8,
+        "href-only extraction allocated {link_allocs} times (budget 8): \
+         per-link allocation has crept back in"
+    );
+
+    // The zero-copy contract behind those numbers: every borrowable piece
+    // of this page is actually borrowed.
+    let borrowed_hrefs = sb_html::extract_links(&page)
+        .iter()
+        .filter(|l| matches!(l.href, std::borrow::Cow::Borrowed(_)))
+        .count();
+    assert_eq!(borrowed_hrefs, 32, "entity-free hrefs must all borrow the input");
+}

@@ -310,7 +310,7 @@ fn new_links_of(
     local_seen: &mut HashSet<String>,
     depth: u32,
 ) -> Vec<(String, String, u32)> {
-    let html = String::from_utf8_lossy(body);
+    let html = sb_html::body_str(body);
     let mut out = Vec::new();
     for link in extract_links(&html) {
         let Ok(resolved) = base.join(&link.href) else { continue };

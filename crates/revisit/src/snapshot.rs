@@ -160,7 +160,7 @@ pub fn snapshot_crawl(
                 visits: 0,
                 changes: 0,
             });
-            let html = String::from_utf8_lossy(&f.body);
+            let html = sb_html::body_str(&f.body);
             let Ok(base) = Url::parse(&url) else { continue };
             for link in extract_links(&html) {
                 let Ok(resolved) = base.join(&link.href) else { continue };

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_engine.json: runs the engine bench suite (seed baseline
-# vs interned hot path) and snapshots the numbers with the speedup ratios.
+# vs interned hot path) plus the html bench suite (seed owned-String
+# pipeline vs zero-copy pipeline) and snapshots the numbers with the
+# speedup ratios.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT_RAW=target/bench-engine.jsonl
 rm -f "$OUT_RAW"
 BENCH_SHIM_OUT="$PWD/$OUT_RAW" cargo bench --offline -p sb-bench --bench engine
+BENCH_SHIM_OUT="$PWD/$OUT_RAW" cargo bench --offline -p sb-bench --bench html
 
 python3 - "$OUT_RAW" <<'PY'
 import json, os, re, subprocess, sys
@@ -50,6 +53,30 @@ fleet = {
     "throughput_sites_per_sec_4_workers": round(fleet_sites * 1e9 / w4, 2),
 }
 
+# The html section (PR 3): seed owned-String pipeline (sb_bench::seed_html)
+# vs the zero-copy pipeline, each pass sweeping every HTML page of a
+# generated 3000-page site (crates/bench/benches/html.rs).
+html = {
+    "note": "ns_per_iter is one full sweep of the HTML pages of a "
+            "generated 3000-page site (sb_bench::seed_html preserves the "
+            "seed pipeline)",
+    "comparisons": [
+        pair("tokenize corpus",
+             "html/tokenize_3k_pages/seed_owned_tokens",
+             "html/tokenize_3k_pages/zero_copy_tokens"),
+        pair("DOM build corpus",
+             "html/dom_build_3k_pages/seed_owned_nodes",
+             "html/dom_build_3k_pages/zero_copy_arena"),
+        pair("extract links (all features) corpus",
+             "html/extract_links_3k_pages/seed_owned_features",
+             "html/extract_links_3k_pages/zero_copy_all_features"),
+    ],
+    "href_only": {
+        "id": "html/extract_links_3k_pages/zero_copy_href_only",
+        "ns_per_iter": round(ns("html/extract_links_3k_pages/zero_copy_href_only"), 1),
+    },
+}
+
 snapshot = {
     "description": "Seed string-keyed engine + render-per-GET server vs "
                    "interned-id engine + render-cached server "
@@ -64,6 +91,7 @@ snapshot = {
              "server/head_256_html_pages/seed_render_per_head",
              "server/head_256_html_pages/precomputed_content_length"),
     ],
+    "html": html,
     "fleet": fleet,
     "absolute": [
         {"id": i, "ns_per_iter": round(r["ns_per_iter"], 1)}
@@ -75,5 +103,6 @@ with open("BENCH_engine.json", "w") as f:
     json.dump(snapshot, f, indent=2)
     f.write("\n")
 print(json.dumps(snapshot["comparisons"], indent=2))
+print(json.dumps(snapshot["html"]["comparisons"], indent=2))
 print(json.dumps(snapshot["fleet"], indent=2))
 PY

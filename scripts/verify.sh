@@ -8,8 +8,17 @@ cargo build --release --offline --workspace
 # Examples, benches and test binaries must stay compilable too.
 cargo build --offline --workspace --all-targets
 cargo test -q --offline --workspace
-# Benches must stay compilable even when nobody runs them.
+# The zero-copy HTML pipeline must stay allocation-bounded (PR 3): the
+# counting-allocator guard pins tokenize+parse+extract of an entity-free
+# page to a handful of arena allocations. The workspace run above already
+# executes it; this names the guard so a regression fails loudly on its
+# own line (and keeps failing even if the test is ever filtered there).
+cargo test -q --offline -p sb-html --test alloc_guard
+# Benches must stay compilable even when nobody runs them — the html
+# microbench (seed pipeline vs zero-copy) named explicitly; its compile is
+# cached from the package-wide line, so the extra check is free.
 cargo bench --no-run --offline -p sb-bench
+cargo bench --no-run --offline -p sb-bench --bench html
 # End-to-end harness smoke: one tiny experiment through site generation,
 # crawling, metrics and report rendering.
 cargo run --release --offline -p sb-eval --bin xp -- \
