@@ -150,6 +150,39 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pipelined transport (PR 4): one BFS exhaustion of the 4 000-page
+/// site at in-flight windows 1/4/16 under the latency-simulated politeness
+/// model (1 s delay, slow link). Wall time per window is recorded here;
+/// the *simulated makespan* ladder itself (the ≥ 2× acceptance number)
+/// comes from `xp pipeline`, which `scripts/bench_engine.sh` runs and
+/// merges into the `pipeline` section of `BENCH_engine.json`.
+fn bench_pipeline(c: &mut Criterion) {
+    let site = bench_site(4_000);
+    let root = root_of(&site);
+    let politeness =
+        sb_httpsim::Politeness { delay_secs: 1.0, bytes_per_sec: 600.0 };
+
+    let mut group = c.benchmark_group("engine/pipeline_4k_latency");
+    group.sample_size(10);
+    for window in [1usize, 4, 16] {
+        let id = format!("in_flight_{window}");
+        group.bench_function(&id, |b| {
+            let server = SiteServer::shared(Arc::clone(&site));
+            b.iter(|| {
+                let mut bfs = QueueStrategy::bfs();
+                let cfg = CrawlConfig {
+                    seed: 7,
+                    max_in_flight: window,
+                    politeness,
+                    ..CrawlConfig::default()
+                };
+                black_box(crawl(&server, None, &root, &mut bfs, &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
 /// Interner micro-costs: membership tests on parsed URLs vs owned-string
 /// hashing, over a realistic URL population.
 fn bench_interner(c: &mut Criterion) {
@@ -186,6 +219,6 @@ criterion_group!(
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_interner
+    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_pipeline, bench_interner
 );
 criterion_main!(engine);

@@ -42,6 +42,10 @@ pub struct EarlyStop {
     last_y: f64,
     low_streak: u32,
     checks: u64,
+    /// Last iteration folded into the EMA: a pipelined session can run the
+    /// stop check several times at one crawl step (one per selection pulled
+    /// while refilling the window); each slope must count once.
+    last_t: Option<u64>,
     triggered_at: Option<u64>,
 }
 
@@ -49,7 +53,15 @@ impl EarlyStop {
     pub fn new(cfg: EarlyStopConfig) -> Self {
         // μ starts at ε so a crawl cannot stop before the first real slopes
         // arrive (the paper's mechanism needs κ·ν iterations minimum).
-        EarlyStop { mu: cfg.epsilon, cfg, last_y: 0.0, low_streak: 0, checks: 0, triggered_at: None }
+        EarlyStop {
+            mu: cfg.epsilon,
+            cfg,
+            last_y: 0.0,
+            low_streak: 0,
+            checks: 0,
+            last_t: None,
+            triggered_at: None,
+        }
     }
 
     pub fn config(&self) -> &EarlyStopConfig {
@@ -67,9 +79,10 @@ impl EarlyStop {
         if self.triggered_at.is_some() {
             return true;
         }
-        if t == 0 || !t.is_multiple_of(self.cfg.nu) {
+        if t == 0 || !t.is_multiple_of(self.cfg.nu) || self.last_t == Some(t) {
             return false;
         }
+        self.last_t = Some(t);
         let sigma = (y - self.last_y) / self.cfg.nu as f64;
         self.last_y = y;
         self.mu = self.cfg.gamma * sigma + (1.0 - self.cfg.gamma) * self.mu;

@@ -45,6 +45,11 @@ pub enum AbandonReason {
     Interrupted,
     /// The 2xx answer carried no Content-Type to classify.
     MissingMime,
+    /// The session finished (budget, early stop, cancellation) while the
+    /// request was still in flight; its selection received
+    /// [`crate::strategy::Strategy::feedback_error`] so the pull is not
+    /// silent. Only reachable with `max_in_flight > 1`.
+    SessionClosed,
 }
 
 /// Why a session stopped stepping.
@@ -71,6 +76,15 @@ pub enum FinishReason {
 pub enum CrawlEvent<'e> {
     /// First event of every session, before any request.
     SessionStarted { root: &'e str },
+    /// A GET entered the transport's in-flight pool (PR 4). `in_flight`
+    /// counts outstanding requests, this one included.
+    Submitted { url: &'e str, in_flight: usize },
+    /// The transport delivered a finished GET; the matching [`Fetched`]
+    /// (and its processing) follow immediately. `in_flight` counts the
+    /// requests still outstanding.
+    ///
+    /// [`Fetched`]: CrawlEvent::Fetched
+    Completed { url: &'e str, status: u16, in_flight: usize },
     /// A GET completed (any status — redirect hops and errors included).
     Fetched { url: &'e str, status: u16, mime: Option<&'e str>, depth: u32 },
     /// A 3xx `Location` was admitted and will be followed.
@@ -105,7 +119,9 @@ pub struct CrawlSnapshot {
     pub traffic: Traffic,
     /// Targets retrieved so far.
     pub targets: u64,
-    /// Outer selections completed so far (root and admitted seeds count).
+    /// Outer selections begun so far (the root and each admitted seed
+    /// count as one; under a pipelined window a selection counts when it
+    /// is submitted, not when its answer lands).
     pub steps: u64,
 }
 
@@ -179,6 +195,8 @@ pub struct EventLog {
 #[derive(Debug, Clone, PartialEq)]
 pub enum OwnedEvent {
     SessionStarted { root: String },
+    Submitted { url: String, in_flight: usize },
+    Completed { url: String, status: u16, in_flight: usize },
     Fetched { url: String, status: u16, mime: Option<String>, depth: u32 },
     Redirected { from: String, to: String },
     Abandoned { url: String, reason: AbandonReason },
@@ -196,6 +214,12 @@ impl From<&CrawlEvent<'_>> for OwnedEvent {
         match *e {
             CrawlEvent::SessionStarted { root } => {
                 OwnedEvent::SessionStarted { root: root.to_owned() }
+            }
+            CrawlEvent::Submitted { url, in_flight } => {
+                OwnedEvent::Submitted { url: url.to_owned(), in_flight }
+            }
+            CrawlEvent::Completed { url, status, in_flight } => {
+                OwnedEvent::Completed { url: url.to_owned(), status, in_flight }
             }
             CrawlEvent::Fetched { url, status, mime, depth } => OwnedEvent::Fetched {
                 url: url.to_owned(),

@@ -13,9 +13,19 @@
 //! a wall-clock scheduler would.
 //!
 //! Per-site results are **worker-count invariant**: sessions share nothing
-//! (each has its own RNG, interner, client and strategy), so the fleet
+//! (each has its own RNG, interner, transport and strategy), so the fleet
 //! produces byte-identical per-site outcomes whether it runs on 1 worker
-//! or 16 — the property the fleet determinism tests pin down.
+//! or 16 — the property the fleet determinism tests pin down. Scheduling
+//! itself is deterministic too: equal simulated-elapsed times are broken
+//! by submission (site) index, so the interleaving does not depend on
+//! float coincidences or bucket layout.
+//!
+//! Each site gets **one pipelined transport** (PR 4), built once on the
+//! worker from the job's config — the politeness gate and in-flight pool
+//! live for the site's whole crawl, and a job's `max_in_flight` turns on
+//! intra-site pipelining inside its fleet slot. Custom transports (retry
+//! policies, robots `Crawl-delay` gates) plug in through
+//! [`CrawlSession::with_transport`].
 
 use crate::events::FinishReason;
 use crate::session::{ConfigError, CrawlConfig, CrawlOutcome, CrawlSession, Oracle};
@@ -226,6 +236,12 @@ fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
     let mut sessions: Vec<Result<CrawlSession<'_>, ConfigError>> = prepared
         .iter_mut()
         .map(|p| {
+            // One transport per site for the whole crawl: `new` builds the
+            // job's `PipelinedTransport` (window and politeness from its
+            // config) exactly as a standalone session would, so fleet and
+            // solo runs cannot diverge. Jobs needing a custom transport
+            // (retries, robots gates) go through
+            // `CrawlSession::with_transport` instead.
             CrawlSession::new(
                 p.server.as_ref(),
                 p.oracle.as_ref().map(|o| o.as_ref() as &dyn Oracle),
@@ -237,18 +253,20 @@ fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
         .collect();
 
     // Politeness-aware interleaving: always advance the session whose
-    // simulated clock is furthest behind (ties broken by bucket order, so
-    // scheduling is deterministic).
+    // simulated clock is furthest behind. Ties are broken by site
+    // (submission) index — an explicit, stable order, so scheduling stays
+    // deterministic even when several sites share one transport clock
+    // value (common right after start, when every clock is 0).
     loop {
-        let mut pick: Option<(usize, f64)> = None;
+        let mut pick: Option<(usize, (f64, usize))> = None;
         for (k, s) in sessions.iter().enumerate() {
             let Ok(session) = s else { continue };
             if session.is_finished() {
                 continue;
             }
-            let elapsed = session.traffic().elapsed_secs;
-            if pick.is_none_or(|(_, best)| elapsed < best) {
-                pick = Some((k, elapsed));
+            let key = (session.traffic().elapsed_secs, names[k].0);
+            if pick.is_none_or(|(_, best)| key < best) {
+                pick = Some((k, key));
             }
         }
         let Some((k, _)) = pick else { break };

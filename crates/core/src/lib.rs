@@ -8,6 +8,9 @@
 //!   OMNISCIENT, FOCUSED, TP-OFF, TRES-lite,
 //! * [`session`] — Algorithms 3 & 4 as a resumable [`CrawlSession`]:
 //!   validated construction, `step()`/`run()`, typed [`CrawlEvent`]s,
+//!   pipelined over the nonblocking `sb_httpsim::Transport`
+//!   ([`CrawlConfig`]`::max_in_flight` requests in flight at once, with
+//!   the politeness gate enforced at the transport),
 //! * [`events`] — the [`CrawlObserver`] interface ([`CrawlTrace`] is just
 //!   one observer),
 //! * [`fleet`] — the multi-site [`Fleet`] scheduler over worker threads,

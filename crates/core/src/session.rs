@@ -1,12 +1,15 @@
-//! The resumable crawl session: Algorithms 3 and 4 as a step-driven API.
+//! The resumable crawl session: Algorithms 3 and 4 as a step-driven,
+//! **pipelined** API.
 //!
 //! [`CrawlSession`] holds every piece of crawl state the old one-shot
 //! `crawl()` call buried inside its engine — the visited set `T ∪ F`
 //! (interned), the budget counters, the redirect handler, early stopping —
 //! and exposes it behind three verbs:
 //!
-//! * [`CrawlSession::step`] advances exactly **one outer selection**
-//!   (including its FetchNow cascade) and returns a [`StepReport`];
+//! * [`CrawlSession::step`] pumps the crawl once — drain transport
+//!   completions, process each page (strategy feedback included), refill
+//!   the in-flight window with cascade work and fresh selections — and
+//!   returns a [`StepReport`];
 //! * [`CrawlSession::run`] loops `step()` to completion and returns the
 //!   classic [`CrawlOutcome`];
 //! * [`CrawlSession::observe`] attaches [`CrawlObserver`]s that receive
@@ -14,17 +17,35 @@
 //!   archivers all hang off this hook ([`TraceObserver`] is built in, so
 //!   [`CrawlOutcome::trace`] keeps existing).
 //!
+//! ## The pipelined fetch boundary (PR 4)
+//!
+//! Fetching goes through the nonblocking [`Transport`]
+//! (`sb_httpsim::transport`): the session submits GETs into a bounded
+//! in-flight pool ([`CrawlConfig::max_in_flight`]) and processes
+//! completions in the transport's deterministic arrival order, so
+//! simulated transfer latency overlaps across requests while the
+//! per-host politeness gate — enforced *at the transport*, not here —
+//! keeps dispatches properly spaced. Refilling prioritises cascade work
+//! (redirect continuations first, then immediately-fetch children) over
+//! new strategy selections, which preserves Algorithm 4's processing
+//! order. The one-feedback-per-selection invariant survives the window:
+//! every pulled selection delivers exactly one of
+//! `feedback`/`feedback_target`/`feedback_error`, with selections still in
+//! flight when the session stops receiving `feedback_error`
+//! ([`AbandonReason::SessionClosed`]).
+//!
+//! With `max_in_flight = 1` (the default) the pipeline degenerates to the
+//! exact sequential engine: behaviour is frozen — `CrawlSession::run`
+//! replays the seed engine byte-for-byte on the determinism property tests
+//! (`crates/bench/tests/determinism.rs`), with one *knowing* exception —
+//! the post-target trace point is amended in place instead of appended as
+//! a duplicate (see [`TraceObserver`]).
+//!
 //! Holding a session between steps is what makes multi-site scheduling
 //! possible: [`crate::fleet::Fleet`] interleaves many sessions on worker
 //! threads, something the blocking call could never do. Construction is
 //! validated ([`CrawlConfig::builder`], [`ConfigError`]) — an unparseable
 //! root or a zero budget is rejected before any request is spent.
-//!
-//! Behaviour is frozen: `CrawlSession::run` replays the seed engine
-//! byte-for-byte on the determinism property tests
-//! (`crates/bench/tests/determinism.rs`), with one *knowing* exception —
-//! the post-target trace point is amended in place instead of appended as
-//! a duplicate (see [`TraceObserver`]).
 
 use crate::early_stop::{EarlyStop, EarlyStopConfig};
 use crate::events::{
@@ -34,7 +55,8 @@ use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strate
 use crate::trace::CrawlTrace;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sb_httpsim::{Client, HttpServer, Politeness};
+use sb_httpsim::transport::{PipelinedTransport, Request, RequestId, Transport};
+use sb_httpsim::{Fetched, HttpServer, Politeness};
 use sb_webgraph::interner::{UrlId, UrlInterner};
 use sb_webgraph::mime::MimePolicy;
 use sb_webgraph::url::{Url, UrlError};
@@ -89,6 +111,13 @@ pub struct CrawlConfig {
     /// and filter-rejected entries are skipped; each seed costs its
     /// requests against the budget like any other fetch.
     pub seed_urls: Vec<String>,
+    /// Requests the session may keep in flight at once (PR 4). `1` (the
+    /// default) is the exact sequential engine; wider windows overlap
+    /// simulated transfer latency within the politeness gate's spacing.
+    /// A struct-literal `0` is clamped to `1` (like junk seed URLs, the
+    /// unvalidated path is lenient); the validating builder rejects it
+    /// with [`ConfigError::ZeroMaxInFlight`] instead.
+    pub max_in_flight: usize,
 }
 
 /// Boxed URL predicate for [`CrawlConfig::url_filter`].
@@ -122,6 +151,7 @@ impl Default for CrawlConfig {
             max_steps: None,
             url_filter: None,
             seed_urls: Vec::new(),
+            max_in_flight: 1,
         }
     }
 }
@@ -147,6 +177,8 @@ pub enum ConfigError {
     InvalidPoliteness,
     /// A seed URL is not an absolute http(s) URL.
     InvalidSeedUrl { url: String, error: UrlError },
+    /// `max_in_flight == 0` can never admit any fetch.
+    ZeroMaxInFlight,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -163,6 +195,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::InvalidSeedUrl { url, error } => {
                 write!(f, "seed URL {url:?} is not an absolute http(s) URL: {error}")
             }
+            ConfigError::ZeroMaxInFlight => f.write_str("max_in_flight is zero"),
         }
     }
 }
@@ -218,6 +251,12 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// In-flight request window (validated ≥ 1 at build).
+    pub fn max_in_flight(mut self, window: usize) -> Self {
+        self.cfg.max_in_flight = window;
+        self
+    }
+
     /// Appends one seed URL (validated at [`CrawlConfigBuilder::build`]).
     pub fn seed_url(mut self, url: impl Into<String>) -> Self {
         self.cfg.seed_urls.push(url.into());
@@ -238,6 +277,9 @@ impl CrawlConfigBuilder {
         }
         if cfg.max_steps == Some(0) {
             return Err(ConfigError::ZeroMaxSteps);
+        }
+        if cfg.max_in_flight == 0 {
+            return Err(ConfigError::ZeroMaxInFlight);
         }
         let p = cfg.politeness;
         if !p.delay_secs.is_finite()
@@ -293,15 +335,17 @@ impl CrawlOutcome {
 /// What one [`CrawlSession::step`] did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
-    /// Outer selections completed so far, this step included (the root and
+    /// Outer selections begun so far, this step included (the root and
     /// each admitted seed count as one each).
     pub steps: u64,
-    /// GET requests issued during this step (its whole cascade).
+    /// GET requests delivered during this step.
     pub fetched: u64,
     /// Targets retrieved during this step.
     pub new_targets: u64,
     /// Cumulative requests (GET + HEAD) after this step.
     pub requests: u64,
+    /// Requests still in the transport's pool after this step.
+    pub in_flight: usize,
     /// `None` while the session can still advance; the finish reason once
     /// it cannot. A finishing step does no crawl work.
     pub finished: Option<FinishReason>,
@@ -320,14 +364,23 @@ enum Phase {
     Done(FinishReason),
 }
 
-/// Work item of the per-step cascade: an interned page plus whether its
-/// reward feeds back into the outer selection.
-struct WorkItem {
+/// One unit of fetch work: an interned page plus whether its reward feeds
+/// back into an outer selection, plus the redirect-chain budget left.
+struct Job {
     id: UrlId,
     depth: u32,
     /// Feedback token of the outer selection; inner (immediately-retrieved)
     /// pages carry `None` — their rewards have no owning action.
     token: Option<u64>,
+    /// Redirect hops this chain may still follow (`MAX_REDIRECTS` GETs
+    /// total, exactly like the sequential chain loop).
+    hops_left: u8,
+}
+
+impl Job {
+    fn fresh(id: UrlId, depth: u32, token: Option<u64>) -> Job {
+        Job { id, depth, token, hops_left: (MAX_REDIRECTS - 1) as u8 }
+    }
 }
 
 pub(crate) const MAX_REDIRECTS: usize = 5;
@@ -352,7 +405,7 @@ impl ObserverHub<'_> {
 
 /// A paused, resumable crawl of one site. See the module docs.
 pub struct CrawlSession<'a> {
-    client: Client<'a, dyn HttpServer + 'a>,
+    transport: Box<dyn Transport + 'a>,
     oracle: Option<&'a dyn Oracle>,
     cfg: &'a CrawlConfig,
     strategy: &'a mut dyn Strategy,
@@ -371,19 +424,46 @@ pub struct CrawlSession<'a> {
     pages_crawled: u64,
     /// Crawl step `t` (pages entered into `T`), as in Algorithm 4.
     t: u64,
-    /// Outer selections completed.
+    /// Outer selections begun.
     steps: u64,
     early: Option<EarlyStop>,
     aborted_oom: bool,
     rng: StdRng,
     phase: Phase,
+    /// Cascade work discovered but not yet submitted (FetchNow children, in
+    /// Algorithm 4's FIFO order). Redirect continuations never queue here —
+    /// they re-submit immediately, keeping their freed window slot.
+    pending: VecDeque<Job>,
+    /// Submitted work, parallel to the transport's pool (submission order).
+    inflight: Vec<(RequestId, Job)>,
+    /// Reused completion buffer (no per-poll allocation).
+    poll_buf: Vec<(RequestId, Fetched)>,
 }
 
 impl<'a> CrawlSession<'a> {
-    /// Validates the root and builds a session. No request is spent until
-    /// the first [`CrawlSession::step`].
+    /// Validates the root and builds a session over a fresh
+    /// [`PipelinedTransport`] for `server` (window and politeness from
+    /// `cfg`). No request is spent until the first [`CrawlSession::step`].
     pub fn new(
         server: &'a dyn HttpServer,
+        oracle: Option<&'a dyn Oracle>,
+        root_url: &str,
+        strategy: &'a mut dyn Strategy,
+        cfg: &'a CrawlConfig,
+    ) -> Result<Self, ConfigError> {
+        let transport: Box<dyn Transport + 'a> = Box::new(
+            PipelinedTransport::new(server, cfg.policy.clone(), cfg.politeness)
+                .with_window(cfg.max_in_flight.max(1)),
+        );
+        Self::with_transport(transport, oracle, root_url, strategy, cfg)
+    }
+
+    /// As [`CrawlSession::new`] over a caller-built [`Transport`] — custom
+    /// retry policies, robots `Crawl-delay` gates, shared per-site
+    /// transports ([`crate::fleet::Fleet`] uses this). The transport's own
+    /// window wins over [`CrawlConfig::max_in_flight`].
+    pub fn with_transport(
+        transport: Box<dyn Transport + 'a>,
         oracle: Option<&'a dyn Oracle>,
         root_url: &str,
         strategy: &'a mut dyn Strategy,
@@ -393,7 +473,7 @@ impl<'a> CrawlSession<'a> {
             .map_err(|error| ConfigError::InvalidRoot { url: root_url.to_owned(), error })?;
         let root_text = root.as_string();
         Ok(CrawlSession {
-            client: Client::new(server, cfg.policy.clone()).with_politeness(cfg.politeness),
+            transport,
             oracle,
             cfg,
             strategy,
@@ -410,6 +490,9 @@ impl<'a> CrawlSession<'a> {
             aborted_oom: false,
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127),
             phase: Phase::Root,
+            pending: VecDeque::new(),
+            inflight: Vec::new(),
+            poll_buf: Vec::new(),
         })
     }
 
@@ -425,9 +508,10 @@ impl<'a> CrawlSession<'a> {
         &self.root
     }
 
-    /// Cost counters so far.
+    /// Cost counters so far (delivered requests; in-flight work is charged
+    /// at completion).
     pub fn traffic(&self) -> sb_httpsim::Traffic {
-        self.client.traffic()
+        self.transport.traffic()
     }
 
     /// Targets retrieved so far.
@@ -435,7 +519,7 @@ impl<'a> CrawlSession<'a> {
         self.targets.len() as u64
     }
 
-    /// Outer selections completed so far.
+    /// Outer selections begun so far.
     pub fn steps_taken(&self) -> u64 {
         self.steps
     }
@@ -443,6 +527,11 @@ impl<'a> CrawlSession<'a> {
     /// Pages fetched so far (GET attempts, redirect hops included).
     pub fn pages_crawled(&self) -> u64 {
         self.pages_crawled
+    }
+
+    /// Requests currently in the transport's pool.
+    pub fn in_flight(&self) -> usize {
+        self.transport.in_flight()
     }
 
     /// The per-request trace recorded so far.
@@ -464,82 +553,156 @@ impl<'a> CrawlSession<'a> {
 
     fn snapshot(&self) -> CrawlSnapshot {
         CrawlSnapshot {
-            traffic: self.client.traffic(),
+            traffic: self.transport.traffic(),
             targets: self.targets.len() as u64,
             steps: self.steps,
         }
     }
 
-    /// Advances the crawl by exactly one outer selection — the root fetch,
-    /// one admitted seed, or one strategy pick — including every
-    /// immediately-fetched page of its cascade. On an already-finished (or
-    /// just-finishing) session this is a no-op that reports the reason.
+    /// Pumps the crawl once: refill the in-flight window (cascade work
+    /// first, then fresh selections — the root and admitted seeds count as
+    /// selections), then drain and process the next batch of completions.
+    /// With `max_in_flight = 1` one submission completes per pump, which
+    /// reproduces the sequential engine's operation order exactly. On an
+    /// already-finished (or just-finishing) session this is a no-op that
+    /// reports the reason.
     pub fn step(&mut self) -> StepReport {
-        let before_gets = self.client.traffic().get_requests;
+        let before_gets = self.transport.traffic().get_requests;
         let before_targets = self.targets.len() as u64;
-        loop {
-            match self.phase {
-                Phase::Root => {
-                    let snap = self.snapshot();
-                    self.hub.emit(&snap, &CrawlEvent::SessionStarted { root: &self.root_text });
-                    let root = self.root.clone();
-                    let root_id = self.intern_at_depth(&root, 0);
-                    self.phase = Phase::Seeds(0);
-                    self.process_cascade(WorkItem { id: root_id, depth: 0, token: None });
-                    self.steps += 1;
-                    break;
-                }
-                Phase::Seeds(from) => {
-                    // The seed loop re-checks budget and OOM before every
-                    // entry; once either trips, remaining seeds are moot.
-                    if self.budget_exhausted() || self.aborted_oom {
-                        self.phase = Phase::Steady;
-                        continue;
-                    }
-                    match self.next_admissible_seed(from) {
-                        Some((next_from, id)) => {
-                            self.phase = Phase::Seeds(next_from);
-                            self.process_cascade(WorkItem { id, depth: 1, token: None });
-                            self.steps += 1;
-                            break;
-                        }
-                        None => {
-                            self.phase = Phase::Steady;
-                            continue;
-                        }
-                    }
-                }
-                Phase::Steady => {
-                    if self.steady_step() {
-                        self.steps += 1;
-                    }
-                    break;
-                }
-                Phase::Done(_) => break,
-            }
+        if !self.is_finished() {
+            self.pump();
         }
         StepReport {
             steps: self.steps,
-            fetched: self.client.traffic().get_requests - before_gets,
+            fetched: self.transport.traffic().get_requests - before_gets,
             new_targets: self.targets.len() as u64 - before_targets,
-            requests: self.client.traffic().requests(),
+            requests: self.transport.traffic().requests(),
+            in_flight: self.transport.in_flight(),
             finished: self.finish_reason(),
         }
     }
 
-    /// One steady-state outer iteration. Returns whether a selection was
-    /// consumed (finishing checks consume none).
-    fn steady_step(&mut self) -> bool {
+    fn pump(&mut self) {
+        self.refill();
+        if self.is_finished() {
+            return;
+        }
+        let mut batch = std::mem::take(&mut self.poll_buf);
+        self.transport.poll_into(&mut batch);
+        if batch.is_empty() {
+            // Refill neither submitted nor finished and nothing is in
+            // flight: unreachable by construction, but never spin.
+            debug_assert!(false, "pump stalled with an idle transport");
+            let snap = self.snapshot();
+            self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
+            self.finish_with(FinishReason::FrontierExhausted);
+        }
+        for (rid, f) in batch.drain(..) {
+            let job = self.take_job(rid);
+            self.process_completion(job, f);
+        }
+        self.poll_buf = batch;
+    }
+
+    /// Removes the job matching a delivered request (submission order is
+    /// preserved for the outstanding-feedback drain).
+    fn take_job(&mut self, rid: RequestId) -> Job {
+        let pos = self
+            .inflight
+            .iter()
+            .position(|(id, _)| *id == rid)
+            .expect("transport delivered an unknown request id");
+        self.inflight.remove(pos).1
+    }
+
+    /// Fills the transport window: pending cascade work first (Algorithm
+    /// 4's FIFO), then — once the cascade is drained — the next selection
+    /// source: root fetch, admitted seeds, strategy picks. Mirrors the
+    /// sequential engine's check order exactly: the stop checks run before
+    /// every selection pull, while cascade submissions re-check only
+    /// budget/OOM (as the cascade loop did).
+    fn refill(&mut self) {
+        loop {
+            if self.is_finished() || !self.transport.has_capacity() {
+                return;
+            }
+            if let Phase::Root = self.phase {
+                let snap = self.snapshot();
+                self.hub.emit(&snap, &CrawlEvent::SessionStarted { root: &self.root_text });
+                let root = self.root.clone();
+                let root_id = self.intern_at_depth(&root, 0);
+                self.phase = Phase::Seeds(0);
+                self.steps += 1;
+                if !(self.budget_exhausted() || self.aborted_oom) {
+                    self.submit(Job::fresh(root_id, 0, None));
+                }
+                continue;
+            }
+            if self.budget_exhausted() || self.aborted_oom {
+                // Mid-cascade exhaustion drops the remaining queue, exactly
+                // as the sequential cascade loop did; remaining seeds are
+                // moot. The stop reason fires once the pipeline drains.
+                self.pending.clear();
+                if let Phase::Seeds(_) = self.phase {
+                    self.phase = Phase::Steady;
+                }
+                if self.transport.in_flight() == 0 {
+                    if let Some(reason) = self.stop_check() {
+                        self.finish_with(reason);
+                    }
+                }
+                return;
+            }
+            if self.budget_blocked() {
+                // In-flight requests already cover the remaining request
+                // budget; wait for them instead of overshooting.
+                return;
+            }
+            if let Some(job) = self.pending.pop_front() {
+                self.submit(job);
+                continue;
+            }
+            match self.phase {
+                Phase::Root => unreachable!("handled above"),
+                Phase::Seeds(from) => match self.next_admissible_seed(from) {
+                    Some((next_from, id)) => {
+                        self.phase = Phase::Seeds(next_from);
+                        self.steps += 1;
+                        self.submit(Job::fresh(id, 1, None));
+                    }
+                    None => {
+                        self.phase = Phase::Steady;
+                    }
+                },
+                Phase::Steady => {
+                    if !self.pull_selection() {
+                        return;
+                    }
+                }
+                Phase::Done(_) => return,
+            }
+        }
+    }
+
+    /// One strategy pull: stop checks, then `next()`, then submission.
+    /// Returns false when refilling must stop (finished, or the frontier
+    /// is dry while completions are still outstanding).
+    fn pull_selection(&mut self) -> bool {
         if let Some(reason) = self.stop_check() {
             self.finish_with(reason);
             return false;
         }
         let Some(Selection { url, token }) = self.strategy.next(&mut self.rng) else {
-            let snap = self.snapshot();
-            self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
-            self.finish_with(FinishReason::FrontierExhausted);
+            if self.transport.in_flight() == 0 {
+                let snap = self.snapshot();
+                self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
+                self.finish_with(FinishReason::FrontierExhausted);
+            }
+            // Otherwise in-flight pages may still discover links: the
+            // strategy is asked again after the next drain.
             return false;
         };
+        self.steps += 1;
         let id = match url {
             // Hot path: the id resolves without parsing or hashing.
             SelUrl::Id(id) if (id as usize) < self.depths.len() => id,
@@ -563,7 +726,7 @@ impl<'a> CrawlSession<'a> {
                     // observation per pull, no exceptions).
                     self.t += 1;
                     self.pages_crawled += 1;
-                    let f = self.client.get(&s);
+                    let f = self.transport.fetch_now(&s);
                     let snap = self.snapshot();
                     self.hub.emit(
                         &snap,
@@ -588,8 +751,22 @@ impl<'a> CrawlSession<'a> {
             }
         };
         let depth = self.depths[id as usize];
-        self.process_cascade(WorkItem { id, depth, token: Some(token) });
+        self.submit(Job::fresh(id, depth, Some(token)));
         true
+    }
+
+    /// Hands one job to the transport and records it as in flight.
+    fn submit(&mut self, job: Job) {
+        let rid = self.transport.submit(Request::get(self.interner.text(job.id)));
+        let snap = self.snapshot();
+        self.hub.emit(
+            &snap,
+            &CrawlEvent::Submitted {
+                url: self.interner.text(job.id),
+                in_flight: self.transport.in_flight(),
+            },
+        );
+        self.inflight.push((rid, job));
     }
 
     /// The ordered stop checks of the outer loop. Order matters for replay
@@ -598,7 +775,7 @@ impl<'a> CrawlSession<'a> {
     /// already fired).
     fn stop_check(&mut self) -> Option<FinishReason> {
         if self.budget_exhausted() {
-            let tr = self.client.traffic();
+            let tr = self.transport.traffic();
             let snap = self.snapshot();
             self.hub.emit(
                 &snap,
@@ -628,6 +805,40 @@ impl<'a> CrawlSession<'a> {
     }
 
     fn finish_with(&mut self, reason: FinishReason) {
+        // Work already dispatched is wire cost spent whether or not the
+        // session reads the answers: drain the pool so the final traffic
+        // (the paper's request/volume metrics) and clock stay honest. The
+        // answers themselves are discarded — the jobs are abandoned below.
+        // No-op when `max_in_flight == 1` (nothing in flight here).
+        let mut buf = std::mem::take(&mut self.poll_buf);
+        while self.transport.in_flight() > 0 {
+            self.transport.poll_into(&mut buf);
+            if buf.is_empty() {
+                break;
+            }
+        }
+        buf.clear();
+        self.poll_buf = buf;
+        // Work still in flight must not end silently: every outstanding
+        // job gets a terminal `Abandoned` event (so observers can pair it
+        // with its `Submitted`), and selections additionally deliver the
+        // error observation — never a silent pull. Empty by construction
+        // when `max_in_flight == 1`.
+        let outstanding = std::mem::take(&mut self.inflight);
+        for (_, job) in &outstanding {
+            if let Some(token) = job.token {
+                self.strategy.feedback_error(token);
+            }
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::Abandoned {
+                    url: self.interner.text(job.id),
+                    reason: AbandonReason::SessionClosed,
+                },
+            );
+        }
+        self.pending.clear();
         let snap = self.snapshot();
         self.hub.emit(&snap, &CrawlEvent::SessionFinished { reason });
         self.phase = Phase::Done(reason);
@@ -655,18 +866,31 @@ impl<'a> CrawlSession<'a> {
             stopped_early: reason == FinishReason::EarlyStopped,
             early_stop_at: self.early.as_ref().and_then(|e| e.triggered_at()),
             aborted_oom: self.aborted_oom,
-            traffic: self.client.traffic(),
+            traffic: self.transport.traffic(),
             report: self.strategy.report(),
             finish_reason: reason,
         }
     }
 
     fn budget_exhausted(&self) -> bool {
-        let traffic = self.client.traffic();
+        let traffic = self.transport.traffic();
         match self.cfg.budget {
             Budget::Requests(b) => traffic.requests() >= b,
             Budget::VolumeBytes(b) => traffic.total_bytes() >= b,
             Budget::Unlimited => false,
+        }
+    }
+
+    /// Under a request budget, in-flight requests already count against
+    /// the remaining allowance (they will be charged on delivery), so the
+    /// window must not overfill past the budget. Always false at
+    /// `max_in_flight = 1`, where nothing is in flight when this runs.
+    fn budget_blocked(&self) -> bool {
+        match self.cfg.budget {
+            Budget::Requests(b) => {
+                self.transport.traffic().requests() + self.transport.in_flight() as u64 >= b
+            }
+            _ => false,
         }
     }
 
@@ -692,20 +916,6 @@ impl<'a> CrawlSession<'a> {
         None
     }
 
-    /// Processes one selected page and, iteratively, every page the
-    /// strategy asked to fetch immediately (Algorithm 4's recursion,
-    /// flattened to survive arbitrarily deep target cascades).
-    fn process_cascade(&mut self, first: WorkItem) {
-        let mut queue: VecDeque<WorkItem> = VecDeque::new();
-        queue.push_back(first);
-        while let Some(item) = queue.pop_front() {
-            if self.budget_exhausted() || self.aborted_oom {
-                return;
-            }
-            self.process_one(item, &mut queue);
-        }
-    }
-
     /// Interns `url`, recording `depth` if it is new. Existing ids keep
     /// their original discovery depth.
     fn intern_at_depth(&mut self, url: &Url, depth: u32) -> UrlId {
@@ -716,64 +926,67 @@ impl<'a> CrawlSession<'a> {
         id
     }
 
-    /// A work item ended without a class observation: the pull happened but
+    /// A job ended without a class observation: the pull happened but
     /// nothing came back. Deliver the error feedback for outer selections —
     /// a selection must never be a silent pull (satellite of ISSUE 2) —
     /// and announce the abandonment.
-    fn abandon(&mut self, item: &WorkItem, id: UrlId, reason: AbandonReason) {
-        if let Some(token) = item.token {
+    fn abandon(&mut self, job: &Job, id: UrlId, reason: AbandonReason) {
+        if let Some(token) = job.token {
             self.strategy.feedback_error(token);
         }
         let snap = self.snapshot();
         self.hub.emit(&snap, &CrawlEvent::Abandoned { url: self.interner.text(id), reason });
     }
 
-    /// Algorithm 4 for a single URL.
-    fn process_one(&mut self, item: WorkItem, queue: &mut VecDeque<WorkItem>) {
-        // Follow redirects (3xx) up to a small chain bound. `id` is always
-        // interned, so the canonical string and parsed form resolve without
-        // any re-parse or re-stringify.
-        let mut id = item.id;
-        let mut fetched = None;
-        for _ in 0..MAX_REDIRECTS {
-            self.t += 1;
-            self.pages_crawled += 1;
-            let f = self.client.get(self.interner.text(id));
-            let snap = self.snapshot();
-            self.hub.emit(
-                &snap,
-                &CrawlEvent::Fetched {
-                    url: self.interner.text(id),
-                    status: f.status,
-                    mime: f.mime.as_deref(),
-                    depth: item.depth,
-                },
-            );
-            if !f.status.is_redirect_status() {
-                fetched = Some((id, f));
-                break;
-            }
+    /// Algorithm 4 for one delivered answer. Redirect chains continue by
+    /// re-submitting immediately (the delivered request just freed a
+    /// window slot, and the sequential chain loop ran without budget
+    /// checks between hops); FetchNow children queue on `pending`.
+    fn process_completion(&mut self, job: Job, f: Fetched) {
+        let id = job.id;
+        let snap = self.snapshot();
+        self.hub.emit(
+            &snap,
+            &CrawlEvent::Completed {
+                url: self.interner.text(id),
+                status: f.status,
+                in_flight: self.transport.in_flight(),
+            },
+        );
+        self.t += 1;
+        self.pages_crawled += 1;
+        let snap = self.snapshot();
+        self.hub.emit(
+            &snap,
+            &CrawlEvent::Fetched {
+                url: self.interner.text(id),
+                status: f.status,
+                mime: f.mime.as_deref(),
+                depth: job.depth,
+            },
+        );
+        if f.status.is_redirect_status() {
             // 3xx: follow the Location if it is new, on-site and admitted.
             let Some(loc) = f.location.clone() else {
-                return self.abandon(&item, id, AbandonReason::RedirectMissingLocation);
+                return self.abandon(&job, id, AbandonReason::RedirectMissingLocation);
             };
             let Ok(next) = self.interner.url(id).join(&loc) else {
-                return self.abandon(&item, id, AbandonReason::RedirectUnparseable);
+                return self.abandon(&job, id, AbandonReason::RedirectUnparseable);
             };
             if !next.same_site_as(&self.root) {
-                return self.abandon(&item, id, AbandonReason::RedirectOffSite);
+                return self.abandon(&job, id, AbandonReason::RedirectOffSite);
             }
             if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&next)) {
-                return self.abandon(&item, id, AbandonReason::RedirectFiltered);
+                return self.abandon(&job, id, AbandonReason::RedirectFiltered);
             }
             let next_id = match self.interner.get(&next) {
                 // Already known elsewhere; don't crawl twice.
                 Some(known) if known != id => {
-                    return self.abandon(&item, id, AbandonReason::RedirectAlreadyKnown);
+                    return self.abandon(&job, id, AbandonReason::RedirectAlreadyKnown);
                 }
                 // Self-redirect: keep following until the chain bound.
                 Some(known) => known,
-                None => self.intern_at_depth(&next, item.depth),
+                None => self.intern_at_depth(&next, job.depth),
             };
             let snap = self.snapshot();
             self.hub.emit(
@@ -783,33 +996,38 @@ impl<'a> CrawlSession<'a> {
                     to: self.interner.text(next_id),
                 },
             );
-            id = next_id;
+            if job.hops_left == 0 {
+                return self.abandon(&job, next_id, AbandonReason::RedirectChainExhausted);
+            }
+            return self.submit(Job {
+                id: next_id,
+                depth: job.depth,
+                token: job.token,
+                hops_left: job.hops_left - 1,
+            });
         }
-        let Some((id, f)) = fetched else {
-            return self.abandon(&item, id, AbandonReason::RedirectChainExhausted);
-        };
 
         // Errors (4xx/5xx) yield nothing; the selection still consumed a pull.
         if f.status >= 400 {
-            return self.abandon(&item, id, AbandonReason::HttpError(f.status));
+            return self.abandon(&job, id, AbandonReason::HttpError(f.status));
         }
         if f.interrupted {
             // Banned MIME type: transfer aborted (Algorithm 3).
-            return self.abandon(&item, id, AbandonReason::Interrupted);
+            return self.abandon(&job, id, AbandonReason::Interrupted);
         }
         let Some(mime) = f.mime.clone() else {
-            return self.abandon(&item, id, AbandonReason::MissingMime);
+            return self.abandon(&job, id, AbandonReason::MissingMime);
         };
 
         if self.cfg.policy.is_html_mime(&mime) {
             self.strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Html);
-            let reward = self.process_html(id, item.depth, &f.body, queue);
-            if let Some(token) = item.token {
+            let reward = self.process_html(id, job.depth, &f.body);
+            if let Some(token) = job.token {
                 self.strategy.feedback(token, reward);
             }
         } else if self.cfg.policy.is_target_mime(&mime) {
             // A target: tag its volume and keep it.
-            self.client.tag_target(f.wire_bytes);
+            self.transport.tag_target(f.wire_bytes);
             self.strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Target);
             self.targets.push(RetrievedTarget {
                 url: self.interner.text(id).to_owned(),
@@ -825,7 +1043,7 @@ impl<'a> CrawlSession<'a> {
                     ordinal: self.targets.len() as u64,
                 },
             );
-            if let Some(token) = item.token {
+            if let Some(token) = job.token {
                 // Algorithm 4 returns before the R_mean update for targets:
                 // the pull happened but no reward observation follows.
                 self.strategy.feedback_target(token);
@@ -835,14 +1053,8 @@ impl<'a> CrawlSession<'a> {
     }
 
     /// Link extraction + per-link decisions; returns the page's reward
-    /// (the number of new links to predicted targets, retrieved at once).
-    fn process_html(
-        &mut self,
-        page_id: UrlId,
-        page_depth: u32,
-        body: &[u8],
-        queue: &mut VecDeque<WorkItem>,
-    ) -> f64 {
+    /// (the number of new links to predicted targets, queued for fetch).
+    fn process_html(&mut self, page_id: UrlId, page_depth: u32, body: &[u8]) -> f64 {
         // Zero-copy parse path (PR 3): the body is borrowed when it is
         // valid UTF-8 (the render cache guarantees it), and every extracted
         // link borrows `html` in turn — owned conversion happens only below,
@@ -883,7 +1095,7 @@ impl<'a> CrawlSession<'a> {
                 source_depth: page_depth,
             };
             let mut services = Services {
-                client: &mut self.client,
+                transport: &mut *self.transport,
                 oracle: self.oracle,
                 policy: &self.cfg.policy,
             };
@@ -903,7 +1115,7 @@ impl<'a> CrawlSession<'a> {
                 LinkDecision::Enqueue | LinkDecision::Skip => {}
                 LinkDecision::FetchNow => {
                     reward += 1.0;
-                    queue.push_back(WorkItem { id, depth: page_depth + 1, token: None });
+                    self.pending.push_back(Job::fresh(id, page_depth + 1, None));
                 }
                 LinkDecision::ActionSpaceFull => {
                     self.aborted_oom = true;

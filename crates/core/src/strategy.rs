@@ -7,7 +7,7 @@
 
 use crate::engine::Oracle;
 use rand::rngs::StdRng;
-use sb_httpsim::{Client, HttpServer};
+use sb_httpsim::Transport;
 use sb_webgraph::mime::MimePolicy;
 use sb_webgraph::url::Url;
 use sb_webgraph::{UrlClass, UrlId};
@@ -81,8 +81,15 @@ pub struct NewLink<'a> {
 
 /// Engine services available during [`Strategy::decide`]: HEAD probes
 /// (costed!) and the ground-truth oracle for the unrealistic variants.
+///
+/// HEADs go through the session's [`Transport`] synchronously — they share
+/// its politeness gate and simulated clock, so a probe issued while GETs
+/// are in flight still spaces correctly and is charged at its simulated
+/// arrival. The transport itself stays crate-private: handing strategies
+/// `submit`/`poll` would let them corrupt the session's in-flight
+/// bookkeeping, so only the probe surface is exposed.
 pub struct Services<'c, 'a> {
-    pub client: &'c mut Client<'a, dyn HttpServer + 'a>,
+    pub(crate) transport: &'c mut (dyn Transport + 'a),
     pub oracle: Option<&'a dyn Oracle>,
     pub policy: &'c MimePolicy,
 }
@@ -100,8 +107,8 @@ impl Services<'_, '_> {
         let mut current: Option<(Url, String)> = None;
         for _ in 0..3 {
             let h = match &current {
-                None => self.client.head(url),
-                Some((_, text)) => self.client.head(text),
+                None => self.transport.head(url),
+                Some((_, text)) => self.transport.head(text),
             };
             if (300..400).contains(&h.status) {
                 let Some(loc) = h.headers.location else { return UrlClass::Neither };

@@ -19,6 +19,7 @@
 //!   ablation    bandit-family ablation inside SB-ORACLE (Appendix C)
 //!   hardness    Prop 4 reduction + exact solvers
 //!   fleet       concurrent multi-site crawl (sessions + fleet scheduler)
+//!   pipeline    intra-site parallel fetch (in-flight window 1/4/16)
 //!   all         everything above
 //! ```
 //!
@@ -31,7 +32,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|all>\n\
+        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|all>\n\
          \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N]"
     );
     std::process::exit(2);
@@ -78,6 +79,7 @@ fn main() {
             "ablation" => xp::ablation::run(cfg),
             "hardness" => xp::hardness::run(cfg),
             "fleet" => xp::fleet::run(cfg),
+            "pipeline" => xp::pipeline::run(cfg),
             _ => usage(),
         };
         eprintln!("[xp] {name} done in {:.1?}", t.elapsed());
@@ -88,6 +90,7 @@ fn main() {
             let all = [
                 "table1", "table2", "table3", "table6", "fig4", "fig15", "table4", "table5",
                 "table7", "se", "time", "revisit", "ablation", "hardness", "fleet",
+                "pipeline",
             ];
             for name in all {
                 println!("{}", run_one(name, &cfg));

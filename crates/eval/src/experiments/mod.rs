@@ -6,6 +6,7 @@ pub mod ablation;
 pub mod fig15;
 pub mod fig4;
 pub mod fleet;
+pub mod pipeline;
 pub mod revisit;
 pub mod hardness;
 pub mod se;

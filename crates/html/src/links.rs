@@ -240,9 +240,30 @@ fn is_ws_normalized(s: &str) -> bool {
     s.is_empty() || !prev_space
 }
 
+/// Final surrounding-text window, in chars (post-normalisation).
+const SURROUNDING_WINDOW: usize = 160;
+
 /// Text of the nearest block-level ancestor, with the anchor's own text
-/// removed, truncated to a sane window. `scratch` is a reusable buffer for
-/// the raw (pre-normalisation) block text.
+/// removed, truncated to the [`SURROUNDING_WINDOW`]. `scratch` is a
+/// reusable buffer for the capped normalised block text.
+///
+/// The block's text is **capped before whitespace normalisation** (the
+/// ROADMAP's URL_CONT hot-path item): only a bounded prefix of the
+/// normalised block can influence the final window, so the subtree walk
+/// stops after `cap` normalised chars instead of materialising and
+/// normalising an arbitrarily large block per link. The cap is
+/// value-preserving — writing `N` for the fully normalised block text,
+/// `A` for the anchor text and `a` for its char count, the window is
+/// `truncate(normalize(N with the first occurrence of A removed))`:
+///
+/// * an occurrence starting past char `WINDOW + 1` cannot change the first
+///   `WINDOW` chars of the result (removal only perturbs chars from the
+///   occurrence onward), so both capped and uncapped return
+///   `truncate(N)` there;
+/// * an occurrence starting at or before char `WINDOW + 1` lies entirely
+///   within the first `WINDOW + 1 + a` chars, and the result then needs at
+///   most `WINDOW + 1` further chars after the removal —
+///   both inside `cap = 2·(WINDOW + 1) + a`.
 fn surrounding_text<'a>(
     doc: &Document<'a>,
     id: NodeId,
@@ -251,12 +272,13 @@ fn surrounding_text<'a>(
 ) -> Cow<'a, str> {
     const BLOCKS: [&str; 12] =
         ["p", "li", "td", "div", "section", "article", "main", "aside", "figure", "dd", "th", "body"];
+    let cap = 2 * (SURROUNDING_WINDOW + 1) + anchor_text.chars().count();
     let mut cur = doc.node(id).parent();
     while let Some(pid) = cur {
         let node = doc.node(pid);
         if let Node::Element { name, .. } = node {
             if BLOCKS.contains(&name.as_ref()) {
-                let full = element_text(doc, pid, scratch);
+                let full = element_text_capped(doc, pid, scratch, cap);
                 let cut = match full.find(anchor_text) {
                     Some(pos) if !anchor_text.is_empty() => {
                         let mut s = String::with_capacity(full.len() - anchor_text.len());
@@ -266,7 +288,7 @@ fn surrounding_text<'a>(
                     }
                     _ => full,
                 };
-                return truncate_chars(cut, 160);
+                return truncate_chars(cut, SURROUNDING_WINDOW);
             }
         }
         cur = node.parent();
@@ -274,16 +296,112 @@ fn surrounding_text<'a>(
     Cow::Borrowed("")
 }
 
+/// As [`element_text`], but emitting at most `cap_chars` chars of
+/// normalised text: the subtree walk and the normalisation both stop at
+/// the cap, so a huge block costs O(cap), not O(block). The single
+/// borrowed-text-node fast path is unchanged (borrowing is free at any
+/// length).
+fn element_text_capped<'a>(
+    doc: &Document<'a>,
+    id: NodeId,
+    scratch: &mut String,
+    cap_chars: usize,
+) -> Cow<'a, str> {
+    let mut single: Option<&Cow<'a, str>> = None;
+    if collect_single_text(doc, id, &mut single) {
+        return match single {
+            None => Cow::Borrowed(""),
+            Some(Cow::Borrowed(s)) if is_ws_normalized(s) => Cow::Borrowed(s),
+            Some(c) => {
+                scratch.clear();
+                let mut norm = CappedNormalizer { out: scratch, left: cap_chars, pending: false };
+                norm.feed(c);
+                Cow::Owned(scratch.clone())
+            }
+        };
+    }
+    scratch.clear();
+    let mut norm = CappedNormalizer { out: scratch, left: cap_chars, pending: false };
+    feed_subtree(doc, id, &mut norm);
+    Cow::Owned(scratch.clone())
+}
+
+/// Streams text through whitespace normalisation with a char budget.
+/// Feeding the concatenated text-node contents of a subtree produces
+/// exactly the first `left` chars of `normalize_ws` of that concatenation
+/// (words split across node boundaries stay joined, as plain
+/// concatenation would leave them).
+struct CappedNormalizer<'s> {
+    out: &'s mut String,
+    left: usize,
+    /// Whitespace seen since the last word char (a separating space is
+    /// emitted lazily, so trailing whitespace never lands in `out`).
+    pending: bool,
+}
+
+impl CappedNormalizer<'_> {
+    #[inline]
+    fn push(&mut self, c: char) -> bool {
+        if self.left == 0 {
+            return false;
+        }
+        self.out.push(c);
+        self.left -= 1;
+        true
+    }
+
+    /// Feeds one text run; false once the budget is exhausted.
+    fn feed(&mut self, s: &str) -> bool {
+        for c in s.chars() {
+            if c.is_whitespace() {
+                // Leading whitespace is dropped, not turned into a space.
+                self.pending |= !self.out.is_empty();
+            } else {
+                if self.pending {
+                    if !self.push(' ') {
+                        return false;
+                    }
+                    self.pending = false;
+                }
+                if !self.push(c) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Walks `id`'s subtree in document order feeding every text node into
+/// `norm`; aborts (without visiting further nodes) once the budget is
+/// spent — the point of the cap.
+fn feed_subtree(doc: &Document<'_>, id: NodeId, norm: &mut CappedNormalizer<'_>) -> bool {
+    for c in doc.children(id) {
+        match doc.node(c) {
+            Node::Text { content, .. } => {
+                if !norm.feed(content) {
+                    return false;
+                }
+            }
+            Node::Element { .. } => {
+                if !feed_subtree(doc, c, norm) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
 fn normalize_ws(s: &str) -> String {
     // Single pass, no intermediate Vec — this runs (at most) twice per
-    // extracted link (anchor + surrounding block).
+    // extracted link (anchor + surrounding block). Defined on the capped
+    // normalizer so the anchor text and the (capped) block text can never
+    // disagree on whitespace semantics: `surrounding_text`'s
+    // `find(anchor_text)` cut depends on the two being byte-identical.
     let mut out = String::with_capacity(s.len());
-    for word in s.split_whitespace() {
-        if !out.is_empty() {
-            out.push(' ');
-        }
-        out.push_str(word);
-    }
+    let mut norm = CappedNormalizer { out: &mut out, left: usize::MAX, pending: false };
+    norm.feed(s);
     out
 }
 

@@ -17,10 +17,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static ALLOCATED_BYTES: AtomicUsize = AtomicUsize::new(0);
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size(), Ordering::Relaxed);
         System.alloc(layout)
     }
 
@@ -32,6 +34,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         // A growth realloc is an allocator round-trip too; count it so
         // arena doubling stays visible in the budget.
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -43,6 +46,12 @@ fn count_allocs(f: impl FnOnce()) -> usize {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     f();
     ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+fn count_alloc_bytes(f: impl FnOnce()) -> usize {
+    let before = ALLOCATED_BYTES.load(Ordering::Relaxed);
+    f();
+    ALLOCATED_BYTES.load(Ordering::Relaxed) - before
 }
 
 /// An entity-free, lowercase page in the shape the generator produces:
@@ -111,4 +120,33 @@ fn parse_of_entity_free_page_is_allocation_bounded() {
         .filter(|l| matches!(l.href, std::borrow::Cow::Borrowed(_)))
         .count();
     assert_eq!(borrowed_hrefs, 32, "entity-free hrefs must all borrow the input");
+
+    // Surrounding-text cap (PR 4 satellite): the window is capped *before*
+    // whitespace normalisation, so ALL-features extraction from a block
+    // with a huge text mass allocates O(window), not O(block). The block
+    // text is spread over many nodes (<b> runs) so the borrowed
+    // single-text-node fast path cannot hide the cost.
+    let mut huge = String::with_capacity(300 * 1024);
+    huge.push_str("<html><body><p>");
+    huge.push_str("<a href=\"/data/needle.csv\">needle</a>");
+    for _ in 0..4096 {
+        huge.push_str("filler words here <b>and more</b>\n  ");
+    }
+    huge.push_str("</p></body></html>");
+    let doc = sb_html::parse(&huge);
+    let link_bytes = count_alloc_bytes(|| {
+        let links = sb_html::extract_links_from_with(&doc, sb_html::LinkNeeds::ALL);
+        assert_eq!(links.len(), 1);
+        assert!(links[0].surrounding_text.starts_with("filler words"));
+        std::mem::forget(links);
+    });
+    // The uncapped path normalised the ~150 KB block into a fresh String
+    // per pass (plus the raw scratch fill); the capped path touches a few
+    // hundred chars. 16 KB leaves generous headroom without letting
+    // O(block) normalisation sneak back.
+    assert!(
+        link_bytes <= 16 * 1024,
+        "ALL-features extraction allocated {link_bytes} bytes on a huge block \
+         (budget 16384): the pre-normalisation window cap has regressed"
+    );
 }

@@ -95,6 +95,29 @@ pub struct Client<'a, S: HttpServer + ?Sized> {
 /// Bytes of a blocked download that still hit the wire before the abort.
 const INTERRUPT_PREFIX: u64 = 16 * 1024;
 
+/// Converts a raw GET answer into the crawler's view of it, applying the
+/// block-listed-MIME interruption of Algorithm 3. Shared by [`Client::get`]
+/// and the pipelined [`crate::transport`] so the two fetch paths cannot
+/// drift: same MIME normalisation, same interrupt rule, same wire cost.
+pub(crate) fn settle_get(r: Response, policy: &MimePolicy) -> Fetched {
+    let mime = r.headers.content_type.as_deref().map(normalize_mime);
+    let blocked = mime.as_deref().is_some_and(|m| policy.is_blocked_mime(m));
+    let (body, interrupted, wire) = if blocked {
+        (Body::empty(), true, r.headers.wire_size() + INTERRUPT_PREFIX.min(r.declared_len()))
+    } else {
+        let wire = r.wire_size();
+        (r.body, false, wire)
+    };
+    Fetched {
+        status: r.status,
+        mime,
+        location: r.headers.location,
+        body,
+        interrupted,
+        wire_bytes: wire,
+    }
+}
+
 impl<'a, S: HttpServer + ?Sized> Client<'a, S> {
     pub fn new(server: &'a S, policy: MimePolicy) -> Self {
         Client { server, policy, politeness: Politeness::default(), traffic: Traffic::default() }
@@ -128,26 +151,11 @@ impl<'a, S: HttpServer + ?Sized> Client<'a, S> {
     /// block-listed (Algorithm 3's multimedia guard). The caller later
     /// attributes the volume to target/non-target via [`Client::tag_target`].
     pub fn get(&mut self, url: &str) -> Fetched {
-        let r: Response = self.server.get(url);
-        let mime = r.headers.content_type.as_deref().map(normalize_mime);
-        let blocked = mime.as_deref().is_some_and(|m| self.policy.is_blocked_mime(m));
-        let (body, interrupted, wire) = if blocked {
-            (Body::empty(), true, r.headers.wire_size() + INTERRUPT_PREFIX.min(r.declared_len()))
-        } else {
-            let wire = r.wire_size();
-            (r.body, false, wire)
-        };
+        let f = settle_get(self.server.get(url), &self.policy);
         self.traffic.get_requests += 1;
-        self.traffic.non_target_bytes += wire;
-        self.charge_time(wire);
-        Fetched {
-            status: r.status,
-            mime,
-            location: r.headers.location,
-            body,
-            interrupted,
-            wire_bytes: wire,
-        }
+        self.traffic.non_target_bytes += f.wire_bytes;
+        self.charge_time(f.wire_bytes);
+        f
     }
 
     /// Re-attributes `bytes` of the latest transfers from the non-target to

@@ -5,7 +5,10 @@
 //! [`replay`] database of Sec 4.4 (persistable via [`archive`]), and the
 //! crawler-side [`client`] with request/volume cost accounting,
 //! politeness-based time estimation and mid-flight interruption of
-//! block-listed downloads. Production-crawler substrates live alongside:
+//! block-listed downloads. The [`transport`] module is the nonblocking
+//! fetch boundary (PR 4): a politeness-gated in-flight request pool with
+//! deterministic completion ordering, which the crawl engine pipelines on.
+//! Production-crawler substrates live alongside:
 //! [`robots`] (RFC 9309 Robots Exclusion Protocol) and [`flaky`]
 //! (failure-injection and robot-trap servers for robustness testing).
 
@@ -17,6 +20,7 @@ pub mod response;
 pub mod robots;
 pub mod server;
 pub mod sitemap;
+pub mod transport;
 
 pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
 pub use client::{Client, Fetched, Politeness, Traffic};
@@ -26,3 +30,4 @@ pub use response::{Body, HeadResponse, Headers, Response};
 pub use robots::{EnforcedRobots, RobotsTxt, WithRobots};
 pub use server::{HttpServer, SiteServer};
 pub use sitemap::{fetch_sitemap_urls, parse_sitemap, Sitemap, SitemapEntry, WithSitemap};
+pub use transport::{PipelinedTransport, Request, RequestId, Transport};

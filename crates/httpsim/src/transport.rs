@@ -1,0 +1,631 @@
+//! The nonblocking fetch boundary: a politeness-gated in-flight request
+//! pool over the simulated wire (PR 4).
+//!
+//! The blocking [`crate::Client`] serialises a crawl on simulated latency:
+//! every GET charges `delay + transfer` before the next one can even be
+//! issued, so a site of `n` pages costs `n · (delay + transfer)` simulated
+//! seconds no matter how many URLs the frontier holds. Production crawlers
+//! (BUbiNG, and every multi-threaded design since) decouple fetch I/O from
+//! page processing behind a bounded window of in-flight requests with a
+//! per-host politeness gate. [`Transport`] reproduces that shape over the
+//! offline simulation:
+//!
+//! * [`Transport::submit`] hands a [`Request`] to the pool and returns a
+//!   [`RequestId`] immediately — the caller keeps at most
+//!   [`Transport::max_in_flight`] requests outstanding;
+//! * [`Transport::poll`] delivers finished requests in **deterministic
+//!   completion order**: ascending simulated arrival time, ties broken by
+//!   `RequestId` (submission order);
+//! * the **politeness gate** enforces the minimum inter-request delay *at
+//!   the transport*, per host: two dispatches to the same host are always
+//!   at least `delay_secs` (or the host's robots `Crawl-delay` override,
+//!   whichever is larger) of simulated time apart, no matter how wide the
+//!   window is.
+//!
+//! ## Simulated-time model
+//!
+//! Each request occupies `delay + wire_bytes / bytes_per_sec` of connection
+//! time starting at its gate-assigned dispatch instant, so
+//!
+//! ```text
+//! start   = max(submit clock, host gate)     gate ← start + delay
+//! arrival = start + delay + transfer
+//! ```
+//!
+//! With a window of 1 this telescopes to exactly the blocking client's
+//! accounting (`elapsed += delay + transfer` per request) — which is what
+//! lets `CrawlSession` with `max_in_flight = 1` replay the frozen
+//! `sb_bench::reference` traces byte-identically. With a wider window the
+//! *transfers* overlap while the gate still spaces the *dispatches*, so the
+//! crawl's simulated makespan approaches
+//! `n · max(delay, (delay + transfer) / window)` instead of
+//! `n · (delay + transfer)`.
+//!
+//! [`Traffic::elapsed_secs`] reported by the transport is the simulated
+//! clock at the last delivered completion (the makespan so far), not the
+//! serial sum — at window 1 the two coincide.
+//!
+//! ## Retries
+//!
+//! [`PipelinedTransport::with_retries`] re-dispatches 5xx answers through
+//! the gate up to `n` extra attempts before delivering the final answer;
+//! every attempt is charged (requests and wire bytes). Off by default so
+//! the window-1 replay stays byte-identical; with a recoverable
+//! [`crate::FlakyServer`] upstream, one retry turns transient 503 bursts
+//! into ordinary (slower) successes.
+
+use crate::client::{settle_get, Fetched, Politeness, Traffic};
+use crate::response::HeadResponse;
+use crate::robots::RobotsTxt;
+use crate::server::HttpServer;
+use sb_webgraph::mime::MimePolicy;
+use sb_webgraph::FxHashMap;
+
+/// Identifies one submitted request; ascending in submission order, unique
+/// per transport instance.
+pub type RequestId = u64;
+
+/// A fetch to hand to [`Transport::submit`]. Borrowed: the transport reads
+/// the URL during the call and never stores it.
+#[derive(Debug, Clone, Copy)]
+pub struct Request<'u> {
+    pub url: &'u str,
+}
+
+impl<'u> Request<'u> {
+    /// A GET of `url`.
+    pub fn get(url: &'u str) -> Request<'u> {
+        Request { url }
+    }
+}
+
+/// The nonblocking fetch boundary. See the module docs; the simulated
+/// implementation is [`PipelinedTransport`].
+pub trait Transport {
+    /// Enqueues a GET into the in-flight pool and returns its id. Callers
+    /// must keep [`Transport::in_flight`] within
+    /// [`Transport::max_in_flight`] (checked in debug builds).
+    fn submit(&mut self, req: Request<'_>) -> RequestId;
+
+    /// Delivers every request that has finished by the next completion
+    /// instant, appending `(id, answer)` pairs to `out` in deterministic
+    /// order (arrival time, ties by id). `out` is cleared first. Empty
+    /// output means nothing is in flight.
+    fn poll_into(&mut self, out: &mut Vec<(RequestId, Fetched)>);
+
+    /// Allocating convenience over [`Transport::poll_into`].
+    fn poll(&mut self) -> Vec<(RequestId, Fetched)> {
+        let mut out = Vec::new();
+        self.poll_into(&mut out);
+        out
+    }
+
+    /// A synchronous HEAD through the same gate and clock (the classifier
+    /// bootstrap probes links mid-decision and needs the answer now).
+    fn head(&mut self, url: &str) -> HeadResponse;
+
+    /// A synchronous charged GET through the gate (the engine's
+    /// unparseable-selection parity path). No retries.
+    fn fetch_now(&mut self, url: &str) -> Fetched;
+
+    /// Requests submitted and not yet delivered.
+    fn in_flight(&self) -> usize;
+
+    /// The in-flight window size the caller should respect.
+    fn max_in_flight(&self) -> usize;
+
+    /// `in_flight() < max_in_flight()`.
+    fn has_capacity(&self) -> bool {
+        self.in_flight() < self.max_in_flight()
+    }
+
+    /// Cost counters for everything *delivered* so far (in-flight requests
+    /// are not yet charged). `elapsed_secs` is the simulated clock.
+    fn traffic(&self) -> Traffic;
+
+    /// Re-attributes `bytes` from the non-target to the target volume
+    /// bucket (same contract as [`crate::Client::tag_target`]).
+    fn tag_target(&mut self, bytes: u64);
+
+    /// The MIME policy governing mid-flight interruption.
+    fn policy(&self) -> &MimePolicy;
+}
+
+/// One request in the pool: the answer is computed eagerly at dispatch
+/// (the simulated origin is synchronous); only the *delivery* is deferred
+/// to its simulated arrival instant.
+struct InFlightReq {
+    id: RequestId,
+    arrival: f64,
+    answer: Fetched,
+    /// GET attempts this request consumed (retries included).
+    gets: u64,
+    /// Total wire bytes across all attempts.
+    wire: u64,
+}
+
+/// Per-host politeness state.
+#[derive(Default)]
+struct HostGate {
+    /// Earliest simulated instant the next dispatch to this host may start.
+    next_start: f64,
+    /// Host-specific minimum inter-dispatch delay (robots `Crawl-delay`);
+    /// the effective delay is the max of this and the global politeness.
+    min_delay: Option<f64>,
+}
+
+/// The simulated [`Transport`]: a bounded in-flight pool over any
+/// [`HttpServer`] with per-host politeness gating and deterministic
+/// completion ordering.
+pub struct PipelinedTransport<'a> {
+    server: &'a (dyn HttpServer + 'a),
+    policy: MimePolicy,
+    politeness: Politeness,
+    window: usize,
+    retries: u32,
+    /// Simulated now: the arrival of the last delivered completion (or the
+    /// last synchronous request).
+    clock: f64,
+    traffic: Traffic,
+    next_id: RequestId,
+    inflight: Vec<InFlightReq>,
+    gates: FxHashMap<String, HostGate>,
+}
+
+impl<'a> PipelinedTransport<'a> {
+    /// A transport over `server` with a window of 1 and no retries — the
+    /// drop-in equivalent of the blocking [`crate::Client`].
+    pub fn new(
+        server: &'a (dyn HttpServer + 'a),
+        policy: MimePolicy,
+        politeness: Politeness,
+    ) -> Self {
+        PipelinedTransport {
+            server,
+            policy,
+            politeness,
+            window: 1,
+            retries: 0,
+            clock: 0.0,
+            traffic: Traffic::default(),
+            next_id: 0,
+            inflight: Vec::new(),
+            gates: FxHashMap::default(),
+        }
+    }
+
+    /// Sets the in-flight window (clamped to ≥ 1).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window.max(1);
+        self
+    }
+
+    /// Re-dispatches 5xx answers up to `retries` extra attempts. Every
+    /// attempt is charged at delivery, so a `Budget::Requests` session
+    /// over a retrying transport may finish up to one attempt per
+    /// retried in-flight request past its budget (the check sees one
+    /// request per submission; the sequential engine has the same
+    /// one-request check-to-charge gap).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Raises the politeness gate for one host (e.g. a robots
+    /// `Crawl-delay`). The effective inter-dispatch delay for the host is
+    /// `max(politeness.delay_secs, delay_secs)`.
+    pub fn set_host_min_delay(&mut self, host: &str, delay_secs: f64) {
+        self.gates.entry(host_key(host)).or_default().min_delay = Some(delay_secs.max(0.0));
+    }
+
+    /// Applies the `Crawl-delay` of a parsed robots.txt (if declared for
+    /// `agent`) as `host`'s gate delay.
+    pub fn apply_crawl_delay(&mut self, robots: &RobotsTxt, agent: &str, host: &str) {
+        if let Some(d) = robots.crawl_delay(agent) {
+            self.set_host_min_delay(host, d);
+        }
+    }
+
+    /// The simulated clock (arrival of the last delivered completion).
+    pub fn clock_secs(&self) -> f64 {
+        self.clock
+    }
+
+    /// Passes one dispatch through the host's politeness gate starting no
+    /// earlier than `ready_at`, returning its `(start, arrival)` for a
+    /// transfer of `wire` bytes. Gate keys are case-folded — canonical
+    /// (interned) URLs carry lowercase hosts and hit the map borrowed; a
+    /// mixed-case host folds once so it shares the gate (and any
+    /// `Crawl-delay` override) of its lowercase form.
+    fn gate_dispatch(&mut self, url: &str, ready_at: f64, wire: u64) -> (f64, f64) {
+        let host = host_of(url);
+        let key: std::borrow::Cow<'_, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            std::borrow::Cow::Owned(host_key(host))
+        } else {
+            std::borrow::Cow::Borrowed(host)
+        };
+        let base = self.politeness.delay_secs;
+        let delay = match self.gates.get(key.as_ref()).and_then(|g| g.min_delay) {
+            Some(d) => d.max(base),
+            None => base,
+        };
+        let gate = match self.gates.get_mut(key.as_ref()) {
+            Some(g) => g,
+            None => self.gates.entry(key.into_owned()).or_default(),
+        };
+        let start = ready_at.max(gate.next_start);
+        gate.next_start = start + delay;
+        let arrival = start + delay + wire as f64 / self.politeness.bytes_per_sec;
+        (start, arrival)
+    }
+
+    /// Executes a GET (retrying 5xx through the gate) and returns the final
+    /// answer with its cumulative accounting and arrival instant.
+    fn dispatch_get(&mut self, url: &str) -> (Fetched, u64, u64, f64) {
+        let mut gets = 0u64;
+        let mut wire = 0u64;
+        let mut ready_at = self.clock;
+        loop {
+            let f = settle_get(self.server.get(url), &self.policy);
+            gets += 1;
+            wire += f.wire_bytes;
+            let (_, arrival) = self.gate_dispatch(url, ready_at, f.wire_bytes);
+            if (500..600).contains(&f.status) && gets <= u64::from(self.retries) {
+                // The failure is observed at its arrival; the retry queues
+                // behind it (and behind the gate) like any new dispatch.
+                ready_at = arrival;
+                continue;
+            }
+            return (f, gets, wire, arrival);
+        }
+    }
+
+    fn charge_delivery(&mut self, gets: u64, wire: u64, arrival: f64) {
+        self.clock = self.clock.max(arrival);
+        self.traffic.get_requests += gets;
+        self.traffic.non_target_bytes += wire;
+        self.traffic.elapsed_secs = self.clock;
+    }
+}
+
+impl Transport for PipelinedTransport<'_> {
+    fn submit(&mut self, req: Request<'_>) -> RequestId {
+        debug_assert!(
+            self.inflight.len() < self.window,
+            "submit beyond the in-flight window (window {})",
+            self.window
+        );
+        let id = self.next_id;
+        self.next_id += 1;
+        let (answer, gets, wire, arrival) = self.dispatch_get(req.url);
+        self.inflight.push(InFlightReq { id, arrival, answer, gets, wire });
+        id
+    }
+
+    fn poll_into(&mut self, out: &mut Vec<(RequestId, Fetched)>) {
+        out.clear();
+        if self.inflight.is_empty() {
+            return;
+        }
+        // Deterministic completion order: arrival, ties by submission id.
+        // Sorting the pool in place keeps the due requests a drainable
+        // prefix — no temporary buffer, no shifting removals (this runs
+        // once per engine pump; the caller already reuses `out`).
+        self.inflight.sort_by(|a, b| a.arrival.total_cmp(&b.arrival).then(a.id.cmp(&b.id)));
+        // Advance to the next completion instant (never backwards: a
+        // synchronous HEAD may already have pushed the clock past several
+        // arrivals) and deliver everything due by then.
+        let horizon = self.clock.max(self.inflight[0].arrival);
+        let due = self.inflight.partition_point(|r| r.arrival <= horizon);
+        for r in &self.inflight[..due] {
+            self.clock = self.clock.max(r.arrival);
+            self.traffic.get_requests += r.gets;
+            self.traffic.non_target_bytes += r.wire;
+        }
+        self.traffic.elapsed_secs = self.clock;
+        out.extend(self.inflight.drain(..due).map(|r| (r.id, r.answer)));
+    }
+
+    fn head(&mut self, url: &str) -> HeadResponse {
+        let r = self.server.head(url);
+        let wire = r.wire_size();
+        let (_, arrival) = self.gate_dispatch(url, self.clock, wire);
+        self.clock = arrival;
+        self.traffic.head_requests += 1;
+        self.traffic.non_target_bytes += wire;
+        self.traffic.elapsed_secs = self.clock;
+        r
+    }
+
+    fn fetch_now(&mut self, url: &str) -> Fetched {
+        let f = settle_get(self.server.get(url), &self.policy);
+        let (_, arrival) = self.gate_dispatch(url, self.clock, f.wire_bytes);
+        self.charge_delivery(1, f.wire_bytes, arrival);
+        f
+    }
+
+    fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    fn max_in_flight(&self) -> usize {
+        self.window
+    }
+
+    fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    fn tag_target(&mut self, bytes: u64) {
+        let moved = bytes.min(self.traffic.non_target_bytes);
+        self.traffic.non_target_bytes -= moved;
+        self.traffic.target_bytes += moved;
+    }
+
+    fn policy(&self) -> &MimePolicy {
+        &self.policy
+    }
+}
+
+/// The host component of an absolute http(s) URL, without allocating.
+/// Interned URLs are already canonical (lowercased host), so the slice is
+/// usable as a gate key directly.
+fn host_of(url: &str) -> &str {
+    let rest = url.find("://").map(|i| &url[i + 3..]).unwrap_or(url);
+    let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
+    let authority = &rest[..end];
+    // Strip userinfo if present (rare; robots fetching may see it).
+    authority.rsplit('@').next().unwrap_or(authority)
+}
+
+/// Owned, case-folded gate key (allocated once per distinct host).
+fn host_key(host: &str) -> String {
+    host.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SiteServer;
+    use sb_webgraph::gen::{build_site, SiteSpec};
+
+    fn server() -> SiteServer {
+        SiteServer::new(build_site(&SiteSpec::demo(300), 5))
+    }
+
+    fn html_urls(s: &SiteServer, n: usize) -> Vec<String> {
+        s.site()
+            .pages()
+            .iter()
+            .filter(|p| matches!(p.kind, sb_webgraph::PageKind::Html(_)))
+            .map(|p| p.url.clone())
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn window_one_matches_blocking_client() {
+        let s = server();
+        let urls = html_urls(&s, 24);
+        let mut client = crate::Client::new(&s, MimePolicy::default());
+        for u in &urls {
+            client.get(u);
+        }
+        client.head(&urls[0]);
+
+        let mut t = PipelinedTransport::new(&s, MimePolicy::default(), Politeness::default());
+        let mut out = Vec::new();
+        for u in &urls {
+            t.submit(Request::get(u));
+            t.poll_into(&mut out);
+            assert_eq!(out.len(), 1);
+        }
+        t.head(&urls[0]);
+        assert_eq!(t.traffic(), client.traffic(), "window 1 must replay the blocking client");
+    }
+
+    #[test]
+    fn gate_spaces_dispatches_and_transfers_overlap() {
+        let s = server();
+        let urls = html_urls(&s, 8);
+        let pol = Politeness { delay_secs: 1.0, bytes_per_sec: 1024.0 };
+
+        let mut serial = PipelinedTransport::new(&s, MimePolicy::default(), pol);
+        let mut out = Vec::new();
+        for u in &urls {
+            serial.submit(Request::get(u));
+            serial.poll_into(&mut out);
+        }
+        let serial_makespan = serial.traffic().elapsed_secs;
+
+        let mut wide =
+            PipelinedTransport::new(&s, MimePolicy::default(), pol).with_window(urls.len());
+        for u in &urls {
+            wide.submit(Request::get(u));
+        }
+        let mut delivered = 0;
+        while wide.in_flight() > 0 {
+            wide.poll_into(&mut out);
+            delivered += out.len();
+        }
+        assert_eq!(delivered, urls.len());
+        let wide_makespan = wide.traffic().elapsed_secs;
+
+        // The gate still spaces dispatches one politeness delay apart, so
+        // the makespan cannot drop below n·delay; overlapped transfers make
+        // it strictly better than serial.
+        assert!(wide_makespan >= urls.len() as f64 * pol.delay_secs - 1e-9);
+        assert!(
+            wide_makespan < serial_makespan,
+            "pipelining must beat serial: {wide_makespan} vs {serial_makespan}"
+        );
+        // And both ends moved the same volume.
+        assert_eq!(wide.traffic().requests(), serial.traffic().requests());
+        assert_eq!(wide.traffic().total_bytes(), serial.traffic().total_bytes());
+    }
+
+    #[test]
+    fn completion_order_is_arrival_then_id() {
+        let s = server();
+        let urls = html_urls(&s, 6);
+        let run = || {
+            let mut t = PipelinedTransport::new(
+                &s,
+                MimePolicy::default(),
+                Politeness { delay_secs: 0.5, bytes_per_sec: 2048.0 },
+            )
+            .with_window(6);
+            let ids: Vec<RequestId> = urls.iter().map(|u| t.submit(Request::get(u))).collect();
+            let mut order = Vec::new();
+            let mut out = Vec::new();
+            while t.in_flight() > 0 {
+                t.poll_into(&mut out);
+                order.extend(out.iter().map(|(id, _)| *id));
+            }
+            (ids, order)
+        };
+        let (ids_a, order_a) = run();
+        let (ids_b, order_b) = run();
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(order_a, order_b, "completion order must be deterministic");
+        // With identical politeness per dispatch, arrivals are strictly
+        // increasing in dispatch order here; ids come back ascending.
+        let mut sorted = order_a.clone();
+        sorted.sort_unstable();
+        assert_eq!(order_a, sorted);
+    }
+
+    #[test]
+    fn retries_recover_transient_503s_and_charge_every_attempt() {
+        use crate::flaky::FlakyServer;
+        let site = build_site(&SiteSpec::demo(300), 5);
+        let urls: Vec<String> = site.pages().iter().map(|p| p.url.clone()).take(40).collect();
+        let flaky = FlakyServer::new(SiteServer::new(site), 0.4, 7).recoverable();
+
+        let mut t = PipelinedTransport::new(
+            &flaky,
+            MimePolicy::default(),
+            Politeness { delay_secs: 0.1, bytes_per_sec: 1e6 },
+        )
+        .with_window(4)
+        .with_retries(1);
+        let mut out = Vec::new();
+        let mut failures = 0;
+        let mut delivered = 0u64;
+        for chunk in urls.chunks(4) {
+            for u in chunk {
+                t.submit(Request::get(u));
+            }
+            while t.in_flight() > 0 {
+                t.poll_into(&mut out);
+                delivered += out.len() as u64;
+                failures += out.iter().filter(|(_, f)| f.status >= 500).count();
+            }
+        }
+        assert_eq!(failures, 0, "one retry recovers every transient 503");
+        assert!(flaky.injected() > 0, "failures were really injected");
+        assert_eq!(
+            t.traffic().get_requests,
+            delivered + flaky.injected(),
+            "every retried attempt must be charged"
+        );
+    }
+
+    #[test]
+    fn robots_crawl_delay_raises_the_gate() {
+        let s = server();
+        let urls = html_urls(&s, 5);
+        let host = super::host_of(&urls[0]).to_owned();
+        let pol = Politeness { delay_secs: 1.0, bytes_per_sec: 1e9 };
+
+        let makespan = |crawl_delay: Option<f64>| {
+            let mut t = PipelinedTransport::new(&s, MimePolicy::default(), pol).with_window(5);
+            if let Some(d) = crawl_delay {
+                let robots = RobotsTxt::parse(&format!("User-agent: *\nCrawl-delay: {d}"));
+                t.apply_crawl_delay(&robots, "sbcrawl", &host);
+            }
+            for u in &urls {
+                t.submit(Request::get(u));
+            }
+            let mut out = Vec::new();
+            while t.in_flight() > 0 {
+                t.poll_into(&mut out);
+            }
+            t.traffic().elapsed_secs
+        };
+
+        let plain = makespan(None);
+        let delayed = makespan(Some(4.0));
+        assert!(
+            delayed > plain * 3.0,
+            "a 4 s Crawl-delay must dominate the 1 s default: {plain} vs {delayed}"
+        );
+    }
+
+    #[test]
+    fn replay_store_serves_the_pipeline_from_cache() {
+        use crate::replay::{Mode, ReplayStore};
+        let s = server();
+        let urls = html_urls(&s, 12);
+        let store = ReplayStore::new(s, Mode::SemiOnline);
+
+        let sweep = |store: &ReplayStore<SiteServer>| {
+            let mut t = PipelinedTransport::new(store, MimePolicy::default(), Politeness::default())
+                .with_window(4);
+            let mut out = Vec::new();
+            let mut bodies = Vec::new();
+            for chunk in urls.chunks(4) {
+                for u in chunk {
+                    t.submit(Request::get(u));
+                }
+                while t.in_flight() > 0 {
+                    t.poll_into(&mut out);
+                    bodies.extend(out.drain(..).map(|(_, f)| f.body));
+                }
+            }
+            bodies
+        };
+
+        let first = sweep(&store);
+        let miss_gets = store.upstream_gets();
+        assert_eq!(miss_gets, urls.len() as u64, "first sweep fills the store");
+        let second = sweep(&store);
+        assert_eq!(store.upstream_gets(), miss_gets, "second sweep is all cache hits");
+        assert_eq!(first, second, "replayed bodies are identical");
+    }
+
+    #[test]
+    fn crawl_delay_applies_to_mixed_case_hosts() {
+        // A min-delay registered under any casing must govern dispatches
+        // to every casing of the host — gates are case-folded.
+        struct Tiny;
+        impl crate::server::HttpServer for Tiny {
+            fn head(&self, _url: &str) -> crate::response::HeadResponse {
+                self.get("").head()
+            }
+            fn get(&self, _url: &str) -> crate::response::Response {
+                crate::response::error_response(404)
+            }
+        }
+        let s = Tiny;
+        let pol = Politeness { delay_secs: 1.0, bytes_per_sec: 1e9 };
+        let mut t = PipelinedTransport::new(&s, MimePolicy::default(), pol);
+        t.set_host_min_delay("Example.com", 5.0);
+        t.fetch_now("http://EXAMPLE.com/a");
+        t.fetch_now("http://example.com/b");
+        // Two dispatches, both gated at 5 s: the second starts at t=5.
+        assert!(
+            t.traffic().elapsed_secs >= 10.0 - 1e-9,
+            "override dropped: elapsed {}",
+            t.traffic().elapsed_secs
+        );
+    }
+
+    #[test]
+    fn host_extraction() {
+        assert_eq!(host_of("https://www.a.b.com/x/y?q=1"), "www.a.b.com");
+        assert_eq!(host_of("http://a.com"), "a.com");
+        assert_eq!(host_of("https://user@a.com/x"), "a.com");
+        assert_eq!(host_of("not a url"), "not a url");
+    }
+}

@@ -26,4 +26,8 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # Fleet smoke: multi-site concurrent sessions through the fleet scheduler.
 cargo run --release --offline -p sb-eval --bin xp -- \
     fleet --scale 0.003 --sites cl,nc,ab,ce --jobs 2 --out target/verify-smoke
+# Pipeline smoke: the nonblocking transport at in-flight 1/4/16 — coverage
+# must be window-invariant and the makespan ladder monotone (PR 4).
+cargo run --release --offline -p sb-eval --bin xp -- \
+    pipeline --scale 0.003 --jobs 2 --out target/verify-smoke
 echo "verify: OK"
