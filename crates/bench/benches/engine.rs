@@ -9,7 +9,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sb_bench::reference::{reference_queue_crawl, UncachedSiteServer};
 use sb_crawler::engine::{crawl, Budget, CrawlConfig};
-use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
+use sb_crawler::fleet::{Fleet, FleetJob, FleetMode, SharedServer};
 use sb_crawler::strategies::{Discipline, QueueStrategy, SbStrategy};
 use sb_httpsim::SiteServer;
 use sb_webgraph::gen::{build_site, SiteSpec};
@@ -150,6 +150,39 @@ fn bench_fleet(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shared fleet transport pool (PR 5): the same 8×500 fleet as
+/// `bench_fleet`, but multiplexed through one `SharedTransportPool` at
+/// global in-flight windows 1/4/16 on the single driver thread. Wall time
+/// per window is recorded here; the *simulated makespan* ladder (the
+/// coverage-invariant ≥ 2× acceptance number) comes from
+/// `xp fleet --shared-pool`, which `scripts/bench_engine.sh` runs and
+/// merges into the `fleet.shared_pool` section of `BENCH_engine.json`.
+fn bench_fleet_shared_pool(c: &mut Criterion) {
+    let sites: Vec<Arc<Website>> =
+        (0..8).map(|i| Arc::new(build_site(&SiteSpec::demo(500), 100 + i))).collect();
+
+    let mut group = c.benchmark_group("engine/fleet_shared_pool_8x500");
+    group.sample_size(10);
+    for window in [1usize, 4, 16] {
+        let id = format!("window_{window}");
+        group.bench_function(&id, |b| {
+            b.iter(|| {
+                let mut fleet =
+                    Fleet::new(1).mode(FleetMode::SharedPool { max_in_flight: window });
+                for (i, site) in sites.iter().enumerate() {
+                    let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
+                    let root = root_of(site);
+                    fleet.push(FleetJob::new(format!("site{i}"), server, root, || {
+                        Box::new(QueueStrategy::bfs())
+                    }));
+                }
+                black_box(fleet.run())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The pipelined transport (PR 4): one BFS exhaustion of the 4 000-page
 /// site at in-flight windows 1/4/16 under the latency-simulated politeness
 /// model (1 s delay, slow link). Wall time per window is recorded here;
@@ -219,6 +252,6 @@ criterion_group!(
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_pipeline, bench_interner
+    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_fleet_shared_pool, bench_pipeline, bench_interner
 );
 criterion_main!(engine);

@@ -21,6 +21,7 @@ fn tiny_cfg(tag: &str) -> EvalConfig {
         // dense small site, one deep ministry.
         sites: Some(vec!["cl".into(), "nc".into(), "in".into()]),
         jobs: 4,
+        shared_pool: false,
     }
 }
 

@@ -77,7 +77,9 @@ pub enum CrawlEvent<'e> {
     /// First event of every session, before any request.
     SessionStarted { root: &'e str },
     /// A GET entered the transport's in-flight pool (PR 4). `in_flight`
-    /// counts outstanding requests, this one included.
+    /// counts outstanding requests, this one included — the session's own
+    /// requests only, even when the transport is a shared-pool handle
+    /// whose window spans the whole fleet (PR 5).
     Submitted { url: &'e str, in_flight: usize },
     /// The transport delivered a finished GET; the matching [`Fetched`]
     /// (and its processing) follow immediately. `in_flight` counts the

@@ -20,17 +20,46 @@
 //! by submission (site) index, so the interleaving does not depend on
 //! float coincidences or bucket layout.
 //!
-//! Each site gets **one pipelined transport** (PR 4), built once on the
-//! worker from the job's config — the politeness gate and in-flight pool
-//! live for the site's whole crawl, and a job's `max_in_flight` turns on
-//! intra-site pipelining inside its fleet slot. Custom transports (retry
-//! policies, robots `Crawl-delay` gates) plug in through
-//! [`CrawlSession::with_transport`].
+//! In [`FleetMode::PerSite`] (the default) each site gets **one pipelined
+//! transport** (PR 4), built once on the worker from the job's config —
+//! the politeness gate and in-flight pool live for the site's whole
+//! crawl, and a job's `max_in_flight` turns on intra-site pipelining
+//! inside its fleet slot. Custom transports (retry policies, robots
+//! `Crawl-delay` gates) plug in through [`CrawlSession::with_transport`].
+//!
+//! In [`FleetMode::SharedPool`] (PR 5) the fleet instead multiplexes
+//! every session through **one**
+//! [`SharedTransportPool`](sb_httpsim::SharedTransportPool): a single
+//! global in-flight window shared across all sites, with politeness
+//! sharded per host. The driver runs on one thread (the global window is
+//! one serially-ordered resource; determinism requires a single ration
+//! point) and alternates two moves:
+//!
+//! * **refill, least-elapsed-host first** — while the pool has a free
+//!   slot, the unfinished session whose host has waited longest for a
+//!   delivery ([`SharedTransportPool::site_elapsed`], ties by site index)
+//!   is offered one submission ([`CrawlSession::refill_one`]), so no site
+//!   starves and a politeness-stalled site lends its capacity onward;
+//! * **drain, in pool completion order** — the site owning the globally
+//!   next completion ([`SharedTransportPool::next_completion_site`]:
+//!   ascending arrival, cross-site ties by site index) drains one batch
+//!   ([`CrawlSession::drain_completions`]), so the shared clock advances
+//!   in true arrival order.
+//!
+//! Per-site coverage is transport-invariant (pinned by the fleet tests:
+//! shared-pool targets match per-site-transport targets site for site,
+//! and at global window 1 the pool replays the sequential engine per site
+//! exactly), while per-site `elapsed_secs` reads on the **shared clock**:
+//! [`FleetOutcome::sim_makespan_secs`] is the pool's makespan, and
+//! [`FleetOutcome::traffic`]'s `elapsed_secs` sum is not a serial-visit
+//! estimate in this mode.
+//!
+//! [`SharedTransportPool`]: sb_httpsim::SharedTransportPool
 
 use crate::events::FinishReason;
 use crate::session::{ConfigError, CrawlConfig, CrawlOutcome, CrawlSession, Oracle};
 use crate::strategy::Strategy;
-use sb_httpsim::{HttpServer, Traffic};
+use sb_httpsim::{HttpServer, SharedTransportPool, Traffic};
 use std::sync::Arc;
 
 /// Shareable server handle: fleets move jobs across threads.
@@ -136,17 +165,45 @@ impl FleetOutcome {
     }
 }
 
+/// How a fleet's sessions reach the wire. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetMode {
+    /// One isolated `PipelinedTransport` per site, sessions dealt over
+    /// worker threads (PR 4). Sites never share in-flight capacity.
+    PerSite,
+    /// One `SharedTransportPool` multiplexing a global window of
+    /// `max_in_flight` requests across every site, driven on a single
+    /// thread ([`Fleet::new`]'s `workers` is ignored): refills go to the
+    /// least-elapsed host first, drains follow the pool's deterministic
+    /// completion order. `max_in_flight` is clamped to ≥ 1.
+    SharedPool { max_in_flight: usize },
+}
+
 /// The multi-site scheduler. See the module docs.
 pub struct Fleet {
     jobs: Vec<FleetJob>,
     workers: usize,
+    mode: FleetMode,
 }
 
 impl Fleet {
     /// A fleet driving its sites on up to `workers` threads (clamped to
-    /// the number of jobs at run time; 0 means one worker).
+    /// the number of jobs at run time; 0 means one worker), in
+    /// [`FleetMode::PerSite`] unless [`Fleet::mode`] says otherwise.
     pub fn new(workers: usize) -> Self {
-        Fleet { jobs: Vec::new(), workers: workers.max(1) }
+        Fleet { jobs: Vec::new(), workers: workers.max(1), mode: FleetMode::PerSite }
+    }
+
+    /// Selects the transport mode (fluent).
+    pub fn mode(mut self, mode: FleetMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Shorthand for [`FleetMode::SharedPool`] with a global window of
+    /// `max_in_flight`.
+    pub fn shared_pool(self, max_in_flight: usize) -> Self {
+        self.mode(FleetMode::SharedPool { max_in_flight })
     }
 
     pub fn push(&mut self, job: FleetJob) {
@@ -167,33 +224,44 @@ impl Fleet {
         self.jobs.is_empty()
     }
 
-    /// Crawls every site to completion and reports. Jobs are dealt
-    /// round-robin onto workers; each worker interleaves its sessions by
-    /// smallest simulated elapsed time (politeness-aware fairness).
+    /// Crawls every site to completion and reports. In
+    /// [`FleetMode::PerSite`] jobs are dealt round-robin onto workers and
+    /// each worker interleaves its sessions by smallest simulated elapsed
+    /// time (politeness-aware fairness); in [`FleetMode::SharedPool`] one
+    /// driver thread rations the pool's global window across every
+    /// session.
     pub fn run(self) -> FleetOutcome {
-        let n = self.jobs.len();
-        let workers = self.workers.clamp(1, n.max(1));
         let started = std::time::Instant::now();
+        let sites = match self.mode {
+            FleetMode::PerSite => {
+                let n = self.jobs.len();
+                let workers = self.workers.clamp(1, n.max(1));
 
-        // Deal jobs round-robin, remembering submission order.
-        let mut buckets: Vec<Vec<(usize, FleetJob)>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, job) in self.jobs.into_iter().enumerate() {
-            buckets[i % workers].push((i, job));
-        }
+                // Deal jobs round-robin, remembering submission order.
+                let mut buckets: Vec<Vec<(usize, FleetJob)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                for (i, job) in self.jobs.into_iter().enumerate() {
+                    buckets[i % workers].push((i, job));
+                }
 
-        let mut indexed: Vec<(usize, SiteReport)> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> =
-                buckets.into_iter().map(|bucket| scope.spawn(|| drive_bucket(bucket))).collect();
-            for h in handles {
-                indexed.extend(h.join().expect("fleet worker panicked"));
+                let mut indexed: Vec<(usize, SiteReport)> = Vec::with_capacity(n);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = buckets
+                        .into_iter()
+                        .map(|bucket| scope.spawn(|| drive_bucket(bucket)))
+                        .collect();
+                    for h in handles {
+                        indexed.extend(h.join().expect("fleet worker panicked"));
+                    }
+                });
+                indexed.sort_by_key(|(i, _)| *i);
+                indexed.into_iter().map(|(_, r)| r).collect()
             }
-        });
-        indexed.sort_by_key(|(i, _)| *i);
+            FleetMode::SharedPool { max_in_flight } => drive_shared(self.jobs, max_in_flight),
+        };
 
         let mut traffic = Traffic::default();
         let mut targets = 0u64;
-        let sites: Vec<SiteReport> = indexed.into_iter().map(|(_, r)| r).collect();
         for report in &sites {
             if let Ok(o) = &report.outcome {
                 traffic.absorb(&o.traffic);
@@ -204,24 +272,21 @@ impl Fleet {
     }
 }
 
-/// Drives one worker's share of the fleet: builds every session, then
-/// repeatedly steps the unfinished session with the smallest simulated
-/// elapsed time until all are done.
-fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
-    // Materialise everything a session borrows (server, oracle, strategy,
-    // config, root) so the sessions below can borrow from this frame.
-    struct Prepared {
-        index: usize,
-        name: String,
-        root: String,
-        server: SharedServer,
-        oracle: Option<SharedOracle>,
-        strategy: Box<dyn Strategy>,
-        cfg: CrawlConfig,
-    }
-    let mut prepared: Vec<Prepared> = bucket
-        .into_iter()
-        .map(|(index, job)| Prepared {
+/// Everything a session borrows (server, oracle, strategy, config, root),
+/// materialised so sessions can borrow from the driver's frame.
+struct Prepared {
+    index: usize,
+    name: String,
+    root: String,
+    server: SharedServer,
+    oracle: Option<SharedOracle>,
+    strategy: Box<dyn Strategy>,
+    cfg: CrawlConfig,
+}
+
+impl Prepared {
+    fn from_job(index: usize, job: FleetJob) -> Prepared {
+        Prepared {
             index,
             name: job.name,
             root: job.root,
@@ -229,8 +294,37 @@ fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
             oracle: job.oracle,
             strategy: (job.strategy)(),
             cfg: job.cfg,
+        }
+    }
+}
+
+/// Assembles the per-site reports once every session ended.
+fn collect_reports<'a>(
+    sessions: Vec<Result<CrawlSession<'a>, ConfigError>>,
+    names: Vec<(usize, String)>,
+) -> Vec<(usize, SiteReport)> {
+    sessions
+        .into_iter()
+        .zip(names)
+        .map(|(s, (index, name))| {
+            let outcome = s.map(|session| {
+                debug_assert!(
+                    session.finish_reason() != Some(FinishReason::Cancelled),
+                    "fleet sessions run to natural completion"
+                );
+                session.finish()
+            });
+            (index, SiteReport { name, outcome })
         })
-        .collect();
+        .collect()
+}
+
+/// Drives one worker's share of the fleet: builds every session, then
+/// repeatedly steps the unfinished session with the smallest simulated
+/// elapsed time until all are done.
+fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
+    let mut prepared: Vec<Prepared> =
+        bucket.into_iter().map(|(index, job)| Prepared::from_job(index, job)).collect();
     let names: Vec<(usize, String)> = prepared.iter().map(|p| (p.index, p.name.clone())).collect();
 
     let mut sessions: Vec<Result<CrawlSession<'_>, ConfigError>> = prepared
@@ -275,18 +369,81 @@ fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
         }
     }
 
-    sessions
-        .into_iter()
-        .zip(names)
-        .map(|(s, (index, name))| {
-            let outcome = s.map(|session| {
-                debug_assert!(
-                    session.finish_reason() != Some(FinishReason::Cancelled),
-                    "fleet sessions run to natural completion"
-                );
-                session.finish()
-            });
-            (index, SiteReport { name, outcome })
+    collect_reports(sessions, names)
+}
+
+/// Drives the whole fleet through one [`SharedTransportPool`] on the
+/// calling thread. See the module docs for the two-move schedule.
+fn drive_shared(jobs: Vec<FleetJob>, max_in_flight: usize) -> Vec<SiteReport> {
+    let pool = SharedTransportPool::new(max_in_flight);
+    let mut prepared: Vec<Prepared> =
+        jobs.into_iter().enumerate().map(|(index, job)| Prepared::from_job(index, job)).collect();
+    let names: Vec<(usize, String)> = prepared.iter().map(|p| (p.index, p.name.clone())).collect();
+
+    let mut sessions: Vec<Result<CrawlSession<'_>, ConfigError>> = prepared
+        .iter_mut()
+        .map(|p| {
+            // One pool handle per site: the handle owns the site's
+            // politeness shard and cost counters, the pool owns the global
+            // window and clock. The handle's window (the pool's) wins over
+            // the job's `max_in_flight`, as documented on
+            // `CrawlSession::with_transport`.
+            let handle = pool.handle(p.server.as_ref(), p.cfg.policy.clone(), p.cfg.politeness);
+            CrawlSession::with_transport(
+                Box::new(handle),
+                p.oracle.as_ref().map(|o| o.as_ref() as &dyn Oracle),
+                &p.root,
+                p.strategy.as_mut(),
+                &p.cfg,
+            )
         })
-        .collect()
+        .collect();
+
+    // `declined[k]`: session k was offered a slot and could not use it
+    // (budget-blocked, or frontier dry pending its in-flight answers).
+    // Only k's own completions can change that, so k stays out of the
+    // refill rotation until its next drain.
+    let mut declined = vec![false; sessions.len()];
+    loop {
+        // Refill: one slot at a time to the least-elapsed host (ties by
+        // site index), so the site that has waited longest for a delivery
+        // gets capacity first and no session can swallow the whole window.
+        while pool.has_capacity() {
+            let pick = sessions
+                .iter()
+                .enumerate()
+                .filter(|(k, s)| {
+                    !declined[*k] && s.as_ref().is_ok_and(|sess| !sess.is_finished())
+                })
+                .min_by(|(a, _), (b, _)| {
+                    pool.site_elapsed(*a).total_cmp(&pool.site_elapsed(*b)).then(a.cmp(b))
+                })
+                .map(|(k, _)| k);
+            let Some(k) = pick else { break };
+            let Ok(session) = &mut sessions[k] else { unreachable!("filtered above") };
+            if !session.refill_one() && !session.is_finished() {
+                declined[k] = true;
+            }
+        }
+        // Drain: exactly the site owning the globally next completion, so
+        // cross-site delivery order is the pool's deterministic order
+        // (arrival, ties by site index) and the shared clock never jumps
+        // past a pending arrival.
+        let Some(site) = pool.next_completion_site() else {
+            // Nothing in flight and nobody could submit: every live
+            // session has finished (a session with an empty window either
+            // submits or finishes during its refill offer).
+            break;
+        };
+        if let Ok(session) = &mut sessions[site] {
+            session.drain_completions();
+        }
+        declined[site] = false;
+    }
+    debug_assert!(
+        sessions.iter().all(|s| s.as_ref().map_or(true, |sess| sess.is_finished())),
+        "shared-pool driver exited with live sessions"
+    );
+
+    collect_reports(sessions, names).into_iter().map(|(_, r)| r).collect()
 }

@@ -13,7 +13,10 @@
 //!   the politeness gate enforced at the transport),
 //! * [`events`] — the [`CrawlObserver`] interface ([`CrawlTrace`] is just
 //!   one observer),
-//! * [`fleet`] — the multi-site [`Fleet`] scheduler over worker threads,
+//! * [`fleet`] — the multi-site [`Fleet`] scheduler: per-site transports
+//!   over worker threads, or one shared transport pool multiplexing a
+//!   global in-flight window across every site
+//!   ([`FleetMode::SharedPool`]),
 //! * [`engine`] — the pre-session compatibility surface ([`crawl`]),
 //! * [`early_stop`] — the Sec 4.8 stopping rule,
 //! * [`trace`] — per-request series and the Table 2/3 metrics.
@@ -74,7 +77,7 @@ pub use events::{
     AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, EventLog, FinishReason, OwnedEvent,
     TraceObserver,
 };
-pub use fleet::{Fleet, FleetJob, FleetOutcome, SharedOracle, SharedServer, SiteReport};
+pub use fleet::{Fleet, FleetJob, FleetMode, FleetOutcome, SharedOracle, SharedServer, SiteReport};
 pub use session::{
     robots_filter, Budget, ConfigError, CrawlConfig, CrawlConfigBuilder, CrawlOutcome,
     CrawlSession, Oracle, RetrievedTarget, StepReport, UrlFilter,

@@ -43,9 +43,16 @@
 //!
 //! Holding a session between steps is what makes multi-site scheduling
 //! possible: [`crate::fleet::Fleet`] interleaves many sessions on worker
-//! threads, something the blocking call could never do. Construction is
-//! validated ([`CrawlConfig::builder`], [`ConfigError`]) — an unparseable
-//! root or a zero budget is rejected before any request is spent.
+//! threads, something the blocking call could never do. A session can
+//! even run over a transport window it does not own (PR 5): built via
+//! [`CrawlSession::with_transport`] on a shared-pool handle
+//! (`sb_httpsim::SharedTransportPool`), the public
+//! [`CrawlSession::refill_one`]/[`CrawlSession::drain_completions`] pair
+//! lets an external driver ration the pool's global window across many
+//! sessions and drain them in the pool's deterministic completion order.
+//! Construction is validated ([`CrawlConfig::builder`], [`ConfigError`])
+//! — an unparseable root or a zero budget is rejected before any request
+//! is spent.
 
 use crate::early_stop::{EarlyStop, EarlyStopConfig};
 use crate::events::{
@@ -385,6 +392,19 @@ impl Job {
 
 pub(crate) const MAX_REDIRECTS: usize = 5;
 
+/// What one [`CrawlSession::pull_selection`] did.
+enum Pull {
+    /// A fetch was dispatched (into the window, or synchronously for an
+    /// unparseable selection — either way budget was consumed).
+    Dispatched,
+    /// The pull consumed nothing fetchable (degenerate strategy answer);
+    /// keep refilling.
+    Skipped,
+    /// Refilling must stop: the session finished, or the frontier is dry
+    /// while completions are still outstanding.
+    Stalled,
+}
+
 /// Fans one event out to the built-in trace observer plus every registered
 /// observer. Lives outside `CrawlSession` so emission can borrow the
 /// session's interner strings immutably while the observers are mutated.
@@ -565,7 +585,12 @@ impl<'a> CrawlSession<'a> {
     /// With `max_in_flight = 1` one submission completes per pump, which
     /// reproduces the sequential engine's operation order exactly. On an
     /// already-finished (or just-finishing) session this is a no-op that
-    /// reports the reason.
+    /// reports the reason. When the transport is a shared-pool handle
+    /// whose window is currently held by *other* sites, a step is a
+    /// harmless no-op too — but prefer driving shared sessions through
+    /// [`CrawlSession::refill_one`]/[`CrawlSession::drain_completions`]
+    /// (as [`crate::fleet::FleetMode::SharedPool`] does) so the global
+    /// window is rationed fairly.
     pub fn step(&mut self) -> StepReport {
         let before_gets = self.transport.traffic().get_requests;
         let before_targets = self.targets.len() as u64;
@@ -587,21 +612,43 @@ impl<'a> CrawlSession<'a> {
         if self.is_finished() {
             return;
         }
-        let mut batch = std::mem::take(&mut self.poll_buf);
-        self.transport.poll_into(&mut batch);
-        if batch.is_empty() {
-            // Refill neither submitted nor finished and nothing is in
-            // flight: unreachable by construction, but never spin.
+        if self.drain_completions() == 0 {
+            if !self.transport.has_capacity() && self.transport.in_flight() == 0 {
+                // A shared-pool handle whose global window is entirely held
+                // by other sites: nothing to submit, nothing of ours to
+                // drain. Yield — the pool's driver frees capacity by
+                // draining the site that owns the next completion.
+                return;
+            }
+            // Refill neither submitted nor finished while the window was
+            // open and idle: unreachable by construction, but never spin.
             debug_assert!(false, "pump stalled with an idle transport");
             let snap = self.snapshot();
             self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
             self.finish_with(FinishReason::FrontierExhausted);
         }
+    }
+
+    /// Drains one transport poll batch and processes every delivered
+    /// completion (redirect continuations re-submit, FetchNow children
+    /// queue, feedback fires). Returns the number of completions
+    /// processed — 0 when this session has nothing deliverable. Public as
+    /// shared-pool plumbing: an external driver alternates
+    /// [`CrawlSession::refill_one`] and this, in the pool's completion
+    /// order ([`sb_httpsim::SharedTransportPool::next_completion_site`]).
+    pub fn drain_completions(&mut self) -> usize {
+        if self.is_finished() {
+            return 0;
+        }
+        let mut batch = std::mem::take(&mut self.poll_buf);
+        self.transport.poll_into(&mut batch);
+        let delivered = batch.len();
         for (rid, f) in batch.drain(..) {
             let job = self.take_job(rid);
             self.process_completion(job, f);
         }
         self.poll_buf = batch;
+        delivered
     }
 
     /// Removes the job matching a delivered request (submission order is
@@ -622,9 +669,33 @@ impl<'a> CrawlSession<'a> {
     /// every selection pull, while cascade submissions re-check only
     /// budget/OOM (as the cascade loop did).
     fn refill(&mut self) {
+        self.refill_limit(usize::MAX);
+    }
+
+    /// Submits at most one request, respecting every refill rule (cascade
+    /// priority, stop checks, budget blocking). Returns whether a fetch
+    /// was dispatched. This is the shared-pool plumbing: an external
+    /// driver ([`crate::fleet::FleetMode::SharedPool`]) rations the pool's
+    /// *global* window one slot at a time across many sessions —
+    /// least-elapsed-host first — instead of letting one session's
+    /// [`CrawlSession::step`] swallow every free slot. A `false` return
+    /// means this session cannot use a slot right now (finished, window
+    /// full, budget-blocked, or frontier dry pending in-flight answers) —
+    /// its state can change only after its own next
+    /// [`CrawlSession::drain_completions`].
+    pub fn refill_one(&mut self) -> bool {
+        self.refill_limit(1) > 0
+    }
+
+    /// The refill loop behind [`CrawlSession::refill`] (no limit) and
+    /// [`CrawlSession::refill_one`] (limit 1). Returns dispatched fetches
+    /// (synchronous unparseable-selection fetches count — they consume
+    /// budget like any dispatch, just not a window slot).
+    fn refill_limit(&mut self, limit: usize) -> usize {
+        let mut dispatched = 0usize;
         loop {
-            if self.is_finished() || !self.transport.has_capacity() {
-                return;
+            if dispatched >= limit || self.is_finished() || !self.transport.has_capacity() {
+                return dispatched;
             }
             if let Phase::Root = self.phase {
                 let snap = self.snapshot();
@@ -635,6 +706,7 @@ impl<'a> CrawlSession<'a> {
                 self.steps += 1;
                 if !(self.budget_exhausted() || self.aborted_oom) {
                     self.submit(Job::fresh(root_id, 0, None));
+                    dispatched += 1;
                 }
                 continue;
             }
@@ -651,15 +723,16 @@ impl<'a> CrawlSession<'a> {
                         self.finish_with(reason);
                     }
                 }
-                return;
+                return dispatched;
             }
             if self.budget_blocked() {
-                // In-flight requests already cover the remaining request
-                // budget; wait for them instead of overshooting.
-                return;
+                // In-flight work already covers the remaining request or
+                // volume budget; wait for delivery instead of overshooting.
+                return dispatched;
             }
             if let Some(job) = self.pending.pop_front() {
                 self.submit(job);
+                dispatched += 1;
                 continue;
             }
             match self.phase {
@@ -669,28 +742,29 @@ impl<'a> CrawlSession<'a> {
                         self.phase = Phase::Seeds(next_from);
                         self.steps += 1;
                         self.submit(Job::fresh(id, 1, None));
+                        dispatched += 1;
                     }
                     None => {
                         self.phase = Phase::Steady;
                     }
                 },
-                Phase::Steady => {
-                    if !self.pull_selection() {
-                        return;
-                    }
-                }
-                Phase::Done(_) => return,
+                Phase::Steady => match self.pull_selection() {
+                    Pull::Dispatched => dispatched += 1,
+                    Pull::Skipped => {}
+                    Pull::Stalled => return dispatched,
+                },
+                Phase::Done(_) => return dispatched,
             }
         }
     }
 
     /// One strategy pull: stop checks, then `next()`, then submission.
-    /// Returns false when refilling must stop (finished, or the frontier
-    /// is dry while completions are still outstanding).
-    fn pull_selection(&mut self) -> bool {
+    /// [`Pull::Stalled`] means refilling must stop (finished, or the
+    /// frontier is dry while completions are still outstanding).
+    fn pull_selection(&mut self) -> Pull {
         if let Some(reason) = self.stop_check() {
             self.finish_with(reason);
-            return false;
+            return Pull::Stalled;
         }
         let Some(Selection { url, token }) = self.strategy.next(&mut self.rng) else {
             if self.transport.in_flight() == 0 {
@@ -700,7 +774,7 @@ impl<'a> CrawlSession<'a> {
             }
             // Otherwise in-flight pages may still discover links: the
             // strategy is asked again after the next drain.
-            return false;
+            return Pull::Stalled;
         };
         self.steps += 1;
         let id = match url {
@@ -711,7 +785,7 @@ impl<'a> CrawlSession<'a> {
                 // Degrade like an error answer instead of panicking.
                 debug_assert!(false, "strategy returned an unknown UrlId");
                 self.strategy.feedback_error(token);
-                return true;
+                return Pull::Skipped;
             }
             // Boundary path (oracle answer keys): parse + intern once.
             SelUrl::Text(s) => {
@@ -745,14 +819,16 @@ impl<'a> CrawlSession<'a> {
                             reason: AbandonReason::UnparseableSelection,
                         },
                     );
-                    return true;
+                    // A synchronous charged fetch: counts as a dispatch for
+                    // the refill limit even though no window slot is held.
+                    return Pull::Dispatched;
                 };
                 self.intern_at_depth(&u, 0)
             }
         };
         let depth = self.depths[id as usize];
         self.submit(Job::fresh(id, depth, Some(token)));
-        true
+        Pull::Dispatched
     }
 
     /// Hands one job to the transport and records it as in flight.
@@ -881,16 +957,25 @@ impl<'a> CrawlSession<'a> {
         }
     }
 
-    /// Under a request budget, in-flight requests already count against
-    /// the remaining allowance (they will be charged on delivery), so the
-    /// window must not overfill past the budget. Always false at
-    /// `max_in_flight = 1`, where nothing is in flight when this runs.
+    /// In-flight work already counts against the remaining allowance (it
+    /// will be charged on delivery), so the window must not overfill past
+    /// the budget: under a request budget each outstanding request covers
+    /// one remaining slot, and under a volume budget the outstanding wire
+    /// bytes ([`Transport::in_flight_bytes`]) cover the remaining volume —
+    /// without the latter, a 16-wide window could overshoot
+    /// [`Budget::VolumeBytes`] by fifteen whole transfers the sequential
+    /// engine would never have started. Always false at
+    /// `max_in_flight = 1`, where nothing is in flight when this runs (the
+    /// frozen replay is untouched).
     fn budget_blocked(&self) -> bool {
         match self.cfg.budget {
             Budget::Requests(b) => {
                 self.transport.traffic().requests() + self.transport.in_flight() as u64 >= b
             }
-            _ => false,
+            Budget::VolumeBytes(b) => {
+                self.transport.traffic().total_bytes() + self.transport.in_flight_bytes() >= b
+            }
+            Budget::Unlimited => false,
         }
     }
 

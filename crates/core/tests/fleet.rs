@@ -1,14 +1,29 @@
 //! Fleet scheduler contract: per-site outcomes are **worker-count
 //! invariant** and identical to sequential single-site crawls — sessions
 //! share nothing, so scheduling can only change wall-clock, never results.
+//!
+//! PR 5 extends the contract to [`FleetMode::SharedPool`]: multiplexing
+//! every session through one global transport window must not change what
+//! any site retrieves (proptested against per-site transports for
+//! arbitrary worker counts and windows), at global window 1 it must
+//! replay the frozen seed engine per site exactly (via
+//! `sb_bench::reference`, masking only the shared clock), and shutdown
+//! with selections in flight across several sites must drain every one of
+//! them as `feedback_error` + `Abandoned(SessionClosed)`.
 
-use sb_crawler::engine::{crawl, Budget, CrawlConfig};
-use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
-use sb_crawler::strategies::{QueueStrategy, SbConfig, SbStrategy};
-use sb_crawler::ConfigError;
-use sb_httpsim::{Politeness, SiteServer};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use sb_bench::reference::{collapse_target_amends, reference_queue_crawl};
+use sb_crawler::engine::{crawl, Budget, CrawlConfig, CrawlSession};
+use sb_crawler::events::OwnedEvent;
+use sb_crawler::fleet::{Fleet, FleetJob, FleetMode, SharedServer};
+use sb_crawler::strategies::{Discipline, QueueStrategy, SbConfig, SbStrategy};
+use sb_crawler::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
+use sb_crawler::{AbandonReason, ConfigError, CrawlTrace, EventLog};
+use sb_httpsim::{Politeness, SharedTransportPool, SiteServer};
 use sb_webgraph::gen::{build_site, SiteSpec};
-use sb_webgraph::Website;
+use sb_webgraph::{UrlId, Website};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 const N_SITES: usize = 9;
@@ -33,8 +48,21 @@ struct SiteSummary {
     trace_len: usize,
 }
 
-fn run_fleet(sites: &[Arc<Website>], workers: usize, budget: Budget) -> Vec<SiteSummary> {
-    let mut fleet = Fleet::new(workers);
+/// A fuller per-site record for the shared-pool invariance tests: the
+/// summary plus the full trace (compared with the shared clock masked).
+struct SiteOutcome {
+    summary: SiteSummary,
+    trace: CrawlTrace,
+    makespan: f64,
+}
+
+fn run_fleet_mode(
+    sites: &[Arc<Website>],
+    workers: usize,
+    budget: Budget,
+    mode: FleetMode,
+) -> Vec<SiteOutcome> {
+    let mut fleet = Fleet::new(workers).mode(mode);
     for (i, site) in sites.iter().enumerate() {
         let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
         let cfg = CrawlConfig { budget, seed: i as u64, ..Default::default() };
@@ -51,14 +79,36 @@ fn run_fleet(sites: &[Arc<Website>], workers: usize, budget: Budget) -> Vec<Site
         .iter()
         .map(|r| {
             let o = r.expect_outcome();
-            SiteSummary {
-                name: r.name.clone(),
-                targets: o.targets.iter().map(|t| t.url.clone()).collect(),
-                pages_crawled: o.pages_crawled,
-                requests: o.traffic.requests(),
-                trace_len: o.trace.points().len(),
+            SiteOutcome {
+                summary: SiteSummary {
+                    name: r.name.clone(),
+                    targets: o.targets.iter().map(|t| t.url.clone()).collect(),
+                    pages_crawled: o.pages_crawled,
+                    requests: o.traffic.requests(),
+                    trace_len: o.trace.points().len(),
+                },
+                trace: o.trace.clone(),
+                makespan: o.traffic.elapsed_secs,
             }
         })
+        .collect()
+}
+
+fn run_fleet(sites: &[Arc<Website>], workers: usize, budget: Budget) -> Vec<SiteSummary> {
+    run_fleet_mode(sites, workers, budget, FleetMode::PerSite)
+        .into_iter()
+        .map(|o| o.summary)
+        .collect()
+}
+
+/// A trace with the time axis masked: under the shared pool a site's
+/// `elapsed_secs` reads on the fleet-wide clock, so cost-counter series
+/// are compared and simulated time is not.
+fn masked(trace: &CrawlTrace) -> Vec<(u64, u64, u64, u64, u64)> {
+    trace
+        .points()
+        .iter()
+        .map(|p| (p.requests, p.head_requests, p.target_bytes, p.non_target_bytes, p.targets))
         .collect()
 }
 
@@ -174,4 +224,248 @@ fn aggregate_traffic_sums_per_site_traffic() {
     assert_eq!(out.targets, sum_targets);
     assert!(out.sim_makespan_secs() <= out.traffic.elapsed_secs);
     assert!(out.wall_secs > 0.0);
+}
+
+// ----------------------------------------------------------------------
+// Shared transport pool (PR 5)
+// ----------------------------------------------------------------------
+
+fn pool_sites(seed: u64) -> Vec<Arc<Website>> {
+    (0..3)
+        .map(|i| Arc::new(build_site(&SiteSpec::demo(80 + 40 * i), seed.wrapping_add(i as u64))))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-site results are invariant between per-site transports (any
+    /// worker count) and the shared pool (any global window ≥ 1): the
+    /// pool reorders *when* fetches happen across the fleet, never what
+    /// an exhaustive crawl finds. At global window 1 the pin is exact:
+    /// the pool serialises the whole fleet, so every site replays the
+    /// frozen seed engine byte for byte — targets in retrieval order,
+    /// pages crawled, and the full per-request trace (seed duplicates
+    /// collapsed via `reference::collapse_target_amends`, the shared
+    /// clock masked).
+    #[test]
+    fn shared_pool_results_match_per_site_transports(
+        (seed, workers, window) in (0u64..500, 1usize..5, 1usize..17),
+    ) {
+        let sites = pool_sites(seed);
+        let per_site = run_fleet_mode(&sites, workers, Budget::Unlimited, FleetMode::PerSite);
+        let shared = run_fleet_mode(
+            &sites,
+            1,
+            Budget::Unlimited,
+            FleetMode::SharedPool { max_in_flight: window },
+        );
+        for (i, (p, s)) in per_site.iter().zip(&shared).enumerate() {
+            let mut p_targets = p.summary.targets.clone();
+            let mut s_targets = s.summary.targets.clone();
+            p_targets.sort();
+            s_targets.sort();
+            prop_assert_eq!(
+                p_targets, s_targets,
+                "site{} target coverage changed under the shared pool (window {})", i, window
+            );
+        }
+
+        let shared_serial = run_fleet_mode(
+            &sites,
+            1,
+            Budget::Unlimited,
+            FleetMode::SharedPool { max_in_flight: 1 },
+        );
+        for (i, (site, s)) in sites.iter().zip(&shared_serial).enumerate() {
+            let server = SiteServer::shared(Arc::clone(site));
+            let reference = reference_queue_crawl(
+                &server,
+                &root_of(site),
+                Discipline::Fifo,
+                Budget::Unlimited,
+                i as u64,
+                None,
+            );
+            let ref_targets: Vec<String> =
+                reference.targets.iter().map(|(u, _)| u.clone()).collect();
+            prop_assert_eq!(
+                &s.summary.targets, &ref_targets,
+                "site{} window-1 pool must replay the seed engine's target order", i
+            );
+            prop_assert_eq!(s.summary.pages_crawled, reference.pages_crawled, "site{}", i);
+            prop_assert_eq!(
+                masked(&s.trace),
+                masked(&collapse_target_amends(&reference.trace)),
+                "site{} window-1 pool trace must replay the seed engine", i
+            );
+        }
+    }
+}
+
+/// The ISSUE 5 acceptance shape on the bench workload: the 8×500 fleet's
+/// shared-pool coverage is byte-identical to per-site transports site for
+/// site, and the global window buys simulated makespan (≥ 2× from window
+/// 1 to window 16 — every handle's politeness gate ticks concurrently
+/// instead of the pool serialising the whole fleet).
+#[test]
+fn shared_pool_eight_by_500_coverage_and_makespan() {
+    let sites: Vec<Arc<Website>> =
+        (0..8).map(|i| Arc::new(build_site(&SiteSpec::demo(500), 100 + i))).collect();
+    let per_site = run_fleet_mode(&sites, 4, Budget::Unlimited, FleetMode::PerSite);
+    let shared1 =
+        run_fleet_mode(&sites, 1, Budget::Unlimited, FleetMode::SharedPool { max_in_flight: 1 });
+    let shared16 =
+        run_fleet_mode(&sites, 1, Budget::Unlimited, FleetMode::SharedPool { max_in_flight: 16 });
+
+    for (i, p) in per_site.iter().enumerate() {
+        // Window 1 serialises per site: identical replay, order included.
+        assert_eq!(p.summary, shared1[i].summary, "site{i} (window 1)");
+        // Wider windows reorder within a site; coverage must not move.
+        let mut a = p.summary.targets.clone();
+        let mut b = shared16[i].summary.targets.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "site{i} coverage changed at window 16");
+        assert_eq!(p.summary.requests, shared16[i].summary.requests, "site{i} request count");
+    }
+
+    let makespan = |outcomes: &[SiteOutcome]| -> f64 {
+        outcomes.iter().map(|o| o.makespan).fold(0.0, f64::max)
+    };
+    let m1 = makespan(&shared1);
+    let m16 = makespan(&shared16);
+    assert!(
+        m16 * 2.0 <= m1,
+        "global window 16 must at least halve the shared-pool makespan: {m1:.0}s vs {m16:.0}s"
+    );
+}
+
+/// A BFS recorder that counts feedback per token (as in the pipeline
+/// tests, reused here to pin the invariant across a *shared* pool).
+#[derive(Default)]
+struct Recorder {
+    frontier: VecDeque<UrlId>,
+    selected: Vec<u64>,
+    observations: Vec<u64>,
+}
+
+impl Strategy for Recorder {
+    fn name(&self) -> String {
+        "RECORDER".to_owned()
+    }
+
+    fn next(&mut self, _rng: &mut StdRng) -> Option<Selection> {
+        let id = self.frontier.pop_front()?;
+        let token = u64::from(id);
+        self.selected.push(token);
+        Some(Selection { url: SelUrl::Id(id), token })
+    }
+
+    fn decide(&mut self, link: &NewLink<'_>, _services: &mut Services<'_, '_>) -> LinkDecision {
+        self.frontier.push_back(link.id);
+        LinkDecision::Enqueue
+    }
+
+    fn feedback(&mut self, token: u64, _reward: f64) {
+        self.observations.push(token);
+    }
+
+    fn feedback_target(&mut self, token: u64) {
+        self.observations.push(token);
+    }
+
+    fn feedback_error(&mut self, token: u64) {
+        self.observations.push(token);
+    }
+
+    fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+/// Shutdown with selections in flight across *multiple* sites of one
+/// shared pool: every outstanding selection must drain as
+/// `feedback_error` + `Abandoned(SessionClosed)`, preserving exactly one
+/// feedback per selection per site.
+#[test]
+fn shared_pool_shutdown_drains_in_flight_selections_across_sites() {
+    let sites = pool_sites(77);
+    let servers: Vec<SiteServer> =
+        sites.iter().map(|s| SiteServer::shared(Arc::clone(s))).collect();
+    let roots: Vec<String> = sites.iter().map(|s| root_of(s)).collect();
+    let cfgs: Vec<CrawlConfig> = (0..sites.len())
+        .map(|i| CrawlConfig { seed: i as u64, ..CrawlConfig::default() })
+        .collect();
+    let mut recorders: Vec<Recorder> = (0..sites.len()).map(|_| Recorder::default()).collect();
+    let mut logs: Vec<EventLog> = (0..sites.len()).map(|_| EventLog::new()).collect();
+
+    let pool = SharedTransportPool::new(9);
+    let mut sessions: Vec<CrawlSession<'_>> = servers
+        .iter()
+        .zip(recorders.iter_mut())
+        .zip(logs.iter_mut())
+        .zip(cfgs.iter())
+        .enumerate()
+        .map(|(i, (((server, rec), log), cfg))| {
+            let handle =
+                pool.handle(server, cfg.policy.clone(), cfg.politeness);
+            CrawlSession::with_transport(Box::new(handle), None, &roots[i], rec, cfg)
+                .expect("generated roots are valid")
+                .observe(log)
+        })
+        .collect();
+
+    // Seed each frontier: submit + drain the root, then one more round so
+    // links are discovered.
+    for _ in 0..2 {
+        for s in &mut sessions {
+            s.refill_one();
+        }
+        for s in &mut sessions {
+            s.drain_completions();
+        }
+    }
+    // Fill the global window with outer selections across every site and
+    // stop without draining: 3 slots each.
+    for _ in 0..3 {
+        for s in &mut sessions {
+            assert!(s.refill_one(), "frontiers must still offer selections");
+        }
+    }
+    let in_flight: Vec<usize> = sessions.iter().map(|s| s.in_flight()).collect();
+    assert!(
+        in_flight.iter().filter(|&&n| n > 0).count() >= 2,
+        "the scenario needs selections in flight across several sites: {in_flight:?}"
+    );
+    assert_eq!(pool.in_flight(), in_flight.iter().sum::<usize>());
+
+    // Kill every session mid-flight.
+    let outcomes: Vec<_> = sessions.into_iter().map(|s| s.finish()).collect();
+    for (i, o) in outcomes.iter().enumerate() {
+        assert_eq!(o.finish_reason, sb_crawler::FinishReason::Cancelled, "site{i}");
+    }
+    assert_eq!(pool.in_flight(), 0, "shutdown must drain the pool (wire cost stays honest)");
+
+    for (i, (rec, log)) in recorders.iter().zip(&logs).enumerate() {
+        let mut selected = rec.selected.clone();
+        let mut observed = rec.observations.clone();
+        selected.sort_unstable();
+        observed.sort_unstable();
+        assert_eq!(
+            selected, observed,
+            "site{i}: every pull must produce exactly one observation across shutdown"
+        );
+        let closed = log
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e, OwnedEvent::Abandoned { reason: AbandonReason::SessionClosed, .. })
+            })
+            .count();
+        assert_eq!(
+            closed, in_flight[i],
+            "site{i}: each in-flight job must end as Abandoned(SessionClosed)"
+        );
+    }
 }

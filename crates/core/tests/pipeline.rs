@@ -206,6 +206,73 @@ fn flaky_retry_through_the_pipeline_recovers_targets() {
     assert_eq!(retry_targets, total, "one retry recovers every transiently failing target");
 }
 
+/// A wide window must not overshoot `Budget::VolumeBytes` (ROADMAP open
+/// item, fixed in PR 5): in-flight wire bytes count against the remaining
+/// volume at refill, so exhaustion lands at the same budget point at
+/// `max_in_flight` 1 and 16 — within the one-request check-to-charge gap
+/// the sequential engine has always had, never a whole window of
+/// undelivered transfers past the limit.
+#[test]
+fn volume_budget_is_not_overshot_by_wide_windows() {
+    // Near-uniform transfer sizes, so "one transfer past the line" is a
+    // *sharp* bound: a whole window of undelivered transfers (the pre-fix
+    // failure mode — ~15 extra pages at window 16) dwarfs the largest
+    // single page, where a default demo site's multi-MB outlier targets
+    // would mask it.
+    let mut spec = SiteSpec::demo(300);
+    spec.target_frac = 0.5;
+    spec.target_size_mb = (0.05, 0.005);
+    let site = Arc::new(build_site(&spec, 13));
+    let root = site.page(site.root()).url.clone();
+    let server = SiteServer::shared(Arc::clone(&site));
+
+    // The largest single transfer the site can answer: the only legal
+    // overshoot is one request past the line (budget checks run before
+    // the charge lands, exactly like the sequential engine).
+    let max_wire: u64 = site
+        .pages()
+        .iter()
+        .map(|p| sb_httpsim::HttpServer::get(&server, &p.url).wire_size())
+        .max()
+        .unwrap();
+
+    // A budget deep enough that the window is full when it exhausts.
+    let exhaustive = {
+        let mut bfs = QueueStrategy::bfs();
+        CrawlSession::new(&server, None, &root, &mut bfs, &CrawlConfig::default())
+            .unwrap()
+            .run()
+            .traffic
+            .total_bytes()
+    };
+    let budget_bytes = exhaustive / 3;
+
+    let run = |window: usize| {
+        let mut bfs = QueueStrategy::bfs();
+        let cfg = CrawlConfig {
+            budget: Budget::VolumeBytes(budget_bytes),
+            max_in_flight: window,
+            ..CrawlConfig::default()
+        };
+        CrawlSession::new(&server, None, &root, &mut bfs, &cfg).unwrap().run()
+    };
+    let w1 = run(1);
+    let w16 = run(16);
+
+    use sb_crawler::events::FinishReason;
+    assert_eq!(w1.finish_reason, FinishReason::BudgetExhausted);
+    assert_eq!(w16.finish_reason, FinishReason::BudgetExhausted, "window 16 must exhaust too");
+    for (window, out) in [(1usize, &w1), (16, &w16)] {
+        let total = out.traffic.total_bytes();
+        assert!(total >= budget_bytes, "window {window} stopped short of the budget");
+        assert!(
+            total < budget_bytes + max_wire,
+            "window {window} overshot the volume budget by more than one transfer: \
+             {total} vs budget {budget_bytes} (max single transfer {max_wire})"
+        );
+    }
+}
+
 /// Pipelined runs are deterministic: same site, same seed, same window ⇒
 /// identical traces and targets, run to run.
 #[test]
@@ -226,3 +293,4 @@ fn pipelined_runs_replay_themselves() {
     assert_eq!(targets_a, targets_b);
     assert_eq!(trace_a, trace_b);
 }
+

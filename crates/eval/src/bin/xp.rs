@@ -23,6 +23,11 @@
 //!   all         everything above
 //! ```
 //!
+//! `fleet` accepts `--shared-pool`: the same fleet additionally runs
+//! through one shared transport pool at global windows 1/4/16
+//! (`fleet_pool.csv`), with the window-1 arm checked byte-identical to
+//! the per-site-transport arm.
+//!
 //! Defaults: `--scale 0.01 --seeds 3 --out results/`. The paper-fidelity run
 //! is `--scale 0.02 --seeds 15` (slower; see EXPERIMENTS.md).
 
@@ -33,7 +38,7 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|all>\n\
-         \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N]"
+         \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N] [--shared-pool]"
     );
     std::process::exit(2);
 }
@@ -52,6 +57,7 @@ fn parse_args() -> (String, EvalConfig) {
             "--sites" => {
                 cfg.sites = Some(value().split(',').map(|s| s.trim().to_owned()).collect())
             }
+            "--shared-pool" => cfg.shared_pool = true,
             _ => usage(),
         }
     }

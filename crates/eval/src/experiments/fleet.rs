@@ -5,6 +5,15 @@
 //! fleet's real-time throughput — numbers the one-site-at-a-time harness
 //! could never produce.
 //!
+//! With `--shared-pool` (PR 5) the same fleet additionally runs through
+//! one `SharedTransportPool` at global in-flight windows 1/4/16
+//! (`fleet_pool.csv`): at window 1 the pool serialises the fleet, so
+//! per-site results must be **byte-identical** to the per-site-transport
+//! arm (asserted — this is the `verify.sh` smoke's parity check); wider
+//! windows overlap the sites' politeness waits and shrink the simulated
+//! makespan while the learning crawler's coverage may legitimately
+//! reorder within a site.
+//!
 //! This is a *throughput/workload* experiment, not a seed-averaged metric
 //! table: each site is crawled once (`--seeds` is not averaged here), with
 //! its RNG seeded per site so no two sessions share a stream.
@@ -12,33 +21,40 @@
 use crate::experiments::scaled_early_stop;
 use crate::setup::{build_site_for, EvalConfig};
 use crate::tables::{markdown, write_csv, write_text};
-use sb_crawler::fleet::{Fleet, FleetJob, SharedServer};
+use sb_crawler::fleet::{Fleet, FleetJob, FleetMode, SharedServer};
 use sb_crawler::strategies::SbStrategy;
 use sb_crawler::CrawlConfig;
 use sb_httpsim::SiteServer;
 use std::sync::Arc;
 
+/// Global shared-pool windows swept by `--shared-pool` (the bench suite
+/// records the same ladder).
+pub const POOL_WINDOWS: [usize; 3] = [1, 4, 16];
+
 pub fn run(cfg: &EvalConfig) -> String {
     let profiles = cfg.selected_profiles();
-    let mut fleet = Fleet::new(cfg.jobs);
-    for p in &profiles {
-        let site = build_site_for(cfg, p.code);
-        let root = site.page(site.root()).url.clone();
-        let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(&site)));
-        let crawl_cfg = CrawlConfig::builder()
-            .early_stop(scaled_early_stop(cfg.scale))
-            .rng_seed(cfg.site_seed(p.code))
-            .build()
-            .expect("fleet experiment config is valid");
-        fleet.push(
-            FleetJob::new(p.code, server, root, || {
-                Box::new(SbStrategy::classifier_default())
-            })
-            .config(crawl_cfg),
-        );
-    }
+    let build_fleet = |mode: FleetMode| {
+        let mut fleet = Fleet::new(cfg.jobs).mode(mode);
+        for p in &profiles {
+            let site = build_site_for(cfg, p.code);
+            let root = site.page(site.root()).url.clone();
+            let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(&site)));
+            let crawl_cfg = CrawlConfig::builder()
+                .early_stop(scaled_early_stop(cfg.scale))
+                .rng_seed(cfg.site_seed(p.code))
+                .build()
+                .expect("fleet experiment config is valid");
+            fleet.push(
+                FleetJob::new(p.code, server, root, || {
+                    Box::new(SbStrategy::classifier_default())
+                })
+                .config(crawl_cfg),
+            );
+        }
+        fleet
+    };
 
-    let out = fleet.run();
+    let out = build_fleet(FleetMode::PerSite).run();
 
     let headers: Vec<String> =
         ["Site", "Targets", "Requests", "Early stop", "Sim. hours"].map(String::from).to_vec();
@@ -79,11 +95,94 @@ pub fn run(cfg: &EvalConfig) -> String {
         out.traffic.elapsed_secs / 3600.0,
         out.sim_makespan_secs() / 3600.0,
     );
-    let report = format!(
+    let mut report = format!(
         "## Fleet — concurrent multi-site crawl (SB-CLASSIFIER, early stopping)\n\n{}\n\n{}\n",
         markdown(&headers, &rows),
         summary,
     );
+
+    if cfg.shared_pool {
+        report.push_str(&shared_pool_arm(cfg, &out, build_fleet));
+    }
+
     let _ = write_text(&cfg.out_dir.join("fleet.md"), &report);
     report
+}
+
+/// The `--shared-pool` arm: the 1/4/16 global-window ladder, with the
+/// window-1 run asserted byte-identical per site to the per-site arm.
+fn shared_pool_arm(
+    cfg: &EvalConfig,
+    per_site: &sb_crawler::FleetOutcome,
+    build_fleet: impl Fn(FleetMode) -> Fleet,
+) -> String {
+    let headers: Vec<String> =
+        ["Mode", "Targets", "Requests", "Sim. makespan (h)", "Speedup"].map(String::from).to_vec();
+    let mut md_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut push = |mode: &str, targets: u64, requests: u64, makespan: f64, baseline: f64| {
+        md_rows.push(vec![
+            mode.to_owned(),
+            targets.to_string(),
+            requests.to_string(),
+            format!("{:.2}", makespan / 3600.0),
+            format!("{:.2}×", baseline / makespan),
+        ]);
+        csv_rows.push(vec![
+            mode.to_owned(),
+            targets.to_string(),
+            requests.to_string(),
+            format!("{:.4}", makespan),
+            format!("{:.4}", baseline / makespan),
+        ]);
+    };
+
+    let mut serial = 0.0;
+    for &window in &POOL_WINDOWS {
+        let out = build_fleet(FleetMode::SharedPool { max_in_flight: window }).run();
+        let makespan = out.sim_makespan_secs();
+        if window == POOL_WINDOWS[0] {
+            serial = makespan;
+            // Window 1 serialises the fleet: per-site results must replay
+            // the per-site-transport arm exactly (coverage parity is the
+            // smoke-tested acceptance of the shared pool).
+            for (p, s) in per_site.sites.iter().zip(&out.sites) {
+                let (po, so) = (p.expect_outcome(), s.expect_outcome());
+                assert_eq!(
+                    (po.targets_found(), po.traffic.requests(), po.pages_crawled),
+                    (so.targets_found(), so.traffic.requests(), so.pages_crawled),
+                    "shared-pool window 1 diverged from per-site transports on {}",
+                    p.name,
+                );
+            }
+        }
+        push(
+            &format!("shared pool, window {window}"),
+            out.targets,
+            out.traffic.requests(),
+            makespan,
+            serial,
+        );
+    }
+    push(
+        "per-site transports",
+        per_site.targets,
+        per_site.traffic.requests(),
+        per_site.sim_makespan_secs(),
+        serial,
+    );
+
+    let _ = write_csv(
+        &cfg.out_dir.join("fleet_pool.csv"),
+        &["mode", "targets", "requests", "sim_makespan_secs", "speedup_vs_pool_w1"]
+            .map(String::from),
+        &csv_rows,
+    );
+    format!(
+        "\n### Shared transport pool (global window ladder)\n\n{}\n\n\
+         One pool, one clock: window 1 is a single crawler visiting every site in turn \
+         (per-site results byte-identical to per-site transports — asserted); wider windows \
+         let every site's politeness gate tick concurrently.\n",
+        markdown(&headers, &md_rows),
+    )
 }

@@ -30,6 +30,10 @@ pub struct EvalConfig {
     pub sites: Option<Vec<String>>,
     /// Worker threads.
     pub jobs: usize,
+    /// `xp fleet` only: additionally run the fleet through one
+    /// `SharedTransportPool` at global windows 1/4/16 and report the
+    /// ladder next to the per-site-transport arm (PR 5).
+    pub shared_pool: bool,
 }
 
 impl Default for EvalConfig {
@@ -40,6 +44,7 @@ impl Default for EvalConfig {
             out_dir: PathBuf::from("results"),
             sites: None,
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            shared_pool: false,
         }
     }
 }

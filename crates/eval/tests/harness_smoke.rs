@@ -13,7 +13,22 @@ fn cfg(tag: &str, sites: &[&str]) -> EvalConfig {
         out_dir: PathBuf::from(format!("target/test-results/{tag}")),
         sites: Some(sites.iter().map(|s| (*s).to_owned()).collect()),
         jobs: 4,
+        shared_pool: false,
     }
+}
+
+#[test]
+fn fleet_shared_pool_arm_renders_and_holds_parity() {
+    // `shared_pool: true` makes the experiment itself assert window-1
+    // byte-parity with per-site transports; the smoke checks the ladder
+    // rendered alongside the per-site table.
+    let mut c = cfg("fleet-pool", &["cl", "nc"]);
+    c.shared_pool = true;
+    let md = xp::fleet::run(&c);
+    assert!(md.contains("Shared transport pool"));
+    assert!(md.contains("shared pool, window 16"));
+    assert!(md.contains("per-site transports"));
+    assert!(c.out_dir.join("fleet_pool.csv").exists());
 }
 
 #[test]

@@ -8,13 +8,16 @@
 //! block-listed downloads. The [`transport`] module is the nonblocking
 //! fetch boundary (PR 4): a politeness-gated in-flight request pool with
 //! deterministic completion ordering, which the crawl engine pipelines on.
-//! Production-crawler substrates live alongside:
+//! The [`pool`] module (PR 5) multiplexes one bounded in-flight window
+//! across every host of a multi-site fleet with per-host politeness
+//! sharding. Production-crawler substrates live alongside:
 //! [`robots`] (RFC 9309 Robots Exclusion Protocol) and [`flaky`]
 //! (failure-injection and robot-trap servers for robustness testing).
 
 pub mod archive;
 pub mod client;
 pub mod flaky;
+pub mod pool;
 pub mod replay;
 pub mod response;
 pub mod robots;
@@ -25,6 +28,7 @@ pub mod transport;
 pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
 pub use client::{Client, Fetched, Politeness, Traffic};
 pub use flaky::{FlakyServer, TrapServer};
+pub use pool::{PoolHandle, SharedTransportPool};
 pub use replay::{Mode, ReplayStore};
 pub use response::{Body, HeadResponse, Headers, Response};
 pub use robots::{EnforcedRobots, RobotsTxt, WithRobots};

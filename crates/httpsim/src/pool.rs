@@ -1,0 +1,595 @@
+//! The shared fleet transport pool: one bounded in-flight window
+//! multiplexed across every host of a multi-site crawl (PR 5).
+//!
+//! PR 4's [`PipelinedTransport`](crate::transport::PipelinedTransport)
+//! pipelines *within* one site, but a fleet built on it holds N isolated
+//! windows: a site stalled behind its politeness gate cannot lend its
+//! idle connection slots to anyone else. Production frontiers (BUbiNG's
+//! massive-scale design, and every host-sharded multi-queue crawler
+//! since) share one global fetch pool and shard only the *politeness*
+//! state per host. [`SharedTransportPool`] reproduces that shape over the
+//! simulation:
+//!
+//! * the pool owns the **global window** ([`SharedTransportPool::new`]'s
+//!   `max_in_flight`) and the **shared simulated clock**; politeness
+//!   state is **sharded per handle** — each site's `GateTable` (its
+//!   hosts' gates plus any robots `Crawl-delay` override) is private to
+//!   its handle, exactly as it is under per-site transports. Two sites
+//!   therefore dispatch concurrently while each site's own dispatches
+//!   stay politeness-spaced. (Sharding by handle rather than by raw
+//!   hostname string is deliberate: generated sites reuse synthetic
+//!   hostnames, and each fleet job is a distinct origin regardless of
+//!   what its URL strings say — string-matching hosts across handles
+//!   would falsely couple unrelated sites.);
+//! * each site gets a [`PoolHandle`] ([`SharedTransportPool::handle`]) —
+//!   a full [`Transport`] a [`CrawlSession`] can own without owning the
+//!   pool. The handle carries the site's server, MIME policy, politeness
+//!   model, gate shard and cost counters; submissions and deliveries go
+//!   through the shared core;
+//! * completion order is **deterministic across the whole fleet**:
+//!   ascending simulated arrival, cross-site ties by site index, ties
+//!   within a site by [`RequestId`] (ids are pool-global and ascend in
+//!   submission order). [`SharedTransportPool::next_completion_site`]
+//!   exposes the order so a driver can drain sites exactly in it.
+//!
+//! ## Clock model
+//!
+//! There is **one clock**: the pool simulates a single crawler machine
+//! whose `max_in_flight` connections serve every site at once. A
+//! dispatch's `start = max(shared clock, host gate)`, so a handle's
+//! [`Traffic::elapsed_secs`] reads on the shared clock — the instant its
+//! last completion was delivered, fleet-wide waiting included. The
+//! fleet-level makespan is therefore `max` over handles (equivalently
+//! [`SharedTransportPool::clock_secs`] at the end), **not** the per-site
+//! sum: with a global window of 1 the pool serialises the whole fleet
+//! (the makespan telescopes to the serial sum of every site), while a
+//! window ≥ the host count lets every politeness gate tick concurrently
+//! and the makespan approaches the slowest single host.
+//!
+//! With one handle and any window, a `PoolHandle` is behaviour-identical
+//! to a `PipelinedTransport` of the same window — both backends are
+//! pinned by the conformance suite (`tests/transport_conformance.rs`).
+//!
+//! The pool is single-threaded by design (`Rc<RefCell<..>>`): a global
+//! deterministic window is one serially-ordered resource, so a shared
+//! fleet is driven by one scheduler thread
+//! (`sb_crawler::fleet::FleetMode::SharedPool`) that rations refills
+//! least-elapsed-host first and drains in pool completion order.
+//!
+//! [`CrawlSession`]: ../../sb_crawler/session/struct.CrawlSession.html
+
+use crate::client::{settle_get, Fetched, Politeness, Traffic};
+use crate::response::HeadResponse;
+use crate::server::HttpServer;
+use crate::transport::{GateTable, Request, RequestId, Transport};
+use sb_webgraph::mime::MimePolicy;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One fleet-wide in-flight request. As in the single-site transport, the
+/// answer is computed eagerly at dispatch (the simulated origin is
+/// synchronous); only the delivery is deferred to its simulated arrival.
+struct PoolEntry {
+    id: RequestId,
+    site: usize,
+    arrival: f64,
+    answer: Fetched,
+    /// GET attempts this request consumed (retries included).
+    gets: u64,
+    /// Total wire bytes across all attempts.
+    wire: u64,
+}
+
+/// The shared state behind every handle of one pool.
+struct PoolCore {
+    window: usize,
+    /// The shared simulated clock: the arrival of the last delivered
+    /// completion (or last synchronous request) across the whole fleet.
+    clock: f64,
+    next_id: RequestId,
+    inflight: Vec<PoolEntry>,
+    /// Per-site: shared-clock instant of the site's last delivery (0 until
+    /// the first). The fleet's least-elapsed-host refill order keys on it.
+    site_elapsed: Vec<f64>,
+}
+
+impl PoolEntry {
+    /// The fleet-wide completion order: arrival, cross-site ties by site
+    /// index, ties within a site by submission id. The single comparator
+    /// behind both the poll sort and [`PoolCore::next_completion`] — the
+    /// two must agree or the driver would drain a different site than
+    /// delivery order promises.
+    fn completion_order(&self, other: &PoolEntry) -> std::cmp::Ordering {
+        self.arrival
+            .total_cmp(&other.arrival)
+            .then(self.site.cmp(&other.site))
+            .then(self.id.cmp(&other.id))
+    }
+}
+
+impl PoolCore {
+    /// Sorts the pool into global completion order.
+    fn sort_completion_order(&mut self) {
+        self.inflight.sort_by(PoolEntry::completion_order);
+    }
+
+    /// The globally next completion, by the same order.
+    fn next_completion(&self) -> Option<&PoolEntry> {
+        self.inflight.iter().min_by(|a, b| a.completion_order(b))
+    }
+}
+
+/// The fleet-wide transport pool. See the module docs; build one with
+/// [`SharedTransportPool::new`] and hand every site a
+/// [`SharedTransportPool::handle`].
+pub struct SharedTransportPool {
+    core: Rc<RefCell<PoolCore>>,
+}
+
+impl SharedTransportPool {
+    /// A pool with a global in-flight window of `max_in_flight` (clamped
+    /// to ≥ 1) shared by every handle.
+    pub fn new(max_in_flight: usize) -> Self {
+        SharedTransportPool {
+            core: Rc::new(RefCell::new(PoolCore {
+                window: max_in_flight.max(1),
+                clock: 0.0,
+                next_id: 0,
+                inflight: Vec::new(),
+                site_elapsed: Vec::new(),
+            })),
+        }
+    }
+
+    /// Registers one site and returns its [`Transport`] handle. The site
+    /// index (also the cross-site tie-break rank) is assigned in
+    /// registration order. The handle keeps the pool's core alive; the
+    /// `SharedTransportPool` itself may be dropped once every handle is
+    /// built.
+    pub fn handle<'a>(
+        &self,
+        server: &'a (dyn HttpServer + 'a),
+        policy: MimePolicy,
+        politeness: Politeness,
+    ) -> PoolHandle<'a> {
+        let mut core = self.core.borrow_mut();
+        let site = core.site_elapsed.len();
+        core.site_elapsed.push(0.0);
+        PoolHandle {
+            core: Rc::clone(&self.core),
+            site,
+            server,
+            policy,
+            politeness,
+            retries: 0,
+            gates: GateTable::default(),
+            traffic: Traffic::default(),
+        }
+    }
+
+    /// The global window size.
+    pub fn max_in_flight(&self) -> usize {
+        self.core.borrow().window
+    }
+
+    /// Requests in flight across every handle.
+    pub fn in_flight(&self) -> usize {
+        self.core.borrow().inflight.len()
+    }
+
+    /// `in_flight() < max_in_flight()` — the global capacity check a
+    /// fleet driver rations across sites.
+    pub fn has_capacity(&self) -> bool {
+        let core = self.core.borrow();
+        core.inflight.len() < core.window
+    }
+
+    /// The shared simulated clock.
+    pub fn clock_secs(&self) -> f64 {
+        self.core.borrow().clock
+    }
+
+    /// The site owning the globally next completion (arrival, then site
+    /// index, then id), or `None` when nothing is in flight. Drivers poll
+    /// *that* site's handle next, so deliveries advance the shared clock
+    /// in true arrival order.
+    pub fn next_completion_site(&self) -> Option<usize> {
+        self.core.borrow().next_completion().map(|e| e.site)
+    }
+
+    /// Shared-clock instant of `site`'s last delivery (0 before the
+    /// first) — the least-elapsed-host refill key.
+    pub fn site_elapsed(&self, site: usize) -> f64 {
+        self.core.borrow().site_elapsed.get(site).copied().unwrap_or(0.0)
+    }
+}
+
+/// One site's view of a [`SharedTransportPool`]: a [`Transport`] whose
+/// window, clock and politeness gates live in the shared core, while the
+/// origin server, MIME policy, politeness model, retry policy and cost
+/// counters are per-site. [`Transport::in_flight`] and
+/// [`Transport::traffic`] report this site only;
+/// [`Transport::has_capacity`] reports the **global** window (a handle
+/// may be unable to submit because other sites hold every slot).
+pub struct PoolHandle<'a> {
+    core: Rc<RefCell<PoolCore>>,
+    site: usize,
+    server: &'a (dyn HttpServer + 'a),
+    policy: MimePolicy,
+    politeness: Politeness,
+    retries: u32,
+    /// This site's politeness shard: gates for its hosts plus robots
+    /// `Crawl-delay` overrides, private to the handle (see module docs).
+    gates: GateTable,
+    traffic: Traffic,
+}
+
+impl<'a> PoolHandle<'a> {
+    /// Re-dispatches 5xx answers up to `retries` extra attempts through
+    /// the shared gate; every attempt is charged at delivery (same
+    /// contract as `PipelinedTransport::with_retries`).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The pool site index this handle was registered as.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// Executes a GET (retrying 5xx through this site's gate, dispatching
+    /// no earlier than the shared clock) and returns the final answer with
+    /// its cumulative accounting and arrival.
+    fn dispatch_get(&mut self, clock: f64, url: &str) -> (Fetched, u64, u64, f64) {
+        let mut gets = 0u64;
+        let mut wire = 0u64;
+        let mut ready_at = clock;
+        loop {
+            let f = settle_get(self.server.get(url), &self.policy);
+            gets += 1;
+            wire += f.wire_bytes;
+            let (_, arrival) = self.gates.dispatch(&self.politeness, url, ready_at, f.wire_bytes);
+            if (500..600).contains(&f.status) && gets <= u64::from(self.retries) {
+                ready_at = arrival;
+                continue;
+            }
+            return (f, gets, wire, arrival);
+        }
+    }
+
+    /// Charges one synchronous request and advances the shared clock.
+    fn charge_sync(&mut self, core: &mut PoolCore, arrival: f64) {
+        core.clock = core.clock.max(arrival);
+        core.site_elapsed[self.site] = core.clock;
+        self.traffic.elapsed_secs = core.clock;
+    }
+}
+
+impl Transport for PoolHandle<'_> {
+    fn submit(&mut self, req: Request<'_>) -> RequestId {
+        let core = Rc::clone(&self.core);
+        let mut core = core.borrow_mut();
+        debug_assert!(
+            core.inflight.len() < core.window,
+            "submit beyond the shared window (window {})",
+            core.window
+        );
+        let id = core.next_id;
+        core.next_id += 1;
+        let (answer, gets, wire, arrival) = self.dispatch_get(core.clock, req.url);
+        core.inflight.push(PoolEntry { id, site: self.site, arrival, answer, gets, wire });
+        id
+    }
+
+    fn poll_into(&mut self, out: &mut Vec<(RequestId, Fetched)>) {
+        out.clear();
+        let mut core = self.core.borrow_mut();
+        core.sort_completion_order();
+        // The horizon is this site's next completion instant (never
+        // backwards). Another site may own an earlier arrival: its entries
+        // stay pooled — they are delivered with their own arrival when its
+        // handle polls, so nothing is lost if this site drains first (the
+        // shared clock then just jumps past them, as on a machine that was
+        // busy elsewhere). Drivers that poll sites in
+        // [`SharedTransportPool::next_completion_site`] order never hit
+        // that case and advance the clock in true arrival order.
+        let Some(first) = core.inflight.iter().find(|e| e.site == self.site).map(|e| e.arrival)
+        else {
+            return;
+        };
+        let horizon = core.clock.max(first);
+        let mut i = 0;
+        while i < core.inflight.len() {
+            let e = &core.inflight[i];
+            if e.site != self.site || e.arrival > horizon {
+                i += 1;
+                continue;
+            }
+            let e = core.inflight.remove(i);
+            core.clock = core.clock.max(e.arrival);
+            self.traffic.get_requests += e.gets;
+            self.traffic.non_target_bytes += e.wire;
+            out.push((e.id, e.answer));
+        }
+        core.site_elapsed[self.site] = core.clock;
+        self.traffic.elapsed_secs = core.clock;
+    }
+
+    fn head(&mut self, url: &str) -> HeadResponse {
+        let r = self.server.head(url);
+        let wire = r.wire_size();
+        let core = Rc::clone(&self.core);
+        let mut core = core.borrow_mut();
+        let (_, arrival) = self.gates.dispatch(&self.politeness, url, core.clock, wire);
+        self.traffic.head_requests += 1;
+        self.traffic.non_target_bytes += wire;
+        self.charge_sync(&mut core, arrival);
+        r
+    }
+
+    fn fetch_now(&mut self, url: &str) -> Fetched {
+        let f = settle_get(self.server.get(url), &self.policy);
+        let core = Rc::clone(&self.core);
+        let mut core = core.borrow_mut();
+        let (_, arrival) = self.gates.dispatch(&self.politeness, url, core.clock, f.wire_bytes);
+        self.traffic.get_requests += 1;
+        self.traffic.non_target_bytes += f.wire_bytes;
+        self.charge_sync(&mut core, arrival);
+        f
+    }
+
+    fn in_flight(&self) -> usize {
+        self.core.borrow().inflight.iter().filter(|e| e.site == self.site).count()
+    }
+
+    fn in_flight_bytes(&self) -> u64 {
+        self.core.borrow().inflight.iter().filter(|e| e.site == self.site).map(|e| e.wire).sum()
+    }
+
+    fn max_in_flight(&self) -> usize {
+        self.core.borrow().window
+    }
+
+    /// Global, not per-site: a slot is free only when the *pool* has one.
+    fn has_capacity(&self) -> bool {
+        let core = self.core.borrow();
+        core.inflight.len() < core.window
+    }
+
+    fn traffic(&self) -> Traffic {
+        self.traffic
+    }
+
+    fn tag_target(&mut self, bytes: u64) {
+        let moved = bytes.min(self.traffic.non_target_bytes);
+        self.traffic.non_target_bytes -= moved;
+        self.traffic.target_bytes += moved;
+    }
+
+    fn policy(&self) -> &MimePolicy {
+        &self.policy
+    }
+
+    fn set_host_min_delay(&mut self, host: &str, delay_secs: f64) {
+        self.gates.set_host_min_delay(host, delay_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::SiteServer;
+    use sb_webgraph::gen::{build_site, SiteSpec};
+
+    fn server(pages: usize, seed: u64) -> SiteServer {
+        SiteServer::new(build_site(&SiteSpec::demo(pages), seed))
+    }
+
+    fn html_urls(s: &SiteServer, n: usize) -> Vec<String> {
+        s.site()
+            .pages()
+            .iter()
+            .filter(|p| matches!(p.kind, sb_webgraph::PageKind::Html(_)))
+            .map(|p| p.url.clone())
+            .take(n)
+            .collect()
+    }
+
+    fn drain(t: &mut dyn Transport) -> Vec<RequestId> {
+        let mut out = Vec::new();
+        let mut order = Vec::new();
+        while t.in_flight() > 0 {
+            t.poll_into(&mut out);
+            order.extend(out.iter().map(|(id, _)| *id));
+        }
+        order
+    }
+
+    #[test]
+    fn window_is_shared_across_handles() {
+        let (a, b) = (server(120, 1), server(120, 2));
+        let (ua, ub) = (html_urls(&a, 4), html_urls(&b, 4));
+        let pool = SharedTransportPool::new(3);
+        let mut ha = pool.handle(&a, MimePolicy::default(), Politeness::default());
+        let mut hb = pool.handle(&b, MimePolicy::default(), Politeness::default());
+
+        ha.submit(Request::get(&ua[0]));
+        hb.submit(Request::get(&ub[0]));
+        ha.submit(Request::get(&ua[1]));
+        assert_eq!(pool.in_flight(), 3);
+        assert!(!pool.has_capacity());
+        assert!(!ha.has_capacity() && !hb.has_capacity(), "capacity is global");
+        assert_eq!(ha.in_flight(), 2);
+        assert_eq!(hb.in_flight(), 1);
+        assert!(ha.in_flight_bytes() > 0);
+
+        drain(&mut ha);
+        drain(&mut hb);
+        assert_eq!(pool.in_flight(), 0);
+        assert!(pool.has_capacity());
+        assert_eq!(ha.traffic().get_requests, 2);
+        assert_eq!(hb.traffic().get_requests, 1);
+    }
+
+    #[test]
+    fn next_completion_breaks_cross_site_ties_by_site_index() {
+        // Two identical sites (same spec, same seed — same root URL, same
+        // sizes) submitted back to back at clock 0: each handle's own gate
+        // starts cold, so both requests dispatch at t = 0 and arrive at
+        // the identical instant. Submission order is deliberately reversed
+        // so the tie cannot be won by id accident: the pool must rank the
+        // lower *site index* first.
+        let (a, b) = (server(120, 3), server(120, 3));
+        let (ua, ub) = (html_urls(&a, 1), html_urls(&b, 1));
+        assert_eq!(ua[0], ub[0], "same spec + seed generate the same site");
+        let pool = SharedTransportPool::new(2);
+        let mut ha = pool.handle(&a, MimePolicy::default(), Politeness::default());
+        let mut hb = pool.handle(&b, MimePolicy::default(), Politeness::default());
+        let id_b = hb.submit(Request::get(&ub[0]));
+        let id_a = ha.submit(Request::get(&ua[0]));
+        assert!(id_b < id_a, "ids ascend in submission order, pool-wide");
+        assert_eq!(
+            pool.next_completion_site(),
+            Some(0),
+            "equal arrivals rank by site index, not submission order"
+        );
+    }
+
+    #[test]
+    fn gates_shard_per_handle_and_space_within_a_site() {
+        // Politeness-dominated regime: 1 s delay, negligible transfer.
+        let pol = Politeness { delay_secs: 1.0, bytes_per_sec: 1e9 };
+        let (a, b) = (server(200, 5), server(200, 6));
+        let (ua, ub) = (html_urls(&a, 6), html_urls(&b, 6));
+
+        // Wide window, two sites: each handle's gate ticks concurrently
+        // (politeness shards per site — the synthetic hostname the two
+        // generated sites share must NOT couple them), so 12 requests
+        // cost ~6 s, not ~12 s.
+        let pool = SharedTransportPool::new(12);
+        let mut ha = pool.handle(&a, MimePolicy::default(), pol);
+        let mut hb = pool.handle(&b, MimePolicy::default(), pol);
+        for (x, y) in ua.iter().zip(&ub) {
+            ha.submit(Request::get(x));
+            hb.submit(Request::get(y));
+        }
+        drain(&mut ha);
+        drain(&mut hb);
+        let sharded = pool.clock_secs();
+        assert!(
+            sharded < 6.0 + 1.0,
+            "distinct sites must overlap politeness waits: {sharded:.1}s"
+        );
+        // Within one site the gate still spaces every dispatch.
+        assert!(
+            ha.traffic().elapsed_secs >= 6.0 * pol.delay_secs - 1e-9,
+            "a site's own dispatches must stay politeness-spaced"
+        );
+
+        // One site, wide window: its single gate spaces all 12 — ~12 s.
+        let a2 = server(200, 5);
+        let pool = SharedTransportPool::new(12);
+        let mut h1 = pool.handle(&a2, MimePolicy::default(), pol);
+        for x in ua.iter().chain(ua.iter()) {
+            h1.submit(Request::get(x));
+        }
+        drain(&mut h1);
+        let gated = pool.clock_secs();
+        assert!(
+            gated >= 12.0 * pol.delay_secs - 1e-9,
+            "one site's gate must space every dispatch: {gated:.1}s"
+        );
+    }
+
+    #[test]
+    fn global_window_one_serialises_the_fleet() {
+        // With window 1 the pool is one crawler visiting sites strictly in
+        // turn: the shared clock telescopes to the serial sum of both
+        // sites' blocking-client costs.
+        let (a, b) = (server(150, 7), server(150, 8));
+        let (ua, ub) = (html_urls(&a, 8), html_urls(&b, 8));
+        let mut ca = crate::Client::new(&a, MimePolicy::default());
+        let mut cb = crate::Client::new(&b, MimePolicy::default());
+        for u in &ua {
+            ca.get(u);
+        }
+        for u in &ub {
+            cb.get(u);
+        }
+        let serial_sum = ca.traffic().elapsed_secs + cb.traffic().elapsed_secs;
+
+        let pool = SharedTransportPool::new(1);
+        let mut ha = pool.handle(&a, MimePolicy::default(), Politeness::default());
+        let mut hb = pool.handle(&b, MimePolicy::default(), Politeness::default());
+        let mut out = Vec::new();
+        for (x, y) in ua.iter().zip(&ub) {
+            ha.submit(Request::get(x));
+            ha.poll_into(&mut out);
+            assert_eq!(out.len(), 1);
+            hb.submit(Request::get(y));
+            hb.poll_into(&mut out);
+            assert_eq!(out.len(), 1);
+        }
+        assert!(
+            (pool.clock_secs() - serial_sum).abs() < 1e-6,
+            "window 1 must serialise: {} vs {}",
+            pool.clock_secs(),
+            serial_sum
+        );
+        // And per-site volume matches the blocking clients exactly.
+        assert_eq!(ha.traffic().total_bytes(), ca.traffic().total_bytes());
+        assert_eq!(hb.traffic().total_bytes(), cb.traffic().total_bytes());
+    }
+
+    #[test]
+    fn site_elapsed_tracks_last_delivery_per_site() {
+        let (a, b) = (server(120, 9), server(120, 10));
+        let (ua, ub) = (html_urls(&a, 2), html_urls(&b, 2));
+        let pool = SharedTransportPool::new(4);
+        let mut ha = pool.handle(&a, MimePolicy::default(), Politeness::default());
+        let mut hb = pool.handle(&b, MimePolicy::default(), Politeness::default());
+        assert_eq!(pool.site_elapsed(0), 0.0);
+        ha.submit(Request::get(&ua[0]));
+        drain(&mut ha);
+        assert!(pool.site_elapsed(0) > 0.0);
+        assert_eq!(pool.site_elapsed(1), 0.0, "site 1 has not delivered yet");
+        hb.submit(Request::get(&ub[0]));
+        drain(&mut hb);
+        assert!(pool.site_elapsed(1) >= pool.site_elapsed(0), "shared clock is monotone");
+    }
+
+    #[test]
+    fn crawl_delay_override_stays_in_the_handles_shard() {
+        let (a, b) = (server(150, 11), server(150, 12));
+        let (ua, ub) = (html_urls(&a, 3), html_urls(&b, 3));
+        let host = crate::transport::host_of(&ua[0]).to_owned();
+        let pol = Politeness { delay_secs: 1.0, bytes_per_sec: 1e9 };
+        let pool = SharedTransportPool::new(6);
+        let mut ha = pool.handle(&a, MimePolicy::default(), pol);
+        let mut hb = pool.handle(&b, MimePolicy::default(), pol);
+        // Site A declares a 5 s Crawl-delay; site B (same synthetic
+        // hostname — the shard is the handle, not the string) keeps the
+        // 1 s default.
+        ha.set_host_min_delay(&host, 5.0);
+        for (x, y) in ua.iter().zip(&ub) {
+            ha.submit(Request::get(x));
+            hb.submit(Request::get(y));
+        }
+        // Drain B first: its last arrival is ~3 s in, well before A's
+        // gated ones (draining A first would advance the shared clock past
+        // B's arrivals and mask the comparison).
+        drain(&mut hb);
+        drain(&mut ha);
+        assert!(
+            hb.traffic().elapsed_secs < 15.0,
+            "B must not inherit A's Crawl-delay: {:.1}s",
+            hb.traffic().elapsed_secs
+        );
+        assert!(
+            ha.traffic().elapsed_secs >= 15.0 - 1e-9,
+            "5 s Crawl-delay must gate all three of A's dispatches: {:.1}s",
+            ha.traffic().elapsed_secs
+        );
+    }
+}

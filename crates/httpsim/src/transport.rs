@@ -80,7 +80,12 @@ impl<'u> Request<'u> {
 }
 
 /// The nonblocking fetch boundary. See the module docs; the simulated
-/// implementation is [`PipelinedTransport`].
+/// single-site implementation is [`PipelinedTransport`] and the fleet-wide
+/// one is [`crate::pool::SharedTransportPool`]. Every implementation must
+/// uphold the invariants of the conformance suite
+/// (`tests/transport_conformance.rs`): politeness gate spacing,
+/// deterministic completion order, window-1 equivalence with the blocking
+/// [`crate::Client`], and charged-every-attempt retry accounting.
 pub trait Transport {
     /// Enqueues a GET into the in-flight pool and returns its id. Callers
     /// must keep [`Transport::in_flight`] within
@@ -111,6 +116,15 @@ pub trait Transport {
     /// Requests submitted and not yet delivered.
     fn in_flight(&self) -> usize;
 
+    /// Wire bytes of the requests submitted and not yet delivered. The
+    /// simulated origin answers at dispatch, so the exact figure is known
+    /// the moment a request enters the pool (a live transport would use
+    /// `Content-Length` plus running transfer counts). Budget-aware
+    /// callers add this to the delivered volume before refilling, so a
+    /// wide window cannot overshoot a volume budget by a whole window of
+    /// undelivered transfers.
+    fn in_flight_bytes(&self) -> u64;
+
     /// The in-flight window size the caller should respect.
     fn max_in_flight(&self) -> usize;
 
@@ -129,6 +143,20 @@ pub trait Transport {
 
     /// The MIME policy governing mid-flight interruption.
     fn policy(&self) -> &MimePolicy;
+
+    /// Raises the politeness gate for one host (e.g. a robots
+    /// `Crawl-delay`). The effective inter-dispatch delay for the host
+    /// becomes `max(politeness.delay_secs, delay_secs)`; keys are
+    /// case-folded, so any casing of the host shares the override.
+    fn set_host_min_delay(&mut self, host: &str, delay_secs: f64);
+
+    /// Applies the `Crawl-delay` of a parsed robots.txt (if declared for
+    /// `agent`) as `host`'s gate delay.
+    fn apply_crawl_delay(&mut self, robots: &RobotsTxt, agent: &str, host: &str) {
+        if let Some(d) = robots.crawl_delay(agent) {
+            self.set_host_min_delay(host, d);
+        }
+    }
 }
 
 /// One request in the pool: the answer is computed eagerly at dispatch
@@ -154,6 +182,55 @@ struct HostGate {
     min_delay: Option<f64>,
 }
 
+/// The per-host politeness gates, shared by [`PipelinedTransport`] and
+/// [`crate::pool::SharedTransportPool`] so the two backends cannot drift:
+/// same key folding, same `Crawl-delay` override rule, same
+/// `start/gate/arrival` arithmetic.
+#[derive(Default)]
+pub(crate) struct GateTable {
+    gates: FxHashMap<String, HostGate>,
+}
+
+impl GateTable {
+    pub(crate) fn set_host_min_delay(&mut self, host: &str, delay_secs: f64) {
+        self.gates.entry(host_key(host)).or_default().min_delay = Some(delay_secs.max(0.0));
+    }
+
+    /// Passes one dispatch through the host's politeness gate starting no
+    /// earlier than `ready_at`, returning its `(start, arrival)` for a
+    /// transfer of `wire` bytes. Gate keys are case-folded — canonical
+    /// (interned) URLs carry lowercase hosts and hit the map borrowed; a
+    /// mixed-case host folds once so it shares the gate (and any
+    /// `Crawl-delay` override) of its lowercase form.
+    pub(crate) fn dispatch(
+        &mut self,
+        politeness: &Politeness,
+        url: &str,
+        ready_at: f64,
+        wire: u64,
+    ) -> (f64, f64) {
+        let host = host_of(url);
+        let key: std::borrow::Cow<'_, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
+            std::borrow::Cow::Owned(host_key(host))
+        } else {
+            std::borrow::Cow::Borrowed(host)
+        };
+        let base = politeness.delay_secs;
+        let delay = match self.gates.get(key.as_ref()).and_then(|g| g.min_delay) {
+            Some(d) => d.max(base),
+            None => base,
+        };
+        let gate = match self.gates.get_mut(key.as_ref()) {
+            Some(g) => g,
+            None => self.gates.entry(key.into_owned()).or_default(),
+        };
+        let start = ready_at.max(gate.next_start);
+        gate.next_start = start + delay;
+        let arrival = start + delay + wire as f64 / politeness.bytes_per_sec;
+        (start, arrival)
+    }
+}
+
 /// The simulated [`Transport`]: a bounded in-flight pool over any
 /// [`HttpServer`] with per-host politeness gating and deterministic
 /// completion ordering.
@@ -169,7 +246,7 @@ pub struct PipelinedTransport<'a> {
     traffic: Traffic,
     next_id: RequestId,
     inflight: Vec<InFlightReq>,
-    gates: FxHashMap<String, HostGate>,
+    gates: GateTable,
 }
 
 impl<'a> PipelinedTransport<'a> {
@@ -190,7 +267,7 @@ impl<'a> PipelinedTransport<'a> {
             traffic: Traffic::default(),
             next_id: 0,
             inflight: Vec::new(),
-            gates: FxHashMap::default(),
+            gates: GateTable::default(),
         }
     }
 
@@ -211,52 +288,14 @@ impl<'a> PipelinedTransport<'a> {
         self
     }
 
-    /// Raises the politeness gate for one host (e.g. a robots
-    /// `Crawl-delay`). The effective inter-dispatch delay for the host is
-    /// `max(politeness.delay_secs, delay_secs)`.
-    pub fn set_host_min_delay(&mut self, host: &str, delay_secs: f64) {
-        self.gates.entry(host_key(host)).or_default().min_delay = Some(delay_secs.max(0.0));
-    }
-
-    /// Applies the `Crawl-delay` of a parsed robots.txt (if declared for
-    /// `agent`) as `host`'s gate delay.
-    pub fn apply_crawl_delay(&mut self, robots: &RobotsTxt, agent: &str, host: &str) {
-        if let Some(d) = robots.crawl_delay(agent) {
-            self.set_host_min_delay(host, d);
-        }
-    }
-
     /// The simulated clock (arrival of the last delivered completion).
     pub fn clock_secs(&self) -> f64 {
         self.clock
     }
 
-    /// Passes one dispatch through the host's politeness gate starting no
-    /// earlier than `ready_at`, returning its `(start, arrival)` for a
-    /// transfer of `wire` bytes. Gate keys are case-folded — canonical
-    /// (interned) URLs carry lowercase hosts and hit the map borrowed; a
-    /// mixed-case host folds once so it shares the gate (and any
-    /// `Crawl-delay` override) of its lowercase form.
+    /// One dispatch through the shared [`GateTable`].
     fn gate_dispatch(&mut self, url: &str, ready_at: f64, wire: u64) -> (f64, f64) {
-        let host = host_of(url);
-        let key: std::borrow::Cow<'_, str> = if host.bytes().any(|b| b.is_ascii_uppercase()) {
-            std::borrow::Cow::Owned(host_key(host))
-        } else {
-            std::borrow::Cow::Borrowed(host)
-        };
-        let base = self.politeness.delay_secs;
-        let delay = match self.gates.get(key.as_ref()).and_then(|g| g.min_delay) {
-            Some(d) => d.max(base),
-            None => base,
-        };
-        let gate = match self.gates.get_mut(key.as_ref()) {
-            Some(g) => g,
-            None => self.gates.entry(key.into_owned()).or_default(),
-        };
-        let start = ready_at.max(gate.next_start);
-        gate.next_start = start + delay;
-        let arrival = start + delay + wire as f64 / self.politeness.bytes_per_sec;
-        (start, arrival)
+        self.gates.dispatch(&self.politeness, url, ready_at, wire)
     }
 
     /// Executes a GET (retrying 5xx through the gate) and returns the final
@@ -348,6 +387,10 @@ impl Transport for PipelinedTransport<'_> {
         self.inflight.len()
     }
 
+    fn in_flight_bytes(&self) -> u64 {
+        self.inflight.iter().map(|r| r.wire).sum()
+    }
+
     fn max_in_flight(&self) -> usize {
         self.window
     }
@@ -365,12 +408,16 @@ impl Transport for PipelinedTransport<'_> {
     fn policy(&self) -> &MimePolicy {
         &self.policy
     }
+
+    fn set_host_min_delay(&mut self, host: &str, delay_secs: f64) {
+        self.gates.set_host_min_delay(host, delay_secs);
+    }
 }
 
 /// The host component of an absolute http(s) URL, without allocating.
 /// Interned URLs are already canonical (lowercased host), so the slice is
 /// usable as a gate key directly.
-fn host_of(url: &str) -> &str {
+pub(crate) fn host_of(url: &str) -> &str {
     let rest = url.find("://").map(|i| &url[i + 3..]).unwrap_or(url);
     let end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
     let authority = &rest[..end];

@@ -15,6 +15,12 @@ BENCH_SHIM_OUT="$PWD/$OUT_RAW" cargo bench --offline -p sb-bench --bench html
 # experiment computes; the criterion group above only times the wall cost.
 cargo run --release --offline -p sb-eval --bin xp -- \
     pipeline --scale 0.01 --jobs 3 --out target/bench-pipeline
+# Likewise the shared-pool fleet's headline is its simulated makespan
+# ladder (global window 1/4/16 through one SharedTransportPool, window 1
+# asserted byte-identical to per-site transports); the criterion
+# fleet_shared_pool group only times the wall cost.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    fleet --shared-pool --scale 0.005 --sites cl,nc,ab,ce --jobs 3 --out target/bench-fleet-pool
 
 python3 - "$OUT_RAW" <<'PY'
 import json, os, re, subprocess, sys
@@ -56,6 +62,46 @@ fleet = {
     "workers_4": {"id": f"{fleet_group}/workers_4", "ns_per_iter": round(w4, 1)},
     "parallel_speedup": round(w1 / w4, 2),
     "throughput_sites_per_sec_4_workers": round(fleet_sites * 1e9 / w4, 2),
+}
+
+# The shared transport pool (PR 5): wall ns per global window from the
+# criterion fleet_shared_pool group, simulated makespans from the
+# `xp fleet --shared-pool` ladder (target/bench-fleet-pool/fleet_pool.csv;
+# window 1 there is asserted byte-identical to per-site transports).
+import csv as _csv
+pool_rows = {r["mode"]: r
+             for r in _csv.DictReader(open("target/bench-fleet-pool/fleet_pool.csv"))}
+pool_serial = float(pool_rows["shared pool, window 1"]["sim_makespan_secs"])
+fleet["shared_pool"] = {
+    "bench": "the same fleet multiplexed through one SharedTransportPool "
+             "(global in-flight window shared across every site, "
+             "politeness sharded per host); wall ns is the 8x500 BFS "
+             "criterion group, sim makespans are the xp fleet "
+             "--shared-pool ladder (SB-CLASSIFIER sites)",
+    "note": "coverage is pool-invariant (window 1 byte-identical to "
+            "per-site transports, asserted by the experiment); "
+            "sim_speedup is politeness-wait overlap across sites",
+    "windows": [
+        {
+            "global_window": w,
+            "targets": int(pool_rows[f"shared pool, window {w}"]["targets"]),
+            "requests": int(pool_rows[f"shared pool, window {w}"]["requests"]),
+            "sim_makespan_secs": round(
+                float(pool_rows[f"shared pool, window {w}"]["sim_makespan_secs"]), 1),
+            "sim_speedup": round(
+                pool_serial
+                / float(pool_rows[f"shared pool, window {w}"]["sim_makespan_secs"]), 2),
+            "wall_ns_per_iter": round(
+                ns(f"engine/fleet_shared_pool_8x500/window_{w}"), 1),
+        }
+        for w in (1, 4, 16)
+    ],
+    "per_site_transports": {
+        "targets": int(pool_rows["per-site transports"]["targets"]),
+        "requests": int(pool_rows["per-site transports"]["requests"]),
+        "sim_makespan_secs": round(
+            float(pool_rows["per-site transports"]["sim_makespan_secs"]), 1),
+    },
 }
 
 # The html section (PR 3): seed owned-String pipeline (sb_bench::seed_html)

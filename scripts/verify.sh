@@ -23,9 +23,12 @@ cargo bench --no-run --offline -p sb-bench --bench html
 # crawling, metrics and report rendering.
 cargo run --release --offline -p sb-eval --bin xp -- \
     table1 --scale 0.003 --seeds 1 --sites cl,nc --jobs 2 --out target/verify-smoke
-# Fleet smoke: multi-site concurrent sessions through the fleet scheduler.
+# Fleet smoke: multi-site concurrent sessions through the fleet scheduler,
+# plus the shared transport pool arm (PR 5) — the experiment asserts the
+# window-1 pool replays the per-site-transport fleet byte-identically and
+# reports the 1/4/16 global-window makespan ladder.
 cargo run --release --offline -p sb-eval --bin xp -- \
-    fleet --scale 0.003 --sites cl,nc,ab,ce --jobs 2 --out target/verify-smoke
+    fleet --scale 0.003 --sites cl,nc,ab,ce --jobs 2 --shared-pool --out target/verify-smoke
 # Pipeline smoke: the nonblocking transport at in-flight 1/4/16 — coverage
 # must be window-invariant and the makespan ladder monotone (PR 4).
 cargo run --release --offline -p sb-eval --bin xp -- \
