@@ -50,6 +50,104 @@ pub enum AbandonReason {
     /// [`crate::strategy::Strategy::feedback_error`] so the pull is not
     /// silent. Only reachable with `max_in_flight > 1`.
     SessionClosed,
+    /// The transport's simulated request timeout elapsed before the
+    /// transfer finished (PR 6, synthetic status
+    /// [`sb_httpsim::STATUS_TIMEOUT`]). The partial transfer was charged.
+    Timeout,
+    /// Every retry the transport's [`sb_httpsim::RetryPolicy`] allowed was
+    /// spent and the last answer was still a retryable failure (5xx/429).
+    /// Each attempt was charged.
+    RetriesExhausted,
+    /// The transport's per-host circuit breaker had quarantined the host
+    /// (PR 6, synthetic status [`sb_httpsim::STATUS_QUARANTINED`]); the
+    /// request never reached the origin and cost nothing.
+    HostQuarantined,
+}
+
+impl AbandonReason {
+    /// Maps a final transport answer to its abandon reason. Synthetic
+    /// hazard statuses ([`sb_httpsim::STATUS_TIMEOUT`],
+    /// [`sb_httpsim::STATUS_QUARANTINED`]) take precedence; a retryable
+    /// failure that the transport re-dispatched at least once is
+    /// [`AbandonReason::RetriesExhausted`]; anything else is a plain
+    /// [`AbandonReason::HttpError`].
+    pub(crate) fn for_http_failure(status: u16, attempts: u32) -> AbandonReason {
+        match status {
+            sb_httpsim::STATUS_TIMEOUT => AbandonReason::Timeout,
+            sb_httpsim::STATUS_QUARANTINED => AbandonReason::HostQuarantined,
+            s if attempts > 1 && ((500..600).contains(&s) || s == 429) => {
+                AbandonReason::RetriesExhausted
+            }
+            s => AbandonReason::HttpError(s),
+        }
+    }
+}
+
+/// Per-reason tally of [`CrawlEvent::Abandoned`] emissions (PR 6). A small
+/// `Copy` struct rather than a map so it can ride inside the step/outcome
+/// reports without allocation; rare structural reasons share the
+/// `other` bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbandonCounts {
+    /// [`AbandonReason::HttpError`] — plain 4xx/5xx with no retry story.
+    pub http_error: u64,
+    /// [`AbandonReason::Timeout`].
+    pub timeout: u64,
+    /// [`AbandonReason::RetriesExhausted`].
+    pub retries_exhausted: u64,
+    /// [`AbandonReason::HostQuarantined`].
+    pub quarantined: u64,
+    /// Any `Redirect*` reason (exhausted chains, loops, bad `Location`s).
+    pub redirect: u64,
+    /// [`AbandonReason::SessionClosed`] — in-flight work drained at finish.
+    pub session_closed: u64,
+    /// Everything else (interrupted transfers, missing MIME, unparseable
+    /// selections).
+    pub other: u64,
+}
+
+impl AbandonCounts {
+    /// Tallies one abandonment.
+    pub(crate) fn record(&mut self, reason: AbandonReason) {
+        match reason {
+            AbandonReason::HttpError(_) => self.http_error += 1,
+            AbandonReason::Timeout => self.timeout += 1,
+            AbandonReason::RetriesExhausted => self.retries_exhausted += 1,
+            AbandonReason::HostQuarantined => self.quarantined += 1,
+            AbandonReason::RedirectChainExhausted
+            | AbandonReason::RedirectMissingLocation
+            | AbandonReason::RedirectUnparseable
+            | AbandonReason::RedirectOffSite
+            | AbandonReason::RedirectFiltered
+            | AbandonReason::RedirectAlreadyKnown => self.redirect += 1,
+            AbandonReason::SessionClosed => self.session_closed += 1,
+            AbandonReason::UnparseableSelection
+            | AbandonReason::Interrupted
+            | AbandonReason::MissingMime => self.other += 1,
+        }
+    }
+
+    /// Total abandonments across every bucket.
+    pub fn total(&self) -> u64 {
+        self.http_error
+            + self.timeout
+            + self.retries_exhausted
+            + self.quarantined
+            + self.redirect
+            + self.session_closed
+            + self.other
+    }
+
+    /// Element-wise sum, for fleet-level aggregation.
+    pub fn merge(&mut self, other: &AbandonCounts) {
+        self.http_error += other.http_error;
+        self.timeout += other.timeout;
+        self.retries_exhausted += other.retries_exhausted;
+        self.quarantined += other.quarantined;
+        self.redirect += other.redirect;
+        self.session_closed += other.session_closed;
+        self.other += other.other;
+    }
 }
 
 /// Why a session stopped stepping.

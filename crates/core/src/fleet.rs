@@ -56,7 +56,7 @@
 //!
 //! [`SharedTransportPool`]: sb_httpsim::SharedTransportPool
 
-use crate::events::FinishReason;
+use crate::events::{AbandonCounts, FinishReason};
 use crate::session::{ConfigError, CrawlConfig, CrawlOutcome, CrawlSession, Oracle};
 use crate::strategy::Strategy;
 use sb_httpsim::{HttpServer, SharedTransportPool, Traffic};
@@ -128,6 +128,12 @@ impl SiteReport {
             Err(e) => panic!("fleet site {:?} failed to start: {e}", self.name),
         }
     }
+
+    /// The site's per-reason abandonment tally (PR 6); zero for sites
+    /// that failed to start.
+    pub fn abandoned(&self) -> AbandonCounts {
+        self.outcome.as_ref().map(|o| o.abandoned).unwrap_or_default()
+    }
 }
 
 /// What a finished fleet reports: per-site outcomes (in submission order)
@@ -142,6 +148,9 @@ pub struct FleetOutcome {
     pub targets: u64,
     /// Real wall-clock seconds the fleet took.
     pub wall_secs: f64,
+    /// Fleet-wide per-reason abandonment tally (PR 6) — the sum of every
+    /// site's [`CrawlOutcome::abandoned`].
+    pub abandoned: AbandonCounts,
 }
 
 impl FleetOutcome {
@@ -262,13 +271,15 @@ impl Fleet {
 
         let mut traffic = Traffic::default();
         let mut targets = 0u64;
+        let mut abandoned = AbandonCounts::default();
         for report in &sites {
             if let Ok(o) = &report.outcome {
                 traffic.absorb(&o.traffic);
                 targets += o.targets_found();
+                abandoned.merge(&o.abandoned);
             }
         }
-        FleetOutcome { sites, traffic, targets, wall_secs: started.elapsed().as_secs_f64() }
+        FleetOutcome { sites, traffic, targets, wall_secs: started.elapsed().as_secs_f64(), abandoned }
     }
 }
 

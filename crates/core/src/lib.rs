@@ -74,7 +74,8 @@ pub use action::{ActionId, ActionSpace, ActionSpaceConfig, ActionSpaceFull};
 pub use early_stop::{EarlyStop, EarlyStopConfig};
 pub use engine::crawl;
 pub use events::{
-    AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, EventLog, FinishReason, OwnedEvent,
+    AbandonCounts, AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, EventLog, FinishReason,
+    OwnedEvent,
     TraceObserver,
 };
 pub use fleet::{Fleet, FleetJob, FleetMode, FleetOutcome, SharedOracle, SharedServer, SiteReport};

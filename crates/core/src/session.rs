@@ -56,7 +56,8 @@
 
 use crate::early_stop::{EarlyStop, EarlyStopConfig};
 use crate::events::{
-    AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, FinishReason, TraceObserver,
+    AbandonCounts, AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, FinishReason,
+    TraceObserver,
 };
 use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
 use crate::trace::CrawlTrace;
@@ -125,6 +126,16 @@ pub struct CrawlConfig {
     /// unvalidated path is lenient); the validating builder rejects it
     /// with [`ConfigError::ZeroMaxInFlight`] instead.
     pub max_in_flight: usize,
+    /// Crawl as this user agent under the site's robots.txt (PR 6). When
+    /// set, the session's very first request fetches `/robots.txt` through
+    /// the transport (charged against the budget like any other GET); a
+    /// 200 answer is parsed and from then on disallowed URLs are dropped
+    /// at link admission and a declared `Crawl-delay` is applied to the
+    /// transport's politeness gate automatically — no manual
+    /// [`sb_httpsim::transport::Transport::apply_crawl_delay`] call
+    /// needed. Composes with [`CrawlConfig::url_filter`] (both must
+    /// admit). `None` (the default) changes nothing.
+    pub robots_agent: Option<String>,
 }
 
 /// Boxed URL predicate for [`CrawlConfig::url_filter`].
@@ -159,6 +170,7 @@ impl Default for CrawlConfig {
             url_filter: None,
             seed_urls: Vec::new(),
             max_in_flight: 1,
+            robots_agent: None,
         }
     }
 }
@@ -264,6 +276,13 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Crawl as this agent under the site's robots.txt (fetched, parsed
+    /// and enforced automatically — see [`CrawlConfig::robots_agent`]).
+    pub fn robots_agent(mut self, agent: impl Into<String>) -> Self {
+        self.cfg.robots_agent = Some(agent.into());
+        self
+    }
+
     /// Appends one seed URL (validated at [`CrawlConfigBuilder::build`]).
     pub fn seed_url(mut self, url: impl Into<String>) -> Self {
         self.cfg.seed_urls.push(url.into());
@@ -331,6 +350,10 @@ pub struct CrawlOutcome {
     pub report: crate::strategy::StrategyReport,
     /// Why the session stopped.
     pub finish_reason: FinishReason,
+    /// Per-reason tally of abandoned fetches (PR 6) — the crawl's waste
+    /// ledger: timeouts, exhausted retries, quarantined hosts, dead
+    /// redirects.
+    pub abandoned: AbandonCounts,
 }
 
 impl CrawlOutcome {
@@ -356,6 +379,8 @@ pub struct StepReport {
     /// `None` while the session can still advance; the finish reason once
     /// it cannot. A finishing step does no crawl work.
     pub finished: Option<FinishReason>,
+    /// Cumulative per-reason abandonment tally after this step (PR 6).
+    pub abandoned: AbandonCounts,
 }
 
 /// Phase of the session's outer loop (Algorithm 3's shape, unrolled so it
@@ -458,6 +483,12 @@ pub struct CrawlSession<'a> {
     inflight: Vec<(RequestId, Job)>,
     /// Reused completion buffer (no per-poll allocation).
     poll_buf: Vec<(RequestId, Fetched)>,
+    /// Per-reason abandonment tally (PR 6), kept in lockstep with every
+    /// `CrawlEvent::Abandoned` emission.
+    abandoned: AbandonCounts,
+    /// Parsed robots.txt, when [`CrawlConfig::robots_agent`] is set and
+    /// the fetch answered 200. Checked at every link admission.
+    robots: Option<sb_httpsim::RobotsTxt>,
 }
 
 impl<'a> CrawlSession<'a> {
@@ -513,6 +544,8 @@ impl<'a> CrawlSession<'a> {
             pending: VecDeque::new(),
             inflight: Vec::new(),
             poll_buf: Vec::new(),
+            abandoned: AbandonCounts::default(),
+            robots: None,
         })
     }
 
@@ -604,7 +637,13 @@ impl<'a> CrawlSession<'a> {
             requests: self.transport.traffic().requests(),
             in_flight: self.transport.in_flight(),
             finished: self.finish_reason(),
+            abandoned: self.abandoned,
         }
+    }
+
+    /// Per-reason abandonment tally so far (PR 6).
+    pub fn abandoned(&self) -> AbandonCounts {
+        self.abandoned
     }
 
     fn pump(&mut self) {
@@ -700,6 +739,7 @@ impl<'a> CrawlSession<'a> {
             if let Phase::Root = self.phase {
                 let snap = self.snapshot();
                 self.hub.emit(&snap, &CrawlEvent::SessionStarted { root: &self.root_text });
+                self.fetch_robots();
                 let root = self.root.clone();
                 let root_id = self.intern_at_depth(&root, 0);
                 self.phase = Phase::Seeds(0);
@@ -758,6 +798,37 @@ impl<'a> CrawlSession<'a> {
         }
     }
 
+    /// The [`CrawlConfig::robots_agent`] handshake (PR 6), run once before
+    /// the root fetch: GET `/robots.txt` through the transport (a real,
+    /// budget-charged request), parse a 200 answer, apply any declared
+    /// `Crawl-delay` to the transport's politeness gate for the root host,
+    /// and keep the rules for link admission. Any non-200 answer means no
+    /// robots.txt: everything stays admitted, nothing is slowed.
+    fn fetch_robots(&mut self) {
+        let Some(agent) = self.cfg.robots_agent.clone() else { return };
+        let robots_url = format!("{}://{}/robots.txt", self.root.scheme, self.root.host);
+        let f = self.transport.fetch_now(&robots_url);
+        if f.status != 200 {
+            return;
+        }
+        let robots = sb_httpsim::RobotsTxt::parse(&String::from_utf8_lossy(&f.body));
+        self.transport.apply_crawl_delay(&robots, &agent, &self.root.host);
+        self.robots = Some(robots);
+    }
+
+    /// Link/seed/redirect admission (beyond the structural checks): the
+    /// caller's [`CrawlConfig::url_filter`] AND the session's own robots
+    /// rules must both admit the URL.
+    fn admits(&self, url: &Url) -> bool {
+        if self.cfg.url_filter.as_ref().is_some_and(|f| !f(url)) {
+            return false;
+        }
+        match (&self.robots, &self.cfg.robots_agent) {
+            (Some(robots), Some(agent)) => robots.allows(agent, &url.path),
+            _ => true,
+        }
+    }
+
     /// One strategy pull: stop checks, then `next()`, then submission.
     /// [`Pull::Stalled`] means refilling must stop (finished, or the
     /// frontier is dry while completions are still outstanding).
@@ -812,6 +883,7 @@ impl<'a> CrawlSession<'a> {
                         },
                     );
                     self.strategy.feedback_error(token);
+                    self.abandoned.record(AbandonReason::UnparseableSelection);
                     self.hub.emit(
                         &snap,
                         &CrawlEvent::Abandoned {
@@ -905,6 +977,7 @@ impl<'a> CrawlSession<'a> {
             if let Some(token) = job.token {
                 self.strategy.feedback_error(token);
             }
+            self.abandoned.record(AbandonReason::SessionClosed);
             let snap = self.snapshot();
             self.hub.emit(
                 &snap,
@@ -945,6 +1018,7 @@ impl<'a> CrawlSession<'a> {
             traffic: self.transport.traffic(),
             report: self.strategy.report(),
             finish_reason: reason,
+            abandoned: self.abandoned,
         }
     }
 
@@ -989,7 +1063,7 @@ impl<'a> CrawlSession<'a> {
             if !url.same_site_as(&self.root) {
                 continue;
             }
-            if cfg.url_filter.as_ref().is_some_and(|f| !f(&url)) {
+            if !self.admits(&url) {
                 continue;
             }
             if self.interner.get(&url).is_some() {
@@ -1019,6 +1093,7 @@ impl<'a> CrawlSession<'a> {
         if let Some(token) = job.token {
             self.strategy.feedback_error(token);
         }
+        self.abandoned.record(reason);
         let snap = self.snapshot();
         self.hub.emit(&snap, &CrawlEvent::Abandoned { url: self.interner.text(id), reason });
     }
@@ -1061,7 +1136,7 @@ impl<'a> CrawlSession<'a> {
             if !next.same_site_as(&self.root) {
                 return self.abandon(&job, id, AbandonReason::RedirectOffSite);
             }
-            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&next)) {
+            if !self.admits(&next) {
                 return self.abandon(&job, id, AbandonReason::RedirectFiltered);
             }
             let next_id = match self.interner.get(&next) {
@@ -1092,9 +1167,11 @@ impl<'a> CrawlSession<'a> {
             });
         }
 
-        // Errors (4xx/5xx) yield nothing; the selection still consumed a pull.
+        // Errors (4xx/5xx) yield nothing; the selection still consumed a
+        // pull. Hazard-layer answers (synthetic timeout/quarantine
+        // statuses, retried-then-failed 5xx) get their own reasons.
         if f.status >= 400 {
-            return self.abandon(&job, id, AbandonReason::HttpError(f.status));
+            return self.abandon(&job, id, AbandonReason::for_http_failure(f.status, f.attempts));
         }
         if f.interrupted {
             // Banned MIME type: transfer aborted (Algorithm 3).
@@ -1167,7 +1244,7 @@ impl<'a> CrawlSession<'a> {
                 continue;
             }
             // URL admission filter (robots.txt etc.): dropped unrequested.
-            if self.cfg.url_filter.as_ref().is_some_and(|f| !f(&resolved)) {
+            if !self.admits(&resolved) {
                 continue;
             }
             let id = self.intern_at_depth(&resolved, page_depth + 1);

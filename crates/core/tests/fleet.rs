@@ -469,3 +469,109 @@ fn shared_pool_shutdown_drains_in_flight_selections_across_sites() {
         );
     }
 }
+
+/// PR 6 extension of the shutdown-drain contract: the same mid-flight
+/// kill, but with every handle running a retry policy with real backoff
+/// over a fully flaky origin — so at shutdown the outstanding selections
+/// are not idle transfers but requests *mid-retry*, their re-dispatches
+/// scheduled seconds into the simulated future. The drain must still
+/// deliver exactly one `feedback_error` per selection, one
+/// `Abandoned(SessionClosed)` per in-flight job, tally them in the PR 6
+/// per-reason counters, and leave the pool empty with every attempt
+/// (failures included) charged.
+#[test]
+fn shared_pool_shutdown_drains_selections_mid_retry_backoff() {
+    use sb_httpsim::{FlakyServer, RetryPolicy};
+
+    let sites = pool_sites(78);
+    // Every URL 503s on first contact and recovers on retry: each
+    // submission is guaranteed to spend at least two attempts, with the
+    // second gated behind a long exponential backoff.
+    let servers: Vec<FlakyServer<SiteServer>> = sites
+        .iter()
+        .map(|s| FlakyServer::new(SiteServer::shared(Arc::clone(s)), 1.0, 5).recoverable())
+        .collect();
+    let roots: Vec<String> = sites.iter().map(|s| root_of(s)).collect();
+    let cfgs: Vec<CrawlConfig> = (0..sites.len())
+        .map(|i| CrawlConfig { seed: i as u64, ..CrawlConfig::default() })
+        .collect();
+    let mut recorders: Vec<Recorder> = (0..sites.len()).map(|_| Recorder::default()).collect();
+    let mut logs: Vec<EventLog> = (0..sites.len()).map(|_| EventLog::new()).collect();
+
+    let pool = SharedTransportPool::new(9);
+    let mut sessions: Vec<CrawlSession<'_>> = servers
+        .iter()
+        .zip(recorders.iter_mut())
+        .zip(logs.iter_mut())
+        .zip(cfgs.iter())
+        .enumerate()
+        .map(|(i, (((server, rec), log), cfg))| {
+            let handle = pool
+                .handle(server, cfg.policy.clone(), cfg.politeness)
+                .with_retry_policy(RetryPolicy::retries(2).with_backoff(5.0, 40.0).with_jitter(0.2, i as u64));
+            CrawlSession::with_transport(Box::new(handle), None, &roots[i], rec, cfg)
+                .expect("generated roots are valid")
+                .observe(log)
+        })
+        .collect();
+
+    // Seed each frontier through the flaky root (two attempts each).
+    for _ in 0..2 {
+        for s in &mut sessions {
+            s.refill_one();
+        }
+        for s in &mut sessions {
+            s.drain_completions();
+        }
+    }
+    // Fill the global window with selections that will all hit a 503 and
+    // re-enter the gate behind a multi-second backoff, then stop without
+    // draining.
+    for _ in 0..3 {
+        for s in &mut sessions {
+            assert!(s.refill_one(), "frontiers must still offer selections");
+        }
+    }
+    let in_flight: Vec<usize> = sessions.iter().map(|s| s.in_flight()).collect();
+    assert!(
+        in_flight.iter().filter(|&&n| n > 0).count() >= 2,
+        "the scenario needs mid-retry selections across several sites: {in_flight:?}"
+    );
+    let before_gets: Vec<u64> = sessions.iter().map(|s| s.traffic().get_requests).collect();
+
+    let outcomes: Vec<_> = sessions.into_iter().map(|s| s.finish()).collect();
+    assert_eq!(pool.in_flight(), 0, "shutdown must drain mid-backoff work too");
+
+    for (i, (rec, log)) in recorders.iter().zip(&logs).enumerate() {
+        let mut selected = rec.selected.clone();
+        let mut observed = rec.observations.clone();
+        selected.sort_unstable();
+        observed.sort_unstable();
+        assert_eq!(
+            selected, observed,
+            "site{i}: exactly one observation per selection across a mid-retry shutdown"
+        );
+        let closed = log
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(e, OwnedEvent::Abandoned { reason: AbandonReason::SessionClosed, .. })
+            })
+            .count();
+        assert_eq!(closed, in_flight[i], "site{i}: every mid-retry job ends as SessionClosed");
+        assert_eq!(
+            outcomes[i].abandoned.session_closed as usize, closed,
+            "site{i}: the per-reason counter must agree with the event stream"
+        );
+        // The drain delivers the final answers of outstanding work: with
+        // 100% first-contact failure every delivered request spent ≥ 2
+        // attempts, and all of them are charged.
+        assert!(
+            outcomes[i].traffic.get_requests >= before_gets[i] + 2 * in_flight[i] as u64,
+            "site{i}: drained retries must be charged ({} < {} + 2·{})",
+            outcomes[i].traffic.get_requests,
+            before_gets[i],
+            in_flight[i]
+        );
+    }
+}

@@ -182,6 +182,63 @@ fn robots_filter_prevents_excluded_requests_entirely() {
     );
 }
 
+/// PR 6: setting `robots_agent` makes the session fetch `/robots.txt` on
+/// its own, route every admission decision through the parsed rules, and
+/// feed `Crawl-delay` into the transport gate — no manual `url_filter` or
+/// `Politeness` plumbing. The enforcing server proves compliance: a leaked
+/// request to a disallowed URL would cost a 403 there but not on the soft
+/// server, so identical traffic on both means no excluded URL was fetched.
+#[test]
+fn robots_agent_auto_applies_disallow_and_crawl_delay() {
+    let site = build_site(&SiteSpec::demo(400), 17);
+    let root_url = site.page(site.root()).url.clone();
+    let prefix = site
+        .pages()
+        .iter()
+        .filter_map(|p| {
+            let u = Url::parse(&p.url).ok()?;
+            let seg = u.path.split('/').nth(1)?.to_owned();
+            (!seg.is_empty()).then_some(format!("/{seg}/"))
+        })
+        .find(|pre| !root_url.ends_with(pre.as_str()))
+        .expect("site has sectioned paths");
+    let robots_body = format!("User-agent: *\nDisallow: {prefix}\nCrawl-delay: 5");
+
+    // Baseline with no agent configured: robots.txt is never requested and
+    // the excluded section is crawled at the default 1 s politeness.
+    let plain = SiteServer::new(site.clone());
+    let mut bfs = QueueStrategy::bfs();
+    let blind = crawl(&plain, None, &root_url, &mut bfs, &CrawlConfig::default());
+
+    let enforcing =
+        EnforcedRobots::new(SiteServer::new(site.clone()), &root_url, robots_body.clone(), "sbcrawl");
+    let mut bfs2 = QueueStrategy::bfs();
+    let cfg = CrawlConfig { robots_agent: Some("sbcrawl".to_owned()), ..Default::default() };
+    let auto = crawl(&enforcing, None, &root_url, &mut bfs2, &cfg);
+
+    let soft = WithRobots::new(SiteServer::new(site), &root_url, robots_body);
+    let mut bfs3 = QueueStrategy::bfs();
+    let auto_soft = crawl(&soft, None, &root_url, &mut bfs3, &cfg);
+
+    assert_eq!(
+        auto.traffic.requests(),
+        auto_soft.traffic.requests(),
+        "enforcement changes nothing ⇒ no disallowed URL was ever requested"
+    );
+    assert_eq!(auto.targets_found(), auto_soft.targets_found());
+    assert!(
+        auto.pages_crawled < blind.pages_crawled,
+        "the Disallow section must shrink coverage ({} vs {})",
+        auto.pages_crawled,
+        blind.pages_crawled
+    );
+    let per_request = auto.traffic.elapsed_secs / auto.traffic.requests() as f64;
+    assert!(
+        per_request > 4.0,
+        "Crawl-delay 5 must reach the gate: {per_request:.2}s per request"
+    );
+}
+
 #[test]
 fn crawl_delay_raises_estimated_wall_clock() {
     let site = build_site(&SiteSpec::demo(200), 3);

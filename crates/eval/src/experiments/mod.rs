@@ -9,6 +9,7 @@ pub mod fleet;
 pub mod pipeline;
 pub mod revisit;
 pub mod hardness;
+pub mod hostile;
 pub mod se;
 pub mod table1;
 pub mod table23;

@@ -61,6 +61,10 @@ pub struct Fetched {
     pub interrupted: bool,
     /// Bytes this transfer cost on the wire.
     pub wire_bytes: u64,
+    /// GET attempts behind this answer (1 unless a retrying transport
+    /// re-dispatched; the failure reasons of `sb_crawler` use it to tell
+    /// retries-exhausted from a first-contact error).
+    pub attempts: u32,
 }
 
 impl Fetched {
@@ -115,6 +119,7 @@ pub(crate) fn settle_get(r: Response, policy: &MimePolicy) -> Fetched {
         body,
         interrupted,
         wire_bytes: wire,
+        attempts: 1,
     }
 }
 

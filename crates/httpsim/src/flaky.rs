@@ -8,7 +8,9 @@
 
 use crate::response::{error_response, HeadResponse, Headers, Response};
 use crate::server::HttpServer;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Wraps a server so that a deterministic, URL-and-attempt-dependent subset
 /// of requests fails with HTTP 503. With `recoverable` set, only the first
@@ -22,9 +24,9 @@ pub struct FlakyServer<S> {
     recoverable: bool,
     protected: Option<String>,
     injected: AtomicU64,
-    /// First-contact fingerprints for `recoverable` mode (see
+    /// URLs already contacted, for `recoverable` mode (see
     /// [`FlakyServer::seen_before`]).
-    seen: Vec<AtomicU64>,
+    seen: Mutex<HashSet<String>>,
 }
 
 impl<S: HttpServer> FlakyServer<S> {
@@ -36,7 +38,7 @@ impl<S: HttpServer> FlakyServer<S> {
             recoverable: false,
             protected: None,
             injected: AtomicU64::new(0),
-            seen: (0..4096).map(|_| AtomicU64::new(0)).collect(),
+            seen: Mutex::new(HashSet::new()),
         }
     }
 
@@ -103,19 +105,17 @@ impl<S: HttpServer> HttpServer for FlakyServer<S> {
 }
 
 impl<S: HttpServer> FlakyServer<S> {
-    /// Tracks first-contact per URL without storing every URL: a 4096-slot
-    /// fingerprint table. A slot collision can make an unlucky URL recover
-    /// one attempt early — harmless for tests, bounded memory for crawls
-    /// of any size.
+    /// Tracks first-contact per URL, exactly. This used to be a fixed
+    /// 4096-slot fingerprint table whose slot evictions could misclassify
+    /// a first contact as a retry (and vice versa) on crawls with more
+    /// than 4096 distinct URLs — turning `recoverable` blips back into
+    /// repeat 503s. Injection decisions must be collision-safe or the
+    /// retry-accounting invariants pinned by the conformance suites
+    /// (`get_requests == delivered + injected()`) silently break at
+    /// scale, so the full URL set is stored.
     fn seen_before(&self, url: &str) -> bool {
-        let mut h: u64 = 0x100_0000_01b3 ^ self.seed;
-        for &b in url.as_bytes() {
-            h = h.wrapping_mul(31).wrapping_add(u64::from(b));
-        }
-        let slot = (h % 4096) as usize;
-        let fp = h | 1;
-        let prev = self.seen[slot].swap(fp, Ordering::Relaxed);
-        prev == fp
+        let mut seen = self.seen.lock().expect("seen set is never poisoned");
+        !seen.insert(url.to_owned())
     }
 }
 
@@ -249,6 +249,43 @@ mod tests {
         let flaky = FlakyServer::new(SiteServer::new(site), 1.0, 7);
         assert_eq!(flaky.get(&url).status, 503);
         assert_eq!(flaky.head(&url).status, 503);
+    }
+
+    #[test]
+    fn recoverable_first_contact_is_exact_beyond_4096_urls() {
+        // Regression: the old 4096-slot fingerprint table evicted entries
+        // on large URL sets, so a revisited URL could look like a first
+        // contact again (re-injecting a 503 a retry should have cleared).
+        // Every URL must fail exactly its first attempt and recover on
+        // the second, no matter how many distinct URLs came between.
+        struct Ok200;
+        impl HttpServer for Ok200 {
+            fn head(&self, _url: &str) -> HeadResponse {
+                self.get("").head()
+            }
+            fn get(&self, _url: &str) -> Response {
+                let body = b"ok".to_vec();
+                Response {
+                    status: 200,
+                    headers: Headers {
+                        content_type: Some("text/html".to_owned()),
+                        content_length: Some(body.len() as u64),
+                        location: None,
+                    },
+                    body: body.into(),
+                }
+            }
+        }
+        let flaky = FlakyServer::new(Ok200, 1.0, 11).recoverable();
+        let urls: Vec<String> =
+            (0..5000).map(|i| format!("https://big.example.org/page/{i}")).collect();
+        for u in &urls {
+            assert_eq!(flaky.get(u).status, 503, "first contact fails: {u}");
+        }
+        for u in &urls {
+            assert_eq!(flaky.get(u).status, 200, "retry after 5000 URLs recovers: {u}");
+        }
+        assert_eq!(flaky.injected(), 5000, "exactly one injection per URL");
     }
 
     #[test]

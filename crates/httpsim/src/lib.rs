@@ -11,12 +11,17 @@
 //! The [`pool`] module (PR 5) multiplexes one bounded in-flight window
 //! across every host of a multi-site fleet with per-host politeness
 //! sharding. Production-crawler substrates live alongside:
-//! [`robots`] (RFC 9309 Robots Exclusion Protocol) and [`flaky`]
-//! (failure-injection and robot-trap servers for robustness testing).
+//! [`robots`] (RFC 9309 Robots Exclusion Protocol), [`flaky`]
+//! (failure-injection and robot-trap servers for robustness testing) and
+//! [`hazard`] (PR 6: composable transport-level hazards — timeouts,
+//! heavy-tailed latency, bandwidth caps, 429 rate limiting — plus the
+//! retry/backoff policy and per-host circuit breaker both transport
+//! backends dispatch through).
 
 pub mod archive;
 pub mod client;
 pub mod flaky;
+pub mod hazard;
 pub mod pool;
 pub mod replay;
 pub mod response;
@@ -28,6 +33,10 @@ pub mod transport;
 pub use archive::{ArchiveError, ArchiveReader, ArchiveWriter};
 pub use client::{Client, Fetched, Politeness, Traffic};
 pub use flaky::{FlakyServer, TrapServer};
+pub use hazard::{
+    HazardPolicy, HazardState, RateLimit, RetryPolicy, TailLatency, STATUS_QUARANTINED,
+    STATUS_TIMEOUT,
+};
 pub use pool::{PoolHandle, SharedTransportPool};
 pub use replay::{Mode, ReplayStore};
 pub use response::{Body, HeadResponse, Headers, Response};

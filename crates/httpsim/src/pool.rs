@@ -59,6 +59,7 @@
 //! [`CrawlSession`]: ../../sb_crawler/session/struct.CrawlSession.html
 
 use crate::client::{settle_get, Fetched, Politeness, Traffic};
+use crate::hazard::{dispatch_hazard_get, DispatchCtx, HazardPolicy, HazardState, RetryPolicy};
 use crate::response::HeadResponse;
 use crate::server::HttpServer;
 use crate::transport::{GateTable, Request, RequestId, Transport};
@@ -161,7 +162,9 @@ impl SharedTransportPool {
             server,
             policy,
             politeness,
-            retries: 0,
+            retry: RetryPolicy::retries(0),
+            hazards: HazardPolicy::default(),
+            hazard_state: HazardState::default(),
             gates: GateTable::default(),
             traffic: Traffic::default(),
         }
@@ -217,7 +220,11 @@ pub struct PoolHandle<'a> {
     server: &'a (dyn HttpServer + 'a),
     policy: MimePolicy,
     politeness: Politeness,
-    retries: u32,
+    retry: RetryPolicy,
+    hazards: HazardPolicy,
+    /// Rate-limit counters and circuit breaker, sharded per handle like
+    /// the gates (quarantine is an origin property).
+    hazard_state: HazardState,
     /// This site's politeness shard: gates for its hosts plus robots
     /// `Crawl-delay` overrides, private to the handle (see module docs).
     gates: GateTable,
@@ -229,8 +236,27 @@ impl<'a> PoolHandle<'a> {
     /// the shared gate; every attempt is charged at delivery (same
     /// contract as `PipelinedTransport::with_retries`).
     pub fn with_retries(mut self, retries: u32) -> Self {
-        self.retries = retries;
+        self.retry.max_retries = retries;
         self
+    }
+
+    /// Installs a full [`RetryPolicy`] (backoff, jitter, circuit breaker);
+    /// same contract as `PipelinedTransport::with_retry_policy`.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a [`HazardPolicy`] on this handle's GET path; same
+    /// contract as `PipelinedTransport::with_hazards`.
+    pub fn with_hazards(mut self, hazards: HazardPolicy) -> Self {
+        self.hazards = hazards;
+        self
+    }
+
+    /// Hosts of this handle quarantined by the circuit breaker so far.
+    pub fn quarantined_hosts(&self) -> usize {
+        self.hazard_state.quarantined_hosts()
     }
 
     /// The pool site index this handle was registered as.
@@ -238,24 +264,22 @@ impl<'a> PoolHandle<'a> {
         self.site
     }
 
-    /// Executes a GET (retrying 5xx through this site's gate, dispatching
-    /// no earlier than the shared clock) and returns the final answer with
-    /// its cumulative accounting and arrival.
+    /// Executes a GET through the shared hazard-aware dispatch loop
+    /// (this site's gate shard, dispatching no earlier than the shared
+    /// clock) and returns the final answer with its cumulative accounting
+    /// and arrival.
     fn dispatch_get(&mut self, clock: f64, url: &str) -> (Fetched, u64, u64, f64) {
-        let mut gets = 0u64;
-        let mut wire = 0u64;
-        let mut ready_at = clock;
-        loop {
-            let f = settle_get(self.server.get(url), &self.policy);
-            gets += 1;
-            wire += f.wire_bytes;
-            let (_, arrival) = self.gates.dispatch(&self.politeness, url, ready_at, f.wire_bytes);
-            if (500..600).contains(&f.status) && gets <= u64::from(self.retries) {
-                ready_at = arrival;
-                continue;
-            }
-            return (f, gets, wire, arrival);
-        }
+        let mut ctx = DispatchCtx {
+            server: self.server,
+            policy: &self.policy,
+            politeness: &self.politeness,
+            gates: &mut self.gates,
+            hazards: &self.hazards,
+            retry: &self.retry,
+            state: &mut self.hazard_state,
+        };
+        let out = dispatch_hazard_get(&mut ctx, url, clock);
+        (out.answer, out.gets, out.wire, out.arrival)
     }
 
     /// Charges one synchronous request and advances the shared clock.

@@ -53,8 +53,16 @@
 //! the window-1 replay stays byte-identical; with a recoverable
 //! [`crate::FlakyServer`] upstream, one retry turns transient 503 bursts
 //! into ordinary (slower) successes.
+//!
+//! The full hazard-aware dispatch loop — capped exponential backoff with
+//! seeded jitter ([`crate::hazard::RetryPolicy`]), timeouts, heavy-tailed
+//! latency, bandwidth caps and 429 rate limiting
+//! ([`crate::hazard::HazardPolicy`]), and the per-host circuit breaker —
+//! lives in [`crate::hazard`] and is shared with the fleet pool, so the
+//! two backends cannot drift (PR 6).
 
 use crate::client::{settle_get, Fetched, Politeness, Traffic};
+use crate::hazard::{dispatch_hazard_get, DispatchCtx, HazardPolicy, HazardState, RetryPolicy};
 use crate::response::HeadResponse;
 use crate::robots::RobotsTxt;
 use crate::server::HttpServer;
@@ -239,7 +247,9 @@ pub struct PipelinedTransport<'a> {
     policy: MimePolicy,
     politeness: Politeness,
     window: usize,
-    retries: u32,
+    retry: RetryPolicy,
+    hazards: HazardPolicy,
+    hazard_state: HazardState,
     /// Simulated now: the arrival of the last delivered completion (or the
     /// last synchronous request).
     clock: f64,
@@ -262,7 +272,9 @@ impl<'a> PipelinedTransport<'a> {
             policy,
             politeness,
             window: 1,
-            retries: 0,
+            retry: RetryPolicy::retries(0),
+            hazards: HazardPolicy::default(),
+            hazard_state: HazardState::default(),
             clock: 0.0,
             traffic: Traffic::default(),
             next_id: 0,
@@ -284,8 +296,26 @@ impl<'a> PipelinedTransport<'a> {
     /// request per submission; the sequential engine has the same
     /// one-request check-to-charge gap).
     pub fn with_retries(mut self, retries: u32) -> Self {
-        self.retries = retries;
+        self.retry.max_retries = retries;
         self
+    }
+
+    /// Installs a full [`RetryPolicy`] (backoff, jitter, circuit breaker).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a [`HazardPolicy`] (timeouts, tail latency, bandwidth
+    /// caps, 429 rate limiting) on the GET path.
+    pub fn with_hazards(mut self, hazards: HazardPolicy) -> Self {
+        self.hazards = hazards;
+        self
+    }
+
+    /// Hosts quarantined by the circuit breaker so far.
+    pub fn quarantined_hosts(&self) -> usize {
+        self.hazard_state.quarantined_hosts()
     }
 
     /// The simulated clock (arrival of the last delivered completion).
@@ -298,25 +328,21 @@ impl<'a> PipelinedTransport<'a> {
         self.gates.dispatch(&self.politeness, url, ready_at, wire)
     }
 
-    /// Executes a GET (retrying 5xx through the gate) and returns the final
+    /// Executes a GET through the shared hazard-aware dispatch loop
+    /// ([`crate::hazard::dispatch_hazard_get`]) and returns the final
     /// answer with its cumulative accounting and arrival instant.
     fn dispatch_get(&mut self, url: &str) -> (Fetched, u64, u64, f64) {
-        let mut gets = 0u64;
-        let mut wire = 0u64;
-        let mut ready_at = self.clock;
-        loop {
-            let f = settle_get(self.server.get(url), &self.policy);
-            gets += 1;
-            wire += f.wire_bytes;
-            let (_, arrival) = self.gate_dispatch(url, ready_at, f.wire_bytes);
-            if (500..600).contains(&f.status) && gets <= u64::from(self.retries) {
-                // The failure is observed at its arrival; the retry queues
-                // behind it (and behind the gate) like any new dispatch.
-                ready_at = arrival;
-                continue;
-            }
-            return (f, gets, wire, arrival);
-        }
+        let mut ctx = DispatchCtx {
+            server: self.server,
+            policy: &self.policy,
+            politeness: &self.politeness,
+            gates: &mut self.gates,
+            hazards: &self.hazards,
+            retry: &self.retry,
+            state: &mut self.hazard_state,
+        };
+        let out = dispatch_hazard_get(&mut ctx, url, self.clock);
+        (out.answer, out.gets, out.wire, out.arrival)
     }
 
     fn charge_delivery(&mut self, gets: u64, wire: u64, arrival: f64) {

@@ -15,12 +15,14 @@
 //! parse, not injected.
 
 pub mod build;
+pub mod hazard;
 pub mod lexicon;
 pub mod profiles;
 pub mod render;
 pub mod spec;
 
 pub use build::build_site;
+pub use hazard::{apply_hazards, HazardReport, HazardSpec};
 pub use lexicon::Lang;
 pub use profiles::{paper_profiles, profile};
 pub use spec::{MimePalette, SiteSpec, StructureSpec};
@@ -358,13 +360,21 @@ impl Website {
     }
 
     /// Ground-truth class of a page (what a perfect oracle would say).
+    /// Redirects classify as their destination, followed for a bounded
+    /// number of hops — a redirect cycle (a [`hazard`] loop profile) is
+    /// `Neither`, matching what a crawler with a redirect-chain budget
+    /// can ever retrieve from it.
     pub fn true_class(&self, id: PageId) -> UrlClass {
-        match &self.page(id).kind {
-            PageKind::Html(_) => UrlClass::Html,
-            PageKind::Target { .. } => UrlClass::Target,
-            PageKind::Error { .. } => UrlClass::Neither,
-            PageKind::Redirect { to } => self.true_class(*to),
+        let mut id = id;
+        for _ in 0..8 {
+            match &self.page(id).kind {
+                PageKind::Html(_) => return UrlClass::Html,
+                PageKind::Target { .. } => return UrlClass::Target,
+                PageKind::Error { .. } => return UrlClass::Neither,
+                PageKind::Redirect { to } => id = *to,
+            }
         }
+        UrlClass::Neither
     }
 
     /// Ids of all target pages.

@@ -33,4 +33,8 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # must be window-invariant and the makespan ladder monotone (PR 4).
 cargo run --release --offline -p sb-eval --bin xp -- \
     pipeline --scale 0.003 --jobs 2 --out target/verify-smoke
+# Hostile smoke: the hazard-laced site through retry/backoff transports at
+# windows 1/4/16, plus the circuit-breaker blackout drill (PR 6).
+cargo run --release --offline -p sb-eval --bin xp -- \
+    hostile --scale 0.003 --jobs 2 --out target/verify-smoke
 echo "verify: OK"
