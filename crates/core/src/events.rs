@@ -223,6 +223,29 @@ pub struct CrawlSnapshot {
     /// count as one; under a pipelined window a selection counts when it
     /// is submitted, not when its answer lands).
     pub steps: u64,
+    /// Memory gauges at this instant (PR 7).
+    pub mem: MemGauges,
+}
+
+/// Memory-footprint gauges of the session's growing structures, reported
+/// on every [`CrawlSnapshot`] and [`crate::session::StepReport`] so
+/// bounded-memory crawls can *observe* that they are bounded instead of
+/// trusting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemGauges {
+    /// Distinct URLs in the visited set (`T ∪ F` membership).
+    pub visited_urls: usize,
+    /// Estimated heap bytes held by the visited set (exact interner
+    /// entries + compact fingerprint entries).
+    pub visited_bytes: u64,
+    /// Fingerprint collisions absorbed by the visited set's exact escape
+    /// hatch (0 in pure-exact mode).
+    pub visited_collisions: u64,
+    /// Frontier length, spilled portion included.
+    pub frontier_len: usize,
+    /// URLs of the frontier currently parked in the spill arena (0 for
+    /// unbounded frontiers).
+    pub frontier_spilled: usize,
 }
 
 /// A crawl progress consumer. Registered with

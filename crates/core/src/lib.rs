@@ -75,7 +75,7 @@ pub use early_stop::{EarlyStop, EarlyStopConfig};
 pub use engine::crawl;
 pub use events::{
     AbandonCounts, AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, EventLog, FinishReason,
-    OwnedEvent,
+    MemGauges, OwnedEvent,
     TraceObserver,
 };
 pub use fleet::{Fleet, FleetJob, FleetMode, FleetOutcome, SharedOracle, SharedServer, SiteReport};

@@ -57,7 +57,7 @@
 use crate::early_stop::{EarlyStop, EarlyStopConfig};
 use crate::events::{
     AbandonCounts, AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, FinishReason,
-    TraceObserver,
+    MemGauges, TraceObserver,
 };
 use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
 use crate::trace::CrawlTrace;
@@ -65,7 +65,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sb_httpsim::transport::{PipelinedTransport, Request, RequestId, Transport};
 use sb_httpsim::{Fetched, HttpServer, Politeness};
-use sb_webgraph::interner::{UrlId, UrlInterner};
+use sb_scale::VisitedSet;
+use sb_webgraph::interner::UrlId;
 use sb_webgraph::mime::MimePolicy;
 use sb_webgraph::url::{Url, UrlError};
 use std::collections::VecDeque;
@@ -89,6 +90,16 @@ pub trait Oracle: Sync {
 
 impl Oracle for sb_webgraph::Website {
     fn class_of(&self, url: &str) -> sb_webgraph::UrlClass {
+        match self.lookup(url) {
+            Some(id) => self.true_class(id),
+            None => sb_webgraph::UrlClass::Neither,
+        }
+    }
+}
+
+impl Oracle for sb_scale::StreamingSite {
+    fn class_of(&self, url: &str) -> sb_webgraph::UrlClass {
+        use sb_webgraph::gen::SiteSource;
         match self.lookup(url) {
             Some(id) => self.true_class(id),
             None => sb_webgraph::UrlClass::Neither,
@@ -136,6 +147,13 @@ pub struct CrawlConfig {
     /// needed. Composes with [`CrawlConfig::url_filter`] (both must
     /// admit). `None` (the default) changes nothing.
     pub robots_agent: Option<String>,
+    /// Visited-set compaction threshold (PR 7): the first this many
+    /// discovered URLs are kept as full interner entries; URLs past the
+    /// threshold are kept as 64-bit fingerprints + canonical text
+    /// (`sb_scale::VisitedSet`), cutting per-URL memory several-fold on
+    /// large crawls. `usize::MAX` (the default) never compacts and is
+    /// bit-identical to the plain interner.
+    pub compact_visited_threshold: usize,
 }
 
 /// Boxed URL predicate for [`CrawlConfig::url_filter`].
@@ -171,6 +189,7 @@ impl Default for CrawlConfig {
             seed_urls: Vec::new(),
             max_in_flight: 1,
             robots_agent: None,
+            compact_visited_threshold: usize::MAX,
         }
     }
 }
@@ -283,6 +302,14 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Keep full visited-set entries for the first `threshold` URLs and
+    /// 64-bit fingerprints past it — see
+    /// [`CrawlConfig::compact_visited_threshold`].
+    pub fn compact_visited_threshold(mut self, threshold: usize) -> Self {
+        self.cfg.compact_visited_threshold = threshold;
+        self
+    }
+
     /// Appends one seed URL (validated at [`CrawlConfigBuilder::build`]).
     pub fn seed_url(mut self, url: impl Into<String>) -> Self {
         self.cfg.seed_urls.push(url.into());
@@ -381,6 +408,9 @@ pub struct StepReport {
     pub finished: Option<FinishReason>,
     /// Cumulative per-reason abandonment tally after this step (PR 6).
     pub abandoned: AbandonCounts,
+    /// Memory gauges after this step (PR 7): visited-set size and byte
+    /// estimate, frontier length and spilled portion.
+    pub mem: MemGauges,
 }
 
 /// Phase of the session's outer loop (Algorithm 3's shape, unrolled so it
@@ -461,8 +491,9 @@ pub struct CrawlSession<'a> {
     root_text: String,
     /// `T ∪ F` membership: every discovered URL is interned exactly once
     /// (one hash of the parsed `Url`, no string round-trips); the id keys
-    /// everything downstream.
-    interner: UrlInterner,
+    /// everything downstream. Exact entries up to
+    /// [`CrawlConfig::compact_visited_threshold`], fingerprints past it.
+    visited: VisitedSet,
     /// Discovery depth per interned id (parallel to the interner).
     depths: Vec<u32>,
     targets: Vec<RetrievedTarget>,
@@ -531,7 +562,7 @@ impl<'a> CrawlSession<'a> {
             hub: ObserverHub { trace: TraceObserver::new(), user: Vec::new() },
             root,
             root_text,
-            interner: UrlInterner::new(),
+            visited: VisitedSet::with_threshold(cfg.compact_visited_threshold),
             depths: Vec::new(),
             targets: Vec::new(),
             pages_crawled: 0,
@@ -609,6 +640,19 @@ impl<'a> CrawlSession<'a> {
             traffic: self.transport.traffic(),
             targets: self.targets.len() as u64,
             steps: self.steps,
+            mem: self.mem_gauges(),
+        }
+    }
+
+    /// Memory gauges right now (PR 7): visited-set size and footprint
+    /// estimate, frontier length and spilled portion.
+    pub fn mem_gauges(&self) -> MemGauges {
+        MemGauges {
+            visited_urls: self.visited.len(),
+            visited_bytes: self.visited.bytes_estimate(),
+            visited_collisions: self.visited.collisions(),
+            frontier_len: self.strategy.frontier_len(),
+            frontier_spilled: self.strategy.frontier_spilled(),
         }
     }
 
@@ -638,6 +682,7 @@ impl<'a> CrawlSession<'a> {
             in_flight: self.transport.in_flight(),
             finished: self.finish_reason(),
             abandoned: self.abandoned,
+            mem: self.mem_gauges(),
         }
     }
 
@@ -905,12 +950,12 @@ impl<'a> CrawlSession<'a> {
 
     /// Hands one job to the transport and records it as in flight.
     fn submit(&mut self, job: Job) {
-        let rid = self.transport.submit(Request::get(self.interner.text(job.id)));
+        let rid = self.transport.submit(Request::get(self.visited.text(job.id)));
         let snap = self.snapshot();
         self.hub.emit(
             &snap,
             &CrawlEvent::Submitted {
-                url: self.interner.text(job.id),
+                url: self.visited.text(job.id),
                 in_flight: self.transport.in_flight(),
             },
         );
@@ -982,7 +1027,7 @@ impl<'a> CrawlSession<'a> {
             self.hub.emit(
                 &snap,
                 &CrawlEvent::Abandoned {
-                    url: self.interner.text(job.id),
+                    url: self.visited.text(job.id),
                     reason: AbandonReason::SessionClosed,
                 },
             );
@@ -1066,7 +1111,7 @@ impl<'a> CrawlSession<'a> {
             if !self.admits(&url) {
                 continue;
             }
-            if self.interner.get(&url).is_some() {
+            if self.visited.get(&url).is_some() {
                 continue;
             }
             let id = self.intern_at_depth(&url, 1);
@@ -1078,7 +1123,7 @@ impl<'a> CrawlSession<'a> {
     /// Interns `url`, recording `depth` if it is new. Existing ids keep
     /// their original discovery depth.
     fn intern_at_depth(&mut self, url: &Url, depth: u32) -> UrlId {
-        let id = self.interner.intern(url);
+        let id = self.visited.intern(url);
         if id as usize == self.depths.len() {
             self.depths.push(depth);
         }
@@ -1095,7 +1140,7 @@ impl<'a> CrawlSession<'a> {
         }
         self.abandoned.record(reason);
         let snap = self.snapshot();
-        self.hub.emit(&snap, &CrawlEvent::Abandoned { url: self.interner.text(id), reason });
+        self.hub.emit(&snap, &CrawlEvent::Abandoned { url: self.visited.text(id), reason });
     }
 
     /// Algorithm 4 for one delivered answer. Redirect chains continue by
@@ -1108,7 +1153,7 @@ impl<'a> CrawlSession<'a> {
         self.hub.emit(
             &snap,
             &CrawlEvent::Completed {
-                url: self.interner.text(id),
+                url: self.visited.text(id),
                 status: f.status,
                 in_flight: self.transport.in_flight(),
             },
@@ -1119,7 +1164,7 @@ impl<'a> CrawlSession<'a> {
         self.hub.emit(
             &snap,
             &CrawlEvent::Fetched {
-                url: self.interner.text(id),
+                url: self.visited.text(id),
                 status: f.status,
                 mime: f.mime.as_deref(),
                 depth: job.depth,
@@ -1130,7 +1175,7 @@ impl<'a> CrawlSession<'a> {
             let Some(loc) = f.location.clone() else {
                 return self.abandon(&job, id, AbandonReason::RedirectMissingLocation);
             };
-            let Ok(next) = self.interner.url(id).join(&loc) else {
+            let Ok(next) = self.visited.base(id).join(&loc) else {
                 return self.abandon(&job, id, AbandonReason::RedirectUnparseable);
             };
             if !next.same_site_as(&self.root) {
@@ -1139,7 +1184,7 @@ impl<'a> CrawlSession<'a> {
             if !self.admits(&next) {
                 return self.abandon(&job, id, AbandonReason::RedirectFiltered);
             }
-            let next_id = match self.interner.get(&next) {
+            let next_id = match self.visited.get(&next) {
                 // Already known elsewhere; don't crawl twice.
                 Some(known) if known != id => {
                     return self.abandon(&job, id, AbandonReason::RedirectAlreadyKnown);
@@ -1152,8 +1197,8 @@ impl<'a> CrawlSession<'a> {
             self.hub.emit(
                 &snap,
                 &CrawlEvent::Redirected {
-                    from: self.interner.text(id),
-                    to: self.interner.text(next_id),
+                    from: self.visited.text(id),
+                    to: self.visited.text(next_id),
                 },
             );
             if job.hops_left == 0 {
@@ -1182,7 +1227,7 @@ impl<'a> CrawlSession<'a> {
         };
 
         if self.cfg.policy.is_html_mime(&mime) {
-            self.strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Html);
+            self.strategy.on_fetched(id, self.visited.text(id), sb_webgraph::UrlClass::Html);
             let reward = self.process_html(id, job.depth, &f.body);
             if let Some(token) = job.token {
                 self.strategy.feedback(token, reward);
@@ -1190,9 +1235,9 @@ impl<'a> CrawlSession<'a> {
         } else if self.cfg.policy.is_target_mime(&mime) {
             // A target: tag its volume and keep it.
             self.transport.tag_target(f.wire_bytes);
-            self.strategy.on_fetched(id, self.interner.text(id), sb_webgraph::UrlClass::Target);
+            self.strategy.on_fetched(id, self.visited.text(id), sb_webgraph::UrlClass::Target);
             self.targets.push(RetrievedTarget {
-                url: self.interner.text(id).to_owned(),
+                url: self.visited.text(id).to_owned(),
                 mime: mime.clone(),
                 body: self.cfg.keep_target_bodies.then_some(f.body),
             });
@@ -1200,7 +1245,7 @@ impl<'a> CrawlSession<'a> {
             self.hub.emit(
                 &snap,
                 &CrawlEvent::TargetRetrieved {
-                    url: self.interner.text(id),
+                    url: self.visited.text(id),
                     mime: &mime,
                     ordinal: self.targets.len() as u64,
                 },
@@ -1226,7 +1271,7 @@ impl<'a> CrawlSession<'a> {
         // One clone of the parsed base per page (instead of a re-parse);
         // per link, membership is checked on the parsed `Url` itself, so
         // known links cost one hash and zero allocations.
-        let base = self.interner.url(page_id).clone();
+        let base = self.visited.base(page_id);
         let mut reward = 0.0;
         let mut new_links = 0u32;
         for link in &links {
@@ -1236,7 +1281,7 @@ impl<'a> CrawlSession<'a> {
                 continue;
             }
             // u_new ∉ T ∪ F
-            if self.interner.get(&resolved).is_some() {
+            if self.visited.get(&resolved).is_some() {
                 continue;
             }
             // Extension blocklist: skipped without any bookkeeping.
@@ -1252,7 +1297,7 @@ impl<'a> CrawlSession<'a> {
             let new_link = NewLink {
                 id,
                 url: &resolved,
-                url_str: self.interner.text(id),
+                url_str: self.visited.text(id),
                 html: link,
                 source_depth: page_depth,
             };
@@ -1266,7 +1311,7 @@ impl<'a> CrawlSession<'a> {
             self.hub.emit(
                 &snap,
                 &CrawlEvent::LinkDiscovered {
-                    url: self.interner.text(id),
+                    url: self.visited.text(id),
                     depth: page_depth + 1,
                     decision,
                 },
@@ -1288,7 +1333,7 @@ impl<'a> CrawlSession<'a> {
         let snap = self.snapshot();
         self.hub.emit(
             &snap,
-            &CrawlEvent::PageProcessed { url: self.interner.text(page_id), new_links, reward },
+            &CrawlEvent::PageProcessed { url: self.visited.text(page_id), new_links, reward },
         );
         reward
     }

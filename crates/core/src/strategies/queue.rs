@@ -5,8 +5,7 @@
 use crate::strategy::{LinkDecision, NewLink, Selection, Services, Strategy};
 use rand::rngs::StdRng;
 use rand::Rng;
-use sb_webgraph::UrlId;
-use std::collections::VecDeque;
+use sb_scale::{SpillBacking, SpillConfig, SpillQueue};
 
 /// Frontier discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,23 +19,44 @@ pub enum Discipline {
 }
 
 /// BFS / DFS / RANDOM, depending on [`Discipline`]. The frontier holds
-/// interned ids — `Copy` keys, no per-link string storage.
+/// interned ids — `Copy` keys, no per-link string storage — in a
+/// [`SpillQueue`]: unbounded by default (pure `VecDeque` behaviour, the
+/// path every frozen replay pins), memory-bounded with the `*_spilling`
+/// constructors (PR 7) whose spill arena preserves the exact pop order.
 pub struct QueueStrategy {
     discipline: Discipline,
-    frontier: VecDeque<UrlId>,
+    frontier: SpillQueue,
 }
 
 impl QueueStrategy {
     pub fn bfs() -> Self {
-        QueueStrategy { discipline: Discipline::Fifo, frontier: VecDeque::new() }
+        QueueStrategy { discipline: Discipline::Fifo, frontier: SpillQueue::unbounded() }
     }
 
     pub fn dfs() -> Self {
-        QueueStrategy { discipline: Discipline::Lifo, frontier: VecDeque::new() }
+        QueueStrategy { discipline: Discipline::Lifo, frontier: SpillQueue::unbounded() }
     }
 
     pub fn random() -> Self {
-        QueueStrategy { discipline: Discipline::Random, frontier: VecDeque::new() }
+        QueueStrategy { discipline: Discipline::Random, frontier: SpillQueue::unbounded() }
+    }
+
+    /// BFS whose frontier keeps at most ~`mem_cap` ids in memory, spilling
+    /// the middle of the queue to `backing`. Pop order is identical to
+    /// [`QueueStrategy::bfs`] — only the residence of the ids changes.
+    pub fn bfs_spilling(mem_cap: usize, backing: SpillBacking) -> Self {
+        QueueStrategy {
+            discipline: Discipline::Fifo,
+            frontier: SpillQueue::with_config(SpillConfig::bounded(mem_cap, backing)),
+        }
+    }
+
+    /// DFS with a memory-bounded frontier; see [`QueueStrategy::bfs_spilling`].
+    pub fn dfs_spilling(mem_cap: usize, backing: SpillBacking) -> Self {
+        QueueStrategy {
+            discipline: Discipline::Lifo,
+            frontier: SpillQueue::with_config(SpillConfig::bounded(mem_cap, backing)),
+        }
     }
 }
 
@@ -77,6 +97,10 @@ impl Strategy for QueueStrategy {
     fn frontier_len(&self) -> usize {
         self.frontier.len()
     }
+
+    fn frontier_spilled(&self) -> usize {
+        self.frontier.spilled_len()
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +108,7 @@ mod tests {
     use super::*;
     use crate::strategy::SelUrl;
     use rand::SeedableRng;
+    use sb_webgraph::UrlId;
 
     fn sel_order(mut s: QueueStrategy, ids: &[UrlId]) -> Vec<UrlId> {
         // Feed ids directly into the frontier (decide() requires engine
@@ -125,5 +150,31 @@ mod tests {
         let mut s = QueueStrategy::bfs();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(s.next(&mut rng), None);
+    }
+
+    /// Spill-backed frontiers pop in exactly the unbounded order — the
+    /// only observable difference is where the ids reside.
+    #[test]
+    fn spilling_frontiers_preserve_order() {
+        let ids: Vec<UrlId> = (0..200).collect();
+        for backing in [SpillBacking::Memory, SpillBacking::Disk] {
+            let s = QueueStrategy::bfs_spilling(16, backing);
+            assert_eq!(sel_order(s, &ids), sel_order(QueueStrategy::bfs(), &ids));
+            let s = QueueStrategy::dfs_spilling(16, backing);
+            assert_eq!(sel_order(s, &ids), sel_order(QueueStrategy::dfs(), &ids));
+        }
+    }
+
+    /// A bounded BFS frontier actually spills once it outgrows its cap,
+    /// and reports the spilled portion through the `Strategy` gauge.
+    #[test]
+    fn bounded_frontier_reports_spill() {
+        let mut s = QueueStrategy::bfs_spilling(16, SpillBacking::Memory);
+        for id in 0..200 {
+            s.frontier.push_back(id);
+        }
+        assert_eq!(s.frontier_len(), 200);
+        assert!(s.frontier_spilled() > 0, "cap 16 with 200 pushes must spill");
+        assert!(QueueStrategy::bfs().frontier_spilled() == 0);
     }
 }

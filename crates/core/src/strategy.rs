@@ -208,6 +208,14 @@ pub trait Strategy {
     /// Links currently in the frontier.
     fn frontier_len(&self) -> usize;
 
+    /// Frontier links currently parked in a spill arena rather than in
+    /// memory (PR 7). `0` for the in-memory frontiers every strategy uses
+    /// by default; spill-backed frontiers (see `sb_scale::SpillQueue`)
+    /// override this so the session's memory gauges can report it.
+    fn frontier_spilled(&self) -> usize {
+        0
+    }
+
     fn report(&self) -> StrategyReport {
         StrategyReport::default()
     }

@@ -21,6 +21,7 @@
 //!   fleet       concurrent multi-site crawl (sessions + fleet scheduler)
 //!   pipeline    intra-site parallel fetch (in-flight window 1/4/16)
 //!   hostile     hostile-web workload: trap-laced site, retry/backoff (PR 6)
+//!   scale       memory-bounded crawl ladder: RSS + pages/sec at 10k/100k (PR 7)
 //!   all         everything above
 //! ```
 //!
@@ -38,7 +39,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|all>\n\
+        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|scale|all>\n\
          \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N] [--shared-pool]"
     );
     std::process::exit(2);
@@ -88,6 +89,7 @@ fn main() {
             "fleet" => xp::fleet::run(cfg),
             "pipeline" => xp::pipeline::run(cfg),
             "hostile" => xp::hostile::run(cfg),
+            "scale" => xp::scale::run(cfg),
             _ => usage(),
         };
         eprintln!("[xp] {name} done in {:.1?}", t.elapsed());
@@ -98,7 +100,7 @@ fn main() {
             let all = [
                 "table1", "table2", "table3", "table6", "fig4", "fig15", "table4", "table5",
                 "table7", "se", "time", "revisit", "ablation", "hardness", "fleet",
-                "pipeline", "hostile",
+                "pipeline", "hostile", "scale",
             ];
             for name in all {
                 println!("{}", run_one(name, &cfg));

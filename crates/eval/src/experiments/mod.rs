@@ -10,6 +10,7 @@ pub mod pipeline;
 pub mod revisit;
 pub mod hardness;
 pub mod hostile;
+pub mod scale;
 pub mod se;
 pub mod table1;
 pub mod table23;

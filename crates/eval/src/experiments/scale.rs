@@ -1,0 +1,239 @@
+//! Scale — the memory-bounded crawl ladder (PR 7): BFS to exhaustion over
+//! 10k / 100k (and optionally 1M) page streaming sites, with every
+//! unbounded structure swapped for its `sb_scale` counterpart — streaming
+//! site behind the server, spill-backed frontier, fingerprint-compacted
+//! visited set. Records wall-clock throughput (pages/sec), process peak
+//! RSS, and the session's own memory gauges at their peaks, proving the
+//! in-memory footprint stays bounded while coverage stays *byte-identical*
+//! to the all-unbounded engine (checked outright on the 10k rung).
+//!
+//! Rungs: `[10k]` under `--scale < 0.01` (the verify smoke), `[10k, 100k]`
+//! otherwise; set `SB_SCALE_XL=1` to append the 1M rung.
+
+use crate::setup::EvalConfig;
+use crate::tables::{markdown, write_csv, write_text};
+use sb_crawler::strategies::QueueStrategy;
+use sb_crawler::{CrawlConfig, CrawlSession, MemGauges};
+use sb_httpsim::SiteServer;
+use sb_scale::{stream_site, SpillBacking};
+use sb_webgraph::gen::{build_site, SiteSource, SiteSpec};
+use std::sync::Arc;
+
+/// In-memory frontier cap: ids beyond this spill to the arena. Sized well
+/// under the ~4k peak BFS frontier of the 10k-page rung so every rung
+/// actually exercises the spill path.
+pub const FRONTIER_CAP: usize = 1024;
+/// Visited-set compaction threshold: URLs past this are fingerprints.
+pub const VISITED_THRESHOLD: usize = 4096;
+
+struct Rung {
+    pages: usize,
+    crawled: u64,
+    targets: u64,
+    elapsed_secs: f64,
+    pages_per_sec: f64,
+    peak_rss_kb: u64,
+    peak: MemGauges,
+    spill_observed: bool,
+    site_static_kb: u64,
+}
+
+/// `VmHWM` (peak resident set) and `VmRSS` from `/proc/self/status`, in kB.
+/// Returns 0 on non-Linux platforms rather than failing the ladder.
+pub fn peak_rss_kb() -> u64 {
+    proc_status_kb("VmHWM:")
+}
+
+fn proc_status_kb(key: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else { return 0 };
+    status
+        .lines()
+        .find(|l| l.starts_with(key))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+fn crawl_rung(pages: usize) -> Rung {
+    let spec = SiteSpec::demo(pages);
+    let site = Arc::new(stream_site(&spec, 42));
+    let site_static_kb = site.static_bytes() / 1024;
+    let root = site.url(site.root()).to_owned();
+    let server = SiteServer::from_source(Arc::clone(&site) as Arc<dyn SiteSource>);
+    let mut bfs = QueueStrategy::bfs_spilling(FRONTIER_CAP, SpillBacking::Memory);
+    let cfg = CrawlConfig {
+        compact_visited_threshold: VISITED_THRESHOLD,
+        ..Default::default()
+    };
+    let mut session =
+        CrawlSession::new(&server, None, &root, &mut bfs, &cfg).expect("generated root is valid");
+
+    let t0 = std::time::Instant::now();
+    let mut peak = MemGauges::default();
+    let mut spill_observed = false;
+    while !session.is_finished() {
+        let report = session.step();
+        let m = report.mem;
+        peak.visited_urls = peak.visited_urls.max(m.visited_urls);
+        peak.visited_bytes = peak.visited_bytes.max(m.visited_bytes);
+        peak.visited_collisions = peak.visited_collisions.max(m.visited_collisions);
+        peak.frontier_len = peak.frontier_len.max(m.frontier_len);
+        peak.frontier_spilled = peak.frontier_spilled.max(m.frontier_spilled);
+        spill_observed |= m.frontier_spilled > 0;
+    }
+    let elapsed_secs = t0.elapsed().as_secs_f64();
+    let out = session.finish();
+    Rung {
+        pages,
+        crawled: out.pages_crawled,
+        targets: out.targets_found(),
+        elapsed_secs,
+        pages_per_sec: out.pages_crawled as f64 / elapsed_secs.max(1e-9),
+        peak_rss_kb: peak_rss_kb(),
+        peak,
+        spill_observed,
+        site_static_kb,
+    }
+}
+
+/// Byte-identity pin for the smallest rung: the bounded engine (streaming
+/// site + spilling frontier + compact visited) must produce exactly the
+/// trace, targets and traffic of the all-unbounded engine.
+fn verify_identical(pages: usize) -> String {
+    let spec = SiteSpec::demo(pages);
+    let eager = build_site(&spec, 42);
+    let root = eager.page(eager.root()).url.clone();
+
+    let server = SiteServer::new(eager);
+    let mut bfs = QueueStrategy::bfs();
+    let cfg = CrawlConfig::default();
+    let reference = CrawlSession::new(&server, None, &root, &mut bfs, &cfg)
+        .expect("valid root")
+        .run();
+
+    let site = Arc::new(stream_site(&spec, 42));
+    let lazy_server = SiteServer::from_source(Arc::clone(&site) as Arc<dyn SiteSource>);
+    let mut bounded_bfs = QueueStrategy::bfs_spilling(FRONTIER_CAP, SpillBacking::Memory);
+    let bounded_cfg = CrawlConfig {
+        compact_visited_threshold: VISITED_THRESHOLD,
+        ..Default::default()
+    };
+    let bounded = CrawlSession::new(&lazy_server, None, &root, &mut bounded_bfs, &bounded_cfg)
+        .expect("valid root")
+        .run();
+
+    assert_eq!(
+        reference.trace.points(),
+        bounded.trace.points(),
+        "bounded engine diverged from the unbounded reference at {pages} pages"
+    );
+    assert_eq!(reference.traffic, bounded.traffic, "traffic diverged");
+    let urls = |o: &sb_crawler::engine::CrawlOutcome| {
+        o.targets.iter().map(|t| t.url.clone()).collect::<Vec<_>>()
+    };
+    assert_eq!(urls(&reference), urls(&bounded), "target sets diverged");
+    format!(
+        "coverage verified byte-identical to the unbounded engine at {pages} pages \
+         ({} requests, {} targets)",
+        reference.traffic.requests(),
+        reference.targets_found()
+    )
+}
+
+pub fn run(cfg: &EvalConfig) -> String {
+    let mut rung_sizes = if cfg.scale < 0.01 { vec![10_000] } else { vec![10_000, 100_000] };
+    if std::env::var_os("SB_SCALE_XL").is_some() {
+        rung_sizes.push(1_000_000);
+    }
+
+    // Rungs run first: `VmHWM` is a process-wide high-water mark, so the
+    // RSS column must be captured before the eager reference site of the
+    // identity check inflates it.
+    let rungs: Vec<Rung> = rung_sizes.iter().map(|&n| crawl_rung(n)).collect();
+    let identity = verify_identical(rung_sizes[0]);
+
+    for r in &rungs {
+        // The ladder's contract: the in-memory frontier stays near its cap
+        // (cap + one spill chunk of slack) no matter the site size, and the
+        // exact portion of the visited set stays at its threshold.
+        let in_mem = r.peak.frontier_len - r.peak.frontier_spilled;
+        assert!(
+            in_mem <= FRONTIER_CAP + FRONTIER_CAP / 2,
+            "{} pages: {} frontier ids in memory exceeds cap {}",
+            r.pages,
+            in_mem,
+            FRONTIER_CAP
+        );
+        if r.pages > FRONTIER_CAP {
+            assert!(r.spill_observed, "{} pages crawled without ever spilling", r.pages);
+        }
+    }
+
+    let headers: Vec<String> = [
+        "Pages", "Crawled", "Targets", "Wall (s)", "Pages/s", "Peak RSS (MB)",
+        "Site static (MB)", "Peak frontier", "…spilled", "Visited (MB est.)",
+    ]
+    .map(String::from)
+    .to_vec();
+    let mut md_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for r in &rungs {
+        md_rows.push(vec![
+            r.pages.to_string(),
+            r.crawled.to_string(),
+            r.targets.to_string(),
+            format!("{:.2}", r.elapsed_secs),
+            format!("{:.0}", r.pages_per_sec),
+            format!("{:.1}", r.peak_rss_kb as f64 / 1024.0),
+            format!("{:.1}", r.site_static_kb as f64 / 1024.0),
+            r.peak.frontier_len.to_string(),
+            r.peak.frontier_spilled.to_string(),
+            format!("{:.2}", r.peak.visited_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+        csv_rows.push(vec![
+            r.pages.to_string(),
+            r.crawled.to_string(),
+            r.targets.to_string(),
+            format!("{:.4}", r.elapsed_secs),
+            format!("{:.2}", r.pages_per_sec),
+            r.peak_rss_kb.to_string(),
+            r.site_static_kb.to_string(),
+            r.peak.frontier_len.to_string(),
+            r.peak.frontier_spilled.to_string(),
+            r.peak.visited_bytes.to_string(),
+            r.peak.visited_urls.to_string(),
+            r.peak.visited_collisions.to_string(),
+        ]);
+    }
+    let _ = write_csv(
+        &cfg.out_dir.join("scale.csv"),
+        &[
+            "pages", "crawled", "targets", "wall_secs", "pages_per_sec", "peak_rss_kb",
+            "site_static_kb", "peak_frontier_len", "peak_frontier_spilled",
+            "peak_visited_bytes", "visited_urls", "visited_collisions",
+        ]
+        .map(String::from),
+        &csv_rows,
+    );
+
+    let last = rungs.last().expect("at least one rung");
+    let summary = format!(
+        "memory-bounded BFS ladder (frontier cap {FRONTIER_CAP}, visited threshold \
+         {VISITED_THRESHOLD}): {} pages at {:.0} pages/s, peak in-memory frontier {} ids \
+         ({} spilled), visited ≈{:.1} MB; {}",
+        last.pages,
+        last.pages_per_sec,
+        last.peak.frontier_len - last.peak.frontier_spilled,
+        last.peak.frontier_spilled,
+        last.peak.visited_bytes as f64 / (1024.0 * 1024.0),
+        identity,
+    );
+    let report = format!(
+        "## Scale — memory-bounded crawl ladder (streaming site, spillable frontier, \
+         fingerprint visited set)\n\n{}\n\n{}\n",
+        markdown(&headers, &md_rows),
+        summary,
+    );
+    let _ = write_text(&cfg.out_dir.join("scale.md"), &report);
+    report
+}

@@ -260,9 +260,10 @@ pub fn build_strategy(kind: CrawlerKind, site: &Website, scale: f64, sb: &SbTuni
             Box::new(TpOffStrategy::new(phase1))
         }
         CrawlerKind::Omniscient => {
-            let targets: Vec<String> =
-                site.target_ids().iter().map(|&id| site.page(id).url.clone()).collect();
-            Box::new(OmniscientStrategy::new(targets))
+            // Trait-based enumeration: the same list a streaming source
+            // would hand out, in the same (id) order.
+            use sb_webgraph::gen::SiteSource;
+            Box::new(OmniscientStrategy::new(SiteSource::target_urls(site)))
         }
         CrawlerKind::SbOracle => Box::new(SbStrategy::oracle(sb.sb_config())),
         CrawlerKind::SbClassifier => Box::new(SbStrategy::with_classifier(

@@ -4,7 +4,7 @@
 //! and 3xx redirects with `Location` headers.
 
 use crate::response::{error_response, Body, HeadResponse, Headers, Response};
-use sb_webgraph::gen::{PageKind, Website};
+use sb_webgraph::gen::{PageKind, SiteSource, Website};
 use sb_webgraph::PageId;
 use std::sync::Arc;
 
@@ -14,54 +14,75 @@ pub trait HttpServer: Send + Sync {
     fn get(&self, url: &str) -> Response;
 }
 
-/// Serves one synthetic website. The site is shared (`Arc`) so many
-/// concurrent experiment runs can serve the same generated site cheaply.
+/// Serves one synthetic website — any [`SiteSource`], eager or streaming.
+/// The site is shared (`Arc`) so many concurrent experiment runs can serve
+/// the same generated site cheaply.
 pub struct SiteServer {
-    site: Arc<Website>,
+    source: Arc<dyn SiteSource>,
+    /// Set when the source is a materialised [`Website`]; the omniscient
+    /// accessor [`SiteServer::site`] needs the concrete type.
+    eager: Option<Arc<Website>>,
 }
 
 impl SiteServer {
     pub fn new(site: Website) -> Self {
-        SiteServer { site: Arc::new(site) }
+        Self::shared(Arc::new(site))
     }
 
     pub fn shared(site: Arc<Website>) -> Self {
-        SiteServer { site }
+        SiteServer { source: Arc::clone(&site) as Arc<dyn SiteSource>, eager: Some(site) }
     }
 
+    /// Serves any [`SiteSource`] — e.g. a streaming `sb_scale` site whose
+    /// pages are rendered on demand through a bounded cache. Servers built
+    /// this way have no eager [`Website`]; use [`SiteServer::source`] for
+    /// omniscient views.
+    pub fn from_source(source: Arc<dyn SiteSource>) -> Self {
+        SiteServer { source, eager: None }
+    }
+
+    /// The materialised site, for omniscient experiment setup. Panics on a
+    /// server built with [`SiteServer::from_source`] — streaming-site
+    /// callers go through [`SiteServer::source`] instead.
     pub fn site(&self) -> &Website {
-        &self.site
+        self.eager.as_deref().expect("server has no eager Website; use source()")
+    }
+
+    /// The site behind this server, eager or streaming.
+    pub fn source(&self) -> &Arc<dyn SiteSource> {
+        &self.source
     }
 
     /// The shared site handle (the render cache lives on the `Website`, so
     /// servers constructed from clones of this handle share rendered pages).
+    /// Panics for streaming-backed servers, like [`SiteServer::site`].
     pub fn site_arc(&self) -> Arc<Website> {
-        Arc::clone(&self.site)
+        Arc::clone(self.eager.as_ref().expect("server has no eager Website; use source()"))
     }
 
     /// String-keyed boundary: resolves the URL (one FxHash lookup) and
     /// serves by page id.
     fn respond(&self, url: &str, with_body: bool) -> Response {
-        let Some(id) = self.site.lookup(url) else {
+        let Some(id) = self.source.lookup(url) else {
             return error_response(404);
         };
         self.respond_id(id, with_body)
     }
 
-    /// Id-keyed fast path. HTML bodies come from the site's shared render
-    /// cache (each page rendered at most once per site instance) and HEAD
-    /// serves the precomputed Content-Length without touching a body.
+    /// Id-keyed fast path. HTML bodies come from the source's shared render
+    /// cache (eager: each page rendered at most once per site instance;
+    /// streaming: bounded FIFO cache) and HEAD serves the precomputed
+    /// Content-Length without touching a body.
     pub fn respond_id(&self, id: PageId, with_body: bool) -> Response {
-        let page = self.site.page(id);
-        match &page.kind {
+        match self.source.kind(id) {
             PageKind::Html(_) => {
                 let (body, content_length) = if with_body {
-                    let cached = self.site.rendered(id);
+                    let cached = self.source.rendered(id);
                     let len = cached.len() as u64;
                     (Body::from(cached), len)
                 } else {
                     // HEAD: precomputed length, zero renders.
-                    (Body::empty(), self.site.content_length(id))
+                    (Body::empty(), self.source.content_length(id))
                 };
                 Response {
                     status: 200,
@@ -75,10 +96,10 @@ impl SiteServer {
             }
             PageKind::Target { mime, declared_size, .. } => {
                 let body = if with_body {
-                    // Deterministic payloads come from the site's shared
+                    // Deterministic payloads come from the source's shared
                     // (budget-bounded) cache: generated once, served as an
                     // `Arc` clone afterwards.
-                    Body::from(self.site.target_payload(id))
+                    Body::from(self.source.target_payload(id))
                 } else {
                     Body::empty()
                 };
@@ -98,7 +119,7 @@ impl SiteServer {
                 headers: Headers {
                     content_type: None,
                     content_length: Some(0),
-                    location: Some(self.site.page(*to).url.clone()),
+                    location: Some(self.source.url(*to).to_owned()),
                 },
                 body: Body::empty(),
             },

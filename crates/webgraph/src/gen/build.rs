@@ -7,6 +7,13 @@
 //! fill the rest; dead URLs and redirects are sprinkled on top. Every link is
 //! placed at a template [`Slot`], and each slot renders at a distinct DOM tag
 //! path — the regularity the sleeping bandit learns.
+//!
+//! Construction is generic over a [`PageStore`]: the builder drives one
+//! sequential RNG and calls the store only to record pages and links, so the
+//! draw sequence — and therefore the generated graph — is identical for
+//! every store. The eager store materialises [`SitePage`]s into a
+//! [`Website`]; `sb-scale`'s packed store writes the same graph into dense
+//! arenas for memory-bounded million-page sites.
 
 use super::lexicon::{self, Lang};
 use super::spec::SiteSpec;
@@ -20,17 +27,109 @@ use rand::{Rng, SeedableRng};
 /// declared size, which is what cost accounting uses.
 pub const TARGET_BODY_CAP: u64 = 1 << 18; // 256 KiB
 
-/// Builds the website for `spec`, deterministically from `seed`.
-pub fn build_site(spec: &SiteSpec, seed: u64) -> Website {
-    Builder::new(spec.clone(), seed).build()
+/// Sink the generic builder records pages and links into.
+///
+/// Implementations must assign ids densely in insertion order (`insert`
+/// returning `len() - 1` afterwards) and must not consume randomness —
+/// determinism of the generated graph rests on the builder owning the only
+/// RNG. Read-backs (`url`, `kind`) are required because later construction
+/// stages read earlier pages (pagination URLs, section inheritance).
+pub trait PageStore {
+    /// Number of pages recorded so far.
+    fn len(&self) -> usize;
+
+    /// Whether `url` is already taken (the builder deduplicates URLs).
+    fn contains_url(&self, url: &str) -> bool;
+
+    /// Records a page, returning its dense id. `url` is unique by the time
+    /// the builder calls this.
+    fn insert(&mut self, url: String, kind: PageKind, title: String) -> PageId;
+
+    /// Records a link out of `from` at template slot `slot`.
+    fn add_link(&mut self, from: PageId, to: PageId, slot: Slot);
+
+    /// URL of an already-recorded page.
+    fn url(&self, id: PageId) -> &str;
+
+    /// Kind of an already-recorded page.
+    fn kind(&self, id: PageId) -> &PageKind;
 }
 
-struct Builder {
-    spec: SiteSpec,
-    seed: u64,
-    rng: StdRng,
+/// The eager store behind [`build_site`]: materialised pages + URL index,
+/// handed straight to [`Website`].
+#[derive(Default)]
+struct EagerStore {
     pages: Vec<SitePage>,
     url_index: FxHashMap<String, PageId>,
+}
+
+impl PageStore for EagerStore {
+    fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn contains_url(&self, url: &str) -> bool {
+        self.url_index.contains_key(url)
+    }
+
+    fn insert(&mut self, url: String, kind: PageKind, title: String) -> PageId {
+        let id = self.pages.len() as PageId;
+        self.url_index.insert(url.clone(), id);
+        self.pages.push(SitePage { url, kind, title, out: Vec::new() });
+        id
+    }
+
+    fn add_link(&mut self, from: PageId, to: PageId, slot: Slot) {
+        self.pages[from as usize].out.push(OutLink { to, slot });
+    }
+
+    fn url(&self, id: PageId) -> &str {
+        &self.pages[id as usize].url
+    }
+
+    fn kind(&self, id: PageId) -> &PageKind {
+        &self.pages[id as usize].kind
+    }
+}
+
+/// Builds the website for `spec`, deterministically from `seed`.
+pub fn build_site(spec: &SiteSpec, seed: u64) -> Website {
+    let (store, root, styles) = build_with_store(spec, seed, EagerStore::default());
+    let mut site = Website {
+        spec: spec.clone(),
+        seed,
+        root,
+        pages: store.pages,
+        url_index: store.url_index,
+        section_styles: styles,
+        render: Vec::new(),
+        in_links: crate::csr::Csr::default(),
+        in_links_extra: FxHashMap::default(),
+        renders: std::sync::atomic::AtomicU64::new(0),
+        target_cache_budget: std::sync::atomic::AtomicU64::new(super::TARGET_CACHE_BUDGET),
+        render_cache_budget: std::sync::atomic::AtomicU64::new(super::RENDER_CACHE_BUDGET),
+    };
+    // Precompute every HTML page's rendered Content-Length so the
+    // origin server can answer HEAD without rendering a body.
+    site.finish_build();
+    site
+}
+
+/// Runs the deterministic site construction against an arbitrary
+/// [`PageStore`], returning the filled store, the root page id and the
+/// per-section styles. The recorded graph is identical for every store.
+pub fn build_with_store<S: PageStore>(
+    spec: &SiteSpec,
+    seed: u64,
+    store: S,
+) -> (S, PageId, Vec<SectionStyle>) {
+    Builder::new(spec.clone(), seed, store).build()
+}
+
+struct Builder<S: PageStore> {
+    spec: SiteSpec,
+    rng: StdRng,
+    store: S,
     styles: Vec<SectionStyle>,
     base: String,
     /// HTML pages that will carry target links, in creation order.
@@ -38,8 +137,8 @@ struct Builder {
     section_slugs: Vec<String>,
 }
 
-impl Builder {
-    fn new(spec: SiteSpec, seed: u64) -> Self {
+impl<S: PageStore> Builder<S> {
+    fn new(spec: SiteSpec, seed: u64, store: S) -> Self {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for b in spec.code.bytes() {
             h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
@@ -47,10 +146,8 @@ impl Builder {
         let base = spec.start_url.trim_end_matches('/').to_owned();
         Builder {
             spec,
-            seed,
             rng: StdRng::seed_from_u64(seed ^ h),
-            pages: Vec::new(),
-            url_index: FxHashMap::default(),
+            store,
             styles: Vec::new(),
             base,
             linkers: Vec::new(),
@@ -58,7 +155,7 @@ impl Builder {
         }
     }
 
-    fn build(mut self) -> Website {
+    fn build(mut self) -> (S, PageId, Vec<SectionStyle>) {
         let n_targets = self.spec.n_targets();
         let n_html = self.spec.n_html();
         let sections = self.spec.structure.sections.clamp(1, (n_html / 6).max(1));
@@ -120,22 +217,7 @@ impl Builder {
         // Chrome: nav, breadcrumbs, footers on all HTML pages.
         self.add_chrome(&hubs, &article_ids);
 
-        let mut site = Website {
-            spec: self.spec,
-            seed: self.seed,
-            root,
-            pages: self.pages,
-            url_index: self.url_index,
-            section_styles: self.styles,
-            render: Vec::new(),
-            in_links: Vec::new(),
-            renders: std::sync::atomic::AtomicU64::new(0),
-            target_cache_budget: std::sync::atomic::AtomicU64::new(super::TARGET_CACHE_BUDGET),
-        };
-        // Precompute every HTML page's rendered Content-Length so the
-        // origin server can answer HEAD without rendering a body.
-        site.finish_build();
-        site
+        (self.store, root, self.styles)
     }
 
     // ------------------------------------------------------------------
@@ -168,7 +250,7 @@ impl Builder {
 
     fn push_page(&mut self, mut url: String, kind: PageKind, title: String) -> PageId {
         // Deduplicate URLs deterministically.
-        if self.url_index.contains_key(&url) {
+        if self.store.contains_url(&url) {
             let mut n = 2;
             let (stem, ext) = match url.rsplit_once('.') {
                 Some((s, e)) if e.len() <= 5 && !e.contains('/') => (s.to_owned(), format!(".{e}")),
@@ -176,21 +258,18 @@ impl Builder {
             };
             loop {
                 let cand = format!("{stem}-{n}{ext}");
-                if !self.url_index.contains_key(&cand) {
+                if !self.store.contains_url(&cand) {
                     url = cand;
                     break;
                 }
                 n += 1;
             }
         }
-        let id = self.pages.len() as PageId;
-        self.url_index.insert(url.clone(), id);
-        self.pages.push(SitePage { url, kind, title, out: Vec::new() });
-        id
+        self.store.insert(url, kind, title)
     }
 
     fn link(&mut self, from: PageId, to: PageId, slot: Slot) {
-        self.pages[from as usize].out.push(OutLink { to, slot });
+        self.store.add_link(from, to, slot);
     }
 
     fn html_url(&mut self, section: u16, role: &str) -> String {
@@ -257,7 +336,7 @@ impl Builder {
                 self.html_url(section, "list")
             } else {
                 // Pagination: either a /page/N path or a ?page=N query.
-                let first = &self.pages[prev as usize].url;
+                let first = self.store.url(prev);
                 if self.rng.gen_bool(0.5) && !first.contains('?') {
                     format!("{}/page/{}", first.trim_end_matches('/'), page_no + 1)
                 } else {
@@ -279,14 +358,14 @@ impl Builder {
 
     fn push_articles(&mut self, n: usize) -> Vec<PageId> {
         // Articles attach to list pages (preferred) or hubs, and cross-link.
-        let attach_points: Vec<PageId> = self
-            .pages
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| {
-                matches!(p.kind, PageKind::Html(HtmlRole::List { .. }) | PageKind::Html(HtmlRole::SectionHub { .. }))
+        let attach_points: Vec<PageId> = (0..self.store.len() as PageId)
+            .filter(|&id| {
+                matches!(
+                    self.store.kind(id),
+                    PageKind::Html(HtmlRole::List { .. })
+                        | PageKind::Html(HtmlRole::SectionHub { .. })
+                )
             })
-            .map(|(i, _)| i as PageId)
             .collect();
         let mut ids = Vec::with_capacity(n);
         for _ in 0..n {
@@ -295,7 +374,7 @@ impl Builder {
             } else {
                 attach_points[self.rng.gen_range(0..attach_points.len())]
             };
-            let section = match self.pages[parent as usize].kind {
+            let section = match self.store.kind(parent) {
                 PageKind::Html(role) => role.section(),
                 _ => 0,
             };
@@ -368,7 +447,7 @@ impl Builder {
     }
 
     fn push_one_target(&mut self, linker: PageId, slot: Slot, mu: f64, sigma: f64) -> PageId {
-        let section = match self.pages[linker as usize].kind {
+        let section = match self.store.kind(linker) {
             PageKind::Html(role) => role.section(),
             _ => 0,
         };
@@ -441,9 +520,9 @@ impl Builder {
 
     fn push_redirects(&mut self, n: usize) {
         let html_pages: Vec<PageId> = self.html_ids();
-        let destinations: Vec<PageId> = (0..self.pages.len() as PageId)
+        let destinations: Vec<PageId> = (0..self.store.len() as PageId)
             .filter(|&id| {
-                matches!(self.pages[id as usize].kind, PageKind::Html(_) | PageKind::Target { .. })
+                matches!(self.store.kind(id), PageKind::Html(_) | PageKind::Target { .. })
             })
             .collect();
         let mut prev_redirect: Option<PageId> = None;
@@ -471,8 +550,8 @@ impl Builder {
         let root = 0 as PageId;
         let html_ids = self.html_ids();
         for &id in &html_ids {
-            let role = match self.pages[id as usize].kind {
-                PageKind::Html(r) => r,
+            let role = match self.store.kind(id) {
+                PageKind::Html(r) => *r,
                 _ => continue,
             };
             // Nav: root + up to 4 hubs.
@@ -499,8 +578,8 @@ impl Builder {
     }
 
     fn html_ids(&self) -> Vec<PageId> {
-        (0..self.pages.len() as PageId)
-            .filter(|&id| matches!(self.pages[id as usize].kind, PageKind::Html(_)))
+        (0..self.store.len() as PageId)
+            .filter(|&id| matches!(self.store.kind(id), PageKind::Html(_)))
             .collect()
     }
 
@@ -684,5 +763,54 @@ mod tests {
             c.html_to_target_pct,
             want
         );
+    }
+
+    /// A store that only records counts — proves the builder never reads
+    /// more than the [`PageStore`] surface and that ids are store-agnostic.
+    struct CountingStore {
+        inner: EagerStore,
+        inserts: usize,
+        links: usize,
+    }
+
+    impl PageStore for CountingStore {
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn contains_url(&self, url: &str) -> bool {
+            self.inner.contains_url(url)
+        }
+        fn insert(&mut self, url: String, kind: PageKind, title: String) -> PageId {
+            self.inserts += 1;
+            self.inner.insert(url, kind, title)
+        }
+        fn add_link(&mut self, from: PageId, to: PageId, slot: Slot) {
+            self.links += 1;
+            self.inner.add_link(from, to, slot)
+        }
+        fn url(&self, id: PageId) -> &str {
+            self.inner.url(id)
+        }
+        fn kind(&self, id: PageId) -> &PageKind {
+            self.inner.kind(id)
+        }
+    }
+
+    #[test]
+    fn build_is_store_agnostic() {
+        let spec = SiteSpec::demo(300);
+        let site = build_site(&spec, 21);
+        let store = CountingStore { inner: EagerStore::default(), inserts: 0, links: 0 };
+        let (store, root, styles) = build_with_store(&spec, 21, store);
+        assert_eq!(root, site.root());
+        assert!(!styles.is_empty());
+        assert_eq!(store.inserts, site.len());
+        assert_eq!(store.links as usize, site.pages().iter().map(|p| p.out.len()).sum::<usize>());
+        for (id, p) in site.pages().iter().enumerate() {
+            assert_eq!(store.inner.url(id as PageId), p.url);
+            assert_eq!(store.inner.kind(id as PageId), &p.kind);
+            assert_eq!(store.inner.pages[id].out, p.out);
+            assert_eq!(store.inner.pages[id].title, p.title);
+        }
     }
 }

@@ -19,14 +19,17 @@ pub mod hazard;
 pub mod lexicon;
 pub mod profiles;
 pub mod render;
+pub mod source;
 pub mod spec;
 
-pub use build::build_site;
+pub use build::{build_site, build_with_store, PageStore};
 pub use hazard::{apply_hazards, HazardReport, HazardSpec};
 pub use lexicon::Lang;
 pub use profiles::{paper_profiles, profile};
+pub use source::SiteSource;
 pub use spec::{MimePalette, SiteSpec, StructureSpec};
 
+use crate::csr::Csr;
 use crate::interner::FxHashMap;
 use crate::mime::UrlClass;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,23 +181,36 @@ pub struct Website {
     section_styles: Vec<SectionStyle>,
     /// Parallel to `pages`; see [`RenderSlot`].
     render: Vec<RenderSlot>,
-    /// Reverse link index (`in_links[p]` = pages with an out-link to `p`),
-    /// kept so mutation-time cache invalidation is O(in-degree) instead of
-    /// a full site scan. May contain duplicates; only used to reset slots.
-    in_links: Vec<Vec<PageId>>,
+    /// Reverse link index (CSR: `in_links.row(p)` = pages with a build-time
+    /// out-link to `p`), kept so mutation-time cache invalidation is
+    /// O(in-degree) instead of a full site scan. May contain duplicates;
+    /// only used to reset slots.
+    in_links: Csr<PageId>,
+    /// Reverse links added after the build (pushed pages, added out-links):
+    /// a sparse overlay on the dense CSR index, empty on unmutated sites.
+    in_links_extra: FxHashMap<PageId, Vec<PageId>>,
     /// Number of HTML render passes performed through the cache since this
     /// instance was built (build-time Content-Length precomputation is not
     /// counted). Exposed for the HEAD-performs-zero-renders tests.
     renders: AtomicU64,
-    /// Remaining byte budget for cached *target* payloads (HTML bodies are
-    /// always cached — they are small; target bodies can reach
-    /// `content::BODY_CAP` each, so caching is bounded per site instance).
+    /// Remaining byte budget for cached *target* payloads (target bodies
+    /// can reach `content::BODY_CAP` each, so caching is bounded per site
+    /// instance).
     target_cache_budget: AtomicU64,
+    /// Remaining byte budget for cached rendered HTML bodies. Defaults to
+    /// [`RENDER_CACHE_BUDGET`] (effectively unbounded — HTML bodies are
+    /// small); million-page sites can lower it via
+    /// [`Website::with_render_cache_budget`].
+    render_cache_budget: AtomicU64,
 }
 
 /// Default per-site budget for cached target payloads (see
 /// [`Website::target_payload`]).
 pub const TARGET_CACHE_BUDGET: u64 = 256 << 20;
+
+/// Default per-site budget for cached rendered HTML bodies: effectively
+/// unbounded, preserving the historical render-once behaviour.
+pub const RENDER_CACHE_BUDGET: u64 = u64::MAX;
 
 impl Clone for Website {
     fn clone(&self) -> Self {
@@ -207,8 +223,10 @@ impl Clone for Website {
             section_styles: self.section_styles.clone(),
             render: self.render.clone(),
             in_links: self.in_links.clone(),
+            in_links_extra: self.in_links_extra.clone(),
             renders: AtomicU64::new(self.renders.load(Ordering::Relaxed)),
             target_cache_budget: AtomicU64::new(self.target_cache_budget.load(Ordering::Relaxed)),
+            render_cache_budget: AtomicU64::new(self.render_cache_budget.load(Ordering::Relaxed)),
         }
     }
 }
@@ -255,14 +273,24 @@ impl Website {
     /// The rendered HTML body of page `id`, from the shared per-page cache.
     /// The first call renders (deterministically) and caches; every later
     /// call — from any `SiteServer` over the same site instance — is an
-    /// `Arc` clone. Panics if `id` is not an HTML page.
+    /// `Arc` clone. Caching is bounded by the render-cache budget (default
+    /// [`RENDER_CACHE_BUDGET`], effectively unbounded); past it, bodies are
+    /// re-rendered per call. Panics if `id` is not an HTML page.
     pub fn rendered(&self, id: PageId) -> Arc<[u8]> {
         debug_assert!(matches!(self.page(id).kind, PageKind::Html(_)));
         let slot = &self.render[id as usize];
-        Arc::clone(slot.body.get_or_init(|| {
-            self.renders.fetch_add(1, Ordering::Relaxed);
-            Arc::from(render::render_page(self, id).into_bytes())
-        }))
+        if let Some(cached) = slot.body.get() {
+            return Arc::clone(cached);
+        }
+        self.renders.fetch_add(1, Ordering::Relaxed);
+        let bytes: Arc<[u8]> = Arc::from(render::render_page(self, id).into_bytes());
+        let cost = bytes.len() as u64;
+        if try_charge(&self.render_cache_budget, cost) && slot.body.set(Arc::clone(&bytes)).is_err()
+        {
+            // Another thread cached it first: release our reservation.
+            self.render_cache_budget.fetch_add(cost, Ordering::Relaxed);
+        }
+        bytes
     }
 
     /// The Content-Length the origin server declares for page `id`,
@@ -309,30 +337,28 @@ impl Website {
             self.section_style(0).lang,
         ));
         let cost = bytes.len() as u64;
-        if self.try_charge_target_cache(cost) && slot.body.set(Arc::clone(&bytes)).is_err() {
+        if try_charge(&self.target_cache_budget, cost) && slot.body.set(Arc::clone(&bytes)).is_err()
+        {
             // Another thread cached it first: release our reservation.
             self.target_cache_budget.fetch_add(cost, Ordering::Relaxed);
         }
         bytes
     }
 
-    /// Reserves `cost` bytes of the target-cache budget, if available.
-    fn try_charge_target_cache(&self, cost: u64) -> bool {
-        let mut remaining = self.target_cache_budget.load(Ordering::Relaxed);
-        loop {
-            if remaining < cost {
-                return false;
-            }
-            match self.target_cache_budget.compare_exchange_weak(
-                remaining,
-                remaining - cost,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return true,
-                Err(actual) => remaining = actual,
-            }
-        }
+    /// Replaces the remaining target-payload cache budget (builder knob;
+    /// set before serving). The default is [`TARGET_CACHE_BUDGET`].
+    pub fn with_target_cache_budget(self, bytes: u64) -> Self {
+        self.target_cache_budget.store(bytes, Ordering::Relaxed);
+        self
+    }
+
+    /// Replaces the remaining rendered-HTML cache budget (builder knob; set
+    /// before serving). The default is [`RENDER_CACHE_BUDGET`], i.e.
+    /// unbounded; million-page sites lower it so cached bodies cannot pin
+    /// unbounded memory.
+    pub fn with_render_cache_budget(self, bytes: u64) -> Self {
+        self.render_cache_budget.store(bytes, Ordering::Relaxed);
+        self
     }
 
     /// HTML render passes performed through the cache on this instance.
@@ -345,12 +371,13 @@ impl Website {
     /// bodies discarded) so that serving HEAD never needs a body.
     pub(crate) fn finish_build(&mut self) {
         self.render = (0..self.pages.len()).map(|_| RenderSlot::default()).collect();
-        self.in_links = vec![Vec::new(); self.pages.len()];
-        for (pid, page) in self.pages.iter().enumerate() {
-            for l in &page.out {
-                self.in_links[l.to as usize].push(pid as PageId);
-            }
-        }
+        self.in_links = Csr::from_pairs(
+            self.pages.len(),
+            self.pages
+                .iter()
+                .enumerate()
+                .flat_map(|(pid, page)| page.out.iter().map(move |l| (l.to, pid as PageId))),
+        );
         for id in 0..self.pages.len() as PageId {
             if matches!(self.pages[id as usize].kind, PageKind::Html(_)) {
                 let len = render::render_page(self, id).len() as u64;
@@ -438,12 +465,13 @@ impl Website {
         let id = self.pages.len() as PageId;
         self.url_index.insert(page.url.clone(), id);
         for l in &page.out {
-            self.in_links[l.to as usize].push(id);
+            self.in_links_extra.entry(l.to).or_default().push(id);
         }
         self.pages.push(page);
         // Fresh slot; the page's Content-Length is computed on first demand.
+        // The CSR reverse index is not resized: pushed pages live entirely
+        // in the sparse overlay (`Csr::row` is empty past the build size).
         self.render.push(RenderSlot::default());
-        self.in_links.push(Vec::new());
         Ok(id)
     }
 
@@ -459,44 +487,59 @@ impl Website {
             "out-links can only be added to HTML pages"
         );
         page.out.push(link);
-        self.in_links[link.to as usize].push(from);
+        self.in_links_extra.entry(link.to).or_default().push(from);
         // The rendered body changed: drop the cached body and length.
+        self.refund_cached_body(from);
         self.render[from as usize] = RenderSlot::default();
     }
 
     /// Replaces the kind of a page in place (a target growing a revision, a
     /// page dying with `Error { status: 410 }`, …). The URL is unchanged.
     pub fn set_kind(&mut self, id: PageId, kind: PageKind) {
-        self.refund_cached_target(id);
+        self.refund_cached_body(id);
         self.pages[id as usize].kind = kind;
         self.render[id as usize] = RenderSlot::default();
         // Rendering reads *linked* pages' kinds (nav/anchor wording), so
         // any page linking here may now render differently: drop their
         // cached bodies and precomputed lengths too (O(in-degree) via the
-        // reverse index).
-        let sources = std::mem::take(&mut self.in_links[id as usize]);
-        for &pid in &sources {
+        // reverse index: the build-time CSR rows plus the mutation overlay).
+        let mut sources: Vec<PageId> = self.in_links.row(id).to_vec();
+        if let Some(extra) = self.in_links_extra.get(&id) {
+            sources.extend_from_slice(extra);
+        }
+        for pid in sources {
             if matches!(self.pages[pid as usize].kind, PageKind::Html(_)) {
+                self.refund_cached_body(pid);
                 self.render[pid as usize] = RenderSlot::default();
             }
         }
-        self.in_links[id as usize] = sources;
     }
 
-    /// Returns a to-be-dropped cached target payload's bytes to the cache
-    /// budget (HTML bodies are never charged).
-    fn refund_cached_target(&mut self, id: PageId) {
-        if matches!(self.pages[id as usize].kind, PageKind::Target { .. }) {
-            if let Some(body) = self.render[id as usize].body.get() {
-                self.target_cache_budget.fetch_add(body.len() as u64, Ordering::Relaxed);
-            }
-        }
+    /// Returns a to-be-dropped cached body's bytes to the budget it was
+    /// charged against (target payloads and rendered HTML bodies are
+    /// budgeted separately).
+    fn refund_cached_body(&mut self, id: PageId) {
+        let Some(body) = self.render[id as usize].body.get() else {
+            return;
+        };
+        let budget = match self.pages[id as usize].kind {
+            PageKind::Target { .. } => &self.target_cache_budget,
+            PageKind::Html(_) => &self.render_cache_budget,
+            _ => return,
+        };
+        budget.fetch_add(body.len() as u64, Ordering::Relaxed);
     }
 
     /// Remaining target-payload cache budget, in bytes (observability +
     /// tests; starts at [`TARGET_CACHE_BUDGET`]).
     pub fn target_cache_remaining(&self) -> u64 {
         self.target_cache_budget.load(Ordering::Relaxed)
+    }
+
+    /// Remaining rendered-HTML cache budget, in bytes (observability +
+    /// tests; starts at [`RENDER_CACHE_BUDGET`]).
+    pub fn render_cache_remaining(&self) -> u64 {
+        self.render_cache_budget.load(Ordering::Relaxed)
     }
 
     /// The Table 1 census of this site; see [`Census`].
@@ -543,6 +586,25 @@ impl Website {
             html_to_target_pct: if html > 0 { 100.0 * linkers as f64 / html as f64 } else { 0.0 },
             target_size_mb: mean_std(&sizes_mb),
             target_depth: mean_std(&target_depths),
+        }
+    }
+}
+
+/// Reserves `cost` bytes from a remaining-budget counter, if available.
+fn try_charge(budget: &AtomicU64, cost: u64) -> bool {
+    let mut remaining = budget.load(Ordering::Relaxed);
+    loop {
+        if remaining < cost {
+            return false;
+        }
+        match budget.compare_exchange_weak(
+            remaining,
+            remaining - cost,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return true,
+            Err(actual) => remaining = actual,
         }
     }
 }
@@ -703,6 +765,38 @@ mod mutation_tests {
         let fresh = crate::gen::render::render_page(&site, root);
         assert_eq!(&after[..], fresh.as_bytes());
         let _ = before;
+    }
+
+    #[test]
+    fn zero_render_budget_disables_body_caching() {
+        let site = small_site().with_render_cache_budget(0);
+        let root = site.root();
+        let a = site.rendered(root);
+        let b = site.rendered(root);
+        assert_eq!(&a[..], &b[..], "re-renders stay deterministic");
+        assert_eq!(site.render_count(), 2, "nothing cached: every GET renders");
+        assert_eq!(site.render_cache_remaining(), 0);
+    }
+
+    #[test]
+    fn default_render_budget_caches_once() {
+        let site = small_site();
+        let root = site.root();
+        let before = site.render_cache_remaining();
+        let body = site.rendered(root);
+        let _ = site.rendered(root);
+        assert_eq!(site.render_count(), 1);
+        assert_eq!(site.render_cache_remaining(), before - body.len() as u64);
+    }
+
+    #[test]
+    fn small_target_budget_bounds_cached_payloads() {
+        let site = small_site().with_target_cache_budget(1);
+        let target = site.target_ids()[0];
+        let a = site.target_payload(target);
+        let b = site.target_payload(target);
+        assert_eq!(&a[..], &b[..]);
+        assert_eq!(site.target_cache_remaining(), 1, "payload larger than budget: not cached");
     }
 
     #[test]

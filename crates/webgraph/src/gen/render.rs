@@ -7,29 +7,34 @@
 //! `div#frame-…` unique ids on `unique_ids` sites) produce the near-duplicate
 //! tag paths the θ-threshold clustering has to cope with.
 
-use super::{HtmlRole, PageId, PageKind, SectionStyle, Slot, Website};
+use super::source::SiteSource;
+use super::{HtmlRole, PageId, PageKind, SectionStyle, Slot};
 use crate::gen::lexicon;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sb_html::{el, render as render_doc, text, HtmlBuilder};
 
 /// Renders the HTML body of page `id`. Panics if the page is not HTML.
-pub fn render_page(site: &Website, id: PageId) -> String {
-    let page = site.page(id);
-    let PageKind::Html(role) = page.kind else {
+///
+/// Generic over [`SiteSource`], so the eager `Website` and `sb-scale`'s
+/// streaming site render through the same code path. The RNG draw sequence
+/// depends only on (seed, id) and the page's links, never on the concrete
+/// representation — that is what keeps the two byte-identical.
+pub fn render_page<S: SiteSource + ?Sized>(site: &S, id: PageId) -> String {
+    let PageKind::Html(role) = *site.kind(id) else {
         panic!("render_page on non-HTML page {id}");
     };
     let style = site.section_style(role.section());
     let mut rng = StdRng::seed_from_u64(site.seed() ^ (u64::from(id) << 17) ^ 0x9e37_79b9);
 
     let mut by_slot: Vec<Vec<&crate::gen::OutLink>> = vec![Vec::new(); Slot::ALL.len()];
-    for l in &page.out {
+    for l in site.out_links(id) {
         by_slot[slot_index(l.slot)].push(l);
     }
 
     let head = el("head")
         .child(el("meta").attr("charset", "utf-8"))
-        .child(el("title").child(text(page.title.clone())));
+        .child(el("title").child(text(site.title(id).to_owned())));
 
     let mut body = el("body");
     body = body.child(nav_bar(site, &by_slot[slot_index(Slot::Nav)], &mut rng));
@@ -78,8 +83,8 @@ pub fn render_page(site: &Website, id: PageId) -> String {
     render_doc(&el("html").child(head).child(body))
 }
 
-fn frame_content(
-    site: &Website,
+fn frame_content<S: SiteSource + ?Sized>(
+    site: &S,
     id: PageId,
     role: HtmlRole,
     style: &SectionStyle,
@@ -90,9 +95,9 @@ fn frame_content(
     el("div").id(format!("frame-{id}")).class("frame").child(inner)
 }
 
-fn content_children(
+fn content_children<S: SiteSource + ?Sized>(
     mut content: HtmlBuilder,
-    site: &Website,
+    site: &S,
     role: HtmlRole,
     style: &SectionStyle,
     by_slot: &[Vec<&crate::gen::OutLink>],
@@ -170,10 +175,14 @@ fn content_children(
     content
 }
 
-fn nav_bar(site: &Website, links: &[&crate::gen::OutLink], rng: &mut StdRng) -> HtmlBuilder {
+fn nav_bar<S: SiteSource + ?Sized>(
+    site: &S,
+    links: &[&crate::gen::OutLink],
+    rng: &mut StdRng,
+) -> HtmlBuilder {
     let mut ul = el("ul").class("menu");
     for l in links.iter() {
-        let lang = match site.page(l.to).kind {
+        let lang = match *site.kind(l.to) {
             PageKind::Html(r) => site.section_style(r.section()).lang,
             _ => site.section_style(0).lang,
         };
@@ -183,30 +192,35 @@ fn nav_bar(site: &Website, links: &[&crate::gen::OutLink], rng: &mut StdRng) -> 
     el("header").child(el("nav").child(ul))
 }
 
-fn anchor(site: &Website, to: PageId, class: Option<&str>, rng: &mut StdRng) -> HtmlBuilder {
+fn anchor<S: SiteSource + ?Sized>(
+    site: &S,
+    to: PageId,
+    class: Option<&str>,
+    rng: &mut StdRng,
+) -> HtmlBuilder {
     let mut a = el("a").attr("href", href(site, to, rng));
     if let Some(c) = class {
         for part in c.split_ascii_whitespace() {
             a = a.class(part);
         }
     }
-    a.child(text(site.page(to).title.clone()))
+    a.child(text(site.title(to).to_owned()))
 }
 
 /// Mostly root-relative hrefs, occasionally absolute — both forms occur in
 /// the wild and both must resolve to the same page.
-fn href(site: &Website, to: PageId, rng: &mut StdRng) -> String {
-    let url = &site.page(to).url;
+fn href<S: SiteSource + ?Sized>(site: &S, to: PageId, rng: &mut StdRng) -> String {
+    let url = site.url(to);
     if rng.gen_bool(0.1) {
-        return url.clone();
+        return url.to_owned();
     }
     match url.find("://").and_then(|p| url[p + 3..].find('/').map(|q| p + 3 + q)) {
         Some(slash) => url[slash..].to_owned(),
-        None => url.clone(),
+        None => url.to_owned(),
     }
 }
 
-fn title_of(site: &Website, role: HtmlRole) -> String {
+fn title_of<S: SiteSource + ?Sized>(site: &S, role: HtmlRole) -> String {
     match role {
         HtmlRole::Root => site.spec().name.to_owned(),
         _ => {

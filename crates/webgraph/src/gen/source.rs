@@ -1,0 +1,305 @@
+//! [`SiteSource`] — the narrow read surface a site has to expose to be
+//! served and crawled.
+//!
+//! The eager [`Website`] materialises every [`super::SitePage`] up front;
+//! `sb-scale`'s streaming site packs the same graph into dense arenas and
+//! renders bodies through a bounded cache. Both implement this trait, and
+//! everything downstream — the origin server, the renderer, the omniscient
+//! strategy's target enumeration, BFS depth computation — consumes the trait
+//! rather than the concrete `Website`, so swapping the representation can
+//! never change crawler-observable behaviour. Rendering byte-identity
+//! between the two implementations is pinned by proptest in `sb-scale`.
+
+use super::{OutLink, PageId, PageKind, SectionStyle, SiteSpec, Website};
+use crate::mime::UrlClass;
+use std::sync::Arc;
+
+/// Read-only view of a generated website: the exact data surface needed by
+/// [`super::render::render_page`] and the origin server, nothing more.
+///
+/// All methods take `&self` and must be callable concurrently — servers
+/// share one site instance across every in-flight request.
+pub trait SiteSource: Send + Sync {
+    /// The spec the site was generated from.
+    fn spec(&self) -> &SiteSpec;
+
+    /// The generation seed (per-page render RNGs derive from it).
+    fn seed(&self) -> u64;
+
+    /// Id of the start page.
+    fn root(&self) -> PageId;
+
+    /// Total number of pages (ids are `0..n_pages()`).
+    fn n_pages(&self) -> usize;
+
+    /// What page `id` resolves to.
+    fn kind(&self, id: PageId) -> &PageKind;
+
+    /// Absolute URL of page `id`.
+    fn url(&self, id: PageId) -> &str;
+
+    /// Anchor title used by pages linking to `id`.
+    fn title(&self, id: PageId) -> &str;
+
+    /// Outgoing links of page `id` (empty for non-HTML pages).
+    fn out_links(&self, id: PageId) -> &[OutLink];
+
+    /// Rendering style of `section` (implementations index modulo the
+    /// style count, so any `u16` is valid).
+    fn section_style(&self, section: u16) -> &SectionStyle;
+
+    /// Resolves a URL string to a page id, if it belongs to the site.
+    /// This is the origin server's per-request hot path.
+    fn lookup(&self, url: &str) -> Option<PageId>;
+
+    /// The rendered HTML body of page `id`. Deterministic per (seed, id);
+    /// implementations may cache. Panics if `id` is not an HTML page.
+    fn rendered(&self, id: PageId) -> Arc<[u8]>;
+
+    /// The Content-Length the origin server declares for page `id`.
+    fn content_length(&self, id: PageId) -> u64;
+
+    /// The payload bytes of target page `id`. Panics if `id` is not a
+    /// target page.
+    fn target_payload(&self, id: PageId) -> Arc<[u8]>;
+
+    /// HTML render passes performed on this instance (tests pin that HEAD
+    /// never renders).
+    fn render_count(&self) -> u64;
+
+    fn is_empty(&self) -> bool {
+        self.n_pages() == 0
+    }
+
+    /// Ground-truth class of a page (what a perfect oracle would say).
+    /// Redirects classify as their destination, followed for a bounded
+    /// number of hops — a redirect cycle is `Neither`.
+    fn true_class(&self, id: PageId) -> UrlClass {
+        let mut id = id;
+        for _ in 0..8 {
+            match self.kind(id) {
+                PageKind::Html(_) => return UrlClass::Html,
+                PageKind::Target { .. } => return UrlClass::Target,
+                PageKind::Error { .. } => return UrlClass::Neither,
+                PageKind::Redirect { to } => id = *to,
+            }
+        }
+        UrlClass::Neither
+    }
+
+    /// Ids of all target pages.
+    fn target_ids(&self) -> Vec<PageId> {
+        (0..self.n_pages() as PageId)
+            .filter(|&id| matches!(self.kind(id), PageKind::Target { .. }))
+            .collect()
+    }
+
+    /// URLs of all target pages — what the omniscient crawler is seeded
+    /// with. Enumerates through the trait so streaming sites never have to
+    /// materialise a page table for the omniscient baselines.
+    fn target_urls(&self) -> Vec<String> {
+        self.target_ids().into_iter().map(|id| self.url(id).to_owned()).collect()
+    }
+
+    /// BFS depths over the page graph (following redirects at no depth
+    /// cost); `None` for unreachable pages.
+    fn source_depths(&self) -> Vec<Option<u32>> {
+        let n = self.n_pages();
+        let mut depth: Vec<Option<u32>> = vec![None; n];
+        let mut q = std::collections::VecDeque::new();
+        depth[self.root() as usize] = Some(0);
+        q.push_back(self.root());
+        while let Some(u) = q.pop_front() {
+            let d = depth[u as usize].expect("queued pages have depths");
+            if let PageKind::Redirect { to } = *self.kind(u) {
+                if depth[to as usize].is_none() {
+                    depth[to as usize] = Some(d);
+                    q.push_back(to);
+                }
+                continue;
+            }
+            for l in self.out_links(u) {
+                if depth[l.to as usize].is_none() {
+                    depth[l.to as usize] = Some(d + 1);
+                    q.push_back(l.to);
+                }
+            }
+        }
+        depth
+    }
+}
+
+impl SiteSource for Website {
+    fn spec(&self) -> &SiteSpec {
+        Website::spec(self)
+    }
+
+    fn seed(&self) -> u64 {
+        Website::seed(self)
+    }
+
+    fn root(&self) -> PageId {
+        Website::root(self)
+    }
+
+    fn n_pages(&self) -> usize {
+        Website::len(self)
+    }
+
+    fn kind(&self, id: PageId) -> &PageKind {
+        &self.page(id).kind
+    }
+
+    fn url(&self, id: PageId) -> &str {
+        &self.page(id).url
+    }
+
+    fn title(&self, id: PageId) -> &str {
+        &self.page(id).title
+    }
+
+    fn out_links(&self, id: PageId) -> &[OutLink] {
+        &self.page(id).out
+    }
+
+    fn section_style(&self, section: u16) -> &SectionStyle {
+        Website::section_style(self, section)
+    }
+
+    fn lookup(&self, url: &str) -> Option<PageId> {
+        Website::lookup(self, url)
+    }
+
+    fn rendered(&self, id: PageId) -> Arc<[u8]> {
+        Website::rendered(self, id)
+    }
+
+    fn content_length(&self, id: PageId) -> u64 {
+        Website::content_length(self, id)
+    }
+
+    fn target_payload(&self, id: PageId) -> Arc<[u8]> {
+        Website::target_payload(self, id)
+    }
+
+    fn render_count(&self) -> u64 {
+        Website::render_count(self)
+    }
+
+    fn true_class(&self, id: PageId) -> UrlClass {
+        Website::true_class(self, id)
+    }
+
+    fn target_ids(&self) -> Vec<PageId> {
+        Website::target_ids(self)
+    }
+
+    fn source_depths(&self) -> Vec<Option<u32>> {
+        Website::depths(self)
+    }
+}
+
+/// Shared handles are sources too: `render_page(&arc_site, id)` keeps
+/// working for `Arc<Website>` (and any other shared source) exactly as it
+/// did when the renderer took `&Website` and auto-deref applied.
+impl<S: SiteSource + ?Sized> SiteSource for Arc<S> {
+    fn spec(&self) -> &SiteSpec {
+        (**self).spec()
+    }
+
+    fn seed(&self) -> u64 {
+        (**self).seed()
+    }
+
+    fn root(&self) -> PageId {
+        (**self).root()
+    }
+
+    fn n_pages(&self) -> usize {
+        (**self).n_pages()
+    }
+
+    fn kind(&self, id: PageId) -> &PageKind {
+        (**self).kind(id)
+    }
+
+    fn url(&self, id: PageId) -> &str {
+        (**self).url(id)
+    }
+
+    fn title(&self, id: PageId) -> &str {
+        (**self).title(id)
+    }
+
+    fn out_links(&self, id: PageId) -> &[OutLink] {
+        (**self).out_links(id)
+    }
+
+    fn section_style(&self, section: u16) -> &SectionStyle {
+        (**self).section_style(section)
+    }
+
+    fn lookup(&self, url: &str) -> Option<PageId> {
+        (**self).lookup(url)
+    }
+
+    fn rendered(&self, id: PageId) -> Arc<[u8]> {
+        (**self).rendered(id)
+    }
+
+    fn content_length(&self, id: PageId) -> u64 {
+        (**self).content_length(id)
+    }
+
+    fn target_payload(&self, id: PageId) -> Arc<[u8]> {
+        (**self).target_payload(id)
+    }
+
+    fn render_count(&self) -> u64 {
+        (**self).render_count()
+    }
+
+    fn true_class(&self, id: PageId) -> UrlClass {
+        (**self).true_class(id)
+    }
+
+    fn target_ids(&self) -> Vec<PageId> {
+        (**self).target_ids()
+    }
+
+    fn source_depths(&self) -> Vec<Option<u32>> {
+        (**self).source_depths()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{build_site, SiteSpec};
+
+    #[test]
+    fn website_trait_view_matches_inherent_accessors() {
+        let site = build_site(&SiteSpec::demo(200), 13);
+        let src: &dyn SiteSource = &site;
+        assert_eq!(src.n_pages(), site.len());
+        assert_eq!(src.root(), site.root());
+        for id in 0..site.len() as PageId {
+            assert_eq!(src.url(id), site.page(id).url);
+            assert_eq!(src.title(id), site.page(id).title);
+            assert_eq!(src.kind(id), &site.page(id).kind);
+            assert_eq!(src.out_links(id), site.page(id).out.as_slice());
+            assert_eq!(src.true_class(id), site.true_class(id));
+        }
+        assert_eq!(src.target_ids(), site.target_ids());
+        assert_eq!(src.source_depths(), site.depths());
+    }
+
+    #[test]
+    fn target_urls_enumerate_in_id_order() {
+        let site = build_site(&SiteSpec::demo(150), 4);
+        let urls = SiteSource::target_urls(&site);
+        let expect: Vec<String> =
+            site.target_ids().iter().map(|&id| site.page(id).url.clone()).collect();
+        assert_eq!(urls, expect);
+    }
+}

@@ -17,13 +17,18 @@
 
 pub mod complexity;
 pub mod content;
+pub mod csr;
 pub mod gen;
 pub mod graph;
 pub mod interner;
 pub mod mime;
 pub mod url;
 
-pub use gen::{build_site, paper_profiles, profile, Census, PageId, PageKind, SiteSpec, Website};
+pub use csr::Csr;
+pub use gen::{
+    build_site, build_with_store, paper_profiles, profile, Census, PageId, PageKind, PageStore,
+    SiteSource, SiteSpec, Website,
+};
 pub use graph::{Crawl, NodeIdx, WebsiteGraph};
 pub use interner::{FxBuildHasher, FxHashMap, FxHashSet, UrlId, UrlInterner};
 pub use mime::{MimePolicy, UrlClass};

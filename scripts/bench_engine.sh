@@ -25,6 +25,12 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # trap-laced 4k site under retry/backoff at windows 1/4/16 (PR 6).
 cargo run --release --offline -p sb-eval --bin xp -- \
     hostile --scale 0.01 --jobs 3 --out target/bench-hostile
+# The scale ladder (PR 7): memory-bounded BFS at 10k and 100k pages
+# (streaming site, spill-backed frontier, fingerprint visited set),
+# recording peak RSS, pages/sec and the session's own memory gauges; the
+# experiment asserts bounded in-memory footprint and 10k byte-identity.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    scale --scale 0.01 --jobs 3 --out target/bench-scale
 
 python3 - "$OUT_RAW" <<'PY'
 import json, os, re, subprocess, sys
@@ -193,6 +199,42 @@ hostile = {
     ],
 }
 
+# The scale section (PR 7): the memory-bounded crawl ladder
+# (target/bench-scale/scale.csv) — peak RSS and throughput per rung, plus
+# the session's own gauges proving the in-memory footprint stays bounded
+# while the 10k rung is byte-identical to the unbounded engine.
+scale_rows = list(csv.DictReader(open("target/bench-scale/scale.csv")))
+scale = {
+    "bench": "memory-bounded BFS exhaustion of generated streaming sites "
+             "(10k/100k pages): SiteServer over a StreamingSite (packed "
+             "arenas + CSR, bounded render cache), SpillQueue frontier "
+             "(in-memory cap 1024), VisitedSet fingerprint compaction "
+             "past 4096 URLs",
+    "note": "peak_rss_kb is /proc/self/status VmHWM captured after each "
+            "rung (rungs run smallest-first, before the eager identity "
+            "check); the experiment asserts spill observed, in-memory "
+            "frontier <= cap + slack, and byte-identical trace/targets "
+            "vs the all-unbounded engine on the smallest rung",
+    "rungs": [
+        {
+            "pages": int(r["pages"]),
+            "crawled": int(r["crawled"]),
+            "targets": int(r["targets"]),
+            "pages_per_sec": round(float(r["pages_per_sec"]), 1),
+            "wall_secs": round(float(r["wall_secs"]), 2),
+            "peak_rss_kb": int(r["peak_rss_kb"]),
+            "site_static_kb": int(r["site_static_kb"]),
+            "peak_frontier_len": int(r["peak_frontier_len"]),
+            "peak_frontier_spilled": int(r["peak_frontier_spilled"]),
+            "peak_frontier_in_mem": int(r["peak_frontier_len"])
+                - int(r["peak_frontier_spilled"]),
+            "peak_visited_bytes": int(r["peak_visited_bytes"]),
+            "visited_collisions": int(r["visited_collisions"]),
+        }
+        for r in scale_rows
+    ],
+}
+
 snapshot = {
     "description": "Seed string-keyed engine + render-per-GET server vs "
                    "interned-id engine + render-cached server "
@@ -211,6 +253,7 @@ snapshot = {
     "fleet": fleet,
     "pipeline": pipeline,
     "hostile": hostile,
+    "scale": scale,
     "absolute": [
         {"id": i, "ns_per_iter": round(r["ns_per_iter"], 1)}
         for i, r in sorted(records.items())
@@ -225,4 +268,5 @@ print(json.dumps(snapshot["html"]["comparisons"], indent=2))
 print(json.dumps(snapshot["fleet"], indent=2))
 print(json.dumps(snapshot["pipeline"], indent=2))
 print(json.dumps(snapshot["hostile"], indent=2))
+print(json.dumps(snapshot["scale"], indent=2))
 PY

@@ -37,4 +37,12 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # windows 1/4/16, plus the circuit-breaker blackout drill (PR 6).
 cargo run --release --offline -p sb-eval --bin xp -- \
     hostile --scale 0.003 --jobs 2 --out target/verify-smoke
+# Scale smoke (PR 7): the 10k rung of the memory-bounded ladder —
+# streaming site, spill-backed frontier, fingerprint visited set. The
+# experiment itself asserts bounded in-memory gauges (spill observed,
+# frontier cap respected) and byte-identical coverage vs the unbounded
+# engine; `--scale 0.003` keeps it to the 10k rung.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    scale --scale 0.003 --jobs 2 --out target/verify-smoke
+test -s target/verify-smoke/scale.csv
 echo "verify: OK"
