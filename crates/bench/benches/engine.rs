@@ -183,6 +183,39 @@ fn bench_fleet_shared_pool(c: &mut Criterion) {
     group.finish();
 }
 
+/// The sharded parallel fleet driver (PR 8): the same 8×500 fleet, but
+/// split across 1/2/4 shard threads, each with its own pool at per-shard
+/// window 1 and whole-site work stealing between backlogs. The
+/// `shards_1` / `shards_4` wall-time ratio is the fleet's *real* parallel
+/// speedup, recorded as `fleet.sharded.parallel_speedup` in
+/// `BENCH_engine.json` (bounded by the machine's core count — on a
+/// single-core runner it only measures the sharding overhead).
+fn bench_fleet_sharded(c: &mut Criterion) {
+    let sites: Vec<Arc<Website>> =
+        (0..8).map(|i| Arc::new(build_site(&SiteSpec::demo(500), 100 + i))).collect();
+
+    let mut group = c.benchmark_group("engine/fleet_sharded_8x500");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4] {
+        let id = format!("shards_{shards}");
+        group.bench_function(&id, |b| {
+            b.iter(|| {
+                let mut fleet =
+                    Fleet::new(1).mode(FleetMode::Sharded { shards, max_in_flight: 1 });
+                for (i, site) in sites.iter().enumerate() {
+                    let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
+                    let root = root_of(site);
+                    fleet.push(FleetJob::new(format!("site{i}"), server, root, || {
+                        Box::new(QueueStrategy::bfs())
+                    }));
+                }
+                black_box(fleet.run())
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The pipelined transport (PR 4): one BFS exhaustion of the 4 000-page
 /// site at in-flight windows 1/4/16 under the latency-simulated politeness
 /// model (1 s delay, slow link). Wall time per window is recorded here;
@@ -252,6 +285,6 @@ criterion_group!(
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(3));
-    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_fleet_shared_pool, bench_pipeline, bench_interner
+    targets = bench_e2e_bfs, bench_e2e_sb, bench_head, bench_fleet, bench_fleet_shared_pool, bench_fleet_sharded, bench_pipeline, bench_interner
 );
 criterion_main!(engine);

@@ -22,6 +22,7 @@ fn tiny_cfg(tag: &str) -> EvalConfig {
         sites: Some(vec!["cl".into(), "nc".into(), "in".into()]),
         jobs: 4,
         shared_pool: false,
+        shards: Vec::new(),
     }
 }
 

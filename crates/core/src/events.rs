@@ -248,6 +248,20 @@ pub struct MemGauges {
     pub frontier_spilled: usize,
 }
 
+impl MemGauges {
+    /// Sums another site's gauges into this one — the fleet-level
+    /// aggregation (PR 8): each field is an additive footprint, so the sum
+    /// over a shard's (or the whole fleet's) sessions is the combined
+    /// memory held at the instant those sessions were gauged.
+    pub fn merge(&mut self, other: &MemGauges) {
+        self.visited_urls += other.visited_urls;
+        self.visited_bytes += other.visited_bytes;
+        self.visited_collisions += other.visited_collisions;
+        self.frontier_len += other.frontier_len;
+        self.frontier_spilled += other.frontier_spilled;
+    }
+}
+
 /// A crawl progress consumer. Registered with
 /// [`crate::session::CrawlSession::observe`]; every event of the session is
 /// delivered in order, on the thread driving the session.

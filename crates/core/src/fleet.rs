@@ -54,12 +54,31 @@
 //! [`FleetOutcome::traffic`]'s `elapsed_secs` sum is not a serial-visit
 //! estimate in this mode.
 //!
+//! In [`FleetMode::Sharded`] (PR 8) the fleet finally buys **real
+//! wall-clock parallelism**: sites are hashed onto P shards, each shard
+//! thread owns an independent `SharedTransportPool` (the backend is
+//! `Send` since PR 8) and runs the same two-move schedule over its own
+//! sites in **waves** of at most `max_in_flight` sites — a fuller wave
+//! could never add in-flight concurrency, and the wave boundary is the
+//! *safe* boundary for work stealing: when a shard's sites all drain
+//! (frontiers exhausted or budgets spent, own backlog empty), it steals
+//! whole pending sites — sites with no session and no in-flight requests —
+//! from the most-loaded shard's backlog. Every site is still driven start
+//! to finish by exactly one pool under the deterministic single-pool
+//! schedule, so per-site results are **shard-count invariant** (and at
+//! per-shard window 1, byte-identical to the shared pool minus the shared
+//! clock — each site replays the sequential engine regardless of
+//! tenancy). Steal timing is the one wall-clock-dependent input, and it
+//! only decides *which shard's clock* a pending site later joins.
+//!
 //! [`SharedTransportPool`]: sb_httpsim::SharedTransportPool
 
-use crate::events::{AbandonCounts, FinishReason};
+use crate::events::{AbandonCounts, FinishReason, MemGauges};
 use crate::session::{ConfigError, CrawlConfig, CrawlOutcome, CrawlSession, Oracle};
 use crate::strategy::Strategy;
+use parking_lot::Mutex;
 use sb_httpsim::{HttpServer, SharedTransportPool, Traffic};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Shareable server handle: fleets move jobs across threads.
@@ -151,6 +170,29 @@ pub struct FleetOutcome {
     /// Fleet-wide per-reason abandonment tally (PR 6) — the sum of every
     /// site's [`CrawlOutcome::abandoned`].
     pub abandoned: AbandonCounts,
+    /// Fleet-wide memory gauges (PR 8) — the sum of every site's final
+    /// [`CrawlOutcome::mem`], i.e. the combined visited-set + frontier
+    /// footprint the fleet held at the instant each site finished.
+    pub mem: MemGauges,
+    /// Per-shard ledgers (PR 8): one entry per shard thread in
+    /// [`FleetMode::Sharded`], empty in the other modes.
+    pub shards: Vec<ShardReport>,
+}
+
+/// One shard thread's ledger in a [`FleetMode::Sharded`] run (PR 8).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardReport {
+    /// Sites this shard drove to completion, steals included.
+    pub sites: usize,
+    /// Sites this shard stole from other shards' pending backlogs.
+    pub stolen: u64,
+    /// The shard pool's simulated clock when its last wave drained — the
+    /// shard's own makespan on its own clock.
+    pub sim_makespan_secs: f64,
+    /// Final memory gauges summed over the shard's sites.
+    pub mem: MemGauges,
+    /// Abandonment tally summed over the shard's sites.
+    pub abandoned: AbandonCounts,
 }
 
 impl FleetOutcome {
@@ -172,6 +214,12 @@ impl FleetOutcome {
             .map(|o| o.traffic.elapsed_secs)
             .fold(0.0, f64::max)
     }
+
+    /// Total sites stolen across shards (0 outside
+    /// [`FleetMode::Sharded`]) — the work-stealing activity of the run.
+    pub fn stolen_sites(&self) -> u64 {
+        self.shards.iter().map(|s| s.stolen).sum()
+    }
 }
 
 /// How a fleet's sessions reach the wire. See the module docs.
@@ -186,6 +234,14 @@ pub enum FleetMode {
     /// least-elapsed host first, drains follow the pool's deterministic
     /// completion order. `max_in_flight` is clamped to ≥ 1.
     SharedPool { max_in_flight: usize },
+    /// `shards` independent `SharedTransportPool`s, one per driver thread
+    /// ([`Fleet::new`]'s `workers` is ignored — `shards` is the thread
+    /// count; both values clamped to ≥ 1), each running the shared-pool
+    /// schedule over its own hashed share of the sites in waves of at
+    /// most `max_in_flight` sites, with whole-site work stealing from the
+    /// most-loaded backlog once a shard's own sites all drain (PR 8). See
+    /// the module docs.
+    Sharded { shards: usize, max_in_flight: usize },
 }
 
 /// The multi-site scheduler. See the module docs.
@@ -193,6 +249,7 @@ pub struct Fleet {
     jobs: Vec<FleetJob>,
     workers: usize,
     mode: FleetMode,
+    assignment: Option<Vec<usize>>,
 }
 
 impl Fleet {
@@ -200,7 +257,7 @@ impl Fleet {
     /// the number of jobs at run time; 0 means one worker), in
     /// [`FleetMode::PerSite`] unless [`Fleet::mode`] says otherwise.
     pub fn new(workers: usize) -> Self {
-        Fleet { jobs: Vec::new(), workers: workers.max(1), mode: FleetMode::PerSite }
+        Fleet { jobs: Vec::new(), workers: workers.max(1), mode: FleetMode::PerSite, assignment: None }
     }
 
     /// Selects the transport mode (fluent).
@@ -213,6 +270,22 @@ impl Fleet {
     /// `max_in_flight`.
     pub fn shared_pool(self, max_in_flight: usize) -> Self {
         self.mode(FleetMode::SharedPool { max_in_flight })
+    }
+
+    /// Shorthand for [`FleetMode::Sharded`].
+    pub fn sharded(self, shards: usize, max_in_flight: usize) -> Self {
+        self.mode(FleetMode::Sharded { shards, max_in_flight })
+    }
+
+    /// Overrides the hash-based site→shard assignment of
+    /// [`FleetMode::Sharded`]: `assignment[i] % shards` is site `i`'s
+    /// initial shard (sites past the end go to shard 0). The invariance
+    /// tests and load-skew drills use this to force arbitrary — including
+    /// pathologically imbalanced — placements; results must not depend on
+    /// it.
+    pub fn shard_assignment(mut self, assignment: Vec<usize>) -> Self {
+        self.assignment = Some(assignment);
+        self
     }
 
     pub fn push(&mut self, job: FleetJob) {
@@ -241,7 +314,7 @@ impl Fleet {
     /// session.
     pub fn run(self) -> FleetOutcome {
         let started = std::time::Instant::now();
-        let sites = match self.mode {
+        let (sites, shards) = match self.mode {
             FleetMode::PerSite => {
                 let n = self.jobs.len();
                 let workers = self.workers.clamp(1, n.max(1));
@@ -264,22 +337,37 @@ impl Fleet {
                     }
                 });
                 indexed.sort_by_key(|(i, _)| *i);
-                indexed.into_iter().map(|(_, r)| r).collect()
+                (indexed.into_iter().map(|(_, r)| r).collect(), Vec::new())
             }
-            FleetMode::SharedPool { max_in_flight } => drive_shared(self.jobs, max_in_flight),
+            FleetMode::SharedPool { max_in_flight } => {
+                (drive_shared(self.jobs, max_in_flight), Vec::new())
+            }
+            FleetMode::Sharded { shards, max_in_flight } => {
+                run_sharded(self.jobs, shards, max_in_flight, self.assignment)
+            }
         };
 
         let mut traffic = Traffic::default();
         let mut targets = 0u64;
         let mut abandoned = AbandonCounts::default();
+        let mut mem = MemGauges::default();
         for report in &sites {
             if let Ok(o) = &report.outcome {
                 traffic.absorb(&o.traffic);
                 targets += o.targets_found();
                 abandoned.merge(&o.abandoned);
+                mem.merge(&o.mem);
             }
         }
-        FleetOutcome { sites, traffic, targets, wall_secs: started.elapsed().as_secs_f64(), abandoned }
+        FleetOutcome {
+            sites,
+            traffic,
+            targets,
+            wall_secs: started.elapsed().as_secs_f64(),
+            abandoned,
+            mem,
+            shards,
+        }
     }
 }
 
@@ -383,15 +471,16 @@ fn drive_bucket(bucket: Vec<(usize, FleetJob)>) -> Vec<(usize, SiteReport)> {
     collect_reports(sessions, names)
 }
 
-/// Drives the whole fleet through one [`SharedTransportPool`] on the
-/// calling thread. See the module docs for the two-move schedule.
-fn drive_shared(jobs: Vec<FleetJob>, max_in_flight: usize) -> Vec<SiteReport> {
-    let pool = SharedTransportPool::new(max_in_flight);
-    let mut prepared: Vec<Prepared> =
-        jobs.into_iter().enumerate().map(|(index, job)| Prepared::from_job(index, job)).collect();
-    let names: Vec<(usize, String)> = prepared.iter().map(|p| (p.index, p.name.clone())).collect();
-
-    let mut sessions: Vec<Result<CrawlSession<'_>, ConfigError>> = prepared
+/// Builds one pool-handle session per prepared site. Pool site indexes
+/// run `base..base + prepared.len()` — `base` is the number of handles
+/// the pool has already issued (0 for the shared-pool mode's one-shot
+/// pool; the running handle count for a sharded wave reusing its shard's
+/// pool).
+fn pool_sessions<'a>(
+    pool: &'a SharedTransportPool,
+    prepared: &'a mut [Prepared],
+) -> Vec<Result<CrawlSession<'a>, ConfigError>> {
+    prepared
         .iter_mut()
         .map(|p| {
             // One pool handle per site: the handle owns the site's
@@ -408,8 +497,17 @@ fn drive_shared(jobs: Vec<FleetJob>, max_in_flight: usize) -> Vec<SiteReport> {
                 &p.cfg,
             )
         })
-        .collect();
+        .collect()
+}
 
+/// The two-move shared-pool schedule (see the module docs), over sessions
+/// whose pool site indexes are `base + k` for session `k`. Runs every
+/// session to completion.
+fn drive_pool_schedule(
+    pool: &SharedTransportPool,
+    sessions: &mut [Result<CrawlSession<'_>, ConfigError>],
+    base: usize,
+) {
     // `declined[k]`: session k was offered a slot and could not use it
     // (budget-blocked, or frontier dry pending its in-flight answers).
     // Only k's own completions can change that, so k stays out of the
@@ -427,7 +525,9 @@ fn drive_shared(jobs: Vec<FleetJob>, max_in_flight: usize) -> Vec<SiteReport> {
                     !declined[*k] && s.as_ref().is_ok_and(|sess| !sess.is_finished())
                 })
                 .min_by(|(a, _), (b, _)| {
-                    pool.site_elapsed(*a).total_cmp(&pool.site_elapsed(*b)).then(a.cmp(b))
+                    pool.site_elapsed(base + *a)
+                        .total_cmp(&pool.site_elapsed(base + *b))
+                        .then(a.cmp(b))
                 })
                 .map(|(k, _)| k);
             let Some(k) = pick else { break };
@@ -446,15 +546,150 @@ fn drive_shared(jobs: Vec<FleetJob>, max_in_flight: usize) -> Vec<SiteReport> {
             // submits or finishes during its refill offer).
             break;
         };
-        if let Ok(session) = &mut sessions[site] {
+        let k = site - base;
+        if let Ok(session) = &mut sessions[k] {
             session.drain_completions();
         }
-        declined[site] = false;
+        declined[k] = false;
     }
     debug_assert!(
         sessions.iter().all(|s| s.as_ref().map_or(true, |sess| sess.is_finished())),
         "shared-pool driver exited with live sessions"
     );
+}
+
+/// Drives the whole fleet through one [`SharedTransportPool`] on the
+/// calling thread. See the module docs for the two-move schedule.
+fn drive_shared(jobs: Vec<FleetJob>, max_in_flight: usize) -> Vec<SiteReport> {
+    let pool = SharedTransportPool::new(max_in_flight);
+    let mut prepared: Vec<Prepared> =
+        jobs.into_iter().enumerate().map(|(index, job)| Prepared::from_job(index, job)).collect();
+    let names: Vec<(usize, String)> = prepared.iter().map(|p| (p.index, p.name.clone())).collect();
+
+    let mut sessions = pool_sessions(&pool, &mut prepared);
+    drive_pool_schedule(&pool, &mut sessions, 0);
 
     collect_reports(sessions, names).into_iter().map(|(_, r)| r).collect()
+}
+
+/// Stable site → shard hash (FxHash over name then submission index):
+/// deterministic across runs and shard counts, so drills and benches see
+/// the same placement every time.
+fn shard_of(index: usize, name: &str, shards: usize) -> usize {
+    use std::hash::{BuildHasher, Hash, Hasher};
+    let mut h = sb_webgraph::FxBuildHasher::default().build_hasher();
+    name.hash(&mut h);
+    index.hash(&mut h);
+    (h.finish() % shards as u64) as usize
+}
+
+/// The sharded fleet's shared work ledger: one backlog of pending
+/// (submission index, job) pairs per shard. Shards pop their own backlog
+/// from the front and steal from the *back* of the most-loaded backlog,
+/// so a victim's imminent work is disturbed last.
+type Ledger = Mutex<Vec<VecDeque<(usize, FleetJob)>>>;
+
+/// Drives one shard: waves of at most `max_in_flight` sites through a
+/// persistent per-shard [`SharedTransportPool`], stealing whole pending
+/// sites from the most-loaded backlog when its own runs dry.
+fn drive_shard(
+    shard: usize,
+    ledger: &Ledger,
+    max_in_flight: usize,
+) -> (Vec<(usize, SiteReport)>, ShardReport) {
+    let pool = SharedTransportPool::new(max_in_flight);
+    // A wave wider than the in-flight window could never add concurrency,
+    // so cap it there: smaller waves mean more (steal-safe) boundaries.
+    let cap = max_in_flight.max(1);
+    let mut reports: Vec<(usize, SiteReport)> = Vec::new();
+    let mut shard_report = ShardReport { sites: 0, stolen: 0, ..ShardReport::default() };
+    // Pool site indexes keep counting across waves (one handle per driven
+    // site); each wave's sessions start at the running total.
+    let mut base = 0usize;
+
+    loop {
+        // Take the next wave under the ledger lock: own backlog first,
+        // else steal up to half the most-loaded backlog (whole sites only
+        // — pending jobs have no session and nothing in flight, so a
+        // steal cannot split a crawl across pools).
+        let wave: Vec<(usize, FleetJob)> = {
+            let mut backlogs = ledger.lock();
+            if !backlogs[shard].is_empty() {
+                let take = cap.min(backlogs[shard].len());
+                backlogs[shard].drain(..take).collect()
+            } else {
+                let victim = (0..backlogs.len())
+                    .filter(|&s| s != shard && !backlogs[s].is_empty())
+                    .max_by_key(|&s| (backlogs[s].len(), std::cmp::Reverse(s)));
+                match victim {
+                    None => break,
+                    Some(v) => {
+                        let take = cap.min(backlogs[v].len().div_ceil(2));
+                        let at = backlogs[v].len() - take;
+                        shard_report.stolen += take as u64;
+                        backlogs[v].split_off(at).into()
+                    }
+                }
+            }
+        };
+
+        let mut prepared: Vec<Prepared> =
+            wave.into_iter().map(|(index, job)| Prepared::from_job(index, job)).collect();
+        let names: Vec<(usize, String)> =
+            prepared.iter().map(|p| (p.index, p.name.clone())).collect();
+        let wave_len = prepared.len();
+
+        let mut sessions = pool_sessions(&pool, &mut prepared);
+        drive_pool_schedule(&pool, &mut sessions, base);
+        base += wave_len;
+        shard_report.sites += wave_len;
+
+        for (index, report) in collect_reports(sessions, names) {
+            if let Ok(o) = &report.outcome {
+                shard_report.mem.merge(&o.mem);
+                shard_report.abandoned.merge(&o.abandoned);
+            }
+            reports.push((index, report));
+        }
+    }
+
+    shard_report.sim_makespan_secs = pool.clock_secs();
+    (reports, shard_report)
+}
+
+/// [`FleetMode::Sharded`]: hash sites onto `shards` backlogs, drive one
+/// shard per thread, steal whole pending sites at wave boundaries. See
+/// the module docs for why per-site results stay shard-count invariant.
+fn run_sharded(
+    jobs: Vec<FleetJob>,
+    shards: usize,
+    max_in_flight: usize,
+    assignment: Option<Vec<usize>>,
+) -> (Vec<SiteReport>, Vec<ShardReport>) {
+    let shards = shards.max(1);
+    let mut backlogs: Vec<VecDeque<(usize, FleetJob)>> = (0..shards).map(|_| VecDeque::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        let s = match &assignment {
+            Some(a) => a.get(i).copied().unwrap_or(0) % shards,
+            None => shard_of(i, &job.name, shards),
+        };
+        backlogs[s].push_back((i, job));
+    }
+    let ledger: Ledger = Mutex::new(backlogs);
+    let ledger = &ledger;
+
+    let mut indexed: Vec<(usize, SiteReport)> = Vec::new();
+    let mut shard_reports: Vec<ShardReport> = Vec::with_capacity(shards);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| scope.spawn(move || drive_shard(shard, ledger, max_in_flight)))
+            .collect();
+        for h in handles {
+            let (reports, shard_report) = h.join().expect("fleet shard panicked");
+            indexed.extend(reports);
+            shard_reports.push(shard_report);
+        }
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    (indexed.into_iter().map(|(_, r)| r).collect(), shard_reports)
 }

@@ -78,7 +78,9 @@ pub use events::{
     MemGauges, OwnedEvent,
     TraceObserver,
 };
-pub use fleet::{Fleet, FleetJob, FleetMode, FleetOutcome, SharedOracle, SharedServer, SiteReport};
+pub use fleet::{
+    Fleet, FleetJob, FleetMode, FleetOutcome, ShardReport, SharedOracle, SharedServer, SiteReport,
+};
 pub use session::{
     robots_filter, Budget, ConfigError, CrawlConfig, CrawlConfigBuilder, CrawlOutcome,
     CrawlSession, Oracle, RetrievedTarget, StepReport, UrlFilter,

@@ -381,6 +381,10 @@ pub struct CrawlOutcome {
     /// ledger: timeouts, exhausted retries, quarantined hosts, dead
     /// redirects.
     pub abandoned: AbandonCounts,
+    /// Final memory gauges (PR 7/8): the visited-set and frontier
+    /// footprint at the instant the session ended, so fleet drivers can
+    /// aggregate a run's memory profile without observing every step.
+    pub mem: MemGauges,
 }
 
 impl CrawlOutcome {
@@ -1053,6 +1057,7 @@ impl<'a> CrawlSession<'a> {
             self.finish_with(FinishReason::Cancelled);
         }
         let reason = self.finish_reason().expect("session finished");
+        let mem = self.mem_gauges();
         CrawlOutcome {
             trace: self.hub.trace.into_trace(),
             targets: self.targets,
@@ -1064,6 +1069,7 @@ impl<'a> CrawlSession<'a> {
             report: self.strategy.report(),
             finish_reason: reason,
             abandoned: self.abandoned,
+            mem,
         }
     }
 

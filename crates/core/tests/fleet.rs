@@ -10,6 +10,15 @@
 //! `sb_bench::reference`, masking only the shared clock), and shutdown
 //! with selections in flight across several sites must drain every one of
 //! them as `feedback_error` + `Abandoned(SessionClosed)`.
+//!
+//! PR 8 extends it once more to [`FleetMode::Sharded`]: per-site results
+//! must be **shard-count invariant** (proptested against the single
+//! shared pool for arbitrary shard counts, windows and site → shard
+//! assignments), at per-shard window 1 every site must replay the frozen
+//! seed engine byte for byte regardless of which shard drives it or how
+//! work stealing moved it there, and shutdown of sessions on pools driven
+//! from several threads must drain each in-flight selection as exactly
+//! one `feedback_error` + `Abandoned(SessionClosed)`.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -56,13 +65,19 @@ struct SiteOutcome {
     makespan: f64,
 }
 
-fn run_fleet_mode(
+/// Builds the standard BFS fleet over `sites` (seed = site index) in the
+/// given mode, optionally with an explicit site → shard assignment.
+fn build_fleet(
     sites: &[Arc<Website>],
     workers: usize,
     budget: Budget,
     mode: FleetMode,
-) -> Vec<SiteOutcome> {
+    assignment: Option<Vec<usize>>,
+) -> Fleet {
     let mut fleet = Fleet::new(workers).mode(mode);
+    if let Some(a) = assignment {
+        fleet = fleet.shard_assignment(a);
+    }
     for (i, site) in sites.iter().enumerate() {
         let server: SharedServer = Arc::new(SiteServer::shared(Arc::clone(site)));
         let cfg = CrawlConfig { budget, seed: i as u64, ..Default::default() };
@@ -73,8 +88,10 @@ fn run_fleet_mode(
             .config(cfg),
         );
     }
-    let out = fleet.run();
-    assert_eq!(out.sites.len(), sites.len());
+    fleet
+}
+
+fn site_outcomes(out: &sb_crawler::FleetOutcome) -> Vec<SiteOutcome> {
     out.sites
         .iter()
         .map(|r| {
@@ -92,6 +109,17 @@ fn run_fleet_mode(
             }
         })
         .collect()
+}
+
+fn run_fleet_mode(
+    sites: &[Arc<Website>],
+    workers: usize,
+    budget: Budget,
+    mode: FleetMode,
+) -> Vec<SiteOutcome> {
+    let out = build_fleet(sites, workers, budget, mode, None).run();
+    assert_eq!(out.sites.len(), sites.len());
+    site_outcomes(&out)
 }
 
 fn run_fleet(sites: &[Arc<Website>], workers: usize, budget: Budget) -> Vec<SiteSummary> {
@@ -573,5 +601,327 @@ fn shared_pool_shutdown_drains_selections_mid_retry_backoff() {
             before_gets[i],
             in_flight[i]
         );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sharded parallel fleet (PR 8)
+// ----------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Per-site results are **shard-count invariant**: for any shard
+    /// count, per-shard window and site → shard assignment (hashed or
+    /// arbitrary), the sharded fleet's coverage matches the single shared
+    /// pool site for site. And at per-shard window 1 every site replays
+    /// the frozen seed engine byte for byte — targets in retrieval order,
+    /// pages crawled, full masked trace — no matter which shard's pool
+    /// ends up driving it or whether it got there by stealing.
+    #[test]
+    fn sharded_results_are_shard_count_invariant(
+        (seed, shards, window) in (0u64..500, 1usize..5, 1usize..9),
+        assignment in proptest::option::of(proptest::collection::vec(0usize..8, 0..4)),
+    ) {
+        let sites = pool_sites(seed);
+        let baseline = run_fleet_mode(
+            &sites,
+            1,
+            Budget::Unlimited,
+            FleetMode::SharedPool { max_in_flight: window },
+        );
+
+        let out = build_fleet(
+            &sites,
+            1,
+            Budget::Unlimited,
+            FleetMode::Sharded { shards, max_in_flight: window },
+            assignment.clone(),
+        )
+        .run();
+        let sharded = site_outcomes(&out);
+
+        prop_assert_eq!(out.shards.len(), shards);
+        prop_assert_eq!(
+            out.shards.iter().map(|s| s.sites).sum::<usize>(),
+            sites.len(),
+            "every site is driven by exactly one shard"
+        );
+        for (i, (b, s)) in baseline.iter().zip(&sharded).enumerate() {
+            let mut b_targets = b.summary.targets.clone();
+            let mut s_targets = s.summary.targets.clone();
+            b_targets.sort();
+            s_targets.sort();
+            prop_assert_eq!(
+                b_targets, s_targets,
+                "site{} coverage changed under sharding (shards {}, window {})",
+                i, shards, window
+            );
+            prop_assert_eq!(b.summary.pages_crawled, s.summary.pages_crawled, "site{}", i);
+            prop_assert_eq!(b.summary.requests, s.summary.requests, "site{}", i);
+        }
+
+        // Per-shard window 1: byte-identical replay of the frozen seed
+        // engine for every shard count.
+        let serial = build_fleet(
+            &sites,
+            1,
+            Budget::Unlimited,
+            FleetMode::Sharded { shards, max_in_flight: 1 },
+            assignment,
+        )
+        .run();
+        let serial = site_outcomes(&serial);
+        for (i, (site, s)) in sites.iter().zip(&serial).enumerate() {
+            let server = SiteServer::shared(Arc::clone(site));
+            let reference = reference_queue_crawl(
+                &server,
+                &root_of(site),
+                Discipline::Fifo,
+                Budget::Unlimited,
+                i as u64,
+                None,
+            );
+            let ref_targets: Vec<String> =
+                reference.targets.iter().map(|(u, _)| u.clone()).collect();
+            prop_assert_eq!(
+                &s.summary.targets, &ref_targets,
+                "site{} window-1 shard must replay the seed engine's target order (shards {})",
+                i, shards
+            );
+            prop_assert_eq!(s.summary.pages_crawled, reference.pages_crawled, "site{}", i);
+            prop_assert_eq!(
+                masked(&s.trace),
+                masked(&collapse_target_amends(&reference.trace)),
+                "site{} window-1 shard trace must replay the seed engine (shards {})", i, shards
+            );
+        }
+    }
+}
+
+/// The ISSUE 8 acceptance shape on the bench workload: the 8×500 fleet at
+/// per-shard window 1 is byte-identical — summary *and* target order —
+/// across shard counts 1, 2 and 4 and to the single shared pool, and the
+/// fleet-level gauge/abandon aggregates stay consistent with both the
+/// per-site outcomes and the per-shard reports.
+#[test]
+fn sharded_eight_by_500_is_byte_identical_across_shard_counts() {
+    let sites: Vec<Arc<Website>> =
+        (0..8).map(|i| Arc::new(build_site(&SiteSpec::demo(500), 100 + i))).collect();
+    let baseline =
+        run_fleet_mode(&sites, 1, Budget::Unlimited, FleetMode::SharedPool { max_in_flight: 1 });
+
+    for shards in [1usize, 2, 4] {
+        let out = build_fleet(
+            &sites,
+            1,
+            Budget::Unlimited,
+            FleetMode::Sharded { shards, max_in_flight: 1 },
+            None,
+        )
+        .run();
+        let sharded = site_outcomes(&out);
+        for (i, (b, s)) in baseline.iter().zip(&sharded).enumerate() {
+            assert_eq!(b.summary, s.summary, "site{i} (shards {shards})");
+        }
+
+        // Satellite: fleet-level gauges and abandon counts aggregate both
+        // per site and per shard.
+        let site_visited: usize =
+            out.sites.iter().map(|r| r.expect_outcome().mem.visited_urls).sum();
+        let shard_visited: usize = out.shards.iter().map(|s| s.mem.visited_urls).sum();
+        assert!(out.mem.visited_urls > 0, "exhaustive crawls visit URLs");
+        assert_eq!(out.mem.visited_urls, site_visited, "fleet gauges sum site gauges");
+        assert_eq!(out.mem.visited_urls, shard_visited, "shard gauges sum to fleet gauges");
+        let site_abandoned: u64 =
+            out.sites.iter().map(|r| r.expect_outcome().abandoned.total()).sum();
+        assert_eq!(out.abandoned.total(), site_abandoned);
+        assert_eq!(out.shards.len(), shards);
+        assert_eq!(out.shards.iter().map(|s| s.sites).sum::<usize>(), sites.len());
+        for (s, report) in out.shards.iter().enumerate() {
+            assert!(
+                report.sites == 0 || report.sim_makespan_secs > 0.0,
+                "shard {s} drove {} sites but its clock never moved",
+                report.sites
+            );
+        }
+    }
+}
+
+/// Work stealing: pin every site to shard 0 of a two-shard fleet. Shard 1
+/// starts with an empty backlog, so any site it drives *must* have been
+/// stolen — and stealing must not change any result. (Whether shard 1
+/// wins a steal is the one wall-clock-dependent outcome; with shard 0
+/// grinding 300-page crawls one wave at a time it effectively always
+/// does, and the bookkeeping identity holds either way.)
+#[test]
+fn stealing_shards_keep_results_identical() {
+    let sites: Vec<Arc<Website>> =
+        (0..6).map(|i| Arc::new(build_site(&SiteSpec::demo(300), 900 + i))).collect();
+    let pinned = Some(vec![0usize; sites.len()]);
+
+    let solo = build_fleet(
+        &sites,
+        1,
+        Budget::Unlimited,
+        FleetMode::Sharded { shards: 1, max_in_flight: 1 },
+        None,
+    )
+    .run();
+    let out = build_fleet(
+        &sites,
+        1,
+        Budget::Unlimited,
+        FleetMode::Sharded { shards: 2, max_in_flight: 1 },
+        pinned,
+    )
+    .run();
+
+    let solo_sites = site_outcomes(&solo);
+    let stolen_sites = site_outcomes(&out);
+    for (i, (a, b)) in solo_sites.iter().zip(&stolen_sites).enumerate() {
+        assert_eq!(a.summary, b.summary, "site{i}: stealing changed a per-site result");
+    }
+
+    assert_eq!(out.shards.len(), 2);
+    assert_eq!(out.shards[0].sites + out.shards[1].sites, sites.len());
+    // Everything was assigned to shard 0, so shard 1's driven count IS its
+    // steal count — the bookkeeping identity that holds regardless of
+    // scheduling luck.
+    assert_eq!(
+        out.shards[1].sites as u64, out.shards[1].stolen,
+        "a shard with an empty assignment only drives stolen sites"
+    );
+    assert_eq!(out.stolen_sites(), out.shards[0].stolen + out.shards[1].stolen);
+}
+
+/// Multi-shard shutdown: two threads each drive their own pool (the
+/// PR 8 `Send` backend), seed a few sites, fill both windows with
+/// selections and kill every session mid-flight. Each in-flight selection
+/// must drain as exactly one `feedback_error` + `Abandoned(SessionClosed)`
+/// on its own shard, exactly as in the single-pool contract.
+#[test]
+fn multi_shard_shutdown_drains_in_flight_selections_per_shard() {
+    let sites = pool_sites(79);
+    let site_refs: Vec<Arc<Website>> = sites.clone();
+
+    // Shard 0 gets sites 0..2, shard 1 gets site 2.. — both pools hold
+    // several selections in flight at kill time.
+    let split = 2usize;
+    let shards: Vec<Vec<Arc<Website>>> =
+        vec![site_refs[..split].to_vec(), site_refs[split..].to_vec()];
+
+    let results: Vec<(Vec<Vec<u64>>, Vec<Vec<u64>>, Vec<usize>, Vec<usize>)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .into_iter()
+                .map(|shard_sites| {
+                    scope.spawn(move || {
+                        let servers: Vec<SiteServer> = shard_sites
+                            .iter()
+                            .map(|s| SiteServer::shared(Arc::clone(s)))
+                            .collect();
+                        let roots: Vec<String> =
+                            shard_sites.iter().map(|s| root_of(s)).collect();
+                        let cfgs: Vec<CrawlConfig> = (0..shard_sites.len())
+                            .map(|i| CrawlConfig { seed: i as u64, ..CrawlConfig::default() })
+                            .collect();
+                        let mut recorders: Vec<Recorder> =
+                            (0..shard_sites.len()).map(|_| Recorder::default()).collect();
+                        let mut logs: Vec<EventLog> =
+                            (0..shard_sites.len()).map(|_| EventLog::new()).collect();
+
+                        let pool = SharedTransportPool::new(6);
+                        let mut sessions: Vec<CrawlSession<'_>> = servers
+                            .iter()
+                            .zip(recorders.iter_mut())
+                            .zip(logs.iter_mut())
+                            .zip(cfgs.iter())
+                            .enumerate()
+                            .map(|(i, (((server, rec), log), cfg))| {
+                                let handle =
+                                    pool.handle(server, cfg.policy.clone(), cfg.politeness);
+                                CrawlSession::with_transport(
+                                    Box::new(handle),
+                                    None,
+                                    &roots[i],
+                                    rec,
+                                    cfg,
+                                )
+                                .expect("generated roots are valid")
+                                .observe(log)
+                            })
+                            .collect();
+
+                        for _ in 0..2 {
+                            for s in &mut sessions {
+                                s.refill_one();
+                            }
+                            for s in &mut sessions {
+                                s.drain_completions();
+                            }
+                        }
+                        for _ in 0..3 {
+                            for s in &mut sessions {
+                                assert!(s.refill_one(), "frontiers must still offer selections");
+                            }
+                        }
+                        let in_flight: Vec<usize> =
+                            sessions.iter().map(|s| s.in_flight()).collect();
+                        assert!(in_flight.iter().sum::<usize>() > 0, "need mid-flight work");
+
+                        let closed_counts: Vec<usize> = {
+                            let outcomes: Vec<_> =
+                                sessions.into_iter().map(|s| s.finish()).collect();
+                            assert_eq!(pool.in_flight(), 0, "shutdown must drain the pool");
+                            outcomes
+                                .iter()
+                                .map(|o| o.abandoned.session_closed as usize)
+                                .collect()
+                        };
+                        let selected: Vec<Vec<u64>> =
+                            recorders.iter().map(|r| r.selected.clone()).collect();
+                        let observed: Vec<Vec<u64>> =
+                            recorders.iter().map(|r| r.observations.clone()).collect();
+                        let event_closed: Vec<usize> = logs
+                            .iter()
+                            .map(|log| {
+                                log.events()
+                                    .iter()
+                                    .filter(|e| {
+                                        matches!(
+                                            e,
+                                            OwnedEvent::Abandoned {
+                                                reason: AbandonReason::SessionClosed,
+                                                ..
+                                            }
+                                        )
+                                    })
+                                    .count()
+                            })
+                            .collect();
+                        assert_eq!(event_closed, closed_counts, "counters agree with events");
+                        (selected, observed, in_flight, event_closed)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        });
+
+    for (shard, (selected, observed, in_flight, closed)) in results.iter().enumerate() {
+        for i in 0..selected.len() {
+            let mut sel = selected[i].clone();
+            let mut obs = observed[i].clone();
+            sel.sort_unstable();
+            obs.sort_unstable();
+            assert_eq!(
+                sel, obs,
+                "shard{shard}/site{i}: exactly one observation per selection across shutdown"
+            );
+            assert_eq!(
+                closed[i], in_flight[i],
+                "shard{shard}/site{i}: each in-flight job ends as Abandoned(SessionClosed)"
+            );
+        }
     }
 }

@@ -30,6 +30,11 @@
 //! (`fleet_pool.csv`), with the window-1 arm checked byte-identical to
 //! the per-site-transport arm.
 //!
+//! `fleet` also accepts `--shards 1,2,4` (PR 8): the sharded parallel
+//! driver ladder (`fleet_shards.csv`) — one driver thread per shard,
+//! whole-site work stealing, wall-clock speedup and steal counts
+//! reported, every rung asserted byte-identical per site to the first.
+//!
 //! Defaults: `--scale 0.01 --seeds 3 --out results/`. The paper-fidelity run
 //! is `--scale 0.02 --seeds 15` (slower; see EXPERIMENTS.md).
 
@@ -40,7 +45,8 @@ use std::path::PathBuf;
 fn usage() -> ! {
     eprintln!(
         "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|scale|all>\n\
-         \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N] [--shared-pool]"
+         \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N] [--shared-pool]\n\
+         \x20      [--shards 1,2,4]"
     );
     std::process::exit(2);
 }
@@ -60,6 +66,12 @@ fn parse_args() -> (String, EvalConfig) {
                 cfg.sites = Some(value().split(',').map(|s| s.trim().to_owned()).collect())
             }
             "--shared-pool" => cfg.shared_pool = true,
+            "--shards" => {
+                cfg.shards = value()
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
             _ => usage(),
         }
     }

@@ -14,6 +14,15 @@
 //! makespan while the learning crawler's coverage may legitimately
 //! reorder within a site.
 //!
+//! With `--shards 1,2,4` (PR 8) the fleet additionally runs under the
+//! **sharded parallel driver** (`fleet_shards.csv`): one driver thread
+//! per shard, each owning its own transport pool at per-shard window 1,
+//! with whole-site work stealing between backlogs. At window 1 every site
+//! replays the sequential engine no matter which shard drives it, so each
+//! rung's per-site results are asserted byte-identical to the first
+//! rung's — the shard count may only buy wall-clock, never change a
+//! result.
+//!
 //! This is a *throughput/workload* experiment, not a seed-averaged metric
 //! table: each site is crawled once (`--seeds` is not averaged here), with
 //! its RNG seeded per site so no two sessions share a stream.
@@ -102,7 +111,10 @@ pub fn run(cfg: &EvalConfig) -> String {
     );
 
     if cfg.shared_pool {
-        report.push_str(&shared_pool_arm(cfg, &out, build_fleet));
+        report.push_str(&shared_pool_arm(cfg, &out, &build_fleet));
+    }
+    if !cfg.shards.is_empty() {
+        report.push_str(&sharded_arm(cfg, &build_fleet));
     }
 
     let _ = write_text(&cfg.out_dir.join("fleet.md"), &report);
@@ -183,6 +195,69 @@ fn shared_pool_arm(
          One pool, one clock: window 1 is a single crawler visiting every site in turn \
          (per-site results byte-identical to per-site transports — asserted); wider windows \
          let every site's politeness gate tick concurrently.\n",
+        markdown(&headers, &md_rows),
+    )
+}
+
+/// The `--shards` arm (PR 8): the sharded parallel driver at per-shard
+/// window 1, one rung per shard count, each rung asserted byte-identical
+/// per site to the first.
+fn sharded_arm(cfg: &EvalConfig, build_fleet: impl Fn(FleetMode) -> Fleet) -> String {
+    let headers: Vec<String> = ["Shards", "Targets", "Requests", "Stolen sites", "Wall (s)", "Speedup"]
+        .map(String::from)
+        .to_vec();
+    let mut md_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut baseline: Option<(f64, Vec<(u64, u64, u64)>)> = None;
+
+    for &shards in &cfg.shards {
+        let out = build_fleet(FleetMode::Sharded { shards, max_in_flight: 1 }).run();
+        let per_site: Vec<(u64, u64, u64)> = out
+            .sites
+            .iter()
+            .map(|r| {
+                let o = r.expect_outcome();
+                (o.targets_found(), o.traffic.requests(), o.pages_crawled)
+            })
+            .collect();
+        let (base_wall, base_sites) = baseline.get_or_insert((out.wall_secs, per_site.clone()));
+        // Byte-parity across the ladder: at per-shard window 1 every site
+        // replays the sequential engine regardless of shard count or
+        // stealing, so any divergence is a driver bug.
+        assert_eq!(
+            &per_site, base_sites,
+            "sharded driver at {shards} shards diverged from the first rung"
+        );
+        let speedup = *base_wall / out.wall_secs.max(1e-9);
+        md_rows.push(vec![
+            shards.to_string(),
+            out.targets.to_string(),
+            out.traffic.requests().to_string(),
+            out.stolen_sites().to_string(),
+            format!("{:.3}", out.wall_secs),
+            format!("{speedup:.2}×"),
+        ]);
+        csv_rows.push(vec![
+            shards.to_string(),
+            out.targets.to_string(),
+            out.traffic.requests().to_string(),
+            out.stolen_sites().to_string(),
+            format!("{:.6}", out.wall_secs),
+            format!("{speedup:.4}"),
+        ]);
+    }
+
+    let _ = write_csv(
+        &cfg.out_dir.join("fleet_shards.csv"),
+        &["shards", "targets", "requests", "stolen_sites", "wall_secs", "speedup_vs_first"]
+            .map(String::from),
+        &csv_rows,
+    );
+    format!(
+        "\n### Sharded parallel driver (shard ladder)\n\n{}\n\n\
+         One driver thread per shard, per-shard window 1, whole-site work stealing: \
+         per-site results are byte-identical across the ladder (asserted) — shards buy \
+         wall-clock only. Wall-clock speedup depends on available cores.\n",
         markdown(&headers, &md_rows),
     )
 }

@@ -34,6 +34,11 @@ pub struct EvalConfig {
     /// `SharedTransportPool` at global windows 1/4/16 and report the
     /// ladder next to the per-site-transport arm (PR 5).
     pub shared_pool: bool,
+    /// `xp fleet` only: shard counts for the sharded-driver ladder
+    /// (`--shards 1,2,4`, PR 8). Empty = the sharded arm is off. Every
+    /// rung runs at per-shard window 1 and is asserted byte-identical per
+    /// site to the first rung.
+    pub shards: Vec<usize>,
 }
 
 impl Default for EvalConfig {
@@ -45,6 +50,7 @@ impl Default for EvalConfig {
             sites: None,
             jobs: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             shared_pool: false,
+            shards: Vec::new(),
         }
     }
 }

@@ -14,6 +14,7 @@ fn cfg(tag: &str, sites: &[&str]) -> EvalConfig {
         sites: Some(sites.iter().map(|s| (*s).to_owned()).collect()),
         jobs: 4,
         shared_pool: false,
+        shards: Vec::new(),
     }
 }
 
@@ -29,6 +30,22 @@ fn fleet_shared_pool_arm_renders_and_holds_parity() {
     assert!(md.contains("shared pool, window 16"));
     assert!(md.contains("per-site transports"));
     assert!(c.out_dir.join("fleet_pool.csv").exists());
+}
+
+#[test]
+fn fleet_sharded_arm_renders_and_holds_parity() {
+    // Non-empty `shards` makes the experiment assert per-site byte-parity
+    // across the shard ladder internally; the smoke checks the rendered
+    // ladder and the CSV artifact.
+    let mut c = cfg("fleet-shards", &["cl", "nc"]);
+    c.shards = vec![1, 2, 4];
+    let md = xp::fleet::run(&c);
+    assert!(md.contains("Sharded parallel driver"));
+    assert!(md.contains("byte-identical across the ladder"));
+    let csv = std::fs::read_to_string(c.out_dir.join("fleet_shards.csv"))
+        .expect("fleet_shards.csv exists");
+    assert_eq!(csv.lines().count(), 4, "header + one row per rung:\n{csv}");
+    assert!(csv.starts_with("shards,targets,requests,stolen_sites,wall_secs,speedup_vs_first"));
 }
 
 #[test]

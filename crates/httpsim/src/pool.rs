@@ -50,11 +50,18 @@
 //! to a `PipelinedTransport` of the same window — both backends are
 //! pinned by the conformance suite (`tests/transport_conformance.rs`).
 //!
-//! The pool is single-threaded by design (`Rc<RefCell<..>>`): a global
-//! deterministic window is one serially-ordered resource, so a shared
-//! fleet is driven by one scheduler thread
-//! (`sb_crawler::fleet::FleetMode::SharedPool`) that rations refills
-//! least-elapsed-host first and drains in pool completion order.
+//! ## Threading model (PR 8)
+//!
+//! The core lives behind `Arc<parking_lot::Mutex<..>>`, so the pool and
+//! every [`PoolHandle`] are **`Send`** ([`HttpServer`] is already
+//! `Send + Sync`): a sharded fleet can build one pool per driver thread —
+//! or move handles across threads outright — and still inherit the exact
+//! single-pool semantics pinned by the conformance suite. One *window* is
+//! still one serially-ordered resource: determinism within a pool requires
+//! a single ration point, so a driver thread owns its pool's schedule
+//! (`sb_crawler::fleet::FleetMode::SharedPool` drives one pool on one
+//! thread; `FleetMode::Sharded` drives P pools on P threads), refilling
+//! least-elapsed-host first and draining in pool completion order.
 //!
 //! [`CrawlSession`]: ../../sb_crawler/session/struct.CrawlSession.html
 
@@ -63,9 +70,9 @@ use crate::hazard::{dispatch_hazard_get, DispatchCtx, HazardPolicy, HazardState,
 use crate::response::HeadResponse;
 use crate::server::HttpServer;
 use crate::transport::{GateTable, Request, RequestId, Transport};
+use parking_lot::Mutex;
 use sb_webgraph::mime::MimePolicy;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One fleet-wide in-flight request. As in the single-site transport, the
 /// answer is computed eagerly at dispatch (the simulated origin is
@@ -124,7 +131,7 @@ impl PoolCore {
 /// [`SharedTransportPool::new`] and hand every site a
 /// [`SharedTransportPool::handle`].
 pub struct SharedTransportPool {
-    core: Rc<RefCell<PoolCore>>,
+    core: Arc<Mutex<PoolCore>>,
 }
 
 impl SharedTransportPool {
@@ -132,7 +139,7 @@ impl SharedTransportPool {
     /// to ≥ 1) shared by every handle.
     pub fn new(max_in_flight: usize) -> Self {
         SharedTransportPool {
-            core: Rc::new(RefCell::new(PoolCore {
+            core: Arc::new(Mutex::new(PoolCore {
                 window: max_in_flight.max(1),
                 clock: 0.0,
                 next_id: 0,
@@ -153,11 +160,11 @@ impl SharedTransportPool {
         policy: MimePolicy,
         politeness: Politeness,
     ) -> PoolHandle<'a> {
-        let mut core = self.core.borrow_mut();
+        let mut core = self.core.lock();
         let site = core.site_elapsed.len();
         core.site_elapsed.push(0.0);
         PoolHandle {
-            core: Rc::clone(&self.core),
+            core: Arc::clone(&self.core),
             site,
             server,
             policy,
@@ -172,24 +179,24 @@ impl SharedTransportPool {
 
     /// The global window size.
     pub fn max_in_flight(&self) -> usize {
-        self.core.borrow().window
+        self.core.lock().window
     }
 
     /// Requests in flight across every handle.
     pub fn in_flight(&self) -> usize {
-        self.core.borrow().inflight.len()
+        self.core.lock().inflight.len()
     }
 
     /// `in_flight() < max_in_flight()` — the global capacity check a
     /// fleet driver rations across sites.
     pub fn has_capacity(&self) -> bool {
-        let core = self.core.borrow();
+        let core = self.core.lock();
         core.inflight.len() < core.window
     }
 
     /// The shared simulated clock.
     pub fn clock_secs(&self) -> f64 {
-        self.core.borrow().clock
+        self.core.lock().clock
     }
 
     /// The site owning the globally next completion (arrival, then site
@@ -197,13 +204,13 @@ impl SharedTransportPool {
     /// *that* site's handle next, so deliveries advance the shared clock
     /// in true arrival order.
     pub fn next_completion_site(&self) -> Option<usize> {
-        self.core.borrow().next_completion().map(|e| e.site)
+        self.core.lock().next_completion().map(|e| e.site)
     }
 
     /// Shared-clock instant of `site`'s last delivery (0 before the
     /// first) — the least-elapsed-host refill key.
     pub fn site_elapsed(&self, site: usize) -> f64 {
-        self.core.borrow().site_elapsed.get(site).copied().unwrap_or(0.0)
+        self.core.lock().site_elapsed.get(site).copied().unwrap_or(0.0)
     }
 }
 
@@ -215,7 +222,7 @@ impl SharedTransportPool {
 /// [`Transport::has_capacity`] reports the **global** window (a handle
 /// may be unable to submit because other sites hold every slot).
 pub struct PoolHandle<'a> {
-    core: Rc<RefCell<PoolCore>>,
+    core: Arc<Mutex<PoolCore>>,
     site: usize,
     server: &'a (dyn HttpServer + 'a),
     policy: MimePolicy,
@@ -292,8 +299,8 @@ impl<'a> PoolHandle<'a> {
 
 impl Transport for PoolHandle<'_> {
     fn submit(&mut self, req: Request<'_>) -> RequestId {
-        let core = Rc::clone(&self.core);
-        let mut core = core.borrow_mut();
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
         debug_assert!(
             core.inflight.len() < core.window,
             "submit beyond the shared window (window {})",
@@ -308,7 +315,8 @@ impl Transport for PoolHandle<'_> {
 
     fn poll_into(&mut self, out: &mut Vec<(RequestId, Fetched)>) {
         out.clear();
-        let mut core = self.core.borrow_mut();
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
         core.sort_completion_order();
         // The horizon is this site's next completion instant (never
         // backwards). Another site may own an earlier arrival: its entries
@@ -343,8 +351,8 @@ impl Transport for PoolHandle<'_> {
     fn head(&mut self, url: &str) -> HeadResponse {
         let r = self.server.head(url);
         let wire = r.wire_size();
-        let core = Rc::clone(&self.core);
-        let mut core = core.borrow_mut();
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
         let (_, arrival) = self.gates.dispatch(&self.politeness, url, core.clock, wire);
         self.traffic.head_requests += 1;
         self.traffic.non_target_bytes += wire;
@@ -354,8 +362,8 @@ impl Transport for PoolHandle<'_> {
 
     fn fetch_now(&mut self, url: &str) -> Fetched {
         let f = settle_get(self.server.get(url), &self.policy);
-        let core = Rc::clone(&self.core);
-        let mut core = core.borrow_mut();
+        let core = Arc::clone(&self.core);
+        let mut core = core.lock();
         let (_, arrival) = self.gates.dispatch(&self.politeness, url, core.clock, f.wire_bytes);
         self.traffic.get_requests += 1;
         self.traffic.non_target_bytes += f.wire_bytes;
@@ -364,20 +372,20 @@ impl Transport for PoolHandle<'_> {
     }
 
     fn in_flight(&self) -> usize {
-        self.core.borrow().inflight.iter().filter(|e| e.site == self.site).count()
+        self.core.lock().inflight.iter().filter(|e| e.site == self.site).count()
     }
 
     fn in_flight_bytes(&self) -> u64 {
-        self.core.borrow().inflight.iter().filter(|e| e.site == self.site).map(|e| e.wire).sum()
+        self.core.lock().inflight.iter().filter(|e| e.site == self.site).map(|e| e.wire).sum()
     }
 
     fn max_in_flight(&self) -> usize {
-        self.core.borrow().window
+        self.core.lock().window
     }
 
     /// Global, not per-site: a slot is free only when the *pool* has one.
     fn has_capacity(&self) -> bool {
-        let core = self.core.borrow();
+        let core = self.core.lock();
         core.inflight.len() < core.window
     }
 
@@ -581,6 +589,63 @@ mod tests {
         hb.submit(Request::get(&ub[0]));
         drain(&mut hb);
         assert!(pool.site_elapsed(1) >= pool.site_elapsed(0), "shared clock is monotone");
+    }
+
+    #[test]
+    fn pool_and_handles_are_send() {
+        // The PR 8 contract: the pool core is `Arc<Mutex<..>>` and the
+        // server bound is `Send + Sync`, so both ends cross threads.
+        fn is_send<T: Send>() {}
+        is_send::<SharedTransportPool>();
+        is_send::<PoolHandle<'static>>();
+    }
+
+    #[test]
+    fn handles_drive_their_sites_from_other_threads() {
+        // Two handles of one pool, each moved to its own thread and driven
+        // there concurrently. Per-site volume accounting must come out
+        // exactly as a blocking client's, whatever the interleaving of the
+        // two threads' submissions — only the shared clock (elapsed) is
+        // schedule-dependent.
+        let (a, b) = (server(150, 13), server(150, 14));
+        let (ua, ub) = (html_urls(&a, 5), html_urls(&b, 5));
+        let mut ca = crate::Client::new(&a, MimePolicy::default());
+        let mut cb = crate::Client::new(&b, MimePolicy::default());
+        for u in &ua {
+            ca.get(u);
+        }
+        for u in &ub {
+            cb.get(u);
+        }
+
+        // Window wide enough that racing submits cannot overfill it.
+        let pool = SharedTransportPool::new(ua.len() + ub.len());
+        let ha = pool.handle(&a, MimePolicy::default(), Politeness::default());
+        let hb = pool.handle(&b, MimePolicy::default(), Politeness::default());
+        let (ta, tb) = std::thread::scope(|s| {
+            let run_a = s.spawn(|| {
+                let mut h = ha;
+                for u in &ua {
+                    h.submit(Request::get(u));
+                }
+                drain(&mut h);
+                h.traffic()
+            });
+            let run_b = s.spawn(|| {
+                let mut h = hb;
+                for u in &ub {
+                    h.submit(Request::get(u));
+                }
+                drain(&mut h);
+                h.traffic()
+            });
+            (run_a.join().expect("site A thread"), run_b.join().expect("site B thread"))
+        });
+        assert_eq!(pool.in_flight(), 0);
+        assert_eq!(ta.get_requests, ca.traffic().get_requests);
+        assert_eq!(ta.total_bytes(), ca.traffic().total_bytes());
+        assert_eq!(tb.get_requests, cb.traffic().get_requests);
+        assert_eq!(tb.total_bytes(), cb.traffic().total_bytes());
     }
 
     #[test]

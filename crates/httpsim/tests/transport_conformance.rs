@@ -27,9 +27,12 @@
 //!   buckets without changing the total.
 //!
 //! Instantiated for [`PipelinedTransport`] (PR 4), for a single
-//! [`SharedTransportPool`] handle (PR 5), and for a pool handle contending
+//! [`SharedTransportPool`] handle (PR 5), for a pool handle contending
 //! with a registered-but-idle sibling site — a handle's single-site
-//! behaviour must not depend on being the pool's only tenant.
+//! behaviour must not depend on being the pool's only tenant — and (PR 8)
+//! for both pool-handle shapes round-tripped through a spawned thread
+//! before use: the pool backend is `Send`, and crossing a real thread
+//! boundary must not perturb a single invariant.
 
 use sb_httpsim::transport::{Request, RequestId, Transport};
 use sb_httpsim::{
@@ -96,6 +99,39 @@ fn build_pool_handle_contended<'a>(
     let pool = SharedTransportPool::new(window);
     let _idle_sibling = pool.handle(&DECOY, MimePolicy::default(), Politeness::default());
     Box::new(pool.handle(server, policy, politeness).with_retries(retries))
+}
+
+/// Proves the `Send` bound the sharded fleet (PR 8) relies on by
+/// construction: the handle is moved into a spawned thread and back before
+/// the checks drive it. A backend that is not `Send` fails to compile
+/// here; a backend whose state does not survive the move fails the pins.
+fn roundtrip_through_thread<T: Send>(value: T) -> T {
+    std::thread::scope(|s| s.spawn(move || value).join().expect("carrier thread"))
+}
+
+fn build_threaded_pool_handle<'a>(
+    server: &'a (dyn HttpServer + 'a),
+    policy: MimePolicy,
+    politeness: Politeness,
+    window: usize,
+    retries: u32,
+) -> Box<dyn Transport + 'a> {
+    let pool = SharedTransportPool::new(window);
+    let handle = pool.handle(server, policy, politeness).with_retries(retries);
+    Box::new(roundtrip_through_thread(handle))
+}
+
+fn build_threaded_pool_handle_contended<'a>(
+    server: &'a (dyn HttpServer + 'a),
+    policy: MimePolicy,
+    politeness: Politeness,
+    window: usize,
+    retries: u32,
+) -> Box<dyn Transport + 'a> {
+    let pool = SharedTransportPool::new(window);
+    let _idle_sibling = pool.handle(&DECOY, MimePolicy::default(), Politeness::default());
+    let handle = pool.handle(server, policy, politeness).with_retries(retries);
+    Box::new(roundtrip_through_thread(handle))
 }
 
 // ----------------------------------------------------------------------
@@ -368,3 +404,5 @@ macro_rules! transport_conformance {
 transport_conformance!(pipelined_transport, super::build_pipelined);
 transport_conformance!(shared_pool_handle, super::build_pool_handle);
 transport_conformance!(shared_pool_handle_contended, super::build_pool_handle_contended);
+transport_conformance!(threaded_pool_handle, super::build_threaded_pool_handle);
+transport_conformance!(threaded_pool_handle_contended, super::build_threaded_pool_handle_contended);

@@ -18,9 +18,13 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # Likewise the shared-pool fleet's headline is its simulated makespan
 # ladder (global window 1/4/16 through one SharedTransportPool, window 1
 # asserted byte-identical to per-site transports); the criterion
-# fleet_shared_pool group only times the wall cost.
+# fleet_shared_pool group only times the wall cost. `--shards 1,2,4`
+# (PR 8) adds the sharded parallel driver ladder (fleet_shards.csv):
+# per-site results asserted byte-identical across shard counts, wall
+# clock and steal counts recorded per rung.
 cargo run --release --offline -p sb-eval --bin xp -- \
-    fleet --shared-pool --scale 0.005 --sites cl,nc,ab,ce --jobs 3 --out target/bench-fleet-pool
+    fleet --shared-pool --shards 1,2,4 --scale 0.005 --sites cl,nc,ab,ce --jobs 3 \
+    --out target/bench-fleet-pool
 # The hostile suite's headline is bounded waste + coverage on the
 # trap-laced 4k site under retry/backoff at windows 1/4/16 (PR 6).
 cargo run --release --offline -p sb-eval --bin xp -- \
@@ -56,8 +60,10 @@ rustc = subprocess.run(["rustc", "--version"], capture_output=True, text=True).s
 
 # The fleet group id encodes the workload ("fleet_<sites>x<pages>_..."),
 # so the site count stays in sync with bench_fleet in
-# crates/bench/benches/engine.rs automatically.
-fleet_group = next(i.rsplit("/", 1)[0] for i in records if "/fleet_" in i)
+# crates/bench/benches/engine.rs automatically. Pick the per-site-worker
+# group explicitly: the shared-pool and sharded groups share the prefix.
+fleet_group = next(i.rsplit("/", 1)[0] for i in records
+                   if re.search(r"fleet_\d+x\d+", i) and "/workers_" in i)
 m = re.search(r"fleet_(\d+)x(\d+)", fleet_group)
 fleet_sites, fleet_pages = int(m.group(1)), int(m.group(2))
 w1 = ns(f"{fleet_group}/workers_1")
@@ -112,6 +118,46 @@ fleet["shared_pool"] = {
         "sim_makespan_secs": round(
             float(pool_rows["per-site transports"]["sim_makespan_secs"]), 1),
     },
+}
+
+# The sharded parallel driver (PR 8): wall ns per shard count from the
+# criterion fleet_sharded group (the real multi-core speedup — the
+# shards_1/shards_4 ratio is the acceptance number), plus the xp ladder
+# (target/bench-fleet-pool/fleet_shards.csv: SB-CLASSIFIER sites, per-site
+# results asserted byte-identical across shard counts, steal counts).
+shard_rows = list(_csv.DictReader(open("target/bench-fleet-pool/fleet_shards.csv")))
+sharded_1 = ns("engine/fleet_sharded_8x500/shards_1")
+sharded_4 = ns("engine/fleet_sharded_8x500/shards_4")
+fleet["sharded"] = {
+    "bench": "the same 8x500 BFS fleet split across 1/2/4 shard driver "
+             "threads (one SharedTransportPool per shard at per-shard "
+             "window 1, whole-site work stealing between backlogs)",
+    "note": "parallel_speedup is wall-clock shards_1/shards_4 and is "
+            "bounded by the runner's core count (a single-core runner "
+            "measures pure sharding overhead); per-site results are "
+            "shard-count invariant (asserted by the xp ladder and the "
+            "fleet proptests), so shards buy wall-clock only",
+    "cores": os.cpu_count(),
+    "shards": [
+        {
+            "shards": s,
+            "wall_ns_per_iter": round(ns(f"engine/fleet_sharded_8x500/shards_{s}"), 1),
+            "wall_speedup": round(sharded_1 / ns(f"engine/fleet_sharded_8x500/shards_{s}"), 2),
+        }
+        for s in (1, 2, 4)
+    ],
+    "parallel_speedup": round(sharded_1 / sharded_4, 2),
+    "xp_ladder": [
+        {
+            "shards": int(r["shards"]),
+            "targets": int(r["targets"]),
+            "requests": int(r["requests"]),
+            "stolen_sites": int(r["stolen_sites"]),
+            "wall_secs": round(float(r["wall_secs"]), 4),
+            "speedup_vs_first": round(float(r["speedup_vs_first"]), 2),
+        }
+        for r in shard_rows
+    ],
 }
 
 # The html section (PR 3): seed owned-String pipeline (sb_bench::seed_html)

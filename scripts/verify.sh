@@ -26,9 +26,13 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # Fleet smoke: multi-site concurrent sessions through the fleet scheduler,
 # plus the shared transport pool arm (PR 5) — the experiment asserts the
 # window-1 pool replays the per-site-transport fleet byte-identically and
-# reports the 1/4/16 global-window makespan ladder.
+# reports the 1/4/16 global-window makespan ladder — plus the sharded
+# parallel driver ladder (PR 8) — per-site results asserted byte-identical
+# across 1/2/4 shard threads with work stealing live.
 cargo run --release --offline -p sb-eval --bin xp -- \
-    fleet --scale 0.003 --sites cl,nc,ab,ce --jobs 2 --shared-pool --out target/verify-smoke
+    fleet --scale 0.003 --sites cl,nc,ab,ce --jobs 2 --shared-pool --shards 1,2,4 \
+    --out target/verify-smoke
+test -s target/verify-smoke/fleet_shards.csv
 # Pipeline smoke: the nonblocking transport at in-flight 1/4/16 — coverage
 # must be window-invariant and the makespan ladder monotone (PR 4).
 cargo run --release --offline -p sb-eval --bin xp -- \
