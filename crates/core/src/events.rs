@@ -262,6 +262,61 @@ impl MemGauges {
     }
 }
 
+/// Refresh ledger of a continuous crawl-and-serve session (PR 9): how
+/// many already-fetched URLs were re-admitted through the window
+/// ([`crate::session::CrawlSession::queue_refresh`]), what came back, and
+/// the staleness the serving layer measured while the crawl ran. Rides
+/// [`crate::session::StepReport`]/[`crate::session::CrawlOutcome`]/
+/// [`crate::fleet::FleetOutcome`] and merges per shard like
+/// [`MemGauges`]. All zero when no refresh was ever queued, so one-shot
+/// crawls report exactly what they did before.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RefreshStats {
+    /// Refresh selections queued (whether or not they dispatched — a
+    /// budget-exhausted session drops queued refreshes, and the gap
+    /// between `scheduled` and `completed + failed` is that drop count).
+    pub scheduled: u64,
+    /// Refresh fetches that delivered a usable body.
+    pub completed: u64,
+    /// Completed refreshes whose body hash matched the prior version.
+    pub unchanged: u64,
+    /// Completed refreshes whose body hash differed from the prior
+    /// version (the fetch bought actual freshness).
+    pub changed: u64,
+    /// Refresh fetches that ended without a body: HTTP errors (the page
+    /// died, or the host misbehaved), dead redirect chains, interrupted
+    /// transfers, session shutdown.
+    pub failed: u64,
+    /// Median age-at-read observed by the serving layer, in origin
+    /// epochs (0.0 when no read load ran). Stamped by the serve runtime
+    /// via [`crate::session::CrawlSession::set_staleness`].
+    pub staleness_p50: f64,
+    /// 99th-percentile age-at-read, in origin epochs — the freshness-SLA
+    /// headline number.
+    pub staleness_p99: f64,
+}
+
+impl RefreshStats {
+    /// Folds another session's ledger into this one: counters add;
+    /// staleness percentiles take the *worst* (maximum) of the two — a
+    /// fleet meets an SLA only if every member does, so the conservative
+    /// merge is the honest aggregate.
+    pub fn merge(&mut self, other: &RefreshStats) {
+        self.scheduled += other.scheduled;
+        self.completed += other.completed;
+        self.unchanged += other.unchanged;
+        self.changed += other.changed;
+        self.failed += other.failed;
+        self.staleness_p50 = self.staleness_p50.max(other.staleness_p50);
+        self.staleness_p99 = self.staleness_p99.max(other.staleness_p99);
+    }
+
+    /// Refreshes that went through the window, successful or not.
+    pub fn attempted(&self) -> u64 {
+        self.completed + self.failed
+    }
+}
+
 /// A crawl progress consumer. Registered with
 /// [`crate::session::CrawlSession::observe`]; every event of the session is
 /// delivered in order, on the thread driving the session.

@@ -75,15 +75,16 @@ pub use early_stop::{EarlyStop, EarlyStopConfig};
 pub use engine::crawl;
 pub use events::{
     AbandonCounts, AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, EventLog, FinishReason,
-    MemGauges, OwnedEvent,
-    TraceObserver,
+    MemGauges, OwnedEvent, RefreshStats, TraceObserver,
 };
 pub use fleet::{
     Fleet, FleetJob, FleetMode, FleetOutcome, ShardReport, SharedOracle, SharedServer, SiteReport,
 };
 pub use session::{
     robots_filter, Budget, ConfigError, CrawlConfig, CrawlConfigBuilder, CrawlOutcome,
-    CrawlSession, Oracle, RetrievedTarget, StepReport, UrlFilter,
+    CrawlSession, Oracle, RefreshedPage, RetrievedTarget, StepReport, UrlFilter,
 };
-pub use strategy::{ArmReport, LinkDecision, NewLink, SelUrl, Selection, Services, Strategy, StrategyReport};
+pub use strategy::{
+    ArmReport, LinkDecision, NewLink, SelUrl, Selection, Services, Strategy, StrategyReport,
+};
 pub use trace::{CrawlTrace, TracePoint};

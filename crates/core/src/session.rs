@@ -57,7 +57,7 @@
 use crate::early_stop::{EarlyStop, EarlyStopConfig};
 use crate::events::{
     AbandonCounts, AbandonReason, CrawlEvent, CrawlObserver, CrawlSnapshot, FinishReason,
-    MemGauges, TraceObserver,
+    MemGauges, RefreshStats, TraceObserver,
 };
 use crate::strategy::{LinkDecision, NewLink, SelUrl, Selection, Services, Strategy};
 use crate::trace::CrawlTrace;
@@ -154,6 +154,13 @@ pub struct CrawlConfig {
     /// large crawls. `usize::MAX` (the default) never compacts and is
     /// bit-identical to the plain interner.
     pub compact_visited_threshold: usize,
+    /// Feed a serving layer (PR 9): buffer every successfully fetched
+    /// HTML page and target as a [`RefreshedPage`] (body shared, FNV-1a
+    /// body hash precomputed) for [`CrawlSession::take_refreshed`] to
+    /// drain into a snapshot store. The driver must drain periodically or
+    /// the buffer grows with the crawl. Off (the default) buffers only
+    /// explicit refresh fetches and changes nothing else.
+    pub serve_feed: bool,
 }
 
 /// Boxed URL predicate for [`CrawlConfig::url_filter`].
@@ -190,6 +197,7 @@ impl Default for CrawlConfig {
             max_in_flight: 1,
             robots_agent: None,
             compact_visited_threshold: usize::MAX,
+            serve_feed: false,
         }
     }
 }
@@ -310,6 +318,13 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Buffer every fetched page for a serving layer — see
+    /// [`CrawlConfig::serve_feed`].
+    pub fn serve_feed(mut self, on: bool) -> Self {
+        self.cfg.serve_feed = on;
+        self
+    }
+
     /// Appends one seed URL (validated at [`CrawlConfigBuilder::build`]).
     pub fn seed_url(mut self, url: impl Into<String>) -> Self {
         self.cfg.seed_urls.push(url.into());
@@ -361,6 +376,44 @@ pub struct RetrievedTarget {
     pub body: Option<sb_httpsim::Body>,
 }
 
+/// One page delivered to the serving layer (PR 9): an explicit refresh
+/// fetch, or — with [`CrawlConfig::serve_feed`] on — any successfully
+/// fetched HTML page or target. The body is shared ([`sb_httpsim::Body`]
+/// is an `Arc<[u8]>`), so buffering and committing into a snapshot store
+/// never copies page bytes.
+#[derive(Debug, Clone)]
+pub struct RefreshedPage {
+    pub url: String,
+    pub status: u16,
+    /// Normalised MIME type; `None` on failed refreshes.
+    pub mime: Option<String>,
+    /// Shared body bytes; empty on failed refreshes.
+    pub body: sb_httpsim::Body,
+    /// FNV-1a hash of the body — the change-detection currency, computed
+    /// with the same constants as `sb_revisit::fnv64` so hashes from the
+    /// recrawl harness and from sessions are interchangeable.
+    pub body_hash: u64,
+    /// True for an explicit [`CrawlSession::queue_refresh`] fetch; false
+    /// for a discovery fetch buffered because `serve_feed` is on.
+    pub refresh: bool,
+    /// Refresh fetches only: the body hash differs from the prior hash
+    /// handed to `queue_refresh`. Always true for discovery fetches (the
+    /// first version of a page is news by definition).
+    pub changed: bool,
+}
+
+/// FNV-1a (64-bit). Same constants as `sb_revisit::fnv64`, duplicated
+/// here so `sb-crawler` does not depend on the revisit crate; the
+/// `fnv64_matches_revisit` test in `crates/serve` pins the two equal.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Everything a finished crawl reports.
 pub struct CrawlOutcome {
     pub trace: CrawlTrace,
@@ -385,6 +438,9 @@ pub struct CrawlOutcome {
     /// footprint at the instant the session ended, so fleet drivers can
     /// aggregate a run's memory profile without observing every step.
     pub mem: MemGauges,
+    /// Refresh ledger (PR 9): all zero unless the session re-admitted
+    /// known URLs via [`CrawlSession::queue_refresh`].
+    pub refresh: RefreshStats,
 }
 
 impl CrawlOutcome {
@@ -415,6 +471,8 @@ pub struct StepReport {
     /// Memory gauges after this step (PR 7): visited-set size and byte
     /// estimate, frontier length and spilled portion.
     pub mem: MemGauges,
+    /// Cumulative refresh ledger after this step (PR 9).
+    pub refresh: RefreshStats,
 }
 
 /// Phase of the session's outer loop (Algorithm 3's shape, unrolled so it
@@ -441,11 +499,16 @@ struct Job {
     /// Redirect hops this chain may still follow (`MAX_REDIRECTS` GETs
     /// total, exactly like the sequential chain loop).
     hops_left: u8,
+    /// `Some(prior_body_hash)` marks a refresh fetch (PR 9): the answer
+    /// is buffered for the serving layer and hash-compared against the
+    /// prior version instead of re-counting targets or feeding the
+    /// strategy a second observation for an already-counted page.
+    refresh: Option<u64>,
 }
 
 impl Job {
     fn fresh(id: UrlId, depth: u32, token: Option<u64>) -> Job {
-        Job { id, depth, token, hops_left: (MAX_REDIRECTS - 1) as u8 }
+        Job { id, depth, token, hops_left: (MAX_REDIRECTS - 1) as u8, refresh: None }
     }
 }
 
@@ -524,6 +587,14 @@ pub struct CrawlSession<'a> {
     /// Parsed robots.txt, when [`CrawlConfig::robots_agent`] is set and
     /// the fetch answered 200. Checked at every link admission.
     robots: Option<sb_httpsim::RobotsTxt>,
+    /// Refresh selections awaiting a window slot (PR 9): (url, prior body
+    /// hash), drained ahead of fresh discovery picks during refill.
+    refresh_queue: VecDeque<(String, u64)>,
+    /// Pages buffered for the serving layer, drained by
+    /// [`CrawlSession::take_refreshed`].
+    refreshed: Vec<RefreshedPage>,
+    /// Cumulative refresh ledger (PR 9).
+    refresh_stats: RefreshStats,
 }
 
 impl<'a> CrawlSession<'a> {
@@ -581,6 +652,9 @@ impl<'a> CrawlSession<'a> {
             poll_buf: Vec::new(),
             abandoned: AbandonCounts::default(),
             robots: None,
+            refresh_queue: VecDeque::new(),
+            refreshed: Vec::new(),
+            refresh_stats: RefreshStats::default(),
         })
     }
 
@@ -687,12 +761,58 @@ impl<'a> CrawlSession<'a> {
             finished: self.finish_reason(),
             abandoned: self.abandoned,
             mem: self.mem_gauges(),
+            refresh: self.refresh_stats,
         }
     }
 
     /// Per-reason abandonment tally so far (PR 6).
     pub fn abandoned(&self) -> AbandonCounts {
         self.abandoned
+    }
+
+    /// Queues a known URL for a refresh fetch (PR 9). The fetch rides the
+    /// normal window — politeness-gated, budget-charged, redirect-capped
+    /// like any crawl fetch — but its answer goes to the serving layer
+    /// ([`CrawlSession::take_refreshed`]) instead of re-counting targets
+    /// or feeding the strategy: the page was already observed once at
+    /// discovery, and one-feedback-per-selection stays intact.
+    /// `prior_hash` is the FNV-1a hash of the version being served;
+    /// change detection compares the refetched body against it.
+    ///
+    /// A session that already finished for a benign reason (frontier
+    /// exhausted, max steps) is *reopened*: continuous serving re-admits
+    /// work into a drained crawl. It finishes again — emitting a second
+    /// `SessionFinished` — once the refresh queue and frontier drain; a
+    /// budget-exhausted session re-finishes immediately and the queued
+    /// refresh is dropped (visible as `scheduled > completed + failed`).
+    pub fn queue_refresh(&mut self, url: &str, prior_hash: u64) {
+        self.refresh_stats.scheduled += 1;
+        self.refresh_queue.push_back((url.to_owned(), prior_hash));
+        if let Phase::Done(_) = self.phase {
+            self.phase = Phase::Steady;
+        }
+    }
+
+    /// Drains the pages buffered for the serving layer: refresh answers,
+    /// plus every fetched page when [`CrawlConfig::serve_feed`] is on.
+    /// Bodies are shared — draining moves `Arc`s, not bytes.
+    pub fn take_refreshed(&mut self) -> Vec<RefreshedPage> {
+        std::mem::take(&mut self.refreshed)
+    }
+
+    /// Cumulative refresh ledger so far (PR 9).
+    pub fn refresh_stats(&self) -> RefreshStats {
+        self.refresh_stats
+    }
+
+    /// Stamps the staleness percentiles measured by the serving layer
+    /// (age-at-read in origin epochs) into the session's
+    /// [`RefreshStats`], so they ride [`StepReport`]/[`CrawlOutcome`]
+    /// like every other refresh number. Sessions never measure staleness
+    /// themselves — only the layer serving reads can.
+    pub fn set_staleness(&mut self, p50: f64, p99: f64) {
+        self.refresh_stats.staleness_p50 = p50;
+        self.refresh_stats.staleness_p99 = p99;
     }
 
     fn pump(&mut self) {
@@ -821,6 +941,28 @@ impl<'a> CrawlSession<'a> {
             }
             if let Some(job) = self.pending.pop_front() {
                 self.submit(job);
+                dispatched += 1;
+                continue;
+            }
+            if let Some((url, prior)) = self.refresh_queue.pop_front() {
+                // Refresh selections go ahead of fresh discovery picks:
+                // staleness is paid for in reader-visible age, discovery
+                // only in coverage. An unparseable queued URL (caller bug)
+                // is dropped as a failed refresh rather than fetched.
+                let Ok(u) = Url::parse(&url) else {
+                    self.refresh_stats.failed += 1;
+                    continue;
+                };
+                let id = self.intern_at_depth(&u, 0);
+                let depth = self.depths[id as usize];
+                self.steps += 1;
+                self.submit(Job {
+                    id,
+                    depth,
+                    token: None,
+                    hops_left: (MAX_REDIRECTS - 1) as u8,
+                    refresh: Some(prior),
+                });
                 dispatched += 1;
                 continue;
             }
@@ -1026,6 +1168,9 @@ impl<'a> CrawlSession<'a> {
             if let Some(token) = job.token {
                 self.strategy.feedback_error(token);
             }
+            if job.refresh.is_some() {
+                self.refresh_stats.failed += 1;
+            }
             self.abandoned.record(AbandonReason::SessionClosed);
             let snap = self.snapshot();
             self.hub.emit(
@@ -1070,6 +1215,7 @@ impl<'a> CrawlSession<'a> {
             finish_reason: reason,
             abandoned: self.abandoned,
             mem,
+            refresh: self.refresh_stats,
         }
     }
 
@@ -1144,6 +1290,10 @@ impl<'a> CrawlSession<'a> {
         if let Some(token) = job.token {
             self.strategy.feedback_error(token);
         }
+        if job.refresh.is_some() {
+            // A refresh that ends without a body bought no freshness.
+            self.refresh_stats.failed += 1;
+        }
         self.abandoned.record(reason);
         let snap = self.snapshot();
         self.hub.emit(&snap, &CrawlEvent::Abandoned { url: self.visited.text(id), reason });
@@ -1215,6 +1365,7 @@ impl<'a> CrawlSession<'a> {
                 depth: job.depth,
                 token: job.token,
                 hops_left: job.hops_left - 1,
+                refresh: job.refresh,
             });
         }
 
@@ -1222,6 +1373,20 @@ impl<'a> CrawlSession<'a> {
         // pull. Hazard-layer answers (synthetic timeout/quarantine
         // statuses, retried-then-failed 5xx) get their own reasons.
         if f.status >= 400 {
+            if job.refresh.is_some() {
+                // The serving layer needs the death certificate (404/410
+                // feed the recrawl policies' `died` observations); the
+                // `failed` tally is charged by `abandon` below.
+                self.refreshed.push(RefreshedPage {
+                    url: self.visited.text(id).to_owned(),
+                    status: f.status,
+                    mime: f.mime.clone(),
+                    body: f.body.clone(),
+                    body_hash: fnv64(&f.body),
+                    refresh: true,
+                    changed: false,
+                });
+            }
             return self.abandon(&job, id, AbandonReason::for_http_failure(f.status, f.attempts));
         }
         if f.interrupted {
@@ -1233,15 +1398,37 @@ impl<'a> CrawlSession<'a> {
         };
 
         if self.cfg.policy.is_html_mime(&mime) {
+            if let Some(prior) = job.refresh {
+                // A refreshed page still harvests links — an evolved
+                // origin's new URLs enter the frontier here, which is how
+                // refresh and discovery interleave — but the strategy gets
+                // no second class observation for an already-counted page.
+                self.note_refreshed(id, f.status, &mime, f.body.clone(), prior);
+                self.process_html(id, job.depth, &f.body);
+                return;
+            }
             self.strategy.on_fetched(id, self.visited.text(id), sb_webgraph::UrlClass::Html);
             let reward = self.process_html(id, job.depth, &f.body);
             if let Some(token) = job.token {
                 self.strategy.feedback(token, reward);
             }
+            if self.cfg.serve_feed {
+                self.note_served(id, f.status, &mime, f.body);
+            }
         } else if self.cfg.policy.is_target_mime(&mime) {
             // A target: tag its volume and keep it.
             self.transport.tag_target(f.wire_bytes);
+            if let Some(prior) = job.refresh {
+                // Refreshed target: tagged wire volume (it is target
+                // payload), but not re-counted in `targets`.
+                self.note_refreshed(id, f.status, &mime, f.body, prior);
+                return;
+            }
             self.strategy.on_fetched(id, self.visited.text(id), sb_webgraph::UrlClass::Target);
+            if self.cfg.serve_feed {
+                // Cheap: `Body` is an `Arc<[u8]>` pointer clone.
+                self.note_served(id, f.status, &mime, f.body.clone());
+            }
             self.targets.push(RetrievedTarget {
                 url: self.visited.text(id).to_owned(),
                 mime: mime.clone(),
@@ -1263,6 +1450,50 @@ impl<'a> CrawlSession<'a> {
             }
         }
         // Any other MIME type: "Neither", nothing to do.
+    }
+
+    /// Buffers a completed refresh fetch for the serving layer and settles
+    /// its changed/unchanged verdict against the prior body hash.
+    fn note_refreshed(
+        &mut self,
+        id: UrlId,
+        status: u16,
+        mime: &str,
+        body: sb_httpsim::Body,
+        prior: u64,
+    ) {
+        let hash = fnv64(&body);
+        let changed = hash != prior;
+        self.refresh_stats.completed += 1;
+        if changed {
+            self.refresh_stats.changed += 1;
+        } else {
+            self.refresh_stats.unchanged += 1;
+        }
+        self.refreshed.push(RefreshedPage {
+            url: self.visited.text(id).to_owned(),
+            status,
+            mime: Some(mime.to_owned()),
+            body,
+            body_hash: hash,
+            refresh: true,
+            changed,
+        });
+    }
+
+    /// Buffers a discovery fetch for the serving layer
+    /// ([`CrawlConfig::serve_feed`]): the page's first served version.
+    fn note_served(&mut self, id: UrlId, status: u16, mime: &str, body: sb_httpsim::Body) {
+        let hash = fnv64(&body);
+        self.refreshed.push(RefreshedPage {
+            url: self.visited.text(id).to_owned(),
+            status,
+            mime: Some(mime.to_owned()),
+            body,
+            body_hash: hash,
+            refresh: false,
+            changed: true,
+        });
     }
 
     /// Link extraction + per-link decisions; returns the page's reward

@@ -22,6 +22,7 @@
 //!   pipeline    intra-site parallel fetch (in-flight window 1/4/16)
 //!   hostile     hostile-web workload: trap-laced site, retry/backoff (PR 6)
 //!   scale       memory-bounded crawl ladder: RSS + pages/sec at 10k/100k (PR 7)
+//!   serve       continuous crawl-and-serve: read QPS + freshness SLA (PR 9)
 //!   all         everything above
 //! ```
 //!
@@ -44,7 +45,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|scale|all>\n\
+        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|scale|serve|all>\n\
          \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N] [--shared-pool]\n\
          \x20      [--shards 1,2,4]"
     );
@@ -102,6 +103,7 @@ fn main() {
             "pipeline" => xp::pipeline::run(cfg),
             "hostile" => xp::hostile::run(cfg),
             "scale" => xp::scale::run(cfg),
+            "serve" => xp::serve::run(cfg),
             _ => usage(),
         };
         eprintln!("[xp] {name} done in {:.1?}", t.elapsed());
@@ -112,7 +114,7 @@ fn main() {
             let all = [
                 "table1", "table2", "table3", "table6", "fig4", "fig15", "table4", "table5",
                 "table7", "se", "time", "revisit", "ablation", "hardness", "fleet",
-                "pipeline", "hostile", "scale",
+                "pipeline", "hostile", "scale", "serve",
             ];
             for name in all {
                 println!("{}", run_one(name, &cfg));

@@ -12,6 +12,7 @@ pub mod hardness;
 pub mod hostile;
 pub mod scale;
 pub mod se;
+pub mod serve;
 pub mod table1;
 pub mod table23;
 pub mod table4;

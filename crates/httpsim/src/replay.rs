@@ -9,12 +9,21 @@
 //! * [`Mode::OnlineToLocal`] — always fetch upstream and store (the naive
 //!   replicating crawler),
 //! * [`Mode::SemiOnline`] — serve from the DB, fetch+store on miss.
+//!
+//! Responses are stored as `Arc<Response>`: the concurrent-reader hot
+//! path, [`ReplayStore::get_shared`], hands out a pointer clone — zero
+//! heap allocations and zero body copies per read (pinned by the
+//! `alloc_guard_replay` regression test). The [`HttpServer::get`]
+//! compatibility path still clones a `Response` out of the `Arc` at the
+//! trait boundary (its `Body` remains a shared-pointer clone; only the
+//! two optional header strings are duplicated).
 
 use crate::response::{HeadResponse, Response};
 use crate::server::HttpServer;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Replay execution mode (Sec 4.4 / "Artifacts" section of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,7 +37,7 @@ pub enum Mode {
 pub struct ReplayStore<S> {
     upstream: S,
     mode: Mode,
-    store: RwLock<HashMap<String, Response>>,
+    store: RwLock<HashMap<String, Arc<Response>>>,
     upstream_gets: AtomicU64,
     cache_hits: AtomicU64,
 }
@@ -50,7 +59,7 @@ impl<S: HttpServer> ReplayStore<S> {
         for url in urls {
             let r = self.upstream.get(url);
             self.upstream_gets.fetch_add(1, Ordering::Relaxed);
-            store.insert(url.to_owned(), r);
+            store.insert(url.to_owned(), Arc::new(r));
         }
     }
 
@@ -72,11 +81,22 @@ impl<S: HttpServer> ReplayStore<S> {
         self.store.read().is_empty()
     }
 
-    fn fetch_and_store(&self, url: &str) -> Response {
-        let r = self.upstream.get(url);
+    fn fetch_and_store(&self, url: &str) -> Arc<Response> {
+        let r = Arc::new(self.upstream.get(url));
         self.upstream_gets.fetch_add(1, Ordering::Relaxed);
-        self.store.write().insert(url.to_owned(), r.clone());
+        self.store.write().insert(url.to_owned(), Arc::clone(&r));
         r
+    }
+
+    /// The concurrent-reader hot path: the stored response behind a shared
+    /// pointer, or `None` if `url` is not in the database. A hit costs one
+    /// `Arc` clone — no heap allocation, no body copy — so any number of
+    /// reader threads can serve pages while a crawler refreshes the store.
+    /// Never touches the upstream (reads must not generate crawl traffic).
+    pub fn get_shared(&self, url: &str) -> Option<Arc<Response>> {
+        let r = self.store.read().get(url).map(Arc::clone)?;
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Some(r)
     }
 
     /// Persists the whole database as an [`crate::archive`] stream, in
@@ -108,7 +128,7 @@ impl<S: HttpServer> ReplayStore<S> {
         let mut store = self.store.write();
         for item in reader {
             let (url, response) = item?;
-            store.insert(url, response);
+            store.insert(url, Arc::new(response));
             n += 1;
         }
         Ok(n)
@@ -133,21 +153,15 @@ impl<S: HttpServer> HttpServer for ReplayStore<S> {
 
     fn get(&self, url: &str) -> Response {
         match self.mode {
-            Mode::Local => match self.store.read().get(url) {
-                Some(r) => {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    r.clone()
-                }
+            Mode::Local => match self.get_shared(url) {
+                Some(r) => (*r).clone(),
                 None => panic!("Local replay mode: GET miss for {url} — preload the site first"),
             },
-            Mode::OnlineToLocal => self.fetch_and_store(url),
-            Mode::SemiOnline => {
-                if let Some(r) = self.store.read().get(url) {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return r.clone();
-                }
-                self.fetch_and_store(url)
-            }
+            Mode::OnlineToLocal => (*self.fetch_and_store(url)).clone(),
+            Mode::SemiOnline => match self.get_shared(url) {
+                Some(r) => (*r).clone(),
+                None => (*self.fetch_and_store(url)).clone(),
+            },
         }
     }
 }
@@ -238,6 +252,33 @@ mod tests {
         store.export_archive(&mut a).unwrap();
         store.export_archive(&mut b).unwrap();
         assert_eq!(a, b, "sorted-URL export yields identical bytes");
+    }
+
+    #[test]
+    fn get_shared_is_a_pointer_clone() {
+        let s = upstream();
+        let url = s.site().page(s.site().root()).url.clone();
+        let store = ReplayStore::new(s, Mode::SemiOnline);
+        assert!(
+            store.get_shared(&url).is_none(),
+            "get_shared never fetches upstream"
+        );
+        assert_eq!(store.upstream_gets(), 0);
+        store.preload([url.as_str()]);
+        let a = store.get_shared(&url).expect("preloaded");
+        let b = store.get_shared(&url).expect("preloaded");
+        assert!(Arc::ptr_eq(&a, &b), "readers share one stored response");
+        // The trait-boundary clone still shares the stored body buffer.
+        let owned = store.get(&url);
+        assert!(
+            std::ptr::eq(owned.body.as_slice().as_ptr(), a.body.as_slice().as_ptr()),
+            "HttpServer::get must serve the stored body as a pointer clone"
+        );
+        assert_eq!(
+            store.upstream_gets(),
+            1,
+            "only the preload touched the origin"
+        );
     }
 
     #[test]

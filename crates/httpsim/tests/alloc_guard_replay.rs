@@ -1,0 +1,104 @@
+//! Allocation-regression guard for the replay reader hot path (PR 9).
+//!
+//! The crawl-and-serve subsystem serves concurrent readers from the
+//! replay database while a crawler refreshes it. A read must therefore
+//! be an `Arc` pointer clone: `ReplayStore::get_shared` is pinned to
+//! **zero** heap allocations per hit, and every served body — on both
+//! the shared and the `HttpServer::get` compatibility path — must alias
+//! the stored `Arc<[u8]>` buffer, never a copy. Before PR 9 the store
+//! held plain `Response` values and every cache hit cloned the headers
+//! (two `String` allocations per read, per reader thread).
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one `#[test]` — a second concurrent test would corrupt the counts.
+
+use sb_httpsim::{HttpServer, Mode, ReplayStore, SiteServer};
+use sb_webgraph::gen::{build_site, SiteSpec};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn count_allocs(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn replay_reads_are_pointer_clones() {
+    let server = SiteServer::new(build_site(&SiteSpec::demo(150), 9));
+    let urls: Vec<String> = server
+        .site()
+        .pages()
+        .iter()
+        .map(|p| p.url.clone())
+        .collect();
+    let store = ReplayStore::new(server, Mode::Local);
+    store.preload(urls.iter().map(String::as_str));
+
+    // Warm both paths once outside the counted regions.
+    let warm = store.get_shared(&urls[0]).expect("preloaded");
+    assert!(!warm.body.as_slice().is_empty());
+
+    // Hot path: a get_shared hit is one Arc clone — zero allocations.
+    const READS: usize = 1_000;
+    let shared_allocs = count_allocs(|| {
+        for i in 0..READS {
+            let r = store.get_shared(&urls[i % urls.len()]).expect("preloaded");
+            assert!(r.status == 200 || r.status >= 300);
+            std::mem::forget(r); // keep refcount drops out of the counted region
+        }
+    });
+    assert_eq!(
+        shared_allocs, 0,
+        "get_shared allocated {shared_allocs} times over {READS} reads: \
+         the reader hot path must be a pure Arc pointer clone"
+    );
+
+    // Compatibility path: HttpServer::get clones a Response out of the
+    // Arc. The body must still alias the stored buffer (no copy); only
+    // the two optional header strings may allocate.
+    let shared = store.get_shared(&urls[0]).expect("preloaded");
+    let get_allocs = count_allocs(|| {
+        for i in 0..READS {
+            let r = store.get(&urls[i % urls.len()]);
+            std::mem::forget(r);
+        }
+    });
+    assert!(
+        get_allocs <= 2 * READS,
+        "HttpServer::get allocated {get_allocs} times over {READS} reads \
+         (budget {}): a body copy has crept into the read path",
+        2 * READS
+    );
+    let owned = store.get(&urls[0]);
+    assert!(
+        std::ptr::eq(
+            owned.body.as_slice().as_ptr(),
+            shared.body.as_slice().as_ptr()
+        ),
+        "served body must be an Arc<[u8]> pointer clone of the stored body"
+    );
+}

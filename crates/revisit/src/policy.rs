@@ -55,6 +55,15 @@ pub trait RevisitPolicy {
 
     /// Reports what the revisit of `url` revealed.
     fn observe(&mut self, url: &str, obs: &Observation);
+
+    /// Prior estimate that refreshing `url` pays off, on a roughly
+    /// \[0, 1\] scale (PR 9). The crawl-and-serve scheduler ranks refresh
+    /// candidates by `estimate × read-popularity`; a policy with no
+    /// per-URL belief keeps the uninformed default of `1.0`. Pages the
+    /// policy has seen die score `0.0`.
+    fn estimate(&self, _url: &str) -> f64 {
+        1.0
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -102,6 +111,14 @@ impl RevisitPolicy for RoundRobinRevisit {
     fn observe(&mut self, url: &str, obs: &Observation) {
         if obs.died {
             self.dead.insert(url.to_owned());
+        }
+    }
+
+    fn estimate(&self, url: &str) -> f64 {
+        if self.dead.contains(url) {
+            0.0
+        } else {
+            1.0
         }
     }
 }
@@ -190,6 +207,16 @@ impl RevisitPolicy for ProportionalRevisit {
         if let Some((v, c)) = self.stats.get_mut(url) {
             *v += 1;
             *c += u64::from(obs.changed);
+        }
+    }
+
+    fn estimate(&self, url: &str) -> f64 {
+        if self.dead.contains(url) {
+            return 0.0;
+        }
+        match self.stats.get(url) {
+            Some(&(v, c)) => crate::estimate::change_rate(v, c) + self.smoothing,
+            None => 1.0,
         }
     }
 }
@@ -333,6 +360,17 @@ impl RevisitPolicy for ThompsonGroupsRevisit {
             self.failure[g] += 1.0;
         }
     }
+
+    fn estimate(&self, url: &str) -> f64 {
+        if self.dead.contains(url) {
+            return 0.0;
+        }
+        match self.groups.group_of(url) {
+            // Beta(1+s, 1+f) posterior mean of the URL's group.
+            Some(g) => (1.0 + self.success[g]) / (2.0 + self.success[g] + self.failure[g]),
+            None => 1.0,
+        }
+    }
 }
 
 /// Beta(a, b) sample via two Marsaglia–Tsang gamma draws.
@@ -448,6 +486,22 @@ impl RevisitPolicy for SleepingBanditRevisit {
         }
         let Some(g) = self.groups.group_of(url) else { return };
         self.arms[g].reward(obs.new_targets as f64);
+    }
+
+    fn estimate(&self, url: &str) -> f64 {
+        if self.dead.contains(url) {
+            return 0.0;
+        }
+        match self.groups.group_of(url) {
+            // Unpulled arms stay optimistic; pulled arms map their mean
+            // new-target reward onto (0, 1) so the serve scheduler can
+            // compare policies on one scale.
+            Some(g) if self.arms[g].pulls > 0 => {
+                let m = self.arms[g].mean.max(0.0);
+                m / (1.0 + m)
+            }
+            _ => 1.0,
+        }
     }
 }
 

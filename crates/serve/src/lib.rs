@@ -1,0 +1,44 @@
+//! # sb-serve — continuous crawl-and-serve
+//!
+//! The serving half of the paper's data-acquisition story: the crawler
+//! does not stop when the frontier drains — it keeps the acquired corpus
+//! *fresh* while a read workload consumes it. This crate turns the
+//! one-shot crawl (`sb-crawler`) plus the recrawl machinery
+//! (`sb-revisit`) into a long-running subsystem:
+//!
+//! * [`cell::ArcCell`] — the lock-free snapshot primitive: an atomically
+//!   swappable `Arc<T>` with epoch-based reclamation. Readers never
+//!   block and never observe a torn value.
+//! * [`store::SnapshotStore`] — versioned, copy-on-write page store.
+//!   Per-URL generations are monotonic, replaced versions are retained
+//!   under a bounded budget, and a read is two lock-free loads plus a
+//!   relaxed popularity bump.
+//! * [`sched`] — the freshness-SLA planner: per origin epoch it ranks
+//!   refresh candidates by *estimated change* ([`sb_revisit`] policies)
+//!   × *read popularity* (store counters) and feeds the winners back
+//!   into the live [`sb_crawler::CrawlSession`] via its refresh queue,
+//!   so refresh and residual discovery share one politeness/budget
+//!   window.
+//! * [`read`] — the simulated read side: seeded Zipf readers measuring
+//!   achieved QPS and age-at-read percentiles off the [`read::StaleBoard`].
+//! * [`runtime`] — [`runtime::serve_site`] wires all of it into the
+//!   continuous loop and reports `staleness_p50`/`p99` through
+//!   [`sb_crawler::RefreshStats`].
+//!
+//! Invariants pinned by this crate's tests: readers only ever observe
+//! complete, previously-committed versions with per-URL monotone
+//! generations (proptest interleaving), and with readers off at
+//! `window == 1` the refresh schedule is byte-reproducible for a fixed
+//! seed.
+
+pub mod cell;
+pub mod read;
+pub mod runtime;
+pub mod sched;
+pub mod store;
+
+pub use cell::ArcCell;
+pub use read::{percentile_of, ReadLoad, ReadLoadConfig, ReadReport, StaleBoard, Zipf};
+pub use runtime::{crawl_and_serve, in_path_of, serve_site, ServeConfig, ServeOutcome};
+pub use sched::{plan_epoch, PlanEntry, POOL_FACTOR};
+pub use store::{PageVersion, SnapshotStore};

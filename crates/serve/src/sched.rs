@@ -1,0 +1,155 @@
+//! The freshness-SLA refresh planner: which known URLs to refetch this
+//! epoch, and in what order.
+//!
+//! Per epoch the planner draws a candidate pool from the active
+//! [`RevisitPolicy`] (the same `begin_epoch` → `next` loop the recrawl
+//! harness drives, so the policy's own exploration shapes the pool),
+//! then ranks candidates by
+//!
+//! ```text
+//! priority(url) = estimate(url) × (1 + ln(1 + reads(url)))
+//! ```
+//!
+//! — estimated change probability (from [`RevisitPolicy::estimate`])
+//! weighted by read popularity (the [`SnapshotStore`]'s per-slot read
+//! counters), so a page that is both likely stale *and* heavily read is
+//! refreshed first. Ties and float equality break on URL order, which
+//! keeps the plan byte-reproducible for a fixed seed when the read
+//! counters are quiescent (the determinism pin in `tests/`).
+
+use crate::store::SnapshotStore;
+use rand::rngs::StdRng;
+use sb_revisit::RevisitPolicy;
+
+/// One planned refresh: the URL, the hash the refetch is compared
+/// against, and the priority it was ranked with.
+#[derive(Debug, Clone)]
+pub struct PlanEntry {
+    pub url: String,
+    /// Body hash of the version currently served (prior for change
+    /// detection in the session's refresh path).
+    pub prior_hash: u64,
+    pub score: f64,
+}
+
+/// How many candidates the planner draws per planned slot before
+/// ranking. A pool wider than the budget lets popularity re-order what
+/// the policy would have visited in its own order.
+pub const POOL_FACTOR: usize = 4;
+
+/// Plans one refresh epoch: draws up to `POOL_FACTOR × per_epoch`
+/// candidates from `policy`, keeps those the store knows, ranks them by
+/// estimated-change × read-popularity and returns the top `per_epoch`
+/// in refresh order. The caller is responsible for `policy.begin_epoch()`
+/// beforehand (the policy may also be mid-epoch; the planner just drains
+/// what it is offered).
+pub fn plan_epoch(
+    store: &SnapshotStore,
+    policy: &mut dyn RevisitPolicy,
+    rng: &mut StdRng,
+    per_epoch: usize,
+) -> Vec<PlanEntry> {
+    if per_epoch == 0 {
+        return Vec::new();
+    }
+    let mut pool = Vec::with_capacity(per_epoch * POOL_FACTOR);
+    while pool.len() < per_epoch * POOL_FACTOR {
+        let Some(url) = policy.next(rng) else { break };
+        let Some(current) = store.peek(&url) else {
+            continue;
+        };
+        let score = policy.estimate(&url) * (1.0 + (1.0 + store.reads(&url) as f64).ln());
+        pool.push(PlanEntry {
+            url,
+            prior_hash: current.body_hash,
+            score,
+        });
+    }
+    pool.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.url.cmp(&b.url))
+    });
+    pool.truncate(per_epoch);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sb_httpsim::Body;
+    use sb_revisit::ProportionalRevisit;
+
+    fn seeded_store(urls: &[&str]) -> SnapshotStore {
+        let store = SnapshotStore::new(0);
+        for (k, url) in urls.iter().enumerate() {
+            let bytes = vec![k as u8; 16];
+            let hash = sb_revisit::fnv64(&bytes);
+            store.commit(url, 200, Body::from(bytes), hash);
+        }
+        store
+    }
+
+    #[test]
+    fn popularity_breaks_estimate_ties() {
+        let urls = ["https://s/a", "https://s/b", "https://s/c"];
+        let store = seeded_store(&urls);
+        // Same estimate everywhere (fresh policy), but /c is read-hot.
+        for _ in 0..50 {
+            store.read("https://s/c");
+        }
+        let mut policy = ProportionalRevisit::default();
+        for u in &urls {
+            policy.register(u, "html body main a");
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        policy.begin_epoch();
+        let plan = plan_epoch(&store, &mut policy, &mut rng, 2);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(
+            plan[0].url, "https://s/c",
+            "read-hot page planned first: {plan:?}"
+        );
+        assert!(plan[0].score > plan[1].score);
+    }
+
+    #[test]
+    fn unknown_urls_are_skipped_and_budget_is_respected() {
+        let store = seeded_store(&["https://s/a"]);
+        let mut policy = ProportionalRevisit::default();
+        policy.register("https://s/a", "html body main a");
+        policy.register("https://s/ghost", "html body main a");
+        let mut rng = StdRng::seed_from_u64(3);
+        policy.begin_epoch();
+        let plan = plan_epoch(&store, &mut policy, &mut rng, 8);
+        assert_eq!(plan.len(), 1, "only store-known URLs are planned");
+        assert_eq!(plan[0].url, "https://s/a");
+        let expect = store.peek("https://s/a").unwrap().body_hash;
+        assert_eq!(plan[0].prior_hash, expect);
+    }
+
+    #[test]
+    fn plan_is_deterministic_for_a_fixed_seed() {
+        let urls: Vec<String> = (0..20).map(|k| format!("https://s/p{k}")).collect();
+        let refs: Vec<&str> = urls.iter().map(|s| s.as_str()).collect();
+        let plans: Vec<Vec<String>> = (0..2)
+            .map(|_| {
+                let store = seeded_store(&refs);
+                let mut policy = ProportionalRevisit::default();
+                for u in &urls {
+                    policy.register(u, "html body main a");
+                }
+                let mut rng = StdRng::seed_from_u64(77);
+                policy.begin_epoch();
+                plan_epoch(&store, &mut policy, &mut rng, 6)
+                    .into_iter()
+                    .map(|e| e.url)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(plans[0], plans[1]);
+        assert_eq!(plans[0].len(), 6);
+    }
+}

@@ -1,0 +1,264 @@
+//! [`SnapshotStore`]: the versioned, copy-on-write page store that the
+//! read workload hits while the crawler refreshes it.
+//!
+//! Layout: an [`ArcCell`]-published *shelf* maps URL → slot; each slot is
+//! a `VersionCell` whose current [`PageVersion`] is itself an `ArcCell`.
+//! The shelf is cloned only when a **new URL** is inserted (copy-on-write
+//! of the index — cheap `Arc` clones of the cells, never of bodies);
+//! committing a fresh version of a *known* URL touches only that slot's
+//! pointer. Readers therefore never block, never see a torn page, and a
+//! read costs two lock-free loads plus one relaxed counter bump (the
+//! popularity signal the refresh scheduler consumes).
+//!
+//! Per-URL **generations** are monotonic: commit *k* for a URL carries
+//! generation *k*, generations are assigned under the writer lock, and
+//! version pointers are published in assignment order — so two successive
+//! reads of one URL can never observe generations going backwards.
+//! Replaced versions are retained in a bounded per-slot history (the
+//! retained-version budget), so a version a reader still holds stays
+//! cheap — dropping history only drops `Arc`s.
+
+use crate::cell::ArcCell;
+use parking_lot::Mutex;
+use sb_httpsim::Body;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// One committed, immutable version of one page.
+#[derive(Debug)]
+pub struct PageVersion {
+    pub url: Arc<str>,
+    pub status: u16,
+    /// Shared body bytes — committing and serving never copy them.
+    pub body: Body,
+    /// FNV-1a of the body (matches `sb_revisit::fnv64` and the core
+    /// session's refresh hashing, pinned by a test).
+    pub body_hash: u64,
+    /// 1-based per-URL commit counter; strictly monotonic per URL.
+    pub generation: u64,
+}
+
+struct VersionCell {
+    url: Arc<str>,
+    current: ArcCell<PageVersion>,
+    generation: AtomicU64,
+    /// Reads served from this slot — the popularity signal.
+    reads: AtomicU64,
+    /// Replaced versions, newest first, capped at the retain budget.
+    history: Mutex<VecDeque<Arc<PageVersion>>>,
+}
+
+struct Shelf {
+    index: HashMap<Arc<str>, usize>,
+    cells: Vec<Arc<VersionCell>>,
+}
+
+/// The copy-on-write, versioned page store. See the module docs.
+pub struct SnapshotStore {
+    shelf: ArcCell<Shelf>,
+    /// Serialises inserts and commits; readers never take it.
+    writer: Mutex<()>,
+    retain: usize,
+}
+
+impl SnapshotStore {
+    /// An empty store retaining at most `retain` replaced versions per
+    /// URL (0 = current version only).
+    pub fn new(retain: usize) -> Self {
+        SnapshotStore {
+            shelf: ArcCell::new(Arc::new(Shelf {
+                index: HashMap::new(),
+                cells: Vec::new(),
+            })),
+            writer: Mutex::new(()),
+            retain,
+        }
+    }
+
+    /// Serves the current version of `url` and counts the read. This is
+    /// the reader hot path: two lock-free loads, one counter bump, no
+    /// allocation beyond the returned `Arc`.
+    pub fn read(&self, url: &str) -> Option<Arc<PageVersion>> {
+        let shelf = self.shelf.load();
+        let cell = &shelf.cells[*shelf.index.get(url)?];
+        cell.reads.fetch_add(1, Relaxed);
+        Some(cell.current.load())
+    }
+
+    /// The current version without counting a read — for schedulers and
+    /// oracles that must not pollute the popularity signal.
+    pub fn peek(&self, url: &str) -> Option<Arc<PageVersion>> {
+        let shelf = self.shelf.load();
+        Some(shelf.cells[*shelf.index.get(url)?].current.load())
+    }
+
+    /// Commits a new version of `url`, inserting the URL on first sight.
+    /// Returns the version's generation (1 for a brand-new URL).
+    pub fn commit(&self, url: &str, status: u16, body: Body, body_hash: u64) -> u64 {
+        let _writer = self.writer.lock();
+        let shelf = self.shelf.load();
+        let cell = match shelf.index.get(url) {
+            Some(&i) => Arc::clone(&shelf.cells[i]),
+            None => {
+                // New URL: copy-on-write shelf clone (Arc clones only).
+                let u: Arc<str> = Arc::from(url);
+                let cell = Arc::new(VersionCell {
+                    url: Arc::clone(&u),
+                    current: ArcCell::new(Arc::new(PageVersion {
+                        url: Arc::clone(&u),
+                        status,
+                        body: body.clone(),
+                        body_hash,
+                        generation: 1,
+                    })),
+                    generation: AtomicU64::new(1),
+                    reads: AtomicU64::new(0),
+                    history: Mutex::new(VecDeque::new()),
+                });
+                let mut index = shelf.index.clone();
+                let mut cells = shelf.cells.clone();
+                index.insert(u, cells.len());
+                cells.push(Arc::clone(&cell));
+                self.shelf.store(Arc::new(Shelf { index, cells }));
+                return 1;
+            }
+        };
+        drop(shelf);
+        let generation = cell.generation.fetch_add(1, Relaxed) + 1;
+        let next = Arc::new(PageVersion {
+            url: Arc::clone(&cell.url),
+            status,
+            body,
+            body_hash,
+            generation,
+        });
+        let old = cell.current.store(next);
+        let mut history = cell.history.lock();
+        history.push_front(old);
+        history.truncate(self.retain);
+        generation
+    }
+
+    /// Slot of `url` in insertion order, if known. Slot indexes are
+    /// stable for the life of the store (the shelf only grows).
+    pub fn slot(&self, url: &str) -> Option<usize> {
+        self.shelf.load().index.get(url).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.shelf.load().cells.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every known URL, in insertion (slot) order.
+    pub fn urls(&self) -> Vec<Arc<str>> {
+        self.shelf
+            .load()
+            .cells
+            .iter()
+            .map(|c| Arc::clone(&c.url))
+            .collect()
+    }
+
+    /// Reads served for `url` so far (the popularity signal).
+    pub fn reads(&self, url: &str) -> u64 {
+        let shelf = self.shelf.load();
+        shelf
+            .index
+            .get(url)
+            .map_or(0, |&i| shelf.cells[i].reads.load(Relaxed))
+    }
+
+    /// Current generation of `url` (0 if unknown).
+    pub fn generation(&self, url: &str) -> u64 {
+        let shelf = self.shelf.load();
+        shelf
+            .index
+            .get(url)
+            .map_or(0, |&i| shelf.cells[i].generation.load(Relaxed))
+    }
+
+    /// Replaced versions currently retained for `url`.
+    pub fn retained(&self, url: &str) -> usize {
+        let shelf = self.shelf.load();
+        shelf
+            .index
+            .get(url)
+            .map_or(0, |&i| shelf.cells[i].history.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body_of(tag: u64) -> (Body, u64) {
+        let bytes: Vec<u8> = tag.to_le_bytes().repeat(16);
+        let hash = sb_revisit::fnv64(&bytes);
+        (Body::from(bytes), hash)
+    }
+
+    #[test]
+    fn commit_then_read_roundtrips() {
+        let store = SnapshotStore::new(2);
+        let (body, hash) = body_of(1);
+        assert_eq!(store.commit("https://s/a", 200, body, hash), 1);
+        let v = store.read("https://s/a").expect("known");
+        assert_eq!(v.status, 200);
+        assert_eq!(v.body_hash, hash);
+        assert_eq!(v.generation, 1);
+        assert_eq!(store.reads("https://s/a"), 1);
+        assert_eq!(store.peek("https://s/a").expect("known").generation, 1);
+        assert_eq!(store.reads("https://s/a"), 1, "peek does not count");
+        assert!(store.read("https://s/b").is_none());
+    }
+
+    #[test]
+    fn generations_are_monotonic_and_history_is_bounded() {
+        let store = SnapshotStore::new(2);
+        for k in 1..=5u64 {
+            let (body, hash) = body_of(k);
+            assert_eq!(store.commit("https://s/a", 200, body, hash), k);
+        }
+        assert_eq!(store.generation("https://s/a"), 5);
+        assert_eq!(
+            store.retained("https://s/a"),
+            2,
+            "retain budget caps history"
+        );
+        assert_eq!(store.read("https://s/a").expect("known").generation, 5);
+    }
+
+    #[test]
+    fn insertion_order_is_slot_order() {
+        let store = SnapshotStore::new(0);
+        for (k, url) in ["https://s/c", "https://s/a", "https://s/b"]
+            .iter()
+            .enumerate()
+        {
+            let (body, hash) = body_of(k as u64);
+            store.commit(url, 200, body, hash);
+            assert_eq!(store.slot(url), Some(k));
+        }
+        let urls = store.urls();
+        assert_eq!(urls.len(), 3);
+        assert_eq!(&*urls[0], "https://s/c");
+        assert_eq!(&*urls[2], "https://s/b");
+    }
+
+    #[test]
+    fn reader_holding_old_version_is_unaffected_by_commits() {
+        let store = SnapshotStore::new(0);
+        let (b1, h1) = body_of(10);
+        store.commit("https://s/a", 200, b1, h1);
+        let held = store.read("https://s/a").expect("known");
+        let (b2, h2) = body_of(20);
+        store.commit("https://s/a", 200, b2, h2);
+        assert_eq!(held.body_hash, h1, "held version is immutable");
+        assert_eq!(store.peek("https://s/a").expect("known").body_hash, h2);
+    }
+}

@@ -1,0 +1,107 @@
+//! Proptest-driven interleaving tests for the snapshot store (PR 9
+//! tentpole invariants).
+//!
+//! A writer thread commits generation-tagged bodies while reader threads
+//! hammer `read()`. Each body is the generation number repeated, so a
+//! torn read is detectable byte-by-byte, and the embedded generation
+//! must match the version's `generation` field (versions are committed
+//! atomically or not at all). Per reader and per URL, observed
+//! generations must be monotone — the store never serves an older
+//! version after a newer one.
+
+use proptest::prelude::*;
+use sb_httpsim::Body;
+use sb_revisit::fnv64;
+use sb_serve::SnapshotStore;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+
+/// Body whose every 8-byte word is the generation: untorn iff uniform.
+fn tagged_body(generation: u64) -> (Body, u64) {
+    let bytes: Vec<u8> = generation.to_le_bytes().repeat(16);
+    let hash = fnv64(&bytes);
+    (Body::from(bytes), hash)
+}
+
+fn embedded_generation(body: &[u8]) -> u64 {
+    u64::from_le_bytes(body[..8].try_into().expect("tagged bodies hold >= 8 bytes"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Readers under concurrent commits observe only complete,
+    /// previously-committed versions, monotonically per URL.
+    #[test]
+    fn readers_see_complete_committed_monotone_versions(
+        n_urls in 1usize..4,
+        commits_per_url in 20u64..120,
+        readers in 1usize..4,
+        retain in 0usize..3,
+    ) {
+        let store = SnapshotStore::new(retain);
+        let urls: Vec<String> = (0..n_urls).map(|k| format!("https://s/p{k}")).collect();
+        for url in &urls {
+            let (body, hash) = tagged_body(1);
+            store.commit(url, 200, body, hash);
+        }
+        let done = AtomicBool::new(false);
+        let failure = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for t in 0..readers {
+                let store = &store;
+                let urls = &urls;
+                let done = &done;
+                handles.push(s.spawn(move || -> Result<(), String> {
+                    let mut last = vec![0u64; urls.len()];
+                    let mut spin = t; // stagger which URL each reader starts on
+                    while !done.load(SeqCst) {
+                        let slot = spin % urls.len();
+                        spin = spin.wrapping_add(1);
+                        let v = store.read(&urls[slot]).expect("pre-seeded URL");
+                        let bytes = v.body.as_slice();
+                        let tag = embedded_generation(bytes);
+                        if !bytes.chunks(8).all(|c| embedded_generation_chunk(c) == tag) {
+                            return Err(format!("torn body on {}: {:?}", urls[slot], bytes));
+                        }
+                        if tag != v.generation {
+                            return Err(format!(
+                                "body of {} tagged {} but generation field is {}",
+                                urls[slot], tag, v.generation
+                            ));
+                        }
+                        if v.generation < last[slot] {
+                            return Err(format!(
+                                "{} went backwards: gen {} after {}",
+                                urls[slot], v.generation, last[slot]
+                            ));
+                        }
+                        last[slot] = v.generation;
+                    }
+                    Ok(())
+                }));
+            }
+            // Writer: round-robin commits, generations 2..=commits_per_url+1.
+            for g in 2..=commits_per_url + 1 {
+                for url in &urls {
+                    let (body, hash) = tagged_body(g);
+                    let committed = store.commit(url, 200, body, hash);
+                    assert_eq!(committed, g, "store-assigned generation tracks the writer");
+                }
+            }
+            done.store(true, SeqCst);
+            handles.into_iter().find_map(|h| h.join().expect("reader panicked").err())
+        });
+        prop_assert!(failure.is_none(), "{}", failure.unwrap_or_default());
+        for url in &urls {
+            let v = store.peek(url).expect("known");
+            prop_assert_eq!(v.generation, commits_per_url + 1);
+            prop_assert!(store.retained(url) <= retain);
+        }
+    }
+}
+
+fn embedded_generation_chunk(chunk: &[u8]) -> u64 {
+    let mut word = [0u8; 8];
+    word[..chunk.len()].copy_from_slice(chunk);
+    u64::from_le_bytes(word)
+}

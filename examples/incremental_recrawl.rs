@@ -3,17 +3,27 @@
 //! A newsroom mirrored a ministry site once; the ministry keeps publishing
 //! new datasets in its data catalogs. This example evolves the site over
 //! six months (epochs), gives each revisit policy the same small monthly
-//! request budget, and compares how much of the newly published data each
-//! one retrieves — the paper's Sec 6 "incremental revisits" future work.
+//! refresh budget, and compares how well each keeps the served mirror
+//! fresh — the paper's Sec 6 "incremental revisits" future work.
+//!
+//! Since PR 9 this runs on the **continuous crawl-and-serve subsystem**
+//! (`sbcrawl::serve`): one long-lived crawl session discovers the site,
+//! a snapshot store serves it, and the policy schedules refreshes through
+//! the same politeness/budget window. The older one-shot
+//! `sbcrawl::revisit::recrawl` harness is deprecated for this use — it
+//! rebuilds a fresh client per epoch and never serves what it fetched;
+//! prefer `serve::serve_site` (see also `examples/crawl_and_serve.rs`).
 //!
 //! ```sh
 //! cargo run --release --example incremental_recrawl
 //! ```
 
+use sbcrawl::crawler::Budget;
 use sbcrawl::revisit::{
-    recrawl, ChangeModel, EvolvingSite, ProportionalRevisit, RecrawlConfig, RevisitPolicy,
-    RoundRobinRevisit, SleepingBanditRevisit, ThompsonGroupsRevisit,
+    ChangeModel, EvolvingSite, ProportionalRevisit, RevisitPolicy, RoundRobinRevisit,
+    SleepingBanditRevisit, ThompsonGroupsRevisit,
 };
+use sbcrawl::serve::{serve_site, ServeConfig};
 use sbcrawl::webgraph::{build_site, SiteSpec};
 
 fn main() {
@@ -37,7 +47,9 @@ fn main() {
         hot_sections: 2,
     };
     let site = EvolvingSite::evolve(base, &model, 2026);
-    let published: usize = (1..site.epochs()).map(|e| site.events(e).new_target_urls.len()).sum();
+    let published: usize = (1..site.epochs())
+        .map(|e| site.events(e).new_target_urls.len())
+        .sum();
     println!(
         "evolution: {} epochs, {} new targets published, hot sections {:?}\n",
         site.epochs() - 1,
@@ -45,12 +57,13 @@ fn main() {
         site.hot_sections()
     );
 
-    // Each policy gets the same monthly budget: 8 % of the site.
-    let budget = (site.snapshot(0).len() as f64 * 0.08) as u64;
-    println!("monthly revisit budget: {budget} requests\n");
+    // Each policy gets the same monthly refresh budget: 8 % of the site,
+    // riding one continuous session (readers off → deterministic runs).
+    let monthly = (site.snapshot(0).len() as f64 * 0.08) as usize;
+    println!("monthly refresh budget: {monthly} refetches\n");
     println!(
-        "{:<16} {:>9} {:>12} {:>11} {:>13}",
-        "policy", "requests", "new targets", "recall (%)", "HTML fresh (%)"
+        "{:<16} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "policy", "refreshes", "changed", "failed", "stale p50", "stale p99"
     );
 
     let policies: Vec<Box<dyn RevisitPolicy>> = vec![
@@ -60,29 +73,52 @@ fn main() {
         Box::new(SleepingBanditRevisit::default()),
     ];
     for mut policy in policies {
-        let cfg = RecrawlConfig { per_epoch_requests: budget, seed: 7, ..Default::default() };
-        let out = recrawl(&site, policy.as_mut(), &cfg);
-        let last = out.epochs.last().expect("epochs ran");
+        let cfg = ServeConfig {
+            change: model.clone(),
+            seed: 7,
+            window: 2,
+            discovery_requests: 2_000,
+            refresh_per_epoch: monthly,
+            retain: 1,
+            budget: Budget::Unlimited,
+            read: None,
+        };
+        let out = serve_site(&site, policy.as_mut(), &cfg);
+        let r = out.outcome.refresh;
         println!(
-            "{:<16} {:>9} {:>12} {:>11.1} {:>13.1}",
-            out.policy_name,
-            out.revisit_requests(),
-            out.new_targets_found(),
-            100.0 * out.final_recall(),
-            100.0 * last.html_freshness,
+            "{:<16} {:>9} {:>9} {:>9} {:>10.1} {:>10.1}",
+            policy.name(),
+            r.completed,
+            r.changed,
+            r.failed,
+            out.staleness_p50,
+            out.staleness_p99,
         );
     }
 
     // Show what the paper-native scheduler learned: the tag-path groups it
-    // considers worth revisiting.
+    // considers worth refreshing.
     let mut sb = SleepingBanditRevisit::default();
-    let cfg = RecrawlConfig { per_epoch_requests: budget, seed: 7, ..Default::default() };
-    recrawl(&site, &mut sb, &cfg);
+    let cfg = ServeConfig {
+        change: model.clone(),
+        seed: 7,
+        refresh_per_epoch: monthly,
+        discovery_requests: 2_000,
+        ..ServeConfig::default()
+    };
+    serve_site(&site, &mut sb, &cfg);
     let mut arms = sb.arm_summary();
     arms.sort_by(|a, b| b.2.total_cmp(&a.2));
-    println!("\ntop revisit groups by mean reward (sleeping bandit):");
+    println!("\ntop refresh groups by mean reward (sleeping bandit):");
     for (path, pulls, mean) in arms.iter().take(3) {
-        let tail: String = path.chars().rev().take(48).collect::<String>().chars().rev().collect();
+        let tail: String = path
+            .chars()
+            .rev()
+            .take(48)
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
         println!("  {mean:>6.2} mean reward, {pulls:>4} pulls  …{tail}");
     }
 }

@@ -35,6 +35,13 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 # experiment asserts bounded in-memory footprint and 10k byte-identity.
 cargo run --release --offline -p sb-eval --bin xp -- \
     scale --scale 0.01 --jobs 3 --out target/bench-scale
+# The serve ladder (PR 9): continuous crawl-and-serve — read QPS from the
+# lock-free snapshot store under 0/2/4 Zipf reader threads while the same
+# session refreshes it, plus the age-at-read freshness percentiles; the
+# experiment asserts the zero-reader schedule is byte-reproducible and
+# the freshness SLA holds on every rung.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    serve --scale 0.01 --jobs 3 --out target/bench-serve
 
 python3 - "$OUT_RAW" <<'PY'
 import json, os, re, subprocess, sys
@@ -281,6 +288,46 @@ scale = {
     ],
 }
 
+# The serve section (PR 9): the crawl-and-serve pressure ladder
+# (target/bench-serve/serve.csv) — read throughput off the lock-free
+# snapshot store per reader rung, refresh traffic through the shared
+# session window, and the age-at-read freshness percentiles.
+serve_rows = list(csv.DictReader(open("target/bench-serve/serve.csv")))
+sla_worst_p50 = max(float(r["stale_p50"]) for r in serve_rows)
+assert sla_worst_p50 <= 2.0, \
+    f"serve freshness SLA violated: worst median age-at-read {sla_worst_p50} epochs"
+serve = {
+    "bench": "continuous crawl-and-serve on the evolved cl profile "
+             "(6 origin epochs, ~12% refresh budget per epoch, "
+             "thompson-groups scheduling by estimated-change x "
+             "read-popularity): Zipf(1.1) reader threads on the "
+             "copy-on-write SnapshotStore while one CrawlSession "
+             "interleaves refresh + residual discovery",
+    "note": "read_qps is achieved store reads/sec across reader threads "
+            "(lock-free ArcCell loads, zero-copy bodies); stale_p50/p99 "
+            "are age-at-read in origin epochs; the zero-reader rung is "
+            "the deterministic window-1 baseline (schedule asserted "
+            "byte-reproducible) and the SLA (median <= 2 epochs) is "
+            "asserted on every rung by the experiment and re-checked "
+            "here",
+    "sla_median_age_epochs_max": 2.0,
+    "rungs": [
+        {
+            "readers": int(r["readers"]),
+            "reads": int(r["reads"]),
+            "read_qps": round(float(r["read_qps"]), 1),
+            "scheduled": int(r["scheduled"]),
+            "completed": int(r["completed"]),
+            "changed": int(r["changed"]),
+            "failed": int(r["failed"]),
+            "stale_p50": round(float(r["stale_p50"]), 2),
+            "stale_p99": round(float(r["stale_p99"]), 2),
+            "store_pages": int(r["store_pages"]),
+        }
+        for r in serve_rows
+    ],
+}
+
 snapshot = {
     "description": "Seed string-keyed engine + render-per-GET server vs "
                    "interned-id engine + render-cached server "
@@ -300,6 +347,7 @@ snapshot = {
     "pipeline": pipeline,
     "hostile": hostile,
     "scale": scale,
+    "serve": serve,
     "absolute": [
         {"id": i, "ns_per_iter": round(r["ns_per_iter"], 1)}
         for i, r in sorted(records.items())
@@ -315,4 +363,5 @@ print(json.dumps(snapshot["fleet"], indent=2))
 print(json.dumps(snapshot["pipeline"], indent=2))
 print(json.dumps(snapshot["hostile"], indent=2))
 print(json.dumps(snapshot["scale"], indent=2))
+print(json.dumps(snapshot["serve"], indent=2))
 PY

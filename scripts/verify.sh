@@ -49,4 +49,14 @@ cargo run --release --offline -p sb-eval --bin xp -- \
 cargo run --release --offline -p sb-eval --bin xp -- \
     scale --scale 0.003 --jobs 2 --out target/verify-smoke
 test -s target/verify-smoke/scale.csv
+# Serve smoke (PR 9): continuous crawl-and-serve — the experiment asserts
+# the zero-reader window-1 refresh schedule is byte-reproducible and the
+# freshness SLA (median age-at-read ≤ 2 epochs) holds on every rung of
+# the 0/2/4-reader pressure ladder. The replay-cache alloc guard rides
+# the workspace test run; named here so a zero-copy regression fails on
+# its own line.
+cargo test -q --offline -p sb-httpsim --test alloc_guard_replay
+cargo run --release --offline -p sb-eval --bin xp -- \
+    serve --scale 0.003 --jobs 2 --out target/verify-smoke
+test -s target/verify-smoke/serve.csv
 echo "verify: OK"

@@ -18,6 +18,8 @@
 //! * [`crawler`] — the crawl engine and all strategies,
 //! * [`revisit`] — incremental recrawl of evolving sites (the paper's
 //!   Sec 6 future work): change models, revisit policies, freshness,
+//! * [`serve`] — continuous crawl-and-serve: lock-free snapshot store,
+//!   freshness-SLA refresh scheduling, simulated read load,
 //! * [`sdetect`] — statistics-table detection in retrieved files,
 //! * [`eval`] — the table/figure regeneration harness.
 //!
@@ -52,4 +54,5 @@ pub use sb_httpsim as httpsim;
 pub use sb_ml as ml;
 pub use sb_revisit as revisit;
 pub use sb_sdetect as sdetect;
+pub use sb_serve as serve;
 pub use sb_webgraph as webgraph;
