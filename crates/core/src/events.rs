@@ -179,6 +179,14 @@ pub enum CrawlEvent<'e> {
     /// requests only, even when the transport is a shared-pool handle
     /// whose window spans the whole fleet (PR 5).
     Submitted { url: &'e str, in_flight: usize },
+    /// A batching strategy ranked its frontier and handed back a batch
+    /// (PR 10): `requested` is the window the session asked to fill,
+    /// `selected` how many selections came back (fewer means the frontier
+    /// ran dry mid-batch; 0 is the batched [`FrontierExhausted`] probe).
+    /// Each selection's `Submitted` follows as budget gates allow.
+    ///
+    /// [`FrontierExhausted`]: CrawlEvent::FrontierExhausted
+    BatchSelected { requested: usize, selected: usize },
     /// The transport delivered a finished GET; the matching [`Fetched`]
     /// (and its processing) follow immediately. `in_flight` counts the
     /// requests still outstanding.
@@ -290,9 +298,18 @@ pub struct RefreshStats {
     /// Median age-at-read observed by the serving layer, in origin
     /// epochs (0.0 when no read load ran). Stamped by the serve runtime
     /// via [`crate::session::CrawlSession::set_staleness`].
+    ///
+    /// **Merge semantics (pinned):** after [`RefreshStats::merge`] this is
+    /// the *worst per-shard* median — an upper bound on the fleet's true
+    /// p50, **not** a merged percentile (percentiles do not compose from
+    /// summaries; merging the underlying age samples would be required).
+    /// Consumers comparing against an SLA get the conservative answer;
+    /// consumers wanting a true fleet percentile must aggregate samples
+    /// themselves.
     pub staleness_p50: f64,
     /// 99th-percentile age-at-read, in origin epochs — the freshness-SLA
-    /// headline number.
+    /// headline number. Same merge semantics as
+    /// [`RefreshStats::staleness_p50`]: worst shard, upper bound.
     pub staleness_p99: f64,
 }
 
@@ -300,7 +317,10 @@ impl RefreshStats {
     /// Folds another session's ledger into this one: counters add;
     /// staleness percentiles take the *worst* (maximum) of the two — a
     /// fleet meets an SLA only if every member does, so the conservative
-    /// merge is the honest aggregate.
+    /// merge is the honest aggregate. The result is an **upper bound** on
+    /// the fleet percentile, not the percentile of the pooled samples
+    /// (see [`RefreshStats::staleness_p50`]); the merge test below pins
+    /// this so a refactor cannot silently reinterpret the fields.
     pub fn merge(&mut self, other: &RefreshStats) {
         self.scheduled += other.scheduled;
         self.completed += other.completed;
@@ -388,6 +408,7 @@ pub struct EventLog {
 pub enum OwnedEvent {
     SessionStarted { root: String },
     Submitted { url: String, in_flight: usize },
+    BatchSelected { requested: usize, selected: usize },
     Completed { url: String, status: u16, in_flight: usize },
     Fetched { url: String, status: u16, mime: Option<String>, depth: u32 },
     Redirected { from: String, to: String },
@@ -409,6 +430,9 @@ impl From<&CrawlEvent<'_>> for OwnedEvent {
             }
             CrawlEvent::Submitted { url, in_flight } => {
                 OwnedEvent::Submitted { url: url.to_owned(), in_flight }
+            }
+            CrawlEvent::BatchSelected { requested, selected } => {
+                OwnedEvent::BatchSelected { requested, selected }
             }
             CrawlEvent::Completed { url, status, in_flight } => {
                 OwnedEvent::Completed { url: url.to_owned(), status, in_flight }
@@ -465,5 +489,65 @@ impl EventLog {
 impl CrawlObserver for EventLog {
     fn on_event(&mut self, event: &CrawlEvent<'_>, _snap: &CrawlSnapshot) {
         self.events.push(OwnedEvent::from(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins [`RefreshStats::merge`]: counters add, percentiles take the
+    /// worst shard (an SLA upper bound) — NOT a merged percentile. If a
+    /// refactor changes either half, this test is the tripwire.
+    #[test]
+    fn refresh_merge_adds_counters_and_takes_worst_shard_percentiles() {
+        let mut a = RefreshStats {
+            scheduled: 10,
+            completed: 7,
+            unchanged: 4,
+            changed: 3,
+            failed: 2,
+            staleness_p50: 1.5,
+            staleness_p99: 6.0,
+        };
+        let b = RefreshStats {
+            scheduled: 5,
+            completed: 4,
+            unchanged: 1,
+            changed: 3,
+            failed: 1,
+            staleness_p50: 2.5,
+            staleness_p99: 4.0,
+        };
+        a.merge(&b);
+        assert_eq!(a.scheduled, 15);
+        assert_eq!(a.completed, 11);
+        assert_eq!(a.unchanged, 5);
+        assert_eq!(a.changed, 6);
+        assert_eq!(a.failed, 3);
+        // Worst shard per percentile — p50 from `b`, p99 from `a`. A true
+        // pooled p50 over (say) equal read volumes would land between the
+        // two; the documented contract is the max.
+        assert_eq!(a.staleness_p50, 2.5);
+        assert_eq!(a.staleness_p99, 6.0);
+        assert_eq!(a.attempted(), 14);
+    }
+
+    /// Merging a zero ledger (a session that never refreshed) is the
+    /// identity — one-shot crawls cannot perturb a fleet aggregate.
+    #[test]
+    fn refresh_merge_with_default_is_identity() {
+        let mut a = RefreshStats {
+            scheduled: 3,
+            completed: 2,
+            unchanged: 1,
+            changed: 1,
+            failed: 1,
+            staleness_p50: 0.5,
+            staleness_p99: 2.0,
+        };
+        let before = a;
+        a.merge(&RefreshStats::default());
+        assert_eq!(a, before);
     }
 }

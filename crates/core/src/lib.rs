@@ -5,7 +5,9 @@
 //! * [`action`] — tag-path clustering into actions (Algorithm 1),
 //! * [`strategy`] — the crawler interface (frontier policy + link routing),
 //! * [`strategies`] — SB-CLASSIFIER, SB-ORACLE, BFS, DFS, RANDOM,
-//!   OMNISCIENT, FOCUSED, TP-OFF, TRES-lite,
+//!   OMNISCIENT, FOCUSED, TP-OFF, TRES-lite, and the value-driven
+//!   batch frontier ([`ValueStrategy`]: whole-frontier top-k ranking
+//!   per window-fill with composable [`strategies::Scorer`]s),
 //! * [`session`] — Algorithms 3 & 4 as a resumable [`CrawlSession`]:
 //!   validated construction, `step()`/`run()`, typed [`CrawlEvent`]s,
 //!   pipelined over the nonblocking `sb_httpsim::Transport`
@@ -84,6 +86,7 @@ pub use session::{
     robots_filter, Budget, ConfigError, CrawlConfig, CrawlConfigBuilder, CrawlOutcome,
     CrawlSession, Oracle, RefreshedPage, RetrievedTarget, StepReport, UrlFilter,
 };
+pub use strategies::{Batched, ValueSpec, ValueStrategy};
 pub use strategy::{
     ArmReport, LinkDecision, NewLink, SelUrl, Selection, Services, Strategy, StrategyReport,
 };

@@ -577,6 +577,14 @@ pub struct CrawlSession<'a> {
     /// Algorithm 4's FIFO order). Redirect continuations never queue here —
     /// they re-submit immediately, keeping their freed window slot.
     pending: VecDeque<Job>,
+    /// Selections a batching strategy handed back that have not yet been
+    /// submitted (PR 10): one ranking pass can fill the whole window, but
+    /// each member still goes through the per-submission budget gates, so
+    /// the tail of a batch waits here. Drained ahead of new pulls; members
+    /// still buffered at shutdown drain as `feedback_error` — a pulled
+    /// selection is owed exactly one observation whether or not it ever
+    /// reached the wire.
+    batch_buf: VecDeque<Selection>,
     /// Submitted work, parallel to the transport's pool (submission order).
     inflight: Vec<(RequestId, Job)>,
     /// Reused completion buffer (no per-poll allocation).
@@ -648,6 +656,7 @@ impl<'a> CrawlSession<'a> {
             rng: StdRng::seed_from_u64(cfg.seed ^ 0xc3a5_c85c_97cb_3127),
             phase: Phase::Root,
             pending: VecDeque::new(),
+            batch_buf: VecDeque::new(),
             inflight: Vec::new(),
             poll_buf: Vec::new(),
             abandoned: AbandonCounts::default(),
@@ -966,6 +975,18 @@ impl<'a> CrawlSession<'a> {
                 dispatched += 1;
                 continue;
             }
+            if let Some(sel) = self.batch_buf.pop_front() {
+                // Tail of a previously ranked batch: already pulled from
+                // the strategy, submitted here one per iteration so the
+                // budget gates above run between members exactly as they
+                // do between single pulls.
+                match self.resolve_selection(sel) {
+                    Pull::Dispatched => dispatched += 1,
+                    Pull::Skipped => {}
+                    Pull::Stalled => return dispatched,
+                }
+                continue;
+            }
             match self.phase {
                 Phase::Root => unreachable!("handled above"),
                 Phase::Seeds(from) => match self.next_admissible_seed(from) {
@@ -979,11 +1000,18 @@ impl<'a> CrawlSession<'a> {
                         self.phase = Phase::Steady;
                     }
                 },
-                Phase::Steady => match self.pull_selection() {
-                    Pull::Dispatched => dispatched += 1,
-                    Pull::Skipped => {}
-                    Pull::Stalled => return dispatched,
-                },
+                Phase::Steady => {
+                    let pull = if self.strategy.batch_selection() {
+                        self.pull_selection_batch()
+                    } else {
+                        self.pull_selection()
+                    };
+                    match pull {
+                        Pull::Dispatched => dispatched += 1,
+                        Pull::Skipped => {}
+                        Pull::Stalled => return dispatched,
+                    }
+                }
                 Phase::Done(_) => return dispatched,
             }
         }
@@ -1028,7 +1056,7 @@ impl<'a> CrawlSession<'a> {
             self.finish_with(reason);
             return Pull::Stalled;
         }
-        let Some(Selection { url, token }) = self.strategy.next(&mut self.rng) else {
+        let Some(sel) = self.strategy.next(&mut self.rng) else {
             if self.transport.in_flight() == 0 {
                 let snap = self.snapshot();
                 self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
@@ -1038,6 +1066,60 @@ impl<'a> CrawlSession<'a> {
             // strategy is asked again after the next drain.
             return Pull::Stalled;
         };
+        self.resolve_selection(sel)
+    }
+
+    /// One batched strategy pull (PR 10): stop checks once, then one
+    /// [`Strategy::select_batch`] sized to the window's free slots (capped
+    /// by the remaining request budget, so a batch never pulls selections
+    /// a [`Budget::Requests`] crawl could not submit). The members land in
+    /// [`CrawlSession::batch_buf`]; the refill loop submits them one per
+    /// iteration, re-checking the budget gates between members. At
+    /// `max_in_flight = 1` the batch is a single selection and the
+    /// behaviour — one stop check, one pull, one submission — matches
+    /// [`CrawlSession::pull_selection`] exactly.
+    fn pull_selection_batch(&mut self) -> Pull {
+        if let Some(reason) = self.stop_check() {
+            self.finish_with(reason);
+            return Pull::Stalled;
+        }
+        let free = self
+            .transport
+            .max_in_flight()
+            .saturating_sub(self.transport.in_flight())
+            .max(1);
+        let k = match self.cfg.budget {
+            Budget::Requests(b) => {
+                let headroom = b
+                    .saturating_sub(self.transport.traffic().requests())
+                    .saturating_sub(self.transport.in_flight() as u64);
+                // `budget_blocked()` was false, so headroom ≥ 1.
+                free.min(headroom.max(1).min(usize::MAX as u64) as usize)
+            }
+            _ => free,
+        };
+        let batch = self.strategy.select_batch(k, &mut self.rng);
+        let snap = self.snapshot();
+        self.hub
+            .emit(&snap, &CrawlEvent::BatchSelected { requested: k, selected: batch.len() });
+        if batch.is_empty() {
+            if self.transport.in_flight() == 0 {
+                let snap = self.snapshot();
+                self.hub.emit(&snap, &CrawlEvent::FrontierExhausted);
+                self.finish_with(FinishReason::FrontierExhausted);
+            }
+            return Pull::Stalled;
+        }
+        self.batch_buf.extend(batch);
+        // Nothing submitted yet: the loop's next iterations drain the
+        // buffer through the budget gates.
+        Pull::Skipped
+    }
+
+    /// Submits one already-pulled selection, delivering the error
+    /// observation itself when the selection cannot be fetched. Shared by
+    /// the single-pull and batch paths; never returns [`Pull::Stalled`].
+    fn resolve_selection(&mut self, Selection { url, token }: Selection) -> Pull {
         self.steps += 1;
         let id = match url {
             // Hot path: the id resolves without parsing or hashing.
@@ -1179,6 +1261,26 @@ impl<'a> CrawlSession<'a> {
                     url: self.visited.text(job.id),
                     reason: AbandonReason::SessionClosed,
                 },
+            );
+        }
+        // Batch members pulled but never submitted (PR 10): same contract
+        // as in-flight work — one error observation per pulled selection,
+        // one terminal `Abandoned` each, never a silent pull.
+        let buffered = std::mem::take(&mut self.batch_buf);
+        for sel in &buffered {
+            self.strategy.feedback_error(sel.token);
+            self.abandoned.record(AbandonReason::SessionClosed);
+            let url = match &sel.url {
+                SelUrl::Id(id) if (*id as usize) < self.depths.len() => {
+                    self.visited.text(*id).to_owned()
+                }
+                SelUrl::Id(_) => continue, // bogus id: nothing to name
+                SelUrl::Text(s) => s.clone(),
+            };
+            let snap = self.snapshot();
+            self.hub.emit(
+                &snap,
+                &CrawlEvent::Abandoned { url: &url, reason: AbandonReason::SessionClosed },
             );
         }
         self.pending.clear();

@@ -7,6 +7,7 @@ pub mod queue;
 pub mod sb;
 pub mod tpoff;
 pub mod tres;
+pub mod value;
 
 pub use focused::FocusedStrategy;
 pub use omniscient::OmniscientStrategy;
@@ -14,3 +15,7 @@ pub use queue::{Discipline, QueueStrategy};
 pub use sb::{BanditChoice, SbConfig, SbMode, SbStrategy};
 pub use tpoff::TpOffStrategy;
 pub use tres::{TresStrategy, TRES_KEYWORDS};
+pub use value::{
+    finite_or_zero, BanditScorer, Batched, Candidate, ClassifierScorer, DepthPriorScorer,
+    NearDupScorer, Scorer, ValueSpec, ValueStrategy,
+};

@@ -58,6 +58,13 @@ impl QueueStrategy {
             frontier: SpillQueue::with_config(SpillConfig::bounded(mem_cap, backing)),
         }
     }
+
+    /// Feeds an id straight into the frontier, bypassing `decide()`'s
+    /// engine plumbing — for tests exercising ordering/batching logic.
+    #[cfg(test)]
+    pub(crate) fn push_for_test(&mut self, id: sb_webgraph::UrlId) {
+        self.frontier.push_back(id);
+    }
 }
 
 impl Strategy for QueueStrategy {

@@ -178,6 +178,38 @@ pub trait Strategy {
     /// Picks the next frontier link, or `None` when the frontier is empty.
     fn next(&mut self, rng: &mut StdRng) -> Option<Selection>;
 
+    /// Picks up to `k` frontier links in one pass (PR 10). The default
+    /// calls [`Strategy::next`] up to `k` times, so every existing
+    /// strategy keeps working unchanged; ranking strategies
+    /// ([`crate::strategies::ValueStrategy`]) override it to score the
+    /// whole frontier once and return the top `k` — the Crawl4LLM-style
+    /// "select the top-k rated documents per iteration" loop. Fewer than
+    /// `k` selections mean the frontier ran dry mid-batch; an empty vec
+    /// is the `None` of [`Strategy::next`]. Every returned selection is a
+    /// real pull: each must receive exactly one feedback call, the same
+    /// contract as single selections.
+    fn select_batch(&mut self, k: usize, rng: &mut StdRng) -> Vec<Selection> {
+        let mut out = Vec::with_capacity(k.min(16));
+        for _ in 0..k {
+            match self.next(rng) {
+                Some(sel) => out.push(sel),
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Does this strategy want the session to refill through
+    /// [`Strategy::select_batch`] (one ranking pass fills the whole
+    /// in-flight window) instead of pulling selections one at a time?
+    /// Default `false`: the classic per-pull path, whose window-1 replay
+    /// of the frozen seed engine stays byte-identical. Strategies that
+    /// rank their frontier per step (or the [`crate::strategies::Batched`]
+    /// adapter) answer `true`.
+    fn batch_selection(&self) -> bool {
+        false
+    }
+
     /// Routes a newly discovered link.
     fn decide(&mut self, link: &NewLink<'_>, services: &mut Services<'_, '_>) -> LinkDecision;
 

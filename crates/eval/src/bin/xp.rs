@@ -23,6 +23,7 @@
 //!   hostile     hostile-web workload: trap-laced site, retry/backoff (PR 6)
 //!   scale       memory-bounded crawl ladder: RSS + pages/sec at 10k/100k (PR 7)
 //!   serve       continuous crawl-and-serve: read QPS + freshness SLA (PR 9)
+//!   quality     value-driven batch frontier: targets/GET, batch ladder (PR 10)
 //!   all         everything above
 //! ```
 //!
@@ -45,7 +46,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|scale|serve|all>\n\
+        "usage: xp <table1|table2|table3|table4|table5|table6|table7|fig4|fig15|se|time|revisit|ablation|hardness|fleet|pipeline|hostile|scale|serve|quality|all>\n\
          \x20      [--scale F] [--seeds N] [--sites a,b,c] [--out DIR] [--jobs N] [--shared-pool]\n\
          \x20      [--shards 1,2,4]"
     );
@@ -104,6 +105,7 @@ fn main() {
             "hostile" => xp::hostile::run(cfg),
             "scale" => xp::scale::run(cfg),
             "serve" => xp::serve::run(cfg),
+            "quality" => xp::quality::run(cfg),
             _ => usage(),
         };
         eprintln!("[xp] {name} done in {:.1?}", t.elapsed());
@@ -114,7 +116,7 @@ fn main() {
             let all = [
                 "table1", "table2", "table3", "table6", "fig4", "fig15", "table4", "table5",
                 "table7", "se", "time", "revisit", "ablation", "hardness", "fleet",
-                "pipeline", "hostile", "scale", "serve",
+                "pipeline", "hostile", "scale", "serve", "quality",
             ];
             for name in all {
                 println!("{}", run_one(name, &cfg));

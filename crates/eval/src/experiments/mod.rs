@@ -7,6 +7,7 @@ pub mod fig15;
 pub mod fig4;
 pub mod fleet;
 pub mod pipeline;
+pub mod quality;
 pub mod revisit;
 pub mod hardness;
 pub mod hostile;

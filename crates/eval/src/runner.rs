@@ -16,6 +16,10 @@ pub struct RunOpts {
     /// Scale, for phase sizing (TP-OFF) — not site sizing.
     pub scale: f64,
     pub sb: SbTuning,
+    /// In-flight window (PR 10): `1` is the exact sequential engine; a
+    /// batching strategy ranks its frontier once per window-fill at
+    /// wider settings (`xp quality`'s batch ladder).
+    pub max_in_flight: usize,
 }
 
 impl Default for RunOpts {
@@ -27,6 +31,7 @@ impl Default for RunOpts {
             max_steps: None,
             scale: 0.01,
             sb: SbTuning::default(),
+            max_in_flight: 1,
         }
     }
 }

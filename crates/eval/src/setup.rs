@@ -300,6 +300,7 @@ pub fn run_with_strategy(
     let mut builder = CrawlConfig::builder()
         .budget(opts.budget)
         .rng_seed(seed)
+        .max_in_flight(opts.max_in_flight)
         .keep_target_bodies(opts.keep_bodies);
     if let Some(es) = opts.early_stop {
         builder = builder.early_stop(es);

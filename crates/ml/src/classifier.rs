@@ -102,6 +102,14 @@ impl UrlClassifier {
             Class2::Html
         }
     }
+
+    /// The model's raw decision value for a URL (positive ⇒ Target);
+    /// [`UrlClassifier::predict`] is `predict_score > 0`. Ranking
+    /// strategies (PR 10's value-driven frontier) use this to order
+    /// candidates by confidence rather than by hard class.
+    pub fn predict_score(&self, input: &FeatureInput<'_>) -> f32 {
+        self.model.predict_score(&featurize(self.feature_set, input))
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 
 use crate::store::SnapshotStore;
 use rand::rngs::StdRng;
+use sb_crawler::strategies::finite_or_zero;
 use sb_revisit::RevisitPolicy;
 
 /// One planned refresh: the URL, the hash the refetch is compared
@@ -37,6 +38,16 @@ pub struct PlanEntry {
 /// the policy would have visited in its own order.
 pub const POOL_FACTOR: usize = 4;
 
+/// Total `policy.next` draws the planner is willing to spend per call,
+/// as a multiple of the pool it is trying to fill. Policies that sample
+/// with replacement never answer `None`; without this bound a store that
+/// knows fewer than `POOL_FACTOR × per_epoch` of the policy's URLs kept
+/// the draw loop spinning forever (store-unknown URLs `continue` without
+/// growing the pool). 8× lets a sampling policy re-offer generously —
+/// the pool still fills whenever fills are possible — while bounding the
+/// worst case.
+pub const MAX_DRAW_FACTOR: usize = 8;
+
 /// Plans one refresh epoch: draws up to `POOL_FACTOR × per_epoch`
 /// candidates from `policy`, keeps those the store knows, ranks them by
 /// estimated-change × read-popularity and returns the top `per_epoch`
@@ -53,12 +64,25 @@ pub fn plan_epoch(
         return Vec::new();
     }
     let mut pool = Vec::with_capacity(per_epoch * POOL_FACTOR);
-    while pool.len() < per_epoch * POOL_FACTOR {
+    // Bounded by *draw attempts*, not only by pool growth: a policy that
+    // samples with replacement never returns `None`, and store-unknown
+    // draws don't grow the pool — unbounded, that combination loops
+    // forever (the PR 10 regression test pins this).
+    let max_draws = MAX_DRAW_FACTOR * POOL_FACTOR * per_epoch;
+    for _ in 0..max_draws {
+        if pool.len() >= per_epoch * POOL_FACTOR {
+            break;
+        }
         let Some(url) = policy.next(rng) else { break };
         let Some(current) = store.peek(&url) else {
             continue;
         };
-        let score = policy.estimate(&url) * (1.0 + (1.0 + store.reads(&url) as f64).ln());
+        // Clamp before ranking: a degenerate estimator's NaN/∞ would
+        // otherwise break `partial_cmp`'s total order below and with it
+        // the byte-reproducible-schedule pin.
+        let score =
+            finite_or_zero(policy.estimate(&url)) * (1.0 + (1.0 + store.reads(&url) as f64).ln());
+        debug_assert!(score.is_finite(), "clamped estimate cannot rank non-finite");
         pool.push(PlanEntry {
             url,
             prior_hash: current.body_hash,
@@ -128,6 +152,98 @@ mod tests {
         assert_eq!(plan[0].url, "https://s/a");
         let expect = store.peek("https://s/a").unwrap().body_hash;
         assert_eq!(plan[0].prior_hash, expect);
+    }
+
+    /// A policy that samples with replacement: `next` never answers
+    /// `None`, cycling over its registered URLs forever — the shape that
+    /// hung the unbounded draw loop whenever the store knew fewer than
+    /// `POOL_FACTOR × per_epoch` of them.
+    struct NeverExhausting {
+        urls: Vec<String>,
+        draws: std::cell::Cell<usize>,
+        estimate: f64,
+        /// `Some(n)`: exhaust after `n` draws (one-pass mode for tests
+        /// that want a duplicate-free pool). `None`: never exhaust.
+        limit: Option<usize>,
+    }
+
+    impl NeverExhausting {
+        fn over(urls: &[&str]) -> Self {
+            NeverExhausting {
+                urls: urls.iter().map(|s| s.to_string()).collect(),
+                draws: std::cell::Cell::new(0),
+                estimate: 1.0,
+                limit: None,
+            }
+        }
+    }
+
+    impl RevisitPolicy for NeverExhausting {
+        fn name(&self) -> String {
+            "NEVER-EXHAUSTING".to_owned()
+        }
+
+        fn register(&mut self, url: &str, _in_path: &str) {
+            self.urls.push(url.to_owned());
+        }
+
+        fn begin_epoch(&mut self) {}
+
+        fn next(&mut self, _rng: &mut StdRng) -> Option<String> {
+            let k = self.draws.get();
+            if self.limit.is_some_and(|n| k >= n) {
+                return None;
+            }
+            self.draws.set(k + 1);
+            Some(self.urls[k % self.urls.len()].clone())
+        }
+
+        fn observe(&mut self, _url: &str, _obs: &sb_revisit::Observation) {}
+
+        fn estimate(&self, _url: &str) -> f64 {
+            self.estimate
+        }
+    }
+
+    /// Regression (PR 10): a never-exhausting policy over a store that
+    /// knows fewer URLs than the pool it wants must terminate — bounded
+    /// by total draw attempts — and still plan everything plannable.
+    #[test]
+    fn never_exhausting_policy_terminates_and_plans_known_urls() {
+        // Store knows 2 URLs; the pool wants POOL_FACTOR × 8 = 32; the
+        // policy happily re-offers ghosts forever.
+        let store = seeded_store(&["https://s/a", "https://s/b"]);
+        let mut policy =
+            NeverExhausting::over(&["https://s/a", "https://s/b", "https://s/ghost"]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = plan_epoch(&store, &mut policy, &mut rng, 8);
+        let drawn = policy.draws.get();
+        assert!(drawn <= MAX_DRAW_FACTOR * POOL_FACTOR * 8, "draws bounded: {drawn}");
+        // Only store-known URLs made the plan (a with-replacement policy
+        // fills the pool with repeats; ghosts still never plan), capped
+        // at the per-epoch budget.
+        assert!(!plan.is_empty());
+        assert!(plan.len() <= 8);
+        assert!(plan.iter().all(|e| e.url != "https://s/ghost"), "{plan:?}");
+    }
+
+    /// Regression (PR 10): a NaN estimate is clamped to 0.0 before
+    /// ranking, so the sort's total order — and with it the deterministic
+    /// plan — survives a degenerate estimator. The NaN candidate ranks
+    /// *last*, not arbitrarily.
+    #[test]
+    fn nan_estimates_are_clamped_not_ranked() {
+        let store = seeded_store(&["https://s/a", "https://s/b", "https://s/c"]);
+        let mut policy = NeverExhausting::over(&["https://s/a", "https://s/b", "https://s/c"]);
+        policy.estimate = f64::NAN;
+        policy.limit = Some(3); // one duplicate-free pass
+        let mut rng = StdRng::seed_from_u64(5);
+        let plan = plan_epoch(&store, &mut policy, &mut rng, 3);
+        assert_eq!(plan.len(), 3);
+        // All scores clamped to 0.0 × popularity = 0.0: pure URL order.
+        assert!(plan.iter().all(|e| e.score == 0.0), "{plan:?}");
+        let urls: Vec<&str> = plan.iter().map(|e| e.url.as_str()).collect();
+        assert_eq!(urls, vec!["https://s/a", "https://s/b", "https://s/c"]);
     }
 
     #[test]

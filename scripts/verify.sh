@@ -59,4 +59,11 @@ cargo test -q --offline -p sb-httpsim --test alloc_guard_replay
 cargo run --release --offline -p sb-eval --bin xp -- \
     serve --scale 0.003 --jobs 2 --out target/verify-smoke
 test -s target/verify-smoke/serve.csv
+# Quality smoke (PR 10): the value-driven batch frontier ladder — the
+# experiment itself asserts every VALUE rung (batch 1/4/16 = in-flight
+# window) buys strictly more targets per GET than BFS under the shallow
+# request budget.
+cargo run --release --offline -p sb-eval --bin xp -- \
+    quality --scale 0.003 --jobs 2 --out target/verify-smoke
+test -s target/verify-smoke/quality.csv
 echo "verify: OK"
